@@ -1,0 +1,114 @@
+// Substrate ablation: how the analog engine's numerical choices affect the
+// measured Table-1 quantities. DESIGN.md calls out integrator choice and
+// step size as the design decisions to ablate.
+//
+// We measure the fault-free and MBD2 NAND fall delays under backward Euler
+// vs trapezoidal at several step sizes, against a fine-step trapezoidal
+// reference, and report accuracy and cost (accepted steps, NR iterations).
+#include "bench_common.hpp"
+#include "core/core.hpp"
+
+namespace {
+
+using namespace obd;
+
+struct Config {
+  const char* name;
+  spice::Integrator integrator;
+  double dt;
+};
+
+void reproduce() {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const cells::TwoVector fall{0b01, 0b11};
+  const cells::TransistorRef na{false, 0};
+
+  std::printf("=== Ablation: integrator and step size ===\n\n");
+
+  // Reference: fine trapezoidal.
+  core::CharacterizeOptions ref_opt;
+  ref_opt.dt = 0.5e-12;
+  ref_opt.integrator = spice::Integrator::kTrapezoidal;
+  core::GateCharacterizer ref(cells::nand_topology(2), tech, ref_opt);
+  const auto ref_ff =
+      ref.measure(std::nullopt, core::BreakdownStage::kFaultFree, fall);
+  const auto ref_bd = ref.measure(na, core::BreakdownStage::kMbd2, fall);
+  std::printf("reference (trap, dt=0.5ps): ff=%s mbd2=%s\n\n",
+              util::format_time_eng(ref_ff.delay.value_or(0)).c_str(),
+              util::format_time_eng(ref_bd.delay.value_or(0)).c_str());
+
+  const Config configs[] = {
+      {"BE dt=8ps", spice::Integrator::kBackwardEuler, 8e-12},
+      {"BE dt=4ps", spice::Integrator::kBackwardEuler, 4e-12},
+      {"BE dt=2ps", spice::Integrator::kBackwardEuler, 2e-12},
+      {"BE dt=1ps", spice::Integrator::kBackwardEuler, 1e-12},
+      {"TR dt=8ps", spice::Integrator::kTrapezoidal, 8e-12},
+      {"TR dt=4ps", spice::Integrator::kTrapezoidal, 4e-12},
+      {"TR dt=2ps", spice::Integrator::kTrapezoidal, 2e-12},
+      {"TR dt=1ps", spice::Integrator::kTrapezoidal, 1e-12},
+  };
+
+  util::AsciiTable t("measured NAND fall delay vs numerical configuration");
+  t.set_header({"config", "ff delay", "ff err", "mbd2 delay", "mbd2 err",
+                "steps", "NR iters"});
+  for (const Config& cfg : configs) {
+    core::CharacterizeOptions opt;
+    opt.dt = cfg.dt;
+    opt.integrator = cfg.integrator;
+    core::GateCharacterizer chr(cells::nand_topology(2), tech, opt);
+    const auto ff =
+        chr.measure(std::nullopt, core::BreakdownStage::kFaultFree, fall);
+    const auto bd = chr.measure(na, core::BreakdownStage::kMbd2, fall);
+    const auto res =
+        chr.trace(na, core::BreakdownStage::kMbd2, fall);  // cost probe
+    auto err = [](const std::optional<double>& got,
+                  const std::optional<double>& want) -> std::string {
+      if (!got || !want) return "-";
+      return util::format_time_eng(std::abs(*got - *want));
+    };
+    t.add_row({cfg.name,
+               benchsup::delay_cell(ff.delay, ff.stuck, ff.stuck_high),
+               err(ff.delay, ref_ff.delay),
+               benchsup::delay_cell(bd.delay, bd.stuck, bd.stuck_high),
+               err(bd.delay, ref_bd.delay), std::to_string(res.accepted_steps),
+               std::to_string(res.newton_iterations)});
+  }
+  t.print();
+  std::printf(
+      "take-away: trapezoidal holds the Table-1 quantities to a few ps even\n"
+      "at 4-8ps steps; backward Euler's first-order damping needs ~2ps for\n"
+      "the same accuracy. The repo default (trap, 2ps) is conservative.\n\n");
+}
+
+void BM_TrapStep2ps(benchmark::State& state) {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  core::CharacterizeOptions opt;
+  opt.dt = 2e-12;
+  core::GateCharacterizer chr(cells::nand_topology(2), tech, opt);
+  for (auto _ : state) {
+    const auto m = chr.measure(cells::TransistorRef{false, 0},
+                               core::BreakdownStage::kMbd2, {0b01, 0b11});
+    benchmark::DoNotOptimize(m.delay);
+  }
+}
+BENCHMARK(BM_TrapStep2ps)->Unit(benchmark::kMillisecond);
+
+void BM_BeStep2ps(benchmark::State& state) {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  core::CharacterizeOptions opt;
+  opt.dt = 2e-12;
+  opt.integrator = spice::Integrator::kBackwardEuler;
+  core::GateCharacterizer chr(cells::nand_topology(2), tech, opt);
+  for (auto _ : state) {
+    const auto m = chr.measure(cells::TransistorRef{false, 0},
+                               core::BreakdownStage::kMbd2, {0b01, 0b11});
+    benchmark::DoNotOptimize(m.delay);
+  }
+}
+BENCHMARK(BM_BeStep2ps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+}

@@ -1,0 +1,120 @@
+// Sec. 5 complexity claim: "for combinational circuits, test pattern
+// generation for OBD defects is of the same computational complexity as for
+// stuck-at faults".
+//
+// We time stuck-at, transition and OBD ATPG over growing ripple-carry
+// adders and parity trees, reporting per-fault effort (backtracks and
+// implications). OBD cost tracks the stuck-at/transition trend (a constant
+// small factor for the two frames), not a different complexity class.
+#include "bench_common.hpp"
+#include <chrono>
+
+#include "atpg/atpg.hpp"
+#include "logic/logic.hpp"
+
+namespace {
+
+using namespace obd;
+using namespace obd::atpg;
+using Clock = std::chrono::steady_clock;
+
+struct Effort {
+  double ms_per_fault = 0.0;
+  double implications_per_fault = 0.0;
+  int found = 0;
+  int untestable = 0;
+  int aborted = 0;
+};
+
+template <typename RunFn, typename FaultList>
+Effort measure(RunFn run, const FaultList& faults) {
+  const auto t0 = Clock::now();
+  const AtpgRun r = run();
+  const auto t1 = Clock::now();
+  Effort e;
+  const double ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double n = static_cast<double>(faults.size());
+  e.ms_per_fault = ms / n;
+  e.implications_per_fault =
+      static_cast<double>(r.total_implications) / n;
+  e.found = r.found;
+  e.untestable = r.untestable;
+  e.aborted = r.aborted;
+  return e;
+}
+
+void reproduce() {
+  std::printf(
+      "=== Sec. 5: OBD TPG complexity tracks stuck-at TPG ===\n\n");
+
+  util::AsciiTable t("per-fault ATPG effort");
+  t.set_header({"circuit", "gates", "faults sa/tr/obd", "sa ms", "tr ms",
+                "obd ms", "sa impl", "tr impl", "obd impl", "aborted"});
+  std::vector<logic::Circuit> circuits;
+  circuits.push_back(logic::ripple_carry_adder(2));
+  circuits.push_back(logic::ripple_carry_adder(4));
+  circuits.push_back(logic::ripple_carry_adder(8));
+  circuits.push_back(logic::parity_tree(8));
+  circuits.push_back(logic::parity_tree(16));
+  for (const auto& c : circuits) {
+    const auto sf = enumerate_stuck_faults(c);
+    const auto tf = enumerate_transition_faults(c);
+    const auto of = enumerate_obd_faults(c);
+    const Effort es = measure([&] { return run_stuck_at_atpg(c, sf); }, sf);
+    const Effort et = measure([&] { return run_transition_atpg(c, tf); }, tf);
+    const Effort eo = measure([&] { return run_obd_atpg(c, of); }, of);
+    t.add_row({c.name(), std::to_string(c.num_gates()),
+               std::to_string(sf.size()) + "/" + std::to_string(tf.size()) +
+                   "/" + std::to_string(of.size()),
+               util::format_g(es.ms_per_fault, 3),
+               util::format_g(et.ms_per_fault, 3),
+               util::format_g(eo.ms_per_fault, 3),
+               util::format_g(es.implications_per_fault, 3),
+               util::format_g(et.implications_per_fault, 3),
+               util::format_g(eo.implications_per_fault, 3),
+               std::to_string(es.aborted + et.aborted + eo.aborted)});
+  }
+  t.print();
+  std::printf(
+      "paper: OBD TPG adds only the second (justification) frame and the\n"
+      "gate-input pinning to the stuck-at search - a constant factor, not\n"
+      "a complexity-class change. The per-fault effort columns grow at the\n"
+      "same rate across the three models as circuits scale.\n\n");
+}
+
+void BM_ObdAtpgRca4(benchmark::State& state) {
+  const logic::Circuit c = logic::ripple_carry_adder(4);
+  const auto faults = enumerate_obd_faults(c);
+  for (auto _ : state) {
+    const AtpgRun r = run_obd_atpg(c, faults);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_ObdAtpgRca4)->Unit(benchmark::kMillisecond);
+
+void BM_StuckAtpgRca4(benchmark::State& state) {
+  const logic::Circuit c = logic::ripple_carry_adder(4);
+  const auto faults = enumerate_stuck_faults(c);
+  for (auto _ : state) {
+    const AtpgRun r = run_stuck_at_atpg(c, faults);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_StuckAtpgRca4)->Unit(benchmark::kMillisecond);
+
+void BM_BitParallelFaultSim(benchmark::State& state) {
+  const logic::Circuit c = logic::ripple_carry_adder(8);
+  std::vector<std::uint64_t> pi(c.inputs().size(), 0xAAAA5555CCCC3333ull);
+  for (auto _ : state) {
+    const auto words = c.eval_words(pi);
+    benchmark::DoNotOptimize(words.back());
+  }
+}
+BENCHMARK(BM_BitParallelFaultSim);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+}

@@ -1,0 +1,39 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary does two things:
+//  1. regenerates its paper table/figure as ASCII (and CSV where the figure
+//     is a waveform plot) — this always runs, so `./bench_x` with no
+//     arguments reproduces the experiment;
+//  2. registers google-benchmark timings for the underlying machinery,
+//     run after the reproduction output.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace obd::benchsup {
+
+/// Formats an optional delay the way the paper's Table 1 does: a time, or
+/// "sa-0"/"sa-1" when the output no longer transitions.
+inline std::string delay_cell(const std::optional<double>& delay, bool stuck,
+                              bool stuck_high) {
+  if (delay) return util::format_time_eng(*delay);
+  if (stuck) return stuck_high ? "sa-1" : "sa-0";
+  return "-";
+}
+
+/// Runs the reproduction, then google-benchmark. Call from main().
+inline int run_bench_main(int argc, char** argv, void (*reproduce)()) {
+  reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace obd::benchsup

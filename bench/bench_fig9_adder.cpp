@@ -1,0 +1,164 @@
+// Fig. 9 reproduction: propagation of OBD transition-fault effects through
+// the full-adder sum circuit.
+//
+// The paper injects single OBD defects into each of the four transistors of
+// a NAND with four upstream and four downstream logic stages (our "o12"),
+// applies two-vector tests whose gate-local excitation was justified to the
+// primary inputs A,B,C, and observes the delayed transition at the primary
+// output S. We do the same end to end: the ATPG derives the PI sequences,
+// the elaborator lowers the 25-gate circuit to transistors, the OBD network
+// is injected, and the analog engine produces the S waveforms.
+//
+// Output: per-fault table (test found by ATPG, fault-free vs faulty S
+// arrival) and fig9_waveforms.csv.
+#include "bench_common.hpp"
+#include "atpg/atpg.hpp"
+#include "core/core.hpp"
+#include "logic/logic.hpp"
+#include "util/csv.hpp"
+#include "util/measure.hpp"
+
+namespace {
+
+using namespace obd;
+
+constexpr double kSwitchTime = 2e-9;
+constexpr double kStopTime = 7e-9;
+
+struct SArrival {
+  std::optional<double> t_edge;
+  util::Waveform wave;
+};
+
+SArrival run_case(const logic::Circuit& c, const cells::Technology& tech,
+                  const std::optional<std::pair<int, cells::TransistorRef>>& fault,
+                  core::BreakdownStage stage, std::uint64_t v1,
+                  std::uint64_t v2, const std::string& trace_name) {
+  logic::Elaboration el(c, tech);
+  if (fault) {
+    auto inj = core::inject_obd(
+        el.netlist(), el.transistor_name(fault->first, fault->second));
+    inj.set_stage(stage);
+  }
+  el.set_two_vector(v1, v2, kSwitchTime);
+  spice::TransientOptions opt;
+  opt.dt = 4e-12;
+  const auto res = spice::transient(el.netlist(), kStopTime, opt, {"S"});
+  SArrival out;
+  if (res.status != spice::SolveStatus::kOk) return out;
+  const auto* s = res.trace("S");
+  if (s == nullptr) return out;
+  out.wave = *s;
+  out.wave.set_name(trace_name);
+  // Direction of the expected S edge from the logic model.
+  const bool s1 = c.eval_outputs(v1) & 1u;
+  const bool s2 = c.eval_outputs(v2) & 1u;
+  if (s1 != s2) {
+    util::DelayOptions dopt;
+    dopt.vdd = tech.vdd;
+    const auto t = util::edge_time(
+        *s, s2 ? util::Edge::kRising : util::Edge::kFalling, kSwitchTime,
+        dopt);
+    if (t) out.t_edge = *t - kSwitchTime;
+  }
+  return out;
+}
+
+void reproduce() {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  int mid = -1;
+  for (std::size_t g = 0; g < c.num_gates(); ++g)
+    if (c.gate(static_cast<int>(g)).name == logic::kFullAdderMidNand)
+      mid = static_cast<int>(g);
+
+  std::printf(
+      "=== Fig. 9: OBD fault effects propagated through the full-adder sum "
+      "===\n(injection target: NAND '%s', level 5 of 9)\n\n",
+      logic::kFullAdderMidNand);
+
+  std::vector<util::Waveform> traces;
+  util::AsciiTable t("per-transistor injection at the mid NAND");
+  t.set_header({"fault", "stage", "PI test (ABC: V1->V2)", "S arrival ff",
+                "S arrival faulty", "added delay"});
+
+  const core::BreakdownStage stage = core::BreakdownStage::kMbd2;
+  for (const auto& tr :
+       {cells::TransistorRef{false, 0}, cells::TransistorRef{false, 1},
+        cells::TransistorRef{true, 0}, cells::TransistorRef{true, 1}}) {
+    // Find a detecting two-vector test under which the fault-free S also
+    // transitions, so the defect shows as a *late edge* at the primary
+    // output (the form Fig. 9 plots). The ATPG result is used as a
+    // fallback; the exhaustive scan prefers S-toggling tests.
+    atpg::TwoFrameResult gen =
+        atpg::generate_obd_test(c, logic::ObdFaultSite{mid, tr});
+    if (gen.status == atpg::PodemStatus::kFound) {
+      for (const auto& cand : atpg::all_ordered_pairs(3)) {
+        const bool s_toggles =
+            (c.eval_outputs(cand.v1) & 1u) != (c.eval_outputs(cand.v2) & 1u);
+        if (!s_toggles) continue;
+        if (atpg::simulate_obd(c, cand, {logic::ObdFaultSite{mid, tr}})[0]) {
+          gen.test = cand;
+          break;
+        }
+      }
+    }
+    if (gen.status != atpg::PodemStatus::kFound) {
+      t.add_row({std::string(tr.pmos ? "P" : "N") + std::to_string(tr.input),
+                 core::to_string(stage), "untestable", "-", "-", "-"});
+      continue;
+    }
+    const std::string label =
+        std::string(tr.pmos ? "P" : "N") + std::to_string(tr.input);
+    const std::string test_str = cells::format_bits(
+        static_cast<cells::InputBits>(gen.test.v1), 3) +
+        "->" + cells::format_bits(static_cast<cells::InputBits>(gen.test.v2), 3);
+
+    const SArrival ff = run_case(c, tech, std::nullopt, stage, gen.test.v1,
+                                 gen.test.v2, "S_ff_" + label);
+    const SArrival fy =
+        run_case(c, tech, std::make_pair(mid, tr), stage, gen.test.v1,
+                 gen.test.v2, "S_" + label);
+    std::string added = "-";
+    if (ff.t_edge && fy.t_edge)
+      added = util::format_time_eng(*fy.t_edge - *ff.t_edge);
+    else if (ff.t_edge && !fy.t_edge)
+      added = "stuck";
+    t.add_row({label, core::to_string(stage), test_str,
+               ff.t_edge ? util::format_time_eng(*ff.t_edge) : "-",
+               fy.t_edge ? util::format_time_eng(*fy.t_edge) : "-", added});
+    if (!ff.wave.empty()) traces.push_back(ff.wave);
+    if (!fy.wave.empty()) traces.push_back(fy.wave);
+  }
+  t.print();
+  std::printf(
+      "paper: \"the delays due to the OBD defects in the four transistors\n"
+      "inside the NAND gate (injected one at a time) can be observed at the\n"
+      "primary output\" - the degraded intermediate level is restored along\n"
+      "the downstream stages but the *timing* error survives (Sec. 4.3).\n");
+
+  std::vector<const util::Waveform*> ptrs;
+  for (auto& w : traces) ptrs.push_back(&w);
+  if (!ptrs.empty() && util::write_traces_csv("fig9_waveforms.csv", ptrs, 400))
+    std::printf("wrote fig9_waveforms.csv\n\n");
+}
+
+void BM_FullAdderTransient(benchmark::State& state) {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  for (auto _ : state) {
+    logic::Elaboration el(c, tech);
+    el.set_two_vector(0b110, 0b111, kSwitchTime);
+    spice::TransientOptions opt;
+    opt.dt = 4e-12;
+    const auto res = spice::transient(el.netlist(), kStopTime, opt, {"S"});
+    benchmark::DoNotOptimize(res.accepted_steps);
+  }
+}
+BENCHMARK(BM_FullAdderTransient)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+}

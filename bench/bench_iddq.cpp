@@ -1,0 +1,81 @@
+// Extension bench: IDDQ vs delay-based OBD detection across the progression.
+//
+// Related work in the paper (Sec. 2): Segura et al. detect hard gate-oxide
+// shorts by IDDQ testing. With the diode-resistor model we can compare the
+// two observables stage by stage: quiescent current fires on a *static*
+// vector as soon as the leakage path conducts, while delay testing needs a
+// transition and enough added delay to beat the capture slack. IDDQ
+// therefore opens the concurrent-testing window earlier — at the price of
+// an analog measurement.
+#include "bench_common.hpp"
+#include "core/core.hpp"
+
+namespace {
+
+using namespace obd;
+
+void reproduce() {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const auto nand2 = cells::nand_topology(2);
+  core::GateCharacterizer chr(nand2, tech);
+  const cells::TransistorRef na{false, 0};
+  const cells::TwoVector fall{0b01, 0b11};
+
+  std::printf("=== IDDQ vs delay observables across the OBD progression ===\n\n");
+
+  const auto iddq_ref = core::measure_iddq(nand2, tech, std::nullopt,
+                                           core::ObdParams{}, 0b11);
+  const auto delay_ref =
+      chr.measure(std::nullopt, core::BreakdownStage::kFaultFree, fall);
+  const double d0 = delay_ref.delay.value_or(0.0);
+
+  util::AsciiTable t("NMOS defect at input A, vector 11 / transition (10,11)");
+  t.set_header({"stage", "IDDQ [mA]", "delta IDDQ [mA]", "delay",
+                "added delay"});
+  for (core::BreakdownStage s : core::kAllStages) {
+    const auto iq = core::measure_iddq(nand2, tech, na,
+                                       core::nmos_stage_params(s), 0b11);
+    const auto dm = chr.measure(na, s, fall);
+    t.add_row({core::to_string(s), util::format_g(iq.iddq * 1e3, 3),
+               util::format_g((iq.iddq - iddq_ref.iddq) * 1e3, 3),
+               benchsup::delay_cell(dm.delay, dm.stuck, dm.stuck_high),
+               dm.delay ? util::format_time_eng(*dm.delay - d0) : "inf"});
+  }
+  t.print();
+
+  util::AsciiTable v("minimal IDDQ vector sets (static, per cell)");
+  v.set_header({"cell", "vectors (input 0 first)"});
+  for (const auto& cell :
+       {cells::inv_topology(), cells::nand_topology(2),
+        cells::nor_topology(2), cells::aoi21_topology()}) {
+    std::string vs;
+    for (cells::InputBits b : core::minimal_iddq_vectors(cell))
+      vs += cells::format_bits(b, cell.num_inputs) + " ";
+    v.add_row({cell.type_name, vs});
+  }
+  v.print();
+  std::printf(
+      "take-away: the leakage signature is milliamp-scale already at MBD1\n"
+      "(vs a ~25%% delay shift), and needs only two static vectors per cell\n"
+      "- but requires a quiescent-current monitor, while the paper's delay\n"
+      "approach reuses the functional clock path. The two observables are\n"
+      "complementary for a concurrent test scheme.\n\n");
+}
+
+void BM_IddqMeasurement(benchmark::State& state) {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const auto nand2 = cells::nand_topology(2);
+  for (auto _ : state) {
+    const auto m = core::measure_iddq(
+        nand2, tech, cells::TransistorRef{false, 0},
+        core::nmos_stage_params(core::BreakdownStage::kMbd2), 0b11);
+    benchmark::DoNotOptimize(m.iddq);
+  }
+}
+BENCHMARK(BM_IddqMeasurement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+}

@@ -1,0 +1,107 @@
+// Extension bench: concurrent-testing lifetime Monte Carlo.
+//
+// The quantitative version of the paper's concurrent test/diagnose/repair
+// pitch: characterize real NMOS and PMOS site windows with the analog
+// engine, then simulate years of operation with random defect onsets and a
+// periodic concurrent test, and report the catch rate (defects detected
+// before hard breakdown) per test period and detector slack.
+#include "bench_common.hpp"
+#include "core/core.hpp"
+
+namespace {
+
+using namespace obd;
+
+std::vector<core::DelayVsIsat> characterize_site(
+    core::GateCharacterizer& chr, const cells::TransistorRef& t,
+    const cells::TwoVector& tv, const core::ProgressionModel& model,
+    const core::ObdParams& sbd, const core::ObdParams& hbd, double d0) {
+  std::vector<core::DelayVsIsat> curve;
+  for (int i = 0; i < 7; ++i) {
+    const double time = model.t_sbd_to_hbd() * i / 6.0;
+    const core::ObdParams p = model.params_at(time, sbd, hbd);
+    const auto m = chr.measure_params(t, p, tv);
+    core::DelayVsIsat pt;
+    pt.isat = p.isat;
+    if (m.delay) pt.extra_delay = *m.delay - d0;
+    curve.push_back(pt);
+  }
+  return curve;
+}
+
+void reproduce() {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  core::GateCharacterizer chr(cells::nand_topology(2), tech);
+
+  std::printf("=== Lifetime Monte Carlo: concurrent-test catch rate ===\n\n");
+  std::printf("characterizing NMOS and PMOS site windows (analog engine)...\n");
+
+  const cells::TwoVector fall{0b01, 0b11};
+  const cells::TwoVector rise{0b11, 0b01};
+  const double d0_fall =
+      chr.measure(std::nullopt, core::BreakdownStage::kFaultFree, fall)
+          .delay.value_or(0.0);
+  const double d0_rise =
+      chr.measure(std::nullopt, core::BreakdownStage::kFaultFree, rise)
+          .delay.value_or(0.0);
+
+  const core::ProgressionModel nm = core::ProgressionModel::default_for(false);
+  const core::ProgressionModel pm = core::ProgressionModel::default_for(true);
+  const auto n_curve = characterize_site(
+      chr, {false, 0}, fall, nm,
+      core::nmos_stage_params(core::BreakdownStage::kMbd1),
+      core::nmos_stage_params(core::BreakdownStage::kHbd), d0_fall);
+  const auto p_curve = characterize_site(
+      chr, {true, 1}, rise, pm,
+      core::pmos_stage_params(core::BreakdownStage::kMbd1),
+      core::pmos_stage_params(core::BreakdownStage::kHbd), d0_rise);
+
+  for (double slack : {100e-12, 500e-12}) {
+    std::vector<core::SiteWindow> sites{
+        core::site_window_from_curve(n_curve, slack, nm),
+        core::site_window_from_curve(p_curve, slack, pm)};
+    util::AsciiTable t("catch rate vs test period (detector slack " +
+                       util::format_time_eng(slack) + ")");
+    t.set_header({"test period", "catch rate", "mean latency",
+                  "escapes to HBD / 10k"});
+    for (double hours : {1.0, 4.0, 12.0, 24.0, 48.0}) {
+      core::LifetimeOptions opt;
+      opt.test_period = hours * 3600.0;
+      opt.trials = 10000;
+      const core::LifetimeStats st = core::simulate_lifetime(sites, opt);
+      t.add_row({util::format_g(hours, 3) + " h",
+                 util::format_g(100.0 * st.catch_rate(), 4) + "%",
+                 util::format_time_eng(st.mean_latency),
+                 std::to_string(st.escaped_to_hbd)});
+    }
+    t.print();
+  }
+  std::printf(
+      "the knee sits where the test period approaches the narrower of the\n"
+      "two site windows; beyond it, escapes to hard breakdown grow linearly\n"
+      "- exactly the danger the paper's Fig. 2 warns about (an undetected\n"
+      "HBD shorting the driver). Tightening the detector slack widens every\n"
+      "window and moves the knee right.\n\n");
+}
+
+void BM_LifetimeMonteCarlo(benchmark::State& state) {
+  std::vector<core::SiteWindow> sites;
+  core::SiteWindow s;
+  s.t_observable = 3600.0;
+  s.t_hbd = 27.0 * 3600.0;
+  sites.push_back(s);
+  for (auto _ : state) {
+    core::LifetimeOptions opt;
+    opt.test_period = 7200.0;
+    opt.trials = 100000;
+    const auto st = core::simulate_lifetime(sites, opt);
+    benchmark::DoNotOptimize(st.caught);
+  }
+}
+BENCHMARK(BM_LifetimeMonteCarlo)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+}

@@ -1,0 +1,98 @@
+// Extension bench: n-detect OBD test sets vs marginal (early-stage) defects.
+//
+// Ties two of the paper's threads together: the *window of opportunity*
+// (Sec. 4.2 — early defects add little delay) and the related-work pointer
+// to n-detection (Pomeranz & Reddy). A 1-detect set may observe a fault
+// through a short path whose slack swallows a small added delay; n-detect
+// sets hit more paths and catch marginal defects earlier in the
+// progression, effectively widening the usable window.
+#include "bench_common.hpp"
+#include "atpg/atpg.hpp"
+#include "atpg/ndetect.hpp"
+#include "logic/logic.hpp"
+
+namespace {
+
+using namespace obd;
+using namespace obd::atpg;
+
+void reproduce() {
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = enumerate_obd_faults(c);
+
+  std::printf("=== n-detect OBD test sets (timing-aware payoff) ===\n\n");
+
+  // Build sets for several n.
+  std::vector<NDetectResult> sets;
+  const int ns[] = {1, 2, 4, 8};
+  for (int n : ns) {
+    NDetectOptions opt;
+    opt.n = n;
+    opt.random_pool = 512;
+    sets.push_back(build_ndetect_set(c, faults, opt));
+  }
+
+  const double t_crit = nominal_critical_time(c, sets.back().tests);
+  const double capture = t_crit * 1.02;
+  std::printf("nominal critical time %s; capture at %s\n\n",
+              util::format_time_eng(t_crit).c_str(),
+              util::format_time_eng(capture).c_str());
+
+  util::AsciiTable t("timing-aware coverage vs added delay (full adder)");
+  std::vector<std::string> header{"added delay"};
+  for (std::size_t k = 0; k < sets.size(); ++k)
+    header.push_back("n=" + std::to_string(ns[k]) + " (" +
+                     std::to_string(sets[k].tests.size()) + " tests)");
+  t.set_header(header);
+  for (double extra : {50e-12, 100e-12, 200e-12, 400e-12, 800e-12, 5e-9}) {
+    std::vector<std::string> row{util::format_time_eng(extra)};
+    for (const auto& s : sets)
+      row.push_back(util::format_g(
+          100.0 * timing_aware_coverage(c, s.tests, faults, extra, capture),
+          3) + "%");
+    t.add_row(row);
+  }
+  t.print();
+  std::printf(
+      "small added delays (early breakdown stages) slip through short-path\n"
+      "slack; raising n exercises more propagation paths per fault and\n"
+      "catches the defect earlier in its progression - a larger concurrent-\n"
+      "testing window for the same detector.\n"
+      "(note: mid-range delays can exceed the gross-delay ceiling - the\n"
+      "capture flop samples transient differences on reconvergent paths\n"
+      "that statically cancel; at very large delays coverage settles back\n"
+      "to the gross-delay fraction.)\n\n");
+}
+
+void BM_Build4DetectSet(benchmark::State& state) {
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = enumerate_obd_faults(c);
+  for (auto _ : state) {
+    NDetectOptions opt;
+    opt.n = 4;
+    const NDetectResult r = build_ndetect_set(c, faults, opt);
+    benchmark::DoNotOptimize(r.tests.size());
+  }
+}
+BENCHMARK(BM_Build4DetectSet)->Unit(benchmark::kMillisecond);
+
+void BM_TimingAwareCoverage(benchmark::State& state) {
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = enumerate_obd_faults(c);
+  NDetectOptions opt;
+  opt.n = 2;
+  const NDetectResult r = build_ndetect_set(c, faults, opt);
+  const double t_crit = nominal_critical_time(c, r.tests);
+  for (auto _ : state) {
+    const double cov = timing_aware_coverage(c, r.tests, faults, 200e-12,
+                                             t_crit * 1.02);
+    benchmark::DoNotOptimize(cov);
+  }
+}
+BENCHMARK(BM_TimingAwareCoverage)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+}

@@ -1,0 +1,114 @@
+// Table 1 reproduction: NMOS and PMOS OBD progression in terms of
+// transition delays for the Fig. 5 NAND2 set-up.
+//
+// Paper reference rows (DATE'05, Table 1):
+//   NMOS (falling transitions):      PMOS (rising transitions):
+//     FaultFree:  96ps all cols        FaultFree: 110ps all cols
+//     MBD1: 118ps                      MBD1: 110 / 360ps (input-specific)
+//     MBD2: 143-156ps                  MBD2: 110 / 736ps
+//     MBD3: 190-230ps                  MBD3: 110ps / sa-0
+//     HBD:  sa-1                       HBD:  N/A
+// We reproduce the *shape*: monotone growth, input-independence for NMOS,
+// input-specificity for PMOS, stuck-at end states. Absolute picoseconds
+// differ (our substrate is a level-1 simulator; see DESIGN.md).
+#include "bench_common.hpp"
+#include "cells/cells.hpp"
+#include "core/core.hpp"
+
+namespace {
+
+using namespace obd;
+
+const cells::Technology& tech() {
+  static const cells::Technology t = cells::Technology::default_350nm();
+  return t;
+}
+
+core::GateCharacterizer& characterizer() {
+  static core::GateCharacterizer chr(cells::nand_topology(2), tech());
+  return chr;
+}
+
+// Paper-order transitions (bit 0 = input A).
+const cells::TwoVector kFall0111{0b10, 0b11};  // (01,11): A rises
+const cells::TwoVector kFall1011{0b01, 0b11};  // (10,11): B rises
+const cells::TwoVector kRise1110{0b11, 0b01};  // (11,10): B falls
+const cells::TwoVector kRise1101{0b11, 0b10};  // (11,01): A falls
+
+std::string measure_cell(const std::optional<cells::TransistorRef>& fault,
+                         core::BreakdownStage stage,
+                         const cells::TwoVector& tv) {
+  const auto m = characterizer().measure(fault, stage, tv);
+  return benchsup::delay_cell(m.delay, m.stuck, m.stuck_high);
+}
+
+void reproduce() {
+  std::printf(
+      "=== Table 1: NMOS and PMOS OBD progression (NAND2, Fig. 5 harness) "
+      "===\n\n");
+
+  {
+    util::AsciiTable t("NMOS OBD (falling-output transitions)");
+    t.set_header({"stage", "Isat [A]", "R [ohm]", "(01,11) NA", "(01,11) NB",
+                  "(10,11) NA", "(10,11) NB"});
+    for (core::BreakdownStage s : core::kAllStages) {
+      const core::ObdParams p = core::nmos_stage_params(s);
+      t.add_row({core::to_string(s), util::format_g(p.isat, 3),
+                 util::format_g(p.r, 3),
+                 measure_cell(cells::TransistorRef{false, 0}, s, kFall0111),
+                 measure_cell(cells::TransistorRef{false, 1}, s, kFall0111),
+                 measure_cell(cells::TransistorRef{false, 0}, s, kFall1011),
+                 measure_cell(cells::TransistorRef{false, 1}, s, kFall1011)});
+    }
+    t.print();
+    std::printf(
+        "paper: 96 | 118 | 143-156 | 190-230 | sa-1 (delay grows with stage,\n"
+        "independent of which input switches)\n\n");
+  }
+
+  {
+    util::AsciiTable t("PMOS OBD (rising-output transitions)");
+    t.set_header({"stage", "Isat [A]", "R [ohm]", "(11,10) PA", "(11,10) PB",
+                  "(11,01) PA", "(11,01) PB"});
+    for (core::BreakdownStage s : core::kAllStages) {
+      const core::ObdParams p = core::pmos_stage_params(s);
+      t.add_row({core::to_string(s), util::format_g(p.isat, 3),
+                 util::format_g(p.r, 3),
+                 measure_cell(cells::TransistorRef{true, 0}, s, kRise1110),
+                 measure_cell(cells::TransistorRef{true, 1}, s, kRise1110),
+                 measure_cell(cells::TransistorRef{true, 0}, s, kRise1101),
+                 measure_cell(cells::TransistorRef{true, 1}, s, kRise1101)});
+    }
+    t.print();
+    std::printf(
+        "paper: PA unaffected under (11,10) and PB unaffected under (11,01);\n"
+        "the defective device's own transition degrades 110 -> 360 -> 736ps\n"
+        "-> sa-0. Note the off-diagonal columns staying at the fault-free\n"
+        "value: the input-specific excitation of Sec. 4.1.\n\n");
+  }
+}
+
+void BM_NandTransient(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto m = characterizer().measure(cells::TransistorRef{false, 0},
+                                           core::BreakdownStage::kMbd2,
+                                           kFall1011);
+    benchmark::DoNotOptimize(m.delay);
+  }
+}
+BENCHMARK(BM_NandTransient)->Unit(benchmark::kMillisecond);
+
+void BM_FaultFreeTransient(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto m = characterizer().measure(
+        std::nullopt, core::BreakdownStage::kFaultFree, kFall1011);
+    benchmark::DoNotOptimize(m.delay);
+  }
+}
+BENCHMARK(BM_FaultFreeTransient)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+}

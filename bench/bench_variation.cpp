@@ -1,0 +1,126 @@
+// Extension bench: process variation and temperature vs OBD detectability.
+//
+// The paper contrasts OBD testing with path-delay testing, whose main
+// nuisance is process variation ("unexpectedly high process variations ...
+// increase the overall delay of a path"). This bench asks the quantitative
+// question a concurrent-test designer faces: is the delay signature of an
+// early (MBD1) defect separable from die-to-die process spread, and how do
+// the margins move with temperature?
+#include "bench_common.hpp"
+#include <algorithm>
+#include <cmath>
+
+#include "core/core.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace obd;
+
+struct Dist {
+  double mean = 0.0;
+  double sigma = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Dist stats(const std::vector<double>& xs) {
+  Dist d;
+  if (xs.empty()) return d;
+  for (double x : xs) d.mean += x;
+  d.mean /= static_cast<double>(xs.size());
+  for (double x : xs) d.sigma += (x - d.mean) * (x - d.mean);
+  d.sigma = std::sqrt(d.sigma / static_cast<double>(xs.size()));
+  d.min = *std::min_element(xs.begin(), xs.end());
+  d.max = *std::max_element(xs.begin(), xs.end());
+  return d;
+}
+
+void reproduce() {
+  const cells::TwoVector fall{0b01, 0b11};
+  const cells::TransistorRef na{false, 0};
+  const cells::Technology nominal = cells::Technology::default_350nm();
+
+  std::printf("=== Process variation & temperature vs OBD signature ===\n\n");
+
+  // --- Monte Carlo over process corners ------------------------------------
+  util::Prng prng(20260612);
+  const int kSamples = 20;
+  std::vector<double> ff;
+  std::vector<double> bd;
+  for (int i = 0; i < kSamples; ++i) {
+    const cells::Technology t = nominal.perturbed(prng);
+    core::GateCharacterizer chr(cells::nand_topology(2), t);
+    const auto m0 =
+        chr.measure(std::nullopt, core::BreakdownStage::kFaultFree, fall);
+    const auto m1 = chr.measure(na, core::BreakdownStage::kMbd1, fall);
+    if (m0.delay) ff.push_back(*m0.delay);
+    if (m1.delay) bd.push_back(*m1.delay);
+  }
+  const Dist dff = stats(ff);
+  const Dist dbd = stats(bd);
+
+  util::AsciiTable t("die-to-die spread (20 samples, sigma_VT=30mV, sigma_KP=5%)");
+  t.set_header({"population", "mean", "sigma", "min", "max"});
+  t.add_row({"fault-free fall delay", util::format_time_eng(dff.mean),
+             util::format_time_eng(dff.sigma), util::format_time_eng(dff.min),
+             util::format_time_eng(dff.max)});
+  t.add_row({"MBD1 (NMOS defect)", util::format_time_eng(dbd.mean),
+             util::format_time_eng(dbd.sigma), util::format_time_eng(dbd.min),
+             util::format_time_eng(dbd.max)});
+  t.print();
+  const bool separable = dbd.min > dff.max;
+  std::printf(
+      "worst-case fault-free die (%s) vs best-case defective die (%s):\n"
+      "an absolute delay threshold %s separate MBD1 from process spread -\n"
+      "%s. Per-die calibration (relative delay tracking, as a concurrent\n"
+      "monitor naturally does) restores the margin.\n\n",
+      util::format_time_eng(dff.max).c_str(),
+      util::format_time_eng(dbd.min).c_str(), separable ? "CAN" : "CANNOT",
+      separable ? "the signature clears the spread"
+                : "guard-banding against raw spread would mask early defects");
+
+  // --- Temperature ----------------------------------------------------------
+  util::AsciiTable tt("temperature trend (MOSFET tempcos; same card)");
+  tt.set_header({"T", "fault-free", "MBD1", "added delay"});
+  for (double kelvin : {233.0, 300.0, 398.0}) {
+    const cells::Technology t2 = nominal.at_temperature(kelvin);
+    core::GateCharacterizer chr(cells::nand_topology(2), t2);
+    const auto m0 =
+        chr.measure(std::nullopt, core::BreakdownStage::kFaultFree, fall);
+    const auto m1 = chr.measure(na, core::BreakdownStage::kMbd1, fall);
+    std::string added = "-";
+    if (m0.delay && m1.delay)
+      added = util::format_time_eng(*m1.delay - *m0.delay);
+    tt.add_row({util::format_g(kelvin - 273.0, 3) + " C",
+                benchsup::delay_cell(m0.delay, m0.stuck, m0.stuck_high),
+                benchsup::delay_cell(m1.delay, m1.stuck, m1.stuck_high),
+                added});
+  }
+  tt.print();
+  std::printf(
+      "hot silicon is slower overall (mobility) and the defect's added\n"
+      "delay grows with it: concurrent testing at operating temperature\n"
+      "sees the defect earlier than a cold production test would.\n"
+      "(diode thermal voltage held at 300 K in this sweep; the MOSFET\n"
+      "tempcos dominate the trend.)\n\n");
+}
+
+void BM_PerturbedCharacterization(benchmark::State& state) {
+  util::Prng prng(7);
+  const cells::Technology t =
+      cells::Technology::default_350nm().perturbed(prng);
+  core::GateCharacterizer chr(cells::nand_topology(2), t);
+  for (auto _ : state) {
+    const auto m = chr.measure(cells::TransistorRef{false, 0},
+                               core::BreakdownStage::kMbd1, {0b01, 0b11});
+    benchmark::DoNotOptimize(m.delay);
+  }
+}
+BENCHMARK(BM_PerturbedCharacterization)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+}

@@ -1,0 +1,108 @@
+// Sec. 4.3 end to end: the full-adder sum circuit, from gate-level netlist
+// to analog waveforms at the primary output.
+//
+// Walks through:
+//   1. building the paper's experimental circuit (14 NAND + 11 INV, depth 9)
+//      and verifying its structure,
+//   2. deriving a two-vector test for a PMOS OBD defect in the mid-path
+//      NAND with the two-frame ATPG,
+//   3. elaborating the circuit to transistors, injecting the defect and
+//      simulating the test analog-level,
+//   4. showing the delayed-but-restored transition at S: the logic *value*
+//      recovers downstream, the *timing* error survives.
+#include <cstdio>
+
+#include "atpg/atpg.hpp"
+#include "core/core.hpp"
+#include "logic/logic.hpp"
+#include "util/measure.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace obd;
+
+  // --- 1. The experimental circuit ----------------------------------------
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  std::printf("circuit '%s': %zu gates, depth %d, %zu PIs -> %zu POs\n",
+              c.name().c_str(), c.num_gates(), c.depth(), c.inputs().size(),
+              c.outputs().size());
+  int mid = -1;
+  for (std::size_t g = 0; g < c.num_gates(); ++g)
+    if (c.gate(static_cast<int>(g)).name == logic::kFullAdderMidNand)
+      mid = static_cast<int>(g);
+  std::printf("injection target: NAND '%s' (level 5: 4 stages up, 4 down)\n\n",
+              logic::kFullAdderMidNand);
+
+  // --- 2. ATPG for the PMOS defect at input 0 of the mid NAND -------------
+  const logic::ObdFaultSite site{mid, cells::TransistorRef{true, 0}};
+  const atpg::TwoFrameResult gen = atpg::generate_obd_test(c, site);
+  if (gen.status != atpg::PodemStatus::kFound) {
+    std::printf("unexpected: fault untestable\n");
+    return 1;
+  }
+  // Prefer a detecting pair that also toggles S (a visible late edge).
+  atpg::TwoVectorTest test = gen.test;
+  for (const auto& cand : atpg::all_ordered_pairs(3)) {
+    if ((c.eval_outputs(cand.v1) & 1u) == (c.eval_outputs(cand.v2) & 1u))
+      continue;
+    if (atpg::simulate_obd(c, cand, {site})[0]) {
+      test = cand;
+      break;
+    }
+  }
+  std::printf("ATPG test (A,B,C): %s -> %s\n",
+              cells::format_bits(static_cast<cells::InputBits>(test.v1), 3).c_str(),
+              cells::format_bits(static_cast<cells::InputBits>(test.v2), 3).c_str());
+
+  // --- 3. Analog runs -------------------------------------------------------
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const double t_switch = 2e-9;
+  auto run = [&](bool inject) {
+    logic::Elaboration el(c, tech);
+    if (inject) {
+      auto inj = core::inject_obd(el.netlist(),
+                                  el.transistor_name(mid, site.transistor));
+      inj.set_stage(core::BreakdownStage::kMbd2);
+    }
+    el.set_two_vector(test.v1, test.v2, t_switch);
+    spice::TransientOptions opt;
+    opt.dt = 4e-12;
+    return spice::transient(el.netlist(), 7e-9, opt,
+                            {"S", c.net_name(c.gate(mid).output)});
+  };
+  const auto ff = run(false);
+  const auto faulty = run(true);
+  if (ff.status != spice::SolveStatus::kOk ||
+      faulty.status != spice::SolveStatus::kOk) {
+    std::printf("transient failed\n");
+    return 1;
+  }
+
+  // --- 4. Compare arrivals --------------------------------------------------
+  const bool s_rises = (c.eval_outputs(test.v2) & 1u) != 0;
+  util::DelayOptions dopt;
+  dopt.vdd = tech.vdd;
+  const auto edge = s_rises ? util::Edge::kRising : util::Edge::kFalling;
+  const auto t_ff = util::edge_time(*ff.trace("S"), edge, t_switch, dopt);
+  const auto t_bd = util::edge_time(*faulty.trace("S"), edge, t_switch, dopt);
+
+  util::AsciiTable t("S output arrival (50% crossing after launch)");
+  t.set_header({"run", "arrival", "S swing [V]"});
+  t.add_row({"fault free",
+             t_ff ? util::format_time_eng(*t_ff - t_switch) : "-",
+             util::format_g(util::swing(*ff.trace("S")), 3)});
+  t.add_row({"PMOS OBD @ mid NAND (MBD2)",
+             t_bd ? util::format_time_eng(*t_bd - t_switch) : "stuck",
+             util::format_g(util::swing(*faulty.trace("S")), 3)});
+  t.print();
+
+  if (t_ff && t_bd) {
+    std::printf(
+        "\nThe defective gate's degraded output is restored to a full-swing\n"
+        "signal by the downstream inverters (swing column), yet S arrives\n"
+        "%s late - a purely *dynamic* error, detectable only by timing-\n"
+        "sensitive capture. This is the paper's Sec. 4.3 observation.\n",
+        util::format_time_eng(*t_bd - *t_ff).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Concurrent-testing scheduler: from device physics to a test policy.
+//
+// The paper's motivation (Secs. 1, 4.2) is *concurrent* test/diagnose/repair:
+// catch an OBD defect after it becomes observable but before hard breakdown
+// endangers neighboring circuits. This example builds the full chain:
+//
+//   diode-resistor model -> delay-vs-leakage characterization (analog) ->
+//   exponential progression clock -> detection window per detector slack ->
+//   required concurrent test period.
+//
+// It then plays the policy forward: for a sweep of test periods it reports
+// whether a defect starting at a random point in time is caught in the
+// window (deterministically, by interval arithmetic).
+#include <cstdio>
+
+#include "cells/cells.hpp"
+#include "core/core.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace obd;
+
+  const cells::Technology tech = cells::Technology::default_350nm();
+  core::GateCharacterizer chr(cells::nand_topology(2), tech);
+  const cells::TwoVector fall{0b01, 0b11};
+  const cells::TransistorRef na{false, 0};
+
+  // --- 1. Characterize delay vs leakage -----------------------------------
+  const auto ff =
+      chr.measure(std::nullopt, core::BreakdownStage::kFaultFree, fall);
+  const double d0 = ff.delay.value_or(0.0);
+  const core::ObdParams sbd =
+      core::nmos_stage_params(core::BreakdownStage::kMbd1);
+  const core::ObdParams hbd =
+      core::nmos_stage_params(core::BreakdownStage::kHbd);
+  const core::ProgressionModel model(sbd.isat, hbd.isat, 27.0 * 3600.0);
+
+  std::printf("characterizing NAND2 delay across the OBD progression...\n");
+  std::vector<core::DelayVsIsat> curve;
+  for (int i = 0; i < 7; ++i) {
+    const double t =
+        model.t_sbd_to_hbd() * static_cast<double>(i) / 6.0;
+    const core::ObdParams p = model.params_at(t, sbd, hbd);
+    const auto m = chr.measure_params(na, p, fall);
+    core::DelayVsIsat pt;
+    pt.isat = p.isat;
+    if (m.delay) pt.extra_delay = *m.delay - d0;
+    curve.push_back(pt);
+  }
+
+  // --- 2. Window and schedule per detector slack ---------------------------
+  util::AsciiTable t("concurrent test policy per detector slack");
+  t.set_header({"detector slack", "window opens", "window width",
+                "test period (50% derate)", "tests per day"});
+  for (double slack : {50e-12, 150e-12, 500e-12}) {
+    const auto win = core::detection_window(curve, slack, model);
+    const double period = core::required_test_interval(win);
+    t.add_row({util::format_time_eng(slack),
+               win.detectable() ? util::format_time_eng(*win.t_detectable)
+                                : "never",
+               util::format_time_eng(win.width()),
+               period > 0 ? util::format_time_eng(period) : "-",
+               period > 0 ? util::format_g(86400.0 / period, 3) : "-"});
+  }
+  t.print();
+
+  // --- 3. Play the policy forward ------------------------------------------
+  // A defect whose observable window is [t_open, t_hbd] is caught by a
+  // periodic test of period P iff P <= window width (worst-case phase).
+  const auto win = core::detection_window(curve, 150e-12, model);
+  if (!win.detectable()) {
+    std::printf("defect never observable at this slack\n");
+    return 0;
+  }
+  util::AsciiTable p("policy evaluation (slack = 150ps)");
+  p.set_header({"test period", "caught before HBD?", "margin"});
+  for (double period : {6.0 * 3600.0, 12.0 * 3600.0, 24.0 * 3600.0,
+                        48.0 * 3600.0}) {
+    const bool caught = period <= win.width();
+    const double margin = win.width() - period;
+    p.add_row({util::format_time_eng(period), caught ? "yes" : "NO",
+               util::format_time_eng(margin)});
+  }
+  p.print();
+  std::printf(
+      "\nThe exponential progression concentrates observability late in\n"
+      "life: the paper's warning that defects \"must be identified as soon\n"
+      "as appreciable leakage current starts flowing\" translates into a\n"
+      "concrete maximum test period for a concurrent BIST scheme.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: inject a progressing oxide-breakdown defect into a NAND gate
+// and watch the transition delay grow until the gate sticks.
+//
+// This walks the paper's core loop end to end:
+//   1. build the Fig. 5 characterization harness around a NAND2,
+//   2. derive which input transitions excite each transistor's OBD defect,
+//   3. sweep the breakdown stages of Table 1 and measure the delays.
+#include <cstdio>
+
+#include "cells/cells.hpp"
+#include "core/core.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace obd;
+
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const cells::CellTopology nand2 = cells::nand_topology(2);
+  core::GateCharacterizer chr(nand2, tech);
+
+  // --- 1. Excitation conditions derived from the cell topology ------------
+  std::printf("OBD excitation conditions for NAND2 (paper Sec. 4.1):\n");
+  for (const auto& t : nand2.transistors()) {
+    std::printf("  %s%d (%s OBD): ", t.pmos ? "P" : "N", t.input,
+                t.pmos ? "PMOS" : "NMOS");
+    const auto trs = core::obd_excitations(nand2, t);
+    for (const auto& tr : trs)
+      std::printf("%s ", cells::format_transition(tr, 2).c_str());
+    std::printf("\n");
+  }
+
+  // --- 2. Delay progression for one NMOS and one PMOS defect --------------
+  const cells::TwoVector falling{0b01, 0b11};  // (10,11) in paper order: A=1
+  const cells::TwoVector rising{0b11, 0b01};   // (11,10): B switches 1->0
+
+  util::AsciiTable table("NAND2 delay vs breakdown stage (Fig. 5 harness)");
+  table.set_header({"stage", "NMOS-A fall delay", "PMOS-B rise delay",
+                    "peak Idd (NMOS case)"});
+  for (core::BreakdownStage st : core::kAllStages) {
+    const auto mn =
+        chr.measure(cells::TransistorRef{false, 0}, st, falling);
+    const auto mp = chr.measure(cells::TransistorRef{true, 1}, st, rising);
+    auto fmt = [](const core::DelayMeasurement& m) -> std::string {
+      if (m.delay) return util::format_time_eng(*m.delay);
+      if (m.stuck) return m.stuck_high ? "sa-1" : "sa-0";
+      return "-";
+    };
+    table.add_row({core::to_string(st), fmt(mn), fmt(mp),
+                   util::format_g(mn.peak_supply_current * 1e3, 3) + " mA"});
+  }
+  table.print();
+
+  std::printf(
+      "\nNote how the NMOS defect slows the falling output at every stage\n"
+      "while the PMOS defect only disturbs the rising transition that its\n"
+      "own input launches - the paper's input-specific excitation.\n");
+  return 0;
+}

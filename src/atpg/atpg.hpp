@@ -1,0 +1,14 @@
+// Umbrella header for the test-generation substrate.
+#pragma once
+
+#include "atpg/collapse.hpp"  // IWYU pragma: export
+#include "atpg/compact.hpp"   // IWYU pragma: export
+#include "atpg/diagnose.hpp"  // IWYU pragma: export
+#include "atpg/faults.hpp"    // IWYU pragma: export
+#include "atpg/faultsim.hpp"  // IWYU pragma: export
+#include "atpg/ndetect.hpp"   // IWYU pragma: export
+#include "atpg/patterns.hpp"  // IWYU pragma: export
+#include "atpg/podem.hpp"     // IWYU pragma: export
+#include "atpg/robust.hpp"    // IWYU pragma: export
+#include "atpg/scan.hpp"      // IWYU pragma: export
+#include "atpg/twoframe.hpp"  // IWYU pragma: export

@@ -1,0 +1,44 @@
+// OBD fault collapsing.
+//
+// The paper's own data shows the seed for this: in Table 1 the NMOS defects
+// NA and NB of a NAND produce the same behaviour for every input sequence
+// (a series stack starves equally wherever the spot sits), so one of them
+// suffices for test generation. Formally, two OBD faults of the same gate
+// are *gate-equivalent* when their excitation sets over the gate's local
+// two-vector space are identical; since detection = excitation + gate-output
+// effect + propagation (and the latter two depend only on the gate output),
+// gate-equivalent faults are detected by exactly the same tests.
+//
+// collapse_obd_faults() keeps one representative per equivalence class.
+// For a NAND-k this halves the NMOS list (k -> 1) while all PMOS faults
+// stay distinct — mirroring the paper's input-specificity result.
+#pragma once
+
+#include "atpg/faults.hpp"
+
+namespace obd::atpg {
+
+struct CollapsedFaults {
+  /// One representative per equivalence class.
+  std::vector<ObdFaultSite> representatives;
+  /// Class id of each input fault (index into `representatives`).
+  std::vector<std::size_t> class_of;
+  std::size_t original_count = 0;
+
+  double reduction() const {
+    return original_count == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(representatives.size()) /
+                           static_cast<double>(original_count);
+  }
+};
+
+/// Partitions `faults` into gate-local equivalence classes.
+CollapsedFaults collapse_obd_faults(const Circuit& c,
+                                    const std::vector<ObdFaultSite>& faults);
+
+/// Are two same-gate faults equivalent (identical local excitation sets)?
+bool gate_equivalent(const Circuit& c, const ObdFaultSite& a,
+                     const ObdFaultSite& b);
+
+}  // namespace obd::atpg

@@ -1,0 +1,112 @@
+#include "atpg/compact.hpp"
+
+#include <algorithm>
+
+namespace obd::atpg {
+namespace {
+
+std::size_t count_new(const std::vector<bool>& row,
+                      const std::vector<bool>& covered) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < row.size(); ++i)
+    if (row[i] && !covered[i]) ++n;
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::size_t> greedy_cover(const DetectionMatrix& m) {
+  std::vector<std::size_t> picks;
+  if (m.detects.empty()) return picks;
+  const std::size_t n_faults = m.covered.size();
+  std::vector<bool> covered(n_faults, false);
+  std::size_t remaining = static_cast<std::size_t>(m.covered_count);
+
+  while (remaining > 0) {
+    std::size_t best = 0;
+    std::size_t best_gain = 0;
+    for (std::size_t t = 0; t < m.detects.size(); ++t) {
+      const std::size_t gain = count_new(m.detects[t], covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = t;
+      }
+    }
+    if (best_gain == 0) break;  // Only uncoverable faults remain.
+    picks.push_back(best);
+    for (std::size_t i = 0; i < n_faults; ++i)
+      if (m.detects[best][i] && !covered[i]) {
+        covered[i] = true;
+        --remaining;
+      }
+  }
+  return picks;
+}
+
+namespace {
+
+struct ExactSearch {
+  const DetectionMatrix& m;
+  std::size_t max_nodes;
+  std::size_t nodes = 0;
+  std::vector<std::size_t> best;
+  std::vector<std::size_t> current;
+
+  void run(std::vector<bool>& covered, std::size_t remaining,
+           std::size_t start) {
+    if (++nodes > max_nodes) return;
+    if (remaining == 0) {
+      if (best.empty() || current.size() < best.size()) best = current;
+      return;
+    }
+    if (!best.empty() && current.size() + 1 >= best.size()) {
+      // Even one more pick cannot beat the incumbent unless it finishes;
+      // cheap lower bound: at least one more test is needed.
+      if (current.size() + 1 > best.size()) return;
+    }
+    // Branch on the first uncovered fault: some selected test must cover it.
+    std::size_t fault = 0;
+    while (fault < covered.size() && (covered[fault] || !m.covered[fault]))
+      ++fault;
+    if (fault == covered.size()) return;
+    for (std::size_t t = start; t < m.detects.size(); ++t) {
+      if (!m.detects[t][fault]) continue;
+      // Apply.
+      std::vector<std::size_t> newly;
+      for (std::size_t i = 0; i < covered.size(); ++i)
+        if (m.detects[t][i] && !covered[i]) {
+          covered[i] = true;
+          newly.push_back(i);
+        }
+      current.push_back(t);
+      run(covered, remaining - newly.size(), 0);
+      current.pop_back();
+      for (std::size_t i : newly) covered[i] = false;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::size_t> exact_cover(const DetectionMatrix& m,
+                                     std::size_t max_nodes) {
+  const std::vector<std::size_t> greedy = greedy_cover(m);
+  ExactSearch search{m, max_nodes};
+  search.best = greedy;
+  std::vector<bool> covered(m.covered.size(), false);
+  search.run(covered, static_cast<std::size_t>(m.covered_count), 0);
+  return search.best;
+}
+
+bool covers_all(const DetectionMatrix& m,
+                const std::vector<std::size_t>& selection) {
+  std::vector<bool> covered(m.covered.size(), false);
+  for (std::size_t t : selection)
+    for (std::size_t i = 0; i < covered.size(); ++i)
+      if (m.detects[t][i]) covered[i] = true;
+  for (std::size_t i = 0; i < covered.size(); ++i)
+    if (m.covered[i] && !covered[i]) return false;
+  return true;
+}
+
+}  // namespace obd::atpg

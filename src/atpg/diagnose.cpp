@@ -1,0 +1,61 @@
+#include "atpg/diagnose.hpp"
+
+#include <map>
+
+namespace obd::atpg {
+
+ObdDictionary::ObdDictionary(const Circuit& c, std::vector<TwoVectorTest> tests,
+                             std::vector<ObdFaultSite> faults)
+    : c_(c), tests_(std::move(tests)), faults_(std::move(faults)) {
+  syndromes_.assign(faults_.size(), std::vector<bool>(tests_.size(), false));
+  for (std::size_t t = 0; t < tests_.size(); ++t) {
+    const auto det = simulate_obd(c_, tests_[t], faults_);
+    for (std::size_t f = 0; f < faults_.size(); ++f)
+      if (det[f]) syndromes_[f][t] = true;
+  }
+}
+
+std::vector<std::size_t> ObdDictionary::exact_candidates(
+    const std::vector<bool>& observed) const {
+  std::vector<std::size_t> out;
+  for (std::size_t f = 0; f < faults_.size(); ++f)
+    if (syndromes_[f] == observed) out.push_back(f);
+  return out;
+}
+
+double ObdDictionary::resolution() const {
+  std::map<std::vector<bool>, int> distinct;
+  int detectable = 0;
+  for (const auto& s : syndromes_) {
+    bool any = false;
+    for (bool b : s) any = any || b;
+    if (!any) continue;
+    ++detectable;
+    ++distinct[s];
+  }
+  if (detectable == 0) return 1.0;
+  return static_cast<double>(distinct.size()) /
+         static_cast<double>(detectable);
+}
+
+double ObdDictionary::mean_ambiguity() const {
+  std::map<std::vector<bool>, int> distinct;
+  for (const auto& s : syndromes_) {
+    bool any = false;
+    for (bool b : s) any = any || b;
+    if (any) ++distinct[s];
+  }
+  int detectable = 0;
+  long total = 0;
+  for (const auto& s : syndromes_) {
+    bool any = false;
+    for (bool b : s) any = any || b;
+    if (!any) continue;
+    ++detectable;
+    total += distinct[s];  // candidate set size for this fault's syndrome
+  }
+  if (detectable == 0) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(detectable);
+}
+
+}  // namespace obd::atpg

@@ -1,0 +1,56 @@
+// Dictionary-based OBD diagnosis.
+//
+// The paper's end goal is concurrent "test/diagnose/repair" (Secs. 1, 2,
+// 3.3): once a concurrent test fails, the system must localize the
+// defective site to repair or reconfigure around it. With a test set and a
+// fault list, the classical dictionary approach applies directly:
+//
+//   - offline: simulate every (test, fault) pair -> per-fault syndrome
+//     (the bitset of failing tests);
+//   - online: observe which tests fail -> candidate faults whose syndrome
+//     matches (exactly, or as a superset under partial observation).
+//
+// The input-specific nature of OBD excitation *helps* diagnosis: PMOS
+// defects at different inputs fail disjoint tests, so resolution inside a
+// gate is often perfect — unlike with the classical transition model where
+// all of a gate's defects share one syndrome.
+#pragma once
+
+#include "atpg/faultsim.hpp"
+
+namespace obd::atpg {
+
+/// Per-fault syndromes over a fixed test set.
+class ObdDictionary {
+ public:
+  ObdDictionary(const Circuit& c, std::vector<TwoVectorTest> tests,
+                std::vector<ObdFaultSite> faults);
+
+  const std::vector<TwoVectorTest>& tests() const { return tests_; }
+  const std::vector<ObdFaultSite>& faults() const { return faults_; }
+
+  /// Syndrome of fault i: bit t set when test t fails.
+  const std::vector<bool>& syndrome(std::size_t fault) const {
+    return syndromes_[fault];
+  }
+
+  /// Faults whose syndrome equals the observation exactly.
+  std::vector<std::size_t> exact_candidates(
+      const std::vector<bool>& observed) const;
+
+  /// Diagnostic resolution: number of distinct non-empty syndromes divided
+  /// by the number of detectable faults (1.0 = every detectable fault
+  /// uniquely identifiable).
+  double resolution() const;
+
+  /// Average candidate-set size over all detectable faults (>= 1).
+  double mean_ambiguity() const;
+
+ private:
+  const Circuit& c_;
+  std::vector<TwoVectorTest> tests_;
+  std::vector<ObdFaultSite> faults_;
+  std::vector<std::vector<bool>> syndromes_;
+};
+
+}  // namespace obd::atpg

@@ -1,0 +1,56 @@
+// Fault models and fault-list enumeration.
+//
+// Three models, mirroring the paper's comparison (Secs. 2, 4, 5):
+//  - stuck-at: the classical static model;
+//  - transition (slow-to-rise / slow-to-fall at a gate output): the
+//    classical dynamic model, *insensitive* to which input switches;
+//  - OBD: a transistor-level site whose excitation is the input-specific
+//    condition of Sec. 4.1. logic::ObdFaultSite carries the site.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/circuit.hpp"
+#include "logic/timingsim.hpp"
+
+namespace obd::atpg {
+
+using logic::Circuit;
+using logic::NetId;
+using logic::ObdFaultSite;
+
+/// net stuck at `value`.
+struct StuckFault {
+  NetId net = logic::kNoNet;
+  bool value = false;
+
+  bool operator==(const StuckFault&) const = default;
+};
+
+/// Gate output slow to reach `rise ? 1 : 0`.
+struct TransitionFault {
+  NetId net = logic::kNoNet;
+  bool slow_to_rise = false;
+
+  bool operator==(const TransitionFault&) const = default;
+};
+
+/// All net stuck-at faults (every net, both polarities).
+std::vector<StuckFault> enumerate_stuck_faults(const Circuit& c);
+
+/// All transition faults (every gate output, both directions).
+std::vector<TransitionFault> enumerate_transition_faults(const Circuit& c);
+
+/// All OBD fault sites: one per transistor of every primitive CMOS gate.
+/// `nand_only` restricts to NAND gates (the paper's Sec. 4.3 counts only
+/// the 56 sites inside the 14 NANDs).
+std::vector<ObdFaultSite> enumerate_obd_faults(const Circuit& c,
+                                               bool nand_only = false);
+
+/// Human-readable fault names for reports.
+std::string fault_name(const Circuit& c, const StuckFault& f);
+std::string fault_name(const Circuit& c, const TransitionFault& f);
+std::string fault_name(const Circuit& c, const ObdFaultSite& f);
+
+}  // namespace obd::atpg

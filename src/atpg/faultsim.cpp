@@ -1,0 +1,152 @@
+#include "atpg/faultsim.hpp"
+
+#include "core/excitation.hpp"
+
+namespace obd::atpg {
+namespace {
+
+std::uint64_t outputs_of(const Circuit& c, const std::vector<bool>& values) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < c.outputs().size(); ++i)
+    if (values[static_cast<std::size_t>(c.outputs()[i])]) out |= (1ull << i);
+  return out;
+}
+
+/// Frame-2 PO word with one net frozen (bit-parallel over 64 patterns, but
+/// we use it single-pattern here; words are all-ones or all-zeros).
+std::uint64_t outputs_with_forced(const Circuit& c, std::uint64_t pattern,
+                                  NetId forced, bool forced_value) {
+  std::vector<std::uint64_t> pi(c.inputs().size());
+  for (std::size_t i = 0; i < pi.size(); ++i)
+    pi[i] = ((pattern >> i) & 1u) ? ~0ull : 0ull;
+  const auto words =
+      c.eval_words(pi, forced, forced_value ? ~0ull : 0ull);
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < c.outputs().size(); ++i)
+    if (words[static_cast<std::size_t>(c.outputs()[i])] & 1ull)
+      out |= (1ull << i);
+  return out;
+}
+
+}  // namespace
+
+std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
+                                    const std::vector<StuckFault>& faults) {
+  const std::uint64_t good = c.eval_outputs(pattern);
+  std::vector<bool> detected(faults.size(), false);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const std::uint64_t bad =
+        outputs_with_forced(c, pattern, faults[i].net, faults[i].value);
+    detected[i] = bad != good;
+  }
+  return detected;
+}
+
+std::vector<bool> simulate_obd(const Circuit& c, const TwoVectorTest& test,
+                               const std::vector<ObdFaultSite>& faults) {
+  const std::vector<bool> v1_values = c.eval(test.v1);
+  const std::vector<bool> v2_values = c.eval(test.v2);
+  const std::uint64_t good2 = outputs_of(c, v2_values);
+  std::vector<bool> detected(faults.size(), false);
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ObdFaultSite& f = faults[i];
+    const auto& g = c.gate(f.gate_index);
+    const auto topo = logic::gate_topology(g.type);
+    if (!topo.has_value()) continue;
+    const std::uint32_t lv1 = c.gate_input_bits(f.gate_index, v1_values);
+    const std::uint32_t lv2 = c.gate_input_bits(f.gate_index, v2_values);
+    if (!core::excites_obd(*topo, f.transistor,
+                           cells::TwoVector{lv1, lv2}))
+      continue;
+    // Gross-delay: the excited gate's output stays at its frame-1 value.
+    const bool old_out = topo->output(lv1);
+    const std::uint64_t bad2 =
+        outputs_with_forced(c, test.v2, g.output, old_out);
+    detected[i] = bad2 != good2;
+  }
+  return detected;
+}
+
+std::vector<bool> simulate_transition(
+    const Circuit& c, const TwoVectorTest& test,
+    const std::vector<TransitionFault>& faults) {
+  const std::vector<bool> v1_values = c.eval(test.v1);
+  const std::vector<bool> v2_values = c.eval(test.v2);
+  const std::uint64_t good2 = outputs_of(c, v2_values);
+  std::vector<bool> detected(faults.size(), false);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const TransitionFault& f = faults[i];
+    const bool o1 = v1_values[static_cast<std::size_t>(f.net)];
+    const bool o2 = v2_values[static_cast<std::size_t>(f.net)];
+    const bool excited = f.slow_to_rise ? (!o1 && o2) : (o1 && !o2);
+    if (!excited) continue;
+    const std::uint64_t bad2 = outputs_with_forced(c, test.v2, f.net, o1);
+    detected[i] = bad2 != good2;
+  }
+  return detected;
+}
+
+bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
+                         const ObdFaultSite& fault, double extra_delay,
+                         bool stuck, double capture_time,
+                         const logic::DelayLibrary& lib) {
+  logic::TimingSimulator good_sim(c, lib);
+  const logic::TimingRun good = good_sim.run_two_vector(test.v1, test.v2,
+                                                        capture_time);
+  logic::TimingSimulator bad_sim(c, lib);
+  bad_sim.set_fault(fault, logic::ObdDelayEffect{extra_delay, stuck});
+  const logic::TimingRun bad = bad_sim.run_two_vector(test.v1, test.v2,
+                                                      capture_time);
+  for (NetId po : c.outputs())
+    if (good.captured_of(po) != bad.captured_of(po)) return true;
+  return false;
+}
+
+namespace {
+
+template <typename Fault, typename Sim>
+DetectionMatrix build_matrix(const std::vector<TwoVectorTest>& tests,
+                             const std::vector<Fault>& faults, Sim sim) {
+  DetectionMatrix m;
+  m.detects.reserve(tests.size());
+  m.covered.assign(faults.size(), false);
+  for (const auto& t : tests) {
+    m.detects.push_back(sim(t));
+    const auto& row = m.detects.back();
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (row[i] && !m.covered[i]) {
+        m.covered[i] = true;
+        ++m.covered_count;
+      }
+  }
+  return m;
+}
+
+}  // namespace
+
+DetectionMatrix build_obd_matrix(const Circuit& c,
+                                 const std::vector<TwoVectorTest>& tests,
+                                 const std::vector<ObdFaultSite>& faults) {
+  return build_matrix(tests, faults, [&](const TwoVectorTest& t) {
+    return simulate_obd(c, t, faults);
+  });
+}
+
+DetectionMatrix build_transition_matrix(
+    const Circuit& c, const std::vector<TwoVectorTest>& tests,
+    const std::vector<TransitionFault>& faults) {
+  return build_matrix(tests, faults, [&](const TwoVectorTest& t) {
+    return simulate_transition(c, t, faults);
+  });
+}
+
+double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
+                    const std::vector<ObdFaultSite>& faults) {
+  if (faults.empty()) return 1.0;
+  const DetectionMatrix m = build_obd_matrix(c, tests, faults);
+  return static_cast<double>(m.covered_count) /
+         static_cast<double>(faults.size());
+}
+
+}  // namespace obd::atpg

@@ -1,0 +1,61 @@
+// Fault simulation: which faults does a test (set) detect?
+//
+// Detection criteria:
+//  - stuck-at: PO mismatch between good and faulty circuits under one vector;
+//  - OBD / transition (gross-delay): the fault is excited by the local
+//    two-vector at its gate AND freezing the gate output at its frame-1
+//    value changes some frame-2 PO. This assumes the added delay exceeds
+//    the capture window — the conservative end of Sec. 4.2;
+//  - OBD timing-aware: event-driven simulation with a finite extra delay
+//    and a concrete capture time — the fine-grained end of Sec. 4.2, used
+//    for window-of-opportunity studies.
+#pragma once
+
+#include "atpg/faults.hpp"
+#include "atpg/patterns.hpp"
+
+namespace obd::atpg {
+
+/// Per-fault detection flags for one single-vector test.
+std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
+                                    const std::vector<StuckFault>& faults);
+
+/// Per-fault detection flags for one two-vector test against OBD faults.
+std::vector<bool> simulate_obd(const Circuit& c, const TwoVectorTest& test,
+                               const std::vector<ObdFaultSite>& faults);
+
+/// Per-fault detection flags for classical transition faults.
+std::vector<bool> simulate_transition(const Circuit& c,
+                                      const TwoVectorTest& test,
+                                      const std::vector<TransitionFault>& faults);
+
+/// Timing-aware OBD detection of a single fault: event-driven run with
+/// `extra_delay` added to excited transitions (or a stall when `stuck`),
+/// sampled at `capture_time`. Returns true when a captured PO differs from
+/// the fault-free captured value.
+bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
+                         const ObdFaultSite& fault, double extra_delay,
+                         bool stuck, double capture_time,
+                         const logic::DelayLibrary& lib = {});
+
+/// Detection matrix: row per test, bitset over the fault list.
+struct DetectionMatrix {
+  std::vector<std::vector<bool>> detects;  // [test][fault]
+  /// Faults detected by at least one test.
+  std::vector<bool> covered;
+  int covered_count = 0;
+};
+
+DetectionMatrix build_obd_matrix(const Circuit& c,
+                                 const std::vector<TwoVectorTest>& tests,
+                                 const std::vector<ObdFaultSite>& faults);
+
+DetectionMatrix build_transition_matrix(
+    const Circuit& c, const std::vector<TwoVectorTest>& tests,
+    const std::vector<TransitionFault>& faults);
+
+/// Coverage of a fault list by a test set (fraction of faults detected).
+double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
+                    const std::vector<ObdFaultSite>& faults);
+
+}  // namespace obd::atpg

@@ -1,0 +1,36 @@
+#include "atpg/patterns.hpp"
+
+namespace obd::atpg {
+
+std::vector<TwoVectorTest> all_ordered_pairs(int n_pis, bool include_repeats) {
+  std::vector<TwoVectorTest> out;
+  const std::uint64_t limit = 1ull << n_pis;
+  for (std::uint64_t v1 = 0; v1 < limit; ++v1)
+    for (std::uint64_t v2 = 0; v2 < limit; ++v2) {
+      if (!include_repeats && v1 == v2) continue;
+      out.push_back({v1, v2});
+    }
+  return out;
+}
+
+std::vector<TwoVectorTest> random_pairs(int n_pis, int count,
+                                        std::uint64_t seed) {
+  util::Prng prng(seed);
+  const std::uint64_t mask =
+      n_pis >= 64 ? ~0ull : ((1ull << n_pis) - 1);
+  std::vector<TwoVectorTest> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    out.push_back({prng.next_u64() & mask, prng.next_u64() & mask});
+  return out;
+}
+
+std::vector<TwoVectorTest> consecutive_pairs(
+    const std::vector<std::uint64_t>& patterns) {
+  std::vector<TwoVectorTest> out;
+  for (std::size_t i = 0; i + 1 < patterns.size(); ++i)
+    out.push_back({patterns[i], patterns[i + 1]});
+  return out;
+}
+
+}  // namespace obd::atpg

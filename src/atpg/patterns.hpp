@@ -1,0 +1,42 @@
+// Test-pattern containers and generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/circuit.hpp"
+#include "util/prng.hpp"
+
+namespace obd::atpg {
+
+/// A single input vector (bit i = PI i).
+struct TestVector {
+  std::uint64_t bits = 0;
+  /// Bits the generator actually cared about; don't-cares were filled.
+  std::uint64_t care_mask = 0;
+};
+
+/// A two-vector (launch/capture) test.
+struct TwoVectorTest {
+  std::uint64_t v1 = 0;
+  std::uint64_t v2 = 0;
+
+  bool operator==(const TwoVectorTest&) const = default;
+};
+
+/// Every ordered pair (v1, v2) over n_pis inputs. `include_repeats` keeps
+/// v1 == v2 pairs (which can never excite a transition). n_pis <= 16.
+std::vector<TwoVectorTest> all_ordered_pairs(int n_pis,
+                                             bool include_repeats = false);
+
+/// `count` random pairs, deterministic in `seed`.
+std::vector<TwoVectorTest> random_pairs(int n_pis, int count,
+                                        std::uint64_t seed);
+
+/// Converts a flat pattern sequence into back-to-back pairs
+/// (p0,p1), (p1,p2), ... — how single-vector (stuck-at) test sets are
+/// applied in practice when probing dynamic faults.
+std::vector<TwoVectorTest> consecutive_pairs(
+    const std::vector<std::uint64_t>& patterns);
+
+}  // namespace obd::atpg

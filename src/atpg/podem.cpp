@@ -1,0 +1,339 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+
+namespace obd::atpg {
+namespace {
+
+using logic::Gate;
+using logic::GateType;
+using logic::Tri;
+
+/// 3-valued evaluation with one net optionally forced (the faulty circuit).
+void eval3_forced(const Circuit& c, const std::vector<Tri>& pi,
+                  NetId forced_net, Tri forced_value,
+                  std::vector<Tri>* values) {
+  values->assign(c.num_nets(), Tri::kX);
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    const NetId n = c.inputs()[i];
+    (*values)[static_cast<std::size_t>(n)] =
+        (n == forced_net) ? forced_value : pi[i];
+  }
+  Tri ins[8];
+  for (int g : c.topo_order()) {
+    const Gate& gate = c.gate(g);
+    for (std::size_t k = 0; k < gate.inputs.size(); ++k)
+      ins[k] = (*values)[static_cast<std::size_t>(gate.inputs[k])];
+    (*values)[static_cast<std::size_t>(gate.output)] =
+        (gate.output == forced_net) ? forced_value
+                                    : logic::gate_eval3(gate.type, ins);
+  }
+}
+
+class Engine {
+ public:
+  Engine(const Circuit& c, std::vector<NetConstraint> constraints,
+         std::optional<StuckFault> fault, bool require_propagation,
+         const PodemOptions& opt)
+      : c_(c),
+        constraints_(std::move(constraints)),
+        fault_(fault),
+        require_propagation_(require_propagation),
+        opt_(opt),
+        pi_(c.inputs().size(), Tri::kX) {}
+
+  PodemResult run() {
+    PodemResult result;
+    imply();
+    for (;;) {
+      if (conflicted()) {
+        if (!backtrack()) {
+          result.status = aborted_ ? PodemStatus::kAborted
+                                   : PodemStatus::kUntestable;
+          break;
+        }
+        continue;
+      }
+      if (satisfied()) {
+        result.status = PodemStatus::kFound;
+        result.vector = make_vector();
+        break;
+      }
+      const auto obj = pick_objective();
+      if (!obj) {
+        // No way to make progress from this state: treat as a conflict.
+        if (!backtrack()) {
+          result.status = aborted_ ? PodemStatus::kAborted
+                                   : PodemStatus::kUntestable;
+          break;
+        }
+        continue;
+      }
+      const auto pi_choice = backtrace(obj->first, obj->second);
+      if (!pi_choice) {
+        if (!backtrack()) {
+          result.status = aborted_ ? PodemStatus::kAborted
+                                   : PodemStatus::kUntestable;
+          break;
+        }
+        continue;
+      }
+      decisions_.push_back(Decision{pi_choice->first, pi_choice->second, false});
+      pi_[pi_choice->first] = logic::tri_of(pi_choice->second);
+      imply();
+    }
+    result.backtracks = backtracks_;
+    result.implications = implications_;
+    return result;
+  }
+
+ private:
+  struct Decision {
+    std::size_t pi;
+    bool value;
+    bool flipped;
+  };
+
+  void imply() {
+    ++implications_;
+    eval3_forced(c_, pi_, logic::kNoNet, Tri::kX, &good_);
+    if (fault_) {
+      eval3_forced(c_, pi_, fault_->net, logic::tri_of(fault_->value),
+                   &faulty_);
+    } else {
+      faulty_ = good_;
+    }
+  }
+
+  Tri good_of(NetId n) const { return good_[static_cast<std::size_t>(n)]; }
+  Tri faulty_of(NetId n) const { return faulty_[static_cast<std::size_t>(n)]; }
+
+  /// Determined differing value (a D or D') on the net.
+  bool diff(NetId n) const {
+    const Tri g = good_of(n);
+    const Tri f = faulty_of(n);
+    return g != Tri::kX && f != Tri::kX && g != f;
+  }
+
+  bool activated() const {
+    return fault_ && good_of(fault_->net) != Tri::kX &&
+           good_of(fault_->net) != logic::tri_of(fault_->value);
+  }
+
+  bool po_diff() const {
+    for (NetId po : c_.outputs())
+      if (diff(po)) return true;
+    return false;
+  }
+
+  /// D-frontier: gates with a differing input whose output is not yet
+  /// fully determined-equal.
+  std::vector<int> d_frontier() const {
+    std::vector<int> out;
+    for (std::size_t gi = 0; gi < c_.num_gates(); ++gi) {
+      const Gate& g = c_.gate(static_cast<int>(gi));
+      if (diff(g.output)) continue;
+      const bool blocked = good_of(g.output) != Tri::kX &&
+                           faulty_of(g.output) != Tri::kX;
+      if (blocked) continue;
+      for (NetId in : g.inputs)
+        if (diff(in)) {
+          out.push_back(static_cast<int>(gi));
+          break;
+        }
+    }
+    return out;
+  }
+
+  bool conflicted() const {
+    for (const auto& k : constraints_) {
+      const Tri v = good_of(k.net);
+      if (v != Tri::kX && v != logic::tri_of(k.value)) return true;
+    }
+    if (fault_) {
+      const Tri v = good_of(fault_->net);
+      if (v != Tri::kX && v == logic::tri_of(fault_->value))
+        return true;  // activation impossible
+      if (require_propagation_ && activated() && !po_diff() &&
+          d_frontier().empty())
+        return true;  // difference can no longer reach a PO
+    }
+    return false;
+  }
+
+  bool satisfied() const {
+    for (const auto& k : constraints_)
+      if (good_of(k.net) != logic::tri_of(k.value)) return false;
+    if (fault_) {
+      if (!activated()) return false;
+      if (require_propagation_ && !po_diff()) return false;
+    }
+    return true;
+  }
+
+  /// Next (net, value) goal.
+  std::optional<std::pair<NetId, bool>> pick_objective() const {
+    for (const auto& k : constraints_)
+      if (good_of(k.net) == Tri::kX) return std::make_pair(k.net, k.value);
+    if (fault_ && good_of(fault_->net) == Tri::kX)
+      return std::make_pair(fault_->net, !fault_->value);
+    if (fault_ && require_propagation_ && !po_diff()) {
+      for (int gi : d_frontier()) {
+        const Gate& g = c_.gate(gi);
+        for (std::size_t k = 0; k < g.inputs.size(); ++k) {
+          const NetId in = g.inputs[k];
+          if (good_of(in) != Tri::kX) continue;
+          // Pick a value for this input that keeps the difference alive.
+          for (bool v : {true, false}) {
+            if (transparent_with(gi, k, v)) return std::make_pair(in, v);
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Could gate `gi` still produce a differing output if input slot k is
+  /// set to v? (3-valued check on both circuits.)
+  bool transparent_with(int gi, std::size_t slot, bool v) const {
+    const Gate& g = c_.gate(gi);
+    Tri gin[8];
+    Tri fin[8];
+    for (std::size_t k = 0; k < g.inputs.size(); ++k) {
+      gin[k] = good_of(g.inputs[k]);
+      fin[k] = faulty_of(g.inputs[k]);
+      if (k == slot) {
+        gin[k] = logic::tri_of(v);
+        fin[k] = logic::tri_of(v);
+      }
+    }
+    const Tri og = logic::gate_eval3(g.type, gin);
+    const Tri of = logic::gate_eval3(g.type, fin);
+    // Blocked only when both sides are determined and equal.
+    return !(og != Tri::kX && of != Tri::kX && og == of);
+  }
+
+  /// Walks the objective back to an unassigned PI.
+  std::optional<std::pair<std::size_t, bool>> backtrace(NetId net,
+                                                        bool value) const {
+    NetId n = net;
+    bool v = value;
+    for (int guard = 0; guard < 10000; ++guard) {
+      const int drv = c_.driver_of(n);
+      if (drv < 0) {
+        // PI (or floating net: then it is not a PI and cannot be set).
+        for (std::size_t i = 0; i < c_.inputs().size(); ++i)
+          if (c_.inputs()[i] == n)
+            return std::make_pair(i, v);
+        return std::nullopt;
+      }
+      const Gate& g = c_.gate(drv);
+      // Choose an undetermined input and a value that can still produce v.
+      bool advanced = false;
+      for (std::size_t k = 0; k < g.inputs.size() && !advanced; ++k) {
+        if (good_of(g.inputs[k]) != Tri::kX) continue;
+        for (bool cand : {false, true}) {
+          if (can_output(drv, k, cand, v)) {
+            n = g.inputs[k];
+            v = cand;
+            advanced = true;
+            break;
+          }
+        }
+      }
+      if (!advanced) return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// With input slot `k` of gate `gi` set to `cand` (and other X inputs
+  /// free), can the gate output be `target`?
+  bool can_output(int gi, std::size_t slot, bool cand, bool target) const {
+    const Gate& g = c_.gate(gi);
+    // Enumerate completions of X inputs.
+    std::uint32_t fixed = 0;
+    std::uint32_t x_mask = 0;
+    for (std::size_t k = 0; k < g.inputs.size(); ++k) {
+      const Tri t = (k == slot) ? logic::tri_of(cand) : good_of(g.inputs[k]);
+      if (t == Tri::k1) fixed |= (1u << k);
+      else if (t == Tri::kX) x_mask |= (1u << k);
+    }
+    for (std::uint32_t sub = x_mask;; sub = (sub - 1) & x_mask) {
+      if (logic::gate_eval(g.type, fixed | sub) == target) return true;
+      if (sub == 0) break;
+    }
+    return false;
+  }
+
+  bool backtrack() {
+    while (!decisions_.empty()) {
+      Decision& d = decisions_.back();
+      if (!d.flipped) {
+        d.flipped = true;
+        ++backtracks_;
+        if (backtracks_ > opt_.max_backtracks) {
+          aborted_ = true;
+          return false;
+        }
+        pi_[d.pi] = logic::tri_of(!d.value);
+        imply();
+        return true;
+      }
+      pi_[d.pi] = Tri::kX;
+      decisions_.pop_back();
+    }
+    imply();
+    return false;
+  }
+
+  TestVector make_vector() const {
+    TestVector v;
+    for (std::size_t i = 0; i < pi_.size(); ++i) {
+      if (pi_[i] == Tri::kX) {
+        if (opt_.fill_value) v.bits |= (1ull << i);
+      } else {
+        v.care_mask |= (1ull << i);
+        if (pi_[i] == Tri::k1) v.bits |= (1ull << i);
+      }
+    }
+    return v;
+  }
+
+  const Circuit& c_;
+  std::vector<NetConstraint> constraints_;
+  std::optional<StuckFault> fault_;
+  bool require_propagation_;
+  PodemOptions opt_;
+  std::vector<Tri> pi_;
+  std::vector<Tri> good_;
+  std::vector<Tri> faulty_;
+  std::vector<Decision> decisions_;
+  long backtracks_ = 0;
+  long implications_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+PodemResult podem_stuck_at(const Circuit& c, const StuckFault& fault,
+                           const PodemOptions& opt) {
+  Engine e(c, {}, fault, /*require_propagation=*/true, opt);
+  return e.run();
+}
+
+PodemResult podem_justify(const Circuit& c,
+                          const std::vector<NetConstraint>& constraints,
+                          const PodemOptions& opt) {
+  Engine e(c, constraints, std::nullopt, false, opt);
+  return e.run();
+}
+
+PodemResult podem_constrained_fault(
+    const Circuit& c, const std::vector<NetConstraint>& constraints,
+    NetId forced, bool forced_value, const PodemOptions& opt) {
+  Engine e(c, constraints, StuckFault{forced, forced_value},
+           /*require_propagation=*/true, opt);
+  return e.run();
+}
+
+}  // namespace obd::atpg

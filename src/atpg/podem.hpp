@@ -1,0 +1,66 @@
+// PODEM: path-oriented decision making over primary inputs.
+//
+// One engine serves three uses:
+//  - classical stuck-at test generation (activation + D-propagation);
+//  - pure justification (set of required good-circuit net values) — the
+//    frame-1 step of two-vector generation;
+//  - constrained fault tests (required values + a forced faulty net) — the
+//    frame-2 step of OBD test generation, where the defective gate's inputs
+//    are pinned to the excitation vector while the delayed output value
+//    propagates as a D to some primary output.
+//
+// Values are (good, faulty) pairs of 3-valued signals; D = (1,0), D' = (0,1).
+// Decisions are made only at primary inputs, so exhausting the decision tree
+// proves untestability. A backtrack budget guards against blowup; hitting it
+// reports kAborted (counted separately from kUntestable, as ATPG tools do).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/faults.hpp"
+#include "atpg/patterns.hpp"
+
+namespace obd::atpg {
+
+struct PodemOptions {
+  /// Maximum number of backtracks before giving up.
+  long max_backtracks = 100000;
+  /// Value used to fill don't-care PIs in the returned vector.
+  bool fill_value = false;
+};
+
+enum class PodemStatus { kFound, kUntestable, kAborted };
+
+struct PodemResult {
+  PodemStatus status = PodemStatus::kUntestable;
+  TestVector vector;
+  long backtracks = 0;
+  long implications = 0;
+};
+
+/// A required good-circuit value on a net.
+struct NetConstraint {
+  NetId net = logic::kNoNet;
+  bool value = false;
+};
+
+/// Generates a test for a stuck-at fault (activation + propagation to a PO).
+PodemResult podem_stuck_at(const Circuit& c, const StuckFault& fault,
+                           const PodemOptions& opt = {});
+
+/// Finds an input vector satisfying all constraints (no fault machinery).
+PodemResult podem_justify(const Circuit& c,
+                          const std::vector<NetConstraint>& constraints,
+                          const PodemOptions& opt = {});
+
+/// Frame-2 workhorse: satisfies `constraints` in the good circuit while the
+/// `forced` net is stuck at `forced_value` in the faulty circuit, and the
+/// difference reaches a primary output.
+PodemResult podem_constrained_fault(const Circuit& c,
+                                    const std::vector<NetConstraint>& constraints,
+                                    NetId forced, bool forced_value,
+                                    const PodemOptions& opt = {});
+
+}  // namespace obd::atpg

@@ -1,0 +1,84 @@
+#include "atpg/robust.hpp"
+
+#include "core/excitation.hpp"
+
+namespace obd::atpg {
+namespace {
+
+std::uint64_t outputs_of(const Circuit& c, const std::vector<bool>& values) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < c.outputs().size(); ++i)
+    if (values[static_cast<std::size_t>(c.outputs()[i])]) out |= (1ull << i);
+  return out;
+}
+
+}  // namespace
+
+bool is_single_input_change(const TwoVectorTest& t) {
+  const std::uint64_t diff = t.v1 ^ t.v2;
+  return diff != 0 && (diff & (diff - 1)) == 0;
+}
+
+bool robust_under_single_slow_gate(const Circuit& c, const TwoVectorTest& test,
+                                   const ObdFaultSite& fault) {
+  // Baseline detection must hold.
+  if (!simulate_obd(c, test, {fault})[0]) return false;
+
+  const std::vector<bool> v1_values = c.eval(test.v1);
+  const std::vector<bool> v2_values = c.eval(test.v2);
+  const auto& fgate = c.gate(fault.gate_index);
+  const auto ftopo = logic::gate_topology(fgate.type);
+  const std::uint32_t flv1 = c.gate_input_bits(fault.gate_index, v1_values);
+  const bool f_old = ftopo->output(flv1);
+
+  // Try freezing each other transitioning gate at its V1 value alongside
+  // the fault; if the PO difference disappears, the detection depends on
+  // that gate being fast: non-robust.
+  for (std::size_t g = 0; g < c.num_gates(); ++g) {
+    if (static_cast<int>(g) == fault.gate_index) continue;
+    const NetId out = c.gate(static_cast<int>(g)).output;
+    const bool o1 = v1_values[static_cast<std::size_t>(out)];
+    const bool o2 = v2_values[static_cast<std::size_t>(out)];
+    if (o1 == o2) continue;  // Steady gate: cannot mask.
+    // Evaluate frame 2 with BOTH the fault's gate and gate g frozen.
+    // eval_words supports one forced net, so freeze g via modified PI eval:
+    // do a manual topological pass.
+    std::vector<bool> values(c.num_nets(), false);
+    for (std::size_t i = 0; i < c.inputs().size(); ++i)
+      values[static_cast<std::size_t>(c.inputs()[i])] = (test.v2 >> i) & 1u;
+    for (int gi : c.topo_order()) {
+      const auto& gate = c.gate(gi);
+      bool val;
+      if (gi == fault.gate_index) {
+        val = f_old;
+      } else if (gi == static_cast<int>(g)) {
+        val = o1;
+      } else {
+        val = logic::gate_eval(gate.type, c.gate_input_bits(gi, values));
+      }
+      values[static_cast<std::size_t>(gate.output)] = val;
+    }
+    const std::uint64_t good2 = outputs_of(c, v2_values);
+    if (outputs_of(c, values) == good2) return false;  // masked
+  }
+  return true;
+}
+
+RobustnessReport classify_obd_tests(const Circuit& c,
+                                    const std::vector<ObdFaultSite>& faults,
+                                    const std::vector<TwoVectorTest>& tests) {
+  RobustnessReport rep;
+  // Pair each test with the faults it detects; classify per detection.
+  for (const auto& t : tests) {
+    const auto det = simulate_obd(c, t, faults);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (!det[f]) continue;
+      ++rep.tests;
+      if (is_single_input_change(t)) ++rep.sic;
+      if (robust_under_single_slow_gate(c, t, faults[f])) ++rep.robust;
+    }
+  }
+  return rep;
+}
+
+}  // namespace obd::atpg

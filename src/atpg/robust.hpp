@@ -1,0 +1,41 @@
+// Robustness classification of OBD two-vector tests.
+//
+// Delay-test theory distinguishes robust tests (valid regardless of other
+// delays in the circuit) from non-robust ones (valid only if the rest of
+// the circuit is fast enough). The same distinction matters for concurrent
+// OBD testing: an aging circuit has *many* slightly-slow gates, and a
+// non-robust detection can be masked by an unrelated slow path.
+//
+// We use two practical notions:
+//  - single input change (SIC): only one PI switches between V1 and V2 —
+//    a classical sufficient condition for hazard-freeness at the inputs;
+//  - single-slow-gate robustness: detection survives when any one *other*
+//    gate is arbitrarily slow (its output frozen at the V1 value). This is
+//    checkable exactly with the gross-delay simulator and is the
+//    operational guarantee a concurrent monitor wants.
+#pragma once
+
+#include "atpg/faultsim.hpp"
+
+namespace obd::atpg {
+
+/// True when v1 -> v2 changes exactly one primary input.
+bool is_single_input_change(const TwoVectorTest& t);
+
+/// True when `test` detects `fault` even if any single other gate is
+/// arbitrarily slow (frozen at its frame-1 output during frame 2).
+bool robust_under_single_slow_gate(const Circuit& c, const TwoVectorTest& test,
+                                   const ObdFaultSite& fault);
+
+struct RobustnessReport {
+  int tests = 0;
+  int sic = 0;
+  int robust = 0;  ///< single-slow-gate robust detections
+};
+
+/// Classifies each (test, its-target-fault) pair produced by ATPG.
+RobustnessReport classify_obd_tests(const Circuit& c,
+                                    const std::vector<ObdFaultSite>& faults,
+                                    const std::vector<TwoVectorTest>& tests);
+
+}  // namespace obd::atpg

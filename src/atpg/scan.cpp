@@ -1,0 +1,172 @@
+#include "atpg/scan.hpp"
+
+#include "core/excitation.hpp"
+
+namespace obd::atpg {
+namespace {
+
+using logic::Circuit;
+using logic::SequentialCircuit;
+
+std::vector<NetConstraint> pin_gate_inputs(const Circuit& c, int gate_idx,
+                                           std::uint32_t bits) {
+  const auto& g = c.gate(gate_idx);
+  std::vector<NetConstraint> out;
+  for (std::size_t k = 0; k < g.inputs.size(); ++k)
+    out.push_back({g.inputs[k], ((bits >> k) & 1u) != 0});
+  return out;
+}
+
+std::uint64_t field(std::uint64_t bits, std::size_t offset, std::size_t width) {
+  return (bits >> offset) & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+ScanObdResult generate_enhanced(const SequentialCircuit& seq,
+                                const ObdFaultSite& site,
+                                const PodemOptions& opt) {
+  ScanObdResult result;
+  const Circuit sv = seq.scan_view();
+  // scan_view preserves gate order, so the fault index carries over.
+  const TwoFrameResult r = generate_obd_test(sv, site, opt);
+  result.status = r.status;
+  result.backtracks = r.backtracks;
+  if (r.status != PodemStatus::kFound) return result;
+  const std::size_t n_pi = seq.core().inputs().size();
+  const std::size_t n_ff = seq.flops().size();
+  result.test.pi1 = field(r.test.v1, 0, n_pi);
+  result.test.state1 = field(r.test.v1, n_pi, n_ff);
+  result.test.pi2 = field(r.test.v2, 0, n_pi);
+  result.test.state2 = field(r.test.v2, n_pi, n_ff);
+  result.test.state2_loaded = true;
+  return result;
+}
+
+ScanObdResult generate_loc(const SequentialCircuit& seq,
+                           const ObdFaultSite& site, bool held_pi,
+                           const PodemOptions& opt) {
+  ScanObdResult result;
+  const Circuit u = seq.unroll_two_frames(/*share_pis=*/held_pi);
+  const int g1 = seq.frame1_gate_index(site.gate_index);
+  const int g2 = seq.frame2_gate_index(site.gate_index);
+  const auto& core_gate = seq.core().gate(site.gate_index);
+  const auto topo = logic::gate_topology(core_gate.type);
+  if (!topo.has_value()) return result;
+
+  bool any_aborted = false;
+  for (const auto& tv : core::obd_excitations(*topo, site.transistor)) {
+    std::vector<NetConstraint> constraints = pin_gate_inputs(u, g1, tv.v1);
+    const auto pins2 = pin_gate_inputs(u, g2, tv.v2);
+    constraints.insert(constraints.end(), pins2.begin(), pins2.end());
+    const bool old_out = topo->output(tv.v1);
+    const PodemResult r = podem_constrained_fault(
+        u, constraints, u.gate(g2).output, old_out, opt);
+    result.backtracks += r.backtracks;
+    if (r.status == PodemStatus::kAborted) any_aborted = true;
+    if (r.status != PodemStatus::kFound) continue;
+
+    const std::size_t n_pi = seq.core().inputs().size();
+    const std::size_t n_ff = seq.flops().size();
+    result.test.pi1 = field(r.vector.bits, 0, n_pi);
+    result.test.state1 = field(r.vector.bits, n_pi, n_ff);
+    result.test.pi2 = held_pi ? result.test.pi1
+                              : field(r.vector.bits, n_pi + n_ff, n_pi);
+    result.test.state2 =
+        seq.step(result.test.pi1, result.test.state1).next_state;
+    result.test.state2_loaded = false;
+    result.status = PodemStatus::kFound;
+    return result;
+  }
+  result.status =
+      any_aborted ? PodemStatus::kAborted : PodemStatus::kUntestable;
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(ScanMode m) {
+  switch (m) {
+    case ScanMode::kEnhanced: return "enhanced-scan";
+    case ScanMode::kLaunchOnCapture: return "launch-on-capture";
+    case ScanMode::kLaunchOnCaptureHeldPi: return "LOC-held-PI";
+  }
+  return "?";
+}
+
+ScanObdResult generate_scan_obd_test(const SequentialCircuit& seq,
+                                     const ObdFaultSite& site, ScanMode mode,
+                                     const PodemOptions& opt) {
+  switch (mode) {
+    case ScanMode::kEnhanced:
+      return generate_enhanced(seq, site, opt);
+    case ScanMode::kLaunchOnCapture:
+      return generate_loc(seq, site, /*held_pi=*/false, opt);
+    case ScanMode::kLaunchOnCaptureHeldPi:
+      return generate_loc(seq, site, /*held_pi=*/true, opt);
+  }
+  return {};
+}
+
+bool verify_scan_obd_test(const SequentialCircuit& seq,
+                          const ObdFaultSite& site, const ScanObdTest& test) {
+  const Circuit sv = seq.scan_view();
+  const std::size_t n_pi = seq.core().inputs().size();
+
+  // Frame-1 (launch) settled values.
+  const std::uint64_t in1 = test.pi1 | (test.state1 << n_pi);
+  const std::vector<bool> vals1 = sv.eval(in1);
+
+  // Frame-2 present state: loaded (enhanced) or the machine's own response.
+  const std::uint64_t state2 =
+      test.state2_loaded ? test.state2
+                         : seq.step(test.pi1, test.state1).next_state;
+  const std::uint64_t in2 = test.pi2 | (state2 << n_pi);
+  const std::vector<bool> vals2 = sv.eval(in2);
+  const std::uint64_t good2 = sv.eval_outputs(in2);
+
+  // Gate-local excitation across the launch->capture boundary.
+  const auto& gate = sv.gate(site.gate_index);
+  const auto topo = logic::gate_topology(gate.type);
+  if (!topo.has_value()) return false;
+  const std::uint32_t lv1 = sv.gate_input_bits(site.gate_index, vals1);
+  const std::uint32_t lv2 = sv.gate_input_bits(site.gate_index, vals2);
+  if (!core::excites_obd(*topo, site.transistor, cells::TwoVector{lv1, lv2}))
+    return false;
+
+  // Gross-delay: the gate output holds its frame-1 value during capture.
+  std::vector<std::uint64_t> pi_words(sv.inputs().size());
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    pi_words[i] = ((in2 >> i) & 1u) ? ~0ull : 0ull;
+  const bool old_out = topo->output(lv1);
+  const auto words =
+      sv.eval_words(pi_words, gate.output, old_out ? ~0ull : 0ull);
+  std::uint64_t bad2 = 0;
+  for (std::size_t o = 0; o < sv.outputs().size(); ++o)
+    if (words[static_cast<std::size_t>(sv.outputs()[o])] & 1ull)
+      bad2 |= (1ull << o);
+  // Observation: POs plus the captured next-state (both are scan_view POs).
+  return bad2 != good2;
+}
+
+ScanCampaign run_scan_obd_atpg(const SequentialCircuit& seq,
+                               const std::vector<ObdFaultSite>& faults,
+                               ScanMode mode, const PodemOptions& opt) {
+  ScanCampaign c;
+  for (const auto& f : faults) {
+    const ScanObdResult r = generate_scan_obd_test(seq, f, mode, opt);
+    switch (r.status) {
+      case PodemStatus::kFound:
+        ++c.found;
+        c.tests.push_back(r.test);
+        break;
+      case PodemStatus::kUntestable:
+        ++c.untestable;
+        break;
+      case PodemStatus::kAborted:
+        ++c.aborted;
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace obd::atpg

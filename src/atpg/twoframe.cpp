@@ -1,0 +1,140 @@
+#include "atpg/twoframe.hpp"
+
+#include "core/excitation.hpp"
+
+namespace obd::atpg {
+namespace {
+
+std::vector<NetConstraint> pin_gate_inputs(const Circuit& c, int gate_idx,
+                                           std::uint32_t bits) {
+  const auto& g = c.gate(gate_idx);
+  std::vector<NetConstraint> out;
+  out.reserve(g.inputs.size());
+  for (std::size_t k = 0; k < g.inputs.size(); ++k)
+    out.push_back({g.inputs[k], ((bits >> k) & 1u) != 0});
+  return out;
+}
+
+}  // namespace
+
+TwoFrameResult generate_obd_test(const Circuit& c, const ObdFaultSite& site,
+                                 const PodemOptions& opt) {
+  TwoFrameResult result;
+  const auto& g = c.gate(site.gate_index);
+  const auto topo = logic::gate_topology(g.type);
+  if (!topo.has_value()) return result;  // composite gate: no OBD site
+
+  bool any_aborted = false;
+  for (const auto& tv : core::obd_excitations(*topo, site.transistor)) {
+    // Frame 2: pin the gate inputs to the excitation's final vector; the
+    // faulty circuit sees the gate output frozen at its frame-1 value.
+    const bool old_out = topo->output(tv.v1);
+    PodemResult f2 = podem_constrained_fault(
+        c, pin_gate_inputs(c, site.gate_index, tv.v2), g.output, old_out, opt);
+    result.backtracks += f2.backtracks;
+    result.implications += f2.implications;
+    if (f2.status == PodemStatus::kAborted) any_aborted = true;
+    if (f2.status != PodemStatus::kFound) continue;
+
+    // Frame 1: justify the excitation's initial vector.
+    PodemResult f1 =
+        podem_justify(c, pin_gate_inputs(c, site.gate_index, tv.v1), opt);
+    result.backtracks += f1.backtracks;
+    result.implications += f1.implications;
+    if (f1.status == PodemStatus::kAborted) any_aborted = true;
+    if (f1.status != PodemStatus::kFound) continue;
+
+    result.status = PodemStatus::kFound;
+    result.test = TwoVectorTest{f1.vector.bits, f2.vector.bits};
+    return result;
+  }
+  result.status = any_aborted ? PodemStatus::kAborted : PodemStatus::kUntestable;
+  return result;
+}
+
+TwoFrameResult generate_transition_test(const Circuit& c,
+                                        const TransitionFault& fault,
+                                        const PodemOptions& opt) {
+  TwoFrameResult result;
+  // Frame 2: output must reach its final value while the faulty circuit
+  // holds the old one; no input-specific constraint (classical model).
+  const bool final_value = fault.slow_to_rise;
+  PodemResult f2 =
+      podem_constrained_fault(c, {{fault.net, final_value}}, fault.net,
+                              !final_value, opt);
+  result.backtracks += f2.backtracks;
+  result.implications += f2.implications;
+  if (f2.status != PodemStatus::kFound) {
+    result.status = f2.status;
+    return result;
+  }
+  PodemResult f1 = podem_justify(c, {{fault.net, !final_value}}, opt);
+  result.backtracks += f1.backtracks;
+  result.implications += f1.implications;
+  if (f1.status != PodemStatus::kFound) {
+    result.status = f1.status;
+    return result;
+  }
+  result.status = PodemStatus::kFound;
+  result.test = TwoVectorTest{f1.vector.bits, f2.vector.bits};
+  return result;
+}
+
+namespace {
+
+template <typename Fault, typename Gen>
+AtpgRun run_all(const std::vector<Fault>& faults, Gen gen) {
+  AtpgRun run;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const TwoFrameResult r = gen(faults[i]);
+    run.total_backtracks += r.backtracks;
+    run.total_implications += r.implications;
+    switch (r.status) {
+      case PodemStatus::kFound:
+        ++run.found;
+        run.tests.push_back(r.test);
+        break;
+      case PodemStatus::kUntestable:
+        ++run.untestable;
+        run.untestable_faults.push_back(i);
+        break;
+      case PodemStatus::kAborted:
+        ++run.aborted;
+        break;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+AtpgRun run_obd_atpg(const Circuit& c, const std::vector<ObdFaultSite>& faults,
+                     const PodemOptions& opt) {
+  return run_all(faults, [&](const ObdFaultSite& f) {
+    return generate_obd_test(c, f, opt);
+  });
+}
+
+AtpgRun run_transition_atpg(const Circuit& c,
+                            const std::vector<TransitionFault>& faults,
+                            const PodemOptions& opt) {
+  return run_all(faults, [&](const TransitionFault& f) {
+    return generate_transition_test(c, f, opt);
+  });
+}
+
+AtpgRun run_stuck_at_atpg(const Circuit& c,
+                          const std::vector<StuckFault>& faults,
+                          const PodemOptions& opt) {
+  return run_all(faults, [&](const StuckFault& f) {
+    const PodemResult r = podem_stuck_at(c, f, opt);
+    TwoFrameResult t;
+    t.status = r.status;
+    t.backtracks = r.backtracks;
+    t.implications = r.implications;
+    t.test = TwoVectorTest{r.vector.bits, r.vector.bits};
+    return t;
+  });
+}
+
+}  // namespace obd::atpg

@@ -1,0 +1,66 @@
+// Two-vector test generation for dynamic faults.
+//
+// OBD flow (Sec. 4 of the paper): for a fault on transistor t of gate G,
+// enumerate the gate-local excitation pairs (lv1 -> lv2) derived from the
+// cell topology (core::obd_excitations). For each candidate:
+//   frame 2: PODEM with G's inputs pinned to lv2 and G's output stuck (in
+//            the faulty circuit) at its *previous* value out(lv1); the
+//            difference must reach a primary output. This models the
+//            gross-delay view of the slow transition.
+//   frame 1: independent justification of G's inputs to lv1.
+// Both frames are plain combinational searches, which is the paper's
+// complexity claim: OBD TPG costs the same as stuck-at TPG per frame.
+//
+// The classical transition-fault flow is identical minus the gate-input
+// pinning: any (v1, v2) toggling G's output will do — which is exactly why
+// transition test sets can miss input-specific (PMOS) OBD defects.
+#pragma once
+
+#include "atpg/podem.hpp"
+
+namespace obd::atpg {
+
+struct TwoFrameResult {
+  PodemStatus status = PodemStatus::kUntestable;
+  TwoVectorTest test;
+  long backtracks = 0;
+  long implications = 0;
+};
+
+/// Generates a two-vector test for one OBD fault site.
+TwoFrameResult generate_obd_test(const Circuit& c, const ObdFaultSite& site,
+                                 const PodemOptions& opt = {});
+
+/// Generates a two-vector test for one classical transition fault.
+TwoFrameResult generate_transition_test(const Circuit& c,
+                                        const TransitionFault& fault,
+                                        const PodemOptions& opt = {});
+
+/// Whole-fault-list ATPG statistics.
+struct AtpgRun {
+  std::vector<TwoVectorTest> tests;
+  int found = 0;
+  int untestable = 0;
+  int aborted = 0;
+  long total_backtracks = 0;
+  long total_implications = 0;
+  /// Indices (into the fault list) of faults proven untestable.
+  std::vector<std::size_t> untestable_faults;
+};
+
+/// Runs OBD ATPG over every fault in `faults`.
+AtpgRun run_obd_atpg(const Circuit& c, const std::vector<ObdFaultSite>& faults,
+                     const PodemOptions& opt = {});
+
+/// Runs transition ATPG over every fault in `faults`.
+AtpgRun run_transition_atpg(const Circuit& c,
+                            const std::vector<TransitionFault>& faults,
+                            const PodemOptions& opt = {});
+
+/// Runs stuck-at ATPG over every fault; tests are single vectors (stored in
+/// v2 with v1 == v2).
+AtpgRun run_stuck_at_atpg(const Circuit& c,
+                          const std::vector<StuckFault>& faults,
+                          const PodemOptions& opt = {});
+
+}  // namespace obd::atpg

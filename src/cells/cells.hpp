@@ -1,0 +1,7 @@
+// Umbrella header for the CMOS cell library.
+#pragma once
+
+#include "cells/harness.hpp"   // IWYU pragma: export
+#include "cells/stdcells.hpp"  // IWYU pragma: export
+#include "cells/tech.hpp"      // IWYU pragma: export
+#include "cells/topology.hpp"  // IWYU pragma: export

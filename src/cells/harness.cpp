@@ -1,0 +1,60 @@
+#include "cells/harness.hpp"
+
+namespace obd::cells {
+
+std::string format_bits(InputBits bits, int num_inputs) {
+  std::string s;
+  for (int i = 0; i < num_inputs; ++i)
+    s += ((bits >> i) & 1u) ? '1' : '0';
+  return s;
+}
+
+std::string format_transition(const TwoVector& t, int num_inputs) {
+  return "(" + format_bits(t.v1, num_inputs) + "," +
+         format_bits(t.v2, num_inputs) + ")";
+}
+
+Harness::Harness(const CellTopology& dut_topology, const Technology& tech)
+    : tech_(tech) {
+  const spice::NodeId vdd = netlist_.node("vdd");
+  netlist_.add_vsource(vdd_source_, vdd, spice::kGround,
+                       spice::SourceWave::make_dc(tech_.vdd));
+
+  const int n = dut_topology.num_inputs;
+  std::vector<spice::NodeId> dut_inputs;
+  for (int i = 0; i < n; ++i) {
+    const std::string idx = std::to_string(i);
+    const spice::NodeId stim = netlist_.node("stim" + idx);
+    const spice::NodeId mid = netlist_.node("drv" + idx + "_mid");
+    const spice::NodeId in = netlist_.node("in" + idx);
+    stim_sources_.push_back(netlist_.add_vsource(
+        "Vstim" + idx, stim, spice::kGround, spice::SourceWave::make_dc(0.0)));
+    // Two-inverter buffer: the stimulus polarity is preserved and the DUT
+    // sees a realistically limited driver (the second inverter).
+    emit_inv(netlist_, "drva" + idx, stim, mid, vdd, tech_);
+    emit_inv(netlist_, "drvb" + idx, mid, in, vdd, tech_);
+    dut_inputs.push_back(in);
+    input_nodes_.push_back("in" + idx);
+  }
+
+  const spice::NodeId out = netlist_.node("out");
+  dut_ = emit_cell(netlist_, dut_topology, "dut", dut_inputs, out, vdd, tech_);
+  output_node_ = "out";
+
+  const spice::NodeId load_out = netlist_.node("load_out");
+  emit_inv(netlist_, "load", out, load_out, vdd, tech_);
+  load_output_node_ = "load_out";
+}
+
+void Harness::set_two_vector(const TwoVector& tv, double t_switch,
+                             double t_slew) {
+  t_switch_ = t_switch;
+  for (std::size_t i = 0; i < stim_sources_.size(); ++i) {
+    const double lvl1 = ((tv.v1 >> i) & 1u) ? tech_.vdd : 0.0;
+    const double lvl2 = ((tv.v2 >> i) & 1u) ? tech_.vdd : 0.0;
+    stim_sources_[i]->set_wave(spice::SourceWave::make_pwl(
+        {{0.0, lvl1}, {t_switch, lvl1}, {t_switch + t_slew, lvl2}}));
+  }
+}
+
+}  // namespace obd::cells

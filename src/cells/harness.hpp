@@ -1,0 +1,73 @@
+// Fig. 5 characterization harness.
+//
+// The paper stresses that the defective gate must be driven by *gates*, not
+// ideal sources: the OBD leakage path loads the (current-limited) upstream
+// driver, which is half of the delay mechanism. The harness therefore wires,
+// per DUT input:
+//
+//   Vstim_i -> driver INV (stage a) -> driver INV (stage b) -> DUT input i
+//
+// and loads the DUT output with an inverter (the downstream gate whose
+// reduced input swing is the other half of the mechanism):
+//
+//   DUT out -> load INV -> load_out
+//
+// Stimuli are PWL waveforms encoding a two-vector (V1 -> V2) test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/stdcells.hpp"
+
+namespace obd::cells {
+
+/// A two-vector input transition applied to the DUT.
+struct TwoVector {
+  InputBits v1 = 0;
+  InputBits v2 = 0;
+};
+
+/// Formats a vector as the paper does: input 0 first, e.g. v=0b10 with two
+/// inputs prints "01" (A=0, B=1).
+std::string format_bits(InputBits bits, int num_inputs);
+/// Formats a transition as "(01,11)".
+std::string format_transition(const TwoVector& t, int num_inputs);
+
+class Harness {
+ public:
+  /// Builds the harness around a DUT with the given topology.
+  Harness(const CellTopology& dut_topology, const Technology& tech);
+
+  /// Programs the stimulus sources with a V1 -> V2 transition. V1 holds
+  /// until `t_switch`, then each changing input ramps over `t_slew`.
+  void set_two_vector(const TwoVector& tv, double t_switch = 2e-9,
+                      double t_slew = 50e-12);
+
+  spice::Netlist& netlist() { return netlist_; }
+  const spice::Netlist& netlist() const { return netlist_; }
+  const Technology& tech() const { return tech_; }
+  const CellInstance& dut() const { return dut_; }
+
+  /// Node names for stimulus/observation.
+  const std::vector<std::string>& input_node_names() const {
+    return input_nodes_;
+  }
+  const std::string& output_node_name() const { return output_node_; }
+  const std::string& load_output_node_name() const { return load_output_node_; }
+  const std::string& vdd_source_name() const { return vdd_source_; }
+  double t_switch() const { return t_switch_; }
+
+ private:
+  Technology tech_;
+  spice::Netlist netlist_;
+  CellInstance dut_;
+  std::vector<spice::VoltageSource*> stim_sources_;
+  std::vector<std::string> input_nodes_;
+  std::string output_node_;
+  std::string load_output_node_;
+  std::string vdd_source_ = "Vdd";
+  double t_switch_ = 0.0;
+};
+
+}  // namespace obd::cells

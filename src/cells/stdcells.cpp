@@ -1,0 +1,125 @@
+#include "cells/stdcells.hpp"
+
+#include <cassert>
+
+namespace obd::cells {
+namespace {
+
+/// Longest series chain length from the root to any leaf: used to upsize
+/// stacked devices so stacks drive like a single reference device.
+int series_depth(const SpNode& n) {
+  switch (n.kind) {
+    case SpNode::Kind::kTransistor:
+      return 1;
+    case SpNode::Kind::kSeries: {
+      int sum = 0;
+      for (const auto& c : n.children) sum += series_depth(c);
+      return sum;
+    }
+    case SpNode::Kind::kParallel: {
+      int best = 0;
+      for (const auto& c : n.children) best = std::max(best, series_depth(c));
+      return best;
+    }
+  }
+  return 1;
+}
+
+struct Emitter {
+  spice::Netlist& nl;
+  const CellInstance& cell;
+  const Technology& tech;
+  spice::NodeId vdd;
+  bool pmos;
+  double width_mult;  // strength * stack upsizing
+  int next_internal = 0;
+
+  spice::NodeId fresh_node() {
+    // Polarity-specific prefix: PDN and PUN each number their own internal
+    // nodes, so the two networks can never share an internal node by name.
+    return nl.node(cell.name + (pmos ? ".xp" : ".xn") +
+                   std::to_string(next_internal++));
+  }
+
+  /// Emits subtree `n` between electrical nodes a (toward output) and b
+  /// (toward the rail).
+  void emit(const SpNode& n, spice::NodeId a, spice::NodeId b) {
+    switch (n.kind) {
+      case SpNode::Kind::kTransistor: {
+        const TransistorRef t{pmos, n.input};
+        const spice::NodeId gate =
+            cell.inputs[static_cast<std::size_t>(n.input)];
+        const spice::NodeId bulk = pmos ? vdd : spice::kGround;
+        const spice::MosfetParams p =
+            pmos ? tech.pmos(width_mult) : tech.nmos(width_mult);
+        // Drain toward the output side by convention.
+        nl.add_mosfet(cell.transistor_name(t), a, gate, b, bulk, p);
+        return;
+      }
+      case SpNode::Kind::kSeries: {
+        spice::NodeId prev = a;
+        for (std::size_t i = 0; i < n.children.size(); ++i) {
+          const bool last = i + 1 == n.children.size();
+          const spice::NodeId next = last ? b : fresh_node();
+          emit(n.children[i], prev, next);
+          prev = next;
+        }
+        return;
+      }
+      case SpNode::Kind::kParallel: {
+        for (const auto& c : n.children) emit(c, a, b);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CellInstance emit_cell(spice::Netlist& nl, const CellTopology& topology,
+                       const std::string& inst,
+                       const std::vector<spice::NodeId>& inputs,
+                       spice::NodeId output, spice::NodeId vdd,
+                       const Technology& tech, double strength) {
+  assert(static_cast<int>(inputs.size()) == topology.num_inputs);
+  CellInstance cell;
+  cell.name = inst;
+  cell.topology = topology;
+  cell.inputs = inputs;
+  cell.output = output;
+
+  // Pull-down network between output and ground.
+  Emitter pdn_emitter{nl,  cell, tech, vdd, /*pmos=*/false,
+                      strength * series_depth(topology.pdn)};
+  pdn_emitter.emit(topology.pdn, output, spice::kGround);
+  // Pull-up network between output and vdd.
+  Emitter pun_emitter{nl,  cell, tech, vdd, /*pmos=*/true,
+                      strength * series_depth(topology.pun)};
+  pun_emitter.emit(topology.pun, output, vdd);
+  nl.add_capacitor(inst + ".Cw", output, spice::kGround, tech.cwire);
+  return cell;
+}
+
+CellInstance emit_inv(spice::Netlist& nl, const std::string& inst,
+                      spice::NodeId in, spice::NodeId out, spice::NodeId vdd,
+                      const Technology& tech, double strength) {
+  return emit_cell(nl, inv_topology(), inst, {in}, out, vdd, tech, strength);
+}
+
+CellInstance emit_nand2(spice::Netlist& nl, const std::string& inst,
+                        spice::NodeId a, spice::NodeId b, spice::NodeId out,
+                        spice::NodeId vdd, const Technology& tech,
+                        double strength) {
+  return emit_cell(nl, nand_topology(2), inst, {a, b}, out, vdd, tech,
+                   strength);
+}
+
+CellInstance emit_nor2(spice::Netlist& nl, const std::string& inst,
+                       spice::NodeId a, spice::NodeId b, spice::NodeId out,
+                       spice::NodeId vdd, const Technology& tech,
+                       double strength) {
+  return emit_cell(nl, nor_topology(2), inst, {a, b}, out, vdd, tech,
+                   strength);
+}
+
+}  // namespace obd::cells

@@ -1,0 +1,57 @@
+// Transistor-level standard-cell emitters.
+//
+// emit_cell() lowers a CellTopology into MOSFETs inside a spice::Netlist,
+// following fixed naming conventions so that higher layers (OBD injection,
+// characterization, the gate-to-transistor elaborator) can address individual
+// transistors:
+//   transistor gated by input i :  "<inst>.MN<i>" (NMOS) / "<inst>.MP<i>" (PMOS)
+//   internal series nodes       :  "<inst>.x<k>"
+// Series stacks are upsized by their depth (a 2-deep NMOS stack gets 2x
+// width) — conventional drive-strength equalization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/tech.hpp"
+#include "cells/topology.hpp"
+#include "spice/netlist.hpp"
+
+namespace obd::cells {
+
+/// Handle to an emitted cell: instance name, pins, and transistor naming.
+struct CellInstance {
+  std::string name;
+  CellTopology topology;
+  std::vector<spice::NodeId> inputs;
+  spice::NodeId output = spice::kInvalidNode;
+
+  /// Netlist device name of one of the cell's transistors.
+  std::string transistor_name(const TransistorRef& t) const {
+    return name + (t.pmos ? ".MP" : ".MN") + std::to_string(t.input);
+  }
+};
+
+/// Emits `topology` as transistors between the given pins.
+/// `strength` scales all widths; a wire load of tech.cwire is attached to
+/// the output. Inputs vector size must equal topology.num_inputs.
+CellInstance emit_cell(spice::Netlist& nl, const CellTopology& topology,
+                       const std::string& inst,
+                       const std::vector<spice::NodeId>& inputs,
+                       spice::NodeId output, spice::NodeId vdd,
+                       const Technology& tech, double strength = 1.0);
+
+// Convenience wrappers for the common cells.
+CellInstance emit_inv(spice::Netlist& nl, const std::string& inst,
+                      spice::NodeId in, spice::NodeId out, spice::NodeId vdd,
+                      const Technology& tech, double strength = 1.0);
+CellInstance emit_nand2(spice::Netlist& nl, const std::string& inst,
+                        spice::NodeId a, spice::NodeId b, spice::NodeId out,
+                        spice::NodeId vdd, const Technology& tech,
+                        double strength = 1.0);
+CellInstance emit_nor2(spice::Netlist& nl, const std::string& inst,
+                       spice::NodeId a, spice::NodeId b, spice::NodeId out,
+                       spice::NodeId vdd, const Technology& tech,
+                       double strength = 1.0);
+
+}  // namespace obd::cells

@@ -1,0 +1,78 @@
+#include "cells/tech.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace obd::cells {
+namespace {
+
+spice::MosfetParams make_params(const Technology& t, bool pmos, double w) {
+  spice::MosfetParams p;
+  p.pmos = pmos;
+  p.vt0 = pmos ? t.vtp : t.vtn;
+  p.kp = pmos ? t.kpp : t.kpn;
+  p.w = w;
+  p.l = t.length;
+  p.lambda = t.lambda;
+  // Fixed capacitance model: half the channel charge to each of source and
+  // drain, plus overlap; junction caps scale with width.
+  const double c_channel = t.cox_area * w * t.length;
+  const double c_ov = t.cov_width * w;
+  p.cgs = 0.5 * c_channel + c_ov;
+  p.cgd = 0.5 * c_channel + c_ov;
+  p.cdb = t.cj_width * w;
+  p.csb = t.cj_width * w;
+  return p;
+}
+
+}  // namespace
+
+spice::MosfetParams Technology::nmos(double w_mult) const {
+  return make_params(*this, false, wn * w_mult);
+}
+
+spice::MosfetParams Technology::pmos(double w_mult) const {
+  return make_params(*this, true, wp * w_mult);
+}
+
+double Technology::thermal_voltage() const {
+  return util::constants::kBoltzmann * temperature /
+         util::constants::kElementaryCharge;
+}
+
+Technology Technology::at_temperature(double kelvin) const {
+  Technology t = *this;
+  const double ratio = kelvin / temperature;
+  // Lattice-scattering mobility: mu ~ T^-1.5.
+  t.kpn *= std::pow(ratio, -1.5);
+  t.kpp *= std::pow(ratio, -1.5);
+  // Threshold tempco ~ -1 mV/K for both polarities (magnitudes shrink when
+  // hot), clamped away from zero.
+  const double dvt = -1e-3 * (kelvin - temperature);
+  t.vtn = std::max(0.1, t.vtn + dvt);
+  t.vtp = std::max(0.1, t.vtp + dvt);
+  t.temperature = kelvin;
+  return t;
+}
+
+Technology Technology::perturbed(util::Prng& prng, double sigma_vt,
+                                 double sigma_kp_rel) const {
+  // Box-Muller gaussians from the deterministic PRNG.
+  auto gauss = [&prng]() {
+    const double u1 = std::max(prng.next_double(), 1e-12);
+    const double u2 = prng.next_double();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  };
+  Technology t = *this;
+  t.vtn = std::max(0.1, t.vtn + sigma_vt * gauss());
+  t.vtp = std::max(0.1, t.vtp + sigma_vt * gauss());
+  t.kpn *= std::max(0.5, 1.0 + sigma_kp_rel * gauss());
+  t.kpp *= std::max(0.5, 1.0 + sigma_kp_rel * gauss());
+  return t;
+}
+
+Technology Technology::default_350nm() { return Technology{}; }
+
+}  // namespace obd::cells

@@ -1,0 +1,66 @@
+// Technology card: device parameters for the cell library.
+//
+// The paper's experiments use a 3.3 V process (its plots swing 0..3.3 V) with
+// fault-free NAND delays near 96 ps (fall) / 110 ps (rise). We define a
+// generic 0.35 um-class card and calibrate default widths plus a per-output
+// wire load so the fault-free Fig. 5 harness lands in the same delay range.
+// Absolute calibration is a substitution (see DESIGN.md); every claim we
+// reproduce is about orderings and input-specificity, not picoseconds.
+#pragma once
+
+#include "spice/devices.hpp"
+#include "util/prng.hpp"
+
+namespace obd::cells {
+
+struct Technology {
+  /// Supply voltage [V].
+  double vdd = 3.3;
+
+  // Device parameters.
+  double vtn = 0.72;       ///< NMOS threshold [V].
+  double vtp = 0.72;       ///< PMOS threshold magnitude [V].
+  double kpn = 170e-6;     ///< NMOS uCox [A/V^2].
+  double kpp = 60e-6;      ///< PMOS uCox [A/V^2].
+  double length = 0.35e-6; ///< Drawn channel length [m].
+  double wn = 0.8e-6;      ///< Default NMOS width [m].
+  double wp = 1.6e-6;      ///< Default PMOS width [m].
+  double lambda = 0.06;    ///< Channel-length modulation [1/V].
+
+  // Capacitance model (fixed caps attached per device / per output).
+  double cox_area = 4.6e-3;    ///< Gate-oxide capacitance [F/m^2].
+  double cov_width = 3.0e-10;  ///< Gate-drain/source overlap [F/m].
+  double cj_width = 8.0e-10;   ///< Junction capacitance per width [F/m].
+  /// Lumped wire + fanout load added at every cell output [F]. This is the
+  /// main delay-calibration knob.
+  double cwire = 18e-15;
+
+  /// Junction temperature [K]; scales the diode thermal voltage and (to
+  /// first order) mobility and thresholds via at_temperature().
+  double temperature = 300.0;
+
+  /// MOSFET parameter record for an NMOS of `w_mult` times default width.
+  spice::MosfetParams nmos(double w_mult = 1.0) const;
+  /// MOSFET parameter record for a PMOS of `w_mult` times default width.
+  spice::MosfetParams pmos(double w_mult = 1.0) const;
+
+  /// Thermal voltage kT/q at this card's temperature [V].
+  double thermal_voltage() const;
+
+  /// A copy of this card retargeted to `kelvin`: mobility scales as
+  /// (T/300)^-1.5, threshold magnitudes drop ~1 mV/K, diode kT/q follows T.
+  /// First-order temperature physics; enough for trend benches.
+  Technology at_temperature(double kelvin) const;
+
+  /// A copy with random process perturbations: VT shifts by N(0, sigma_vt)
+  /// and KP by a relative N(0, sigma_kp_rel), deterministically from `prng`
+  /// (Box-Muller over the repo PRNG). Models inter-die variation for
+  /// guard-banding studies.
+  Technology perturbed(util::Prng& prng, double sigma_vt = 0.03,
+                       double sigma_kp_rel = 0.05) const;
+
+  /// The default card described above.
+  static Technology default_350nm();
+};
+
+}  // namespace obd::cells

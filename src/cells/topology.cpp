@@ -1,0 +1,193 @@
+#include "cells/topology.hpp"
+
+namespace obd::cells {
+namespace {
+
+/// Is a transistor leaf gated by `input` ON under `bits` for this polarity?
+bool leaf_on(bool pmos, int input, InputBits bits) {
+  const bool high = (bits >> input) & 1u;
+  return pmos ? !high : high;
+}
+
+/// Does the SP subtree conduct? `forced_off_input` disables every leaf gated
+/// by that input (-1 disables nothing).
+bool conducts(const SpNode& n, bool pmos, InputBits bits,
+              int forced_off_input) {
+  switch (n.kind) {
+    case SpNode::Kind::kTransistor:
+      if (n.input == forced_off_input) return false;
+      return leaf_on(pmos, n.input, bits);
+    case SpNode::Kind::kSeries:
+      for (const auto& c : n.children)
+        if (!conducts(c, pmos, bits, forced_off_input)) return false;
+      return true;
+    case SpNode::Kind::kParallel:
+      for (const auto& c : n.children)
+        if (conducts(c, pmos, bits, forced_off_input)) return true;
+      return false;
+  }
+  return false;
+}
+
+/// Does this subtree contain a leaf gated by `input`?
+bool contains(const SpNode& n, int input) {
+  if (n.kind == SpNode::Kind::kTransistor) return n.input == input;
+  for (const auto& c : n.children)
+    if (contains(c, input)) return true;
+  return false;
+}
+
+/// Given that current flows through subtree `n`, does the leaf gated by
+/// `input` carry (part of) it? Pre-condition: n conducts under bits.
+bool carries(const SpNode& n, bool pmos, InputBits bits, int input) {
+  switch (n.kind) {
+    case SpNode::Kind::kTransistor:
+      return n.input == input;  // Current flows through this very leaf.
+    case SpNode::Kind::kSeries:
+      // All children of a conducting series chain carry the full current.
+      for (const auto& c : n.children)
+        if (contains(c, input)) return carries(c, pmos, bits, input);
+      return false;
+    case SpNode::Kind::kParallel:
+      // Every *conducting* branch of a parallel composite carries a share.
+      for (const auto& c : n.children) {
+        if (!contains(c, input)) continue;
+        return conducts(c, pmos, bits, -1) && carries(c, pmos, bits, input);
+      }
+      return false;
+  }
+  return false;
+}
+
+void collect_inputs(const SpNode& n, std::vector<int>* out) {
+  if (n.kind == SpNode::Kind::kTransistor) {
+    out->push_back(n.input);
+    return;
+  }
+  for (const auto& c : n.children) collect_inputs(c, out);
+}
+
+}  // namespace
+
+bool CellTopology::pdn_conducts(InputBits bits) const {
+  return conducts(pdn, /*pmos=*/false, bits, -1);
+}
+
+bool CellTopology::pun_conducts(InputBits bits) const {
+  return conducts(pun, /*pmos=*/true, bits, -1);
+}
+
+bool CellTopology::is_complementary() const {
+  const InputBits limit = 1u << num_inputs;
+  for (InputBits v = 0; v < limit; ++v)
+    if (pdn_conducts(v) == pun_conducts(v)) return false;
+  return true;
+}
+
+std::vector<TransistorRef> CellTopology::transistors() const {
+  std::vector<TransistorRef> out;
+  std::vector<int> inputs;
+  collect_inputs(pdn, &inputs);
+  for (int i : inputs) out.push_back(TransistorRef{false, i});
+  inputs.clear();
+  collect_inputs(pun, &inputs);
+  for (int i : inputs) out.push_back(TransistorRef{true, i});
+  return out;
+}
+
+bool CellTopology::transistor_essential(const TransistorRef& t,
+                                        InputBits bits) const {
+  const SpNode& net = t.pmos ? pun : pdn;
+  if (!leaf_on(t.pmos, t.input, bits)) return false;
+  if (!conducts(net, t.pmos, bits, -1)) return false;
+  // Essential iff removing the transistor breaks every conducting path.
+  return !conducts(net, t.pmos, bits, t.input);
+}
+
+bool CellTopology::transistor_conducting(const TransistorRef& t,
+                                         InputBits bits) const {
+  const SpNode& net = t.pmos ? pun : pdn;
+  if (!leaf_on(t.pmos, t.input, bits)) return false;
+  if (!conducts(net, t.pmos, bits, -1)) return false;
+  return carries(net, t.pmos, bits, t.input);
+}
+
+CellTopology inv_topology() {
+  CellTopology c;
+  c.type_name = "INV";
+  c.num_inputs = 1;
+  c.pdn = SpNode::transistor(0);
+  c.pun = SpNode::transistor(0);
+  return c;
+}
+
+CellTopology nand_topology(int n_inputs) {
+  CellTopology c;
+  c.type_name = "NAND" + std::to_string(n_inputs);
+  c.num_inputs = n_inputs;
+  std::vector<SpNode> series_ch;
+  std::vector<SpNode> par_ch;
+  for (int i = 0; i < n_inputs; ++i) {
+    series_ch.push_back(SpNode::transistor(i));
+    par_ch.push_back(SpNode::transistor(i));
+  }
+  c.pdn = SpNode::series(std::move(series_ch));
+  c.pun = SpNode::parallel(std::move(par_ch));
+  return c;
+}
+
+CellTopology nor_topology(int n_inputs) {
+  CellTopology c;
+  c.type_name = "NOR" + std::to_string(n_inputs);
+  c.num_inputs = n_inputs;
+  std::vector<SpNode> series_ch;
+  std::vector<SpNode> par_ch;
+  for (int i = 0; i < n_inputs; ++i) {
+    series_ch.push_back(SpNode::transistor(i));
+    par_ch.push_back(SpNode::transistor(i));
+  }
+  c.pdn = SpNode::parallel(std::move(par_ch));
+  c.pun = SpNode::series(std::move(series_ch));
+  return c;
+}
+
+CellTopology aoi21_topology() {
+  CellTopology c;
+  c.type_name = "AOI21";
+  c.num_inputs = 3;
+  c.pdn = SpNode::parallel(
+      {SpNode::series({SpNode::transistor(0), SpNode::transistor(1)}),
+       SpNode::transistor(2)});
+  c.pun = SpNode::series(
+      {SpNode::parallel({SpNode::transistor(0), SpNode::transistor(1)}),
+       SpNode::transistor(2)});
+  return c;
+}
+
+CellTopology aoi22_topology() {
+  CellTopology c;
+  c.type_name = "AOI22";
+  c.num_inputs = 4;
+  c.pdn = SpNode::parallel(
+      {SpNode::series({SpNode::transistor(0), SpNode::transistor(1)}),
+       SpNode::series({SpNode::transistor(2), SpNode::transistor(3)})});
+  c.pun = SpNode::series(
+      {SpNode::parallel({SpNode::transistor(0), SpNode::transistor(1)}),
+       SpNode::parallel({SpNode::transistor(2), SpNode::transistor(3)})});
+  return c;
+}
+
+CellTopology oai21_topology() {
+  CellTopology c;
+  c.type_name = "OAI21";
+  c.num_inputs = 3;
+  c.pdn = SpNode::series(
+      {SpNode::parallel({SpNode::transistor(0), SpNode::transistor(1)}),
+       SpNode::transistor(2)});
+  c.pun = SpNode::parallel(
+      {SpNode::series({SpNode::transistor(0), SpNode::transistor(1)}),
+       SpNode::transistor(2)});
+  return c;
+}
+
+}  // namespace obd::cells

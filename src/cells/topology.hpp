@@ -1,0 +1,111 @@
+// Series-parallel description of static CMOS cells.
+//
+// The paper's generalization (Sec. 5) states when an OBD defect is
+// detectable: "the OBD breakdown of a transistor can be detected at an
+// output node only if that transistor is excited at the switching of the
+// output node and if no other transistor that is connected to the defective
+// transistor in parallel is excited." Deriving those conditions for an
+// arbitrary cell requires knowing the pull-up / pull-down network structure;
+// this header provides exactly that as a series-parallel (SP) graph whose
+// leaves are transistors labeled by the input that gates them.
+//
+// Conventions:
+//  - Every input i gates exactly one NMOS and one PMOS in a cell (true for
+//    INV/NAND/NOR/AOI/OAI), so a transistor is addressed by (polarity, i).
+//  - The PDN connects output to GND with NMOS (on when input = 1).
+//  - The PUN connects output to VDD with PMOS (on when input = 0).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace obd::cells {
+
+/// Input assignment as a bit vector: bit i = logic value of input i.
+using InputBits = std::uint32_t;
+
+/// A node of a series-parallel network.
+struct SpNode {
+  enum class Kind { kTransistor, kSeries, kParallel };
+  Kind kind = Kind::kTransistor;
+  /// Gating input index when kind == kTransistor.
+  int input = -1;
+  std::vector<SpNode> children;
+
+  static SpNode transistor(int input_index) {
+    SpNode n;
+    n.kind = Kind::kTransistor;
+    n.input = input_index;
+    return n;
+  }
+  static SpNode series(std::vector<SpNode> ch) {
+    SpNode n;
+    n.kind = Kind::kSeries;
+    n.children = std::move(ch);
+    return n;
+  }
+  static SpNode parallel(std::vector<SpNode> ch) {
+    SpNode n;
+    n.kind = Kind::kParallel;
+    n.children = std::move(ch);
+    return n;
+  }
+};
+
+/// One of the (up to 32) transistors of a cell: polarity plus gating input.
+struct TransistorRef {
+  bool pmos = false;
+  int input = 0;
+
+  bool operator==(const TransistorRef&) const = default;
+};
+
+/// Static CMOS cell as two complementary SP networks.
+struct CellTopology {
+  std::string type_name;  ///< "INV", "NAND2", "NOR3", "AOI21", ...
+  int num_inputs = 0;
+  SpNode pdn;  ///< Output-to-GND network of NMOS devices.
+  SpNode pun;  ///< Output-to-VDD network of PMOS devices.
+
+  /// Does the PDN conduct under the given inputs? (NMOS on at logic 1.)
+  bool pdn_conducts(InputBits bits) const;
+  /// Does the PUN conduct under the given inputs? (PMOS on at logic 0.)
+  bool pun_conducts(InputBits bits) const;
+  /// Boolean output of the cell. For a complementary cell exactly one
+  /// network conducts for every input vector.
+  bool output(InputBits bits) const { return !pdn_conducts(bits); }
+  /// True when PDN/PUN are complementary over all input vectors.
+  bool is_complementary() const;
+
+  /// All transistors of the cell (one NMOS + one PMOS per input).
+  std::vector<TransistorRef> transistors() const;
+
+  /// True when the given transistor lies on *every* conducting source-sink
+  /// path of its network under `bits` (i.e. it carries the full switching
+  /// current and no parallel sibling bypasses it). This is the paper's
+  /// OBD-excitation structural condition evaluated exactly: we enumerate
+  /// conduction with the transistor forced OFF; if the network still
+  /// conducts, some parallel path bypasses it.
+  bool transistor_essential(const TransistorRef& t, InputBits bits) const;
+
+  /// True when the transistor is on some conducting path of its network
+  /// under `bits` (carries at least part of the current). This weaker
+  /// condition is the intra-gate electromigration (EM) excitation used in
+  /// the paper's Sec. 5 comparison.
+  bool transistor_conducting(const TransistorRef& t, InputBits bits) const;
+};
+
+/// Factory functions for the cell zoo.
+CellTopology inv_topology();
+CellTopology nand_topology(int n_inputs);
+CellTopology nor_topology(int n_inputs);
+/// AOI21: out = !(A*B + C); inputs A=0, B=1, C=2.
+CellTopology aoi21_topology();
+/// AOI22: out = !(A*B + C*D); inputs A=0, B=1, C=2, D=3.
+CellTopology aoi22_topology();
+/// OAI21: out = !((A+B) * C); inputs A=0, B=1, C=2.
+CellTopology oai21_topology();
+
+}  // namespace obd::cells

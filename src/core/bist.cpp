@@ -1,0 +1,47 @@
+#include "core/bist.hpp"
+
+namespace obd::core {
+
+SiteWindow site_window_from_curve(const std::vector<DelayVsIsat>& curve,
+                                  double slack,
+                                  const ProgressionModel& model) {
+  const DetectionWindow w = detection_window(curve, slack, model);
+  SiteWindow s;
+  s.t_hbd = w.t_hbd;
+  s.t_observable = w.detectable() ? *w.t_detectable : w.t_hbd;
+  return s;
+}
+
+LifetimeStats simulate_lifetime(const std::vector<SiteWindow>& sites,
+                                const LifetimeOptions& opt) {
+  LifetimeStats stats;
+  if (sites.empty() || opt.trials <= 0) return stats;
+  util::Prng prng(opt.seed);
+  stats.trials = opt.trials;
+  double latency_sum = 0.0;
+
+  for (int trial = 0; trial < opt.trials; ++trial) {
+    const SiteWindow& site = sites[prng.next_below(sites.size())];
+    if (!site.ever_observable()) {
+      ++stats.never_observable;
+      ++stats.escaped_to_hbd;
+      continue;
+    }
+    // Schedule phase: time from defect onset to the next test.
+    const double phase =
+        opt.random_phase ? prng.next_double(0.0, opt.test_period) : 0.0;
+    // First test at or after the observability onset.
+    double t = phase;
+    while (t < site.t_observable) t += opt.test_period;
+    if (t < site.t_hbd) {
+      ++stats.caught;
+      latency_sum += t - site.t_observable;
+    } else {
+      ++stats.escaped_to_hbd;
+    }
+  }
+  if (stats.caught > 0) stats.mean_latency = latency_sum / stats.caught;
+  return stats;
+}
+
+}  // namespace obd::core

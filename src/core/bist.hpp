@@ -1,0 +1,70 @@
+// Concurrent-test lifetime simulation (Monte Carlo).
+//
+// The paper's Sec. 4.2 argument in executable form: a system runs for
+// years; at a random moment a random transistor starts breaking down; the
+// concurrent test fires every `period` seconds with a detector of a given
+// timing slack. Did we catch the defect inside its window of opportunity —
+// after it became observable, before hard breakdown?
+//
+// The per-site windows come from the analog characterization (delay vs
+// leakage) combined with the exponential progression clock; the lifetime
+// simulation is then pure interval arithmetic over random onsets/phases,
+// repeated for many trials.
+#pragma once
+
+#include <vector>
+
+#include "core/progression.hpp"
+#include "util/prng.hpp"
+
+namespace obd::core {
+
+/// Detection window of one candidate defect site (already reduced from the
+/// characterized curve).
+struct SiteWindow {
+  /// Time from defect onset until the detector can observe it; negative or
+  /// zero means observable immediately.
+  double t_observable = 0.0;
+  /// Time from onset until hard breakdown (end of the safe window).
+  double t_hbd = 0.0;
+
+  bool ever_observable() const { return t_observable < t_hbd; }
+};
+
+/// Reduces a characterized delay-vs-leakage curve to a SiteWindow.
+SiteWindow site_window_from_curve(const std::vector<DelayVsIsat>& curve,
+                                  double slack, const ProgressionModel& model);
+
+struct LifetimeOptions {
+  /// Concurrent test period [s].
+  double test_period = 3600.0;
+  /// Uniform random phase of the test schedule relative to defect onset.
+  bool random_phase = true;
+  /// Number of Monte Carlo trials.
+  int trials = 10000;
+  std::uint64_t seed = 0xb157;
+};
+
+struct LifetimeStats {
+  int trials = 0;
+  int caught = 0;          ///< Detected inside the window.
+  int escaped_to_hbd = 0;  ///< Reached hard breakdown undetected.
+  int never_observable = 0;
+  /// Mean detection latency from first observability [s], over caught
+  /// trials.
+  double mean_latency = 0.0;
+
+  double catch_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(caught) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Runs the Monte Carlo: each trial picks a random site (uniform over
+/// `sites`) and a random schedule phase, then checks whether any test falls
+/// in [onset + t_observable, onset + t_hbd).
+LifetimeStats simulate_lifetime(const std::vector<SiteWindow>& sites,
+                                const LifetimeOptions& opt);
+
+}  // namespace obd::core

@@ -1,0 +1,155 @@
+#include "core/characterize.hpp"
+
+#include <cmath>
+
+#include "cells/stdcells.hpp"
+#include "spice/dc.hpp"
+#include "util/measure.hpp"
+
+namespace obd::core {
+
+GateCharacterizer::GateCharacterizer(const cells::CellTopology& topology,
+                                     const cells::Technology& tech,
+                                     const CharacterizeOptions& opt)
+    : topology_(topology), tech_(tech), opt_(opt) {}
+
+spice::TransientResult GateCharacterizer::trace_params(
+    const std::optional<cells::TransistorRef>& fault, const ObdParams& params,
+    const cells::TwoVector& transition) const {
+  cells::Harness harness(topology_, tech_);
+  if (fault.has_value()) {
+    ObdInjection inj = inject_obd(harness.netlist(),
+                                  harness.dut().transistor_name(*fault));
+    inj.set_params(params);
+  }
+  harness.set_two_vector(transition, opt_.t_switch, opt_.t_slew);
+
+  std::vector<std::string> record = harness.input_node_names();
+  record.push_back(harness.output_node_name());
+  record.push_back(harness.load_output_node_name());
+
+  spice::TransientOptions topt;
+  topt.dt = opt_.dt;
+  topt.integrator = opt_.integrator;
+  return spice::transient(harness.netlist(), opt_.t_stop, topt, record,
+                          {harness.vdd_source_name()});
+}
+
+spice::TransientResult GateCharacterizer::trace(
+    const std::optional<cells::TransistorRef>& fault, BreakdownStage stage,
+    const cells::TwoVector& transition) const {
+  const bool pmos = fault.has_value() && fault->pmos;
+  return trace_params(fault, stage_params(stage, pmos), transition);
+}
+
+DelayMeasurement GateCharacterizer::measure_params(
+    const std::optional<cells::TransistorRef>& fault, const ObdParams& params,
+    const cells::TwoVector& transition) const {
+  DelayMeasurement m;
+  const spice::TransientResult res = trace_params(fault, params, transition);
+  if (res.status != spice::SolveStatus::kOk) return m;
+
+  const util::Waveform* out = res.trace("out");
+  if (out == nullptr) return m;
+
+  m.settled_v = util::settled_value(*out, 0.95 * opt_.t_stop);
+  if (const util::Waveform* idd = res.trace("I(Vdd)")) {
+    double peak = 0.0;
+    for (std::size_t i = 0; i < idd->size(); ++i)
+      peak = std::max(peak, std::fabs(idd->value(i)));
+    m.peak_supply_current = peak;
+  }
+
+  const bool o1 = topology_.output(transition.v1);
+  const bool o2 = topology_.output(transition.v2);
+  if (o1 == o2) return m;  // No output transition expected: no delay defined.
+  const util::Edge out_edge = o2 ? util::Edge::kRising : util::Edge::kFalling;
+
+  util::DelayOptions dopt;
+  dopt.vdd = tech_.vdd;
+
+  // Reference: the 50% point of the ideal stimulus edge (the "launch
+  // clock"). Referencing the DUT input crossing instead would be distorted
+  // by the defect itself: an OBD path on a *held* input drags that input's
+  // driver and shifts its crossing even though the gate's transition is
+  // unaffected. A tester measures launch-to-capture, so we do too. The
+  // fault-free row of any table carries the same constant driver latency,
+  // so deltas and ratios are meaningful.
+  const double t_ref = opt_.t_switch + 0.5 * opt_.t_slew;
+
+  const auto t_out = util::edge_time(*out, out_edge, t_ref, dopt);
+  if (t_out) {
+    m.delay = *t_out - t_ref;
+  } else {
+    m.stuck = true;
+    m.stuck_high = m.settled_v > 0.5 * tech_.vdd;
+  }
+  return m;
+}
+
+DelayMeasurement GateCharacterizer::measure(
+    const std::optional<cells::TransistorRef>& fault, BreakdownStage stage,
+    const cells::TwoVector& transition) const {
+  const bool pmos = fault.has_value() && fault->pmos;
+  return measure_params(fault, stage_params(stage, pmos), transition);
+}
+
+logic::DelayLibrary build_delay_library(
+    const cells::Technology& tech, const std::vector<logic::GateType>& types,
+    const CharacterizeOptions& opt) {
+  logic::DelayLibrary lib;
+  for (logic::GateType t : types) {
+    const auto topo = logic::gate_topology(t);
+    if (!topo.has_value()) continue;
+    GateCharacterizer chr(*topo, tech, opt);
+    const int n = topo->num_inputs;
+    const cells::InputBits all_ones = (1u << n) - 1u;
+    // Worst rise and fall over single-input-change transitions.
+    double worst_rise = 0.0;
+    double worst_fall = 0.0;
+    const cells::InputBits limit = 1u << n;
+    for (cells::InputBits v1 = 0; v1 < limit; ++v1) {
+      for (int i = 0; i < n; ++i) {
+        const cells::InputBits v2 = v1 ^ (1u << i);
+        const bool o1 = topo->output(v1);
+        const bool o2 = topo->output(v2);
+        if (o1 == o2) continue;
+        const auto m = chr.measure(std::nullopt, BreakdownStage::kFaultFree,
+                                   {v1, v2});
+        if (!m.delay) continue;
+        if (o2) worst_rise = std::max(worst_rise, *m.delay);
+        else worst_fall = std::max(worst_fall, *m.delay);
+      }
+    }
+    (void)all_ones;
+    if (worst_rise > 0.0 && worst_fall > 0.0)
+      lib.per_type[t] = {worst_rise, worst_fall};
+  }
+  return lib;
+}
+
+util::Waveform inverter_vtc_with_obd(const cells::Technology& tech,
+                                     bool pmos_defect, const ObdParams& params,
+                                     double step) {
+  spice::Netlist nl;
+  const spice::NodeId vdd = nl.node("vdd");
+  const spice::NodeId in = nl.node("in");
+  const spice::NodeId out = nl.node("out");
+  nl.add_vsource("Vdd", vdd, spice::kGround,
+                 spice::SourceWave::make_dc(tech.vdd));
+  nl.add_vsource("Vin", in, spice::kGround, spice::SourceWave::make_dc(0.0));
+  const cells::CellInstance dut =
+      cells::emit_inv(nl, "dut", in, out, vdd, tech);
+  ObdInjection inj = inject_obd(
+      nl, dut.transistor_name(cells::TransistorRef{pmos_defect, 0}));
+  inj.set_params(params);
+
+  const spice::DcSweepResult sweep =
+      spice::dc_sweep(nl, "Vin", 0.0, tech.vdd, step, {"out"},
+                      spice::SolverOptions{});
+  if (sweep.status != spice::SolveStatus::kOk || sweep.traces.traces.empty())
+    return util::Waveform("out");
+  return sweep.traces.traces.front();
+}
+
+}  // namespace obd::core

@@ -1,0 +1,109 @@
+// Spice-level characterization of a cell under OBD (regenerates Table 1 and
+// the Fig. 4/6/7 data).
+//
+// For each (fault site, breakdown stage, input transition) the characterizer
+// builds the Fig. 5 harness, injects the OBD network, runs a transient, and
+// measures the 50% propagation delay at the DUT output. A missing output
+// transition (while the fault-free circuit does transition) is reported as
+// stuck-at behaviour — exactly how Table 1 reports "sa-0"/"sa-1" at the late
+// stages.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cells/harness.hpp"
+#include "core/obd_model.hpp"
+#include "logic/timingsim.hpp"
+#include "spice/transient.hpp"
+#include "util/waveform.hpp"
+
+namespace obd::core {
+
+/// One measured (stage x transition) data point.
+struct DelayMeasurement {
+  /// 50% input-to-output propagation delay; nullopt when the output never
+  /// completed its transition within the simulation window.
+  std::optional<double> delay;
+  /// True when the fault-free circuit transitions but this one does not:
+  /// the defect manifests as stuck-at behaviour under this transition.
+  bool stuck = false;
+  /// Which stuck value the output held (meaningful when `stuck`).
+  bool stuck_high = false;
+  /// Settled output voltage at the end of the window (degraded VOL/VOH).
+  double settled_v = 0.0;
+  /// Peak supply current during the transition window [A] (IDDQ-flavoured
+  /// observation; OBD raises it by orders of magnitude).
+  double peak_supply_current = 0.0;
+};
+
+struct CharacterizeOptions {
+  /// Transition launch time within the window.
+  double t_switch = 2e-9;
+  /// Input slew.
+  double t_slew = 50e-12;
+  /// Total simulated window.
+  double t_stop = 12e-9;
+  /// Transient step.
+  double dt = 2e-12;
+  spice::Integrator integrator = spice::Integrator::kTrapezoidal;
+};
+
+/// Characterizes one cell type under OBD.
+class GateCharacterizer {
+ public:
+  GateCharacterizer(const cells::CellTopology& topology,
+                    const cells::Technology& tech,
+                    const CharacterizeOptions& opt = {});
+
+  /// Measures the DUT delay for `transition`, with an OBD defect of `stage`
+  /// injected on `fault` (std::nullopt = fault-free reference run).
+  DelayMeasurement measure(const std::optional<cells::TransistorRef>& fault,
+                           BreakdownStage stage,
+                           const cells::TwoVector& transition) const;
+
+  /// Full transient traces for the same configuration: inputs, DUT output
+  /// and loaded output (for figure regeneration).
+  spice::TransientResult trace(const std::optional<cells::TransistorRef>& fault,
+                               BreakdownStage stage,
+                               const cells::TwoVector& transition) const;
+  /// Like trace() but with explicit electrical parameters.
+  spice::TransientResult trace_params(
+      const std::optional<cells::TransistorRef>& fault, const ObdParams& params,
+      const cells::TwoVector& transition) const;
+
+  /// Measurement with explicit parameters (progression sweeps between the
+  /// tabulated stages).
+  DelayMeasurement measure_params(
+      const std::optional<cells::TransistorRef>& fault, const ObdParams& params,
+      const cells::TwoVector& transition) const;
+
+  const cells::CellTopology& topology() const { return topology_; }
+  const cells::Technology& tech() const { return tech_; }
+  const CharacterizeOptions& options() const { return opt_; }
+
+ private:
+  cells::CellTopology topology_;
+  cells::Technology tech_;
+  CharacterizeOptions opt_;
+};
+
+/// VTC extraction for Fig. 4: DC-sweeps an inverter whose NMOS (or PMOS)
+/// carries an OBD defect with explicit parameters; returns the transfer
+/// curve out(vin).
+util::Waveform inverter_vtc_with_obd(const cells::Technology& tech,
+                                     bool pmos_defect, const ObdParams& params,
+                                     double step = 0.02);
+
+/// Builds a gate-level delay library from analog characterization: for each
+/// requested gate type, measures the fault-free worst-case rise and fall
+/// delays in the Fig. 5 harness (gate-only: driver latency subtracted via
+/// an inverter reference). This closes the loop from the transistor-level
+/// substrate to the event-driven timing simulator, replacing the
+/// paper-nominal constants with self-consistent numbers.
+logic::DelayLibrary build_delay_library(
+    const cells::Technology& tech,
+    const std::vector<logic::GateType>& types,
+    const CharacterizeOptions& opt = {});
+
+}  // namespace obd::core

@@ -1,0 +1,12 @@
+// Umbrella header for the paper's core contribution: the OBD circuit model,
+// excitation-condition derivation, spice-level characterization and the
+// progression / concurrent-testing analysis.
+#pragma once
+
+#include "core/bist.hpp"          // IWYU pragma: export
+#include "core/characterize.hpp"  // IWYU pragma: export
+#include "core/excitation.hpp"    // IWYU pragma: export
+#include "core/iddq.hpp"          // IWYU pragma: export
+#include "core/obd_model.hpp"     // IWYU pragma: export
+#include "core/progression.hpp"   // IWYU pragma: export
+#include "core/wearout.hpp"       // IWYU pragma: export

@@ -1,0 +1,151 @@
+#include "core/excitation.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+namespace obd::core {
+namespace {
+
+/// Output direction required to observe defects of this polarity.
+bool output_switch_matches(const CellTopology& cell, bool pmos,
+                           const TwoVector& tv) {
+  const bool o1 = cell.output(tv.v1);
+  const bool o2 = cell.output(tv.v2);
+  if (o1 == o2) return false;
+  // PMOS defects delay the rising output, NMOS defects the falling output.
+  return pmos ? (!o1 && o2) : (o1 && !o2);
+}
+
+using Excite = bool (*)(const CellTopology&, const TransistorRef&,
+                        const TwoVector&);
+
+std::vector<TwoVector> all_excitations(const CellTopology& cell,
+                                       const TransistorRef& t, Excite fn) {
+  std::vector<TwoVector> out;
+  const InputBits limit = 1u << cell.num_inputs;
+  for (InputBits v1 = 0; v1 < limit; ++v1)
+    for (InputBits v2 = 0; v2 < limit; ++v2) {
+      const TwoVector tv{v1, v2};
+      if (fn(cell, t, tv)) out.push_back(tv);
+    }
+  return out;
+}
+
+/// Exact minimum set cover by iterative deepening over distinct coverage
+/// masks. Cells have at most a handful of distinct masks, so this is cheap.
+std::vector<TwoVector> minimal_test_set(const CellTopology& cell, Excite fn) {
+  const auto transistors = cell.transistors();
+  // Universe: indices of transistors that are excitable at all.
+  std::vector<std::size_t> excitable;
+  const InputBits limit = 1u << cell.num_inputs;
+
+  // Coverage mask of each transition; dedupe by mask keeping the first
+  // (lexicographically smallest) representative transition.
+  std::map<std::uint64_t, TwoVector> by_mask;
+  std::uint64_t universe = 0;
+  for (InputBits v1 = 0; v1 < limit; ++v1)
+    for (InputBits v2 = 0; v2 < limit; ++v2) {
+      const TwoVector tv{v1, v2};
+      std::uint64_t mask = 0;
+      for (std::size_t i = 0; i < transistors.size(); ++i)
+        if (fn(cell, transistors[i], tv)) mask |= (1ull << i);
+      if (mask == 0) continue;
+      universe |= mask;
+      by_mask.emplace(mask, tv);  // keeps first-seen representative
+    }
+
+  std::vector<std::pair<std::uint64_t, TwoVector>> sets(by_mask.begin(),
+                                                        by_mask.end());
+  // Drop sets dominated by a superset (strictly smaller coverage).
+  std::vector<std::pair<std::uint64_t, TwoVector>> maximal;
+  for (const auto& s : sets) {
+    bool dominated = false;
+    for (const auto& o : sets)
+      if (o.first != s.first && (s.first & o.first) == s.first) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) maximal.push_back(s);
+  }
+
+  // Iterative deepening exact search.
+  std::vector<TwoVector> best;
+  std::vector<std::size_t> chosen;
+  for (std::size_t depth = 1; depth <= maximal.size(); ++depth) {
+    std::vector<std::size_t> stack;
+    // Recursive lambda via explicit function object.
+    struct Search {
+      const std::vector<std::pair<std::uint64_t, TwoVector>>& sets;
+      std::uint64_t universe;
+      std::size_t depth;
+      std::vector<std::size_t>* chosen;
+      bool found = false;
+
+      void run(std::size_t start, std::uint64_t covered) {
+        if (found) return;
+        if (covered == universe) {
+          found = true;
+          return;
+        }
+        if (chosen->size() == depth) return;
+        for (std::size_t i = start; i < sets.size(); ++i) {
+          if ((sets[i].first & ~covered) == 0) continue;  // nothing new
+          chosen->push_back(i);
+          run(i + 1, covered | sets[i].first);
+          if (found) return;
+          chosen->pop_back();
+        }
+      }
+    };
+    chosen.clear();
+    Search s{maximal, universe, depth, &chosen};
+    s.run(0, 0);
+    if (s.found) {
+      for (std::size_t i : chosen) best.push_back(maximal[i].second);
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+bool excites_obd(const CellTopology& cell, const TransistorRef& t,
+                 const TwoVector& tv) {
+  if (!output_switch_matches(cell, t.pmos, tv)) return false;
+  return cell.transistor_essential(t, tv.v2);
+}
+
+bool excites_em(const CellTopology& cell, const TransistorRef& t,
+                const TwoVector& tv) {
+  if (!output_switch_matches(cell, t.pmos, tv)) return false;
+  return cell.transistor_conducting(t, tv.v2);
+}
+
+std::vector<TwoVector> obd_excitations(const CellTopology& cell,
+                                       const TransistorRef& t) {
+  return all_excitations(cell, t, &excites_obd);
+}
+
+std::vector<TwoVector> em_excitations(const CellTopology& cell,
+                                      const TransistorRef& t) {
+  return all_excitations(cell, t, &excites_em);
+}
+
+std::vector<TransistorRef> unexcitable_obd(const CellTopology& cell) {
+  std::vector<TransistorRef> out;
+  for (const auto& t : cell.transistors())
+    if (obd_excitations(cell, t).empty()) out.push_back(t);
+  return out;
+}
+
+std::vector<TwoVector> minimal_obd_test_set(const CellTopology& cell) {
+  return minimal_test_set(cell, &excites_obd);
+}
+
+std::vector<TwoVector> minimal_em_test_set(const CellTopology& cell) {
+  return minimal_test_set(cell, &excites_em);
+}
+
+}  // namespace obd::core

@@ -1,0 +1,64 @@
+// Derivation of OBD excitation conditions from cell topology (Secs. 4.1, 5).
+//
+// A two-vector transition (V1 -> V2) at a cell's inputs excites the OBD
+// defect of transistor t iff:
+//   1. the cell output switches: out(V1) != out(V2);
+//   2. the switching is driven by t's network (PDN for NMOS => falling
+//      output; PUN for PMOS => rising output);
+//   3. under V2, t is *essential*: it lies on every conducting path of its
+//      network, i.e. no parallel device bypasses the current-starved /
+//      current-injected defective transistor.
+//
+// For a NAND this reproduces the paper's conditions exactly: NMOS defects
+// are excited by any falling-output transition (the series stack makes both
+// NMOS essential), PMOS defects only by the transition that switches their
+// own input to 0 while all other inputs stay 1.
+//
+// The weaker intra-gate EM condition replaces (3) with "t conducts" (it
+// carries at least a share of the switching current); Sec. 5 of the paper
+// compares the two, and they coincide for NAND/NOR but split for complex
+// gates.
+#pragma once
+
+#include <vector>
+
+#include "cells/harness.hpp"
+#include "cells/topology.hpp"
+
+namespace obd::core {
+
+using cells::CellTopology;
+using cells::InputBits;
+using cells::TransistorRef;
+using cells::TwoVector;
+
+/// Does (v1 -> v2) excite the OBD defect of transistor `t`?
+bool excites_obd(const CellTopology& cell, const TransistorRef& t,
+                 const TwoVector& tv);
+
+/// Does (v1 -> v2) excite an intra-gate EM (electromigration) defect of
+/// transistor `t`? (Weaker: the transistor only needs to carry current.)
+bool excites_em(const CellTopology& cell, const TransistorRef& t,
+                const TwoVector& tv);
+
+/// All transitions (over the full (2^n)^2 ordered pairs) exciting the OBD
+/// defect of `t`.
+std::vector<TwoVector> obd_excitations(const CellTopology& cell,
+                                       const TransistorRef& t);
+/// Same for the EM condition.
+std::vector<TwoVector> em_excitations(const CellTopology& cell,
+                                      const TransistorRef& t);
+
+/// Transistors with no exciting transition at all (un-excitable inside the
+/// cell; none exist for complementary cells but the API reports them).
+std::vector<TransistorRef> unexcitable_obd(const CellTopology& cell);
+
+/// A minimum-cardinality set of transitions exciting every excitable OBD
+/// defect of the cell. Exact via branch-and-bound set cover (cells are
+/// small); for a NAND2 this returns 3 transitions matching the paper's
+/// "necessary and sufficient" set sizes.
+std::vector<TwoVector> minimal_obd_test_set(const CellTopology& cell);
+/// Same for the EM condition.
+std::vector<TwoVector> minimal_em_test_set(const CellTopology& cell);
+
+}  // namespace obd::core

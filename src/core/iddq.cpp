@@ -1,0 +1,72 @@
+#include "core/iddq.hpp"
+
+#include <cmath>
+
+#include "spice/dc.hpp"
+
+namespace obd::core {
+
+IddqMeasurement measure_iddq(const cells::CellTopology& topology,
+                             const cells::Technology& tech,
+                             const std::optional<cells::TransistorRef>& fault,
+                             const ObdParams& params,
+                             cells::InputBits vector) {
+  cells::Harness harness(topology, tech);
+  if (fault.has_value()) {
+    ObdInjection inj = inject_obd(harness.netlist(),
+                                  harness.dut().transistor_name(*fault));
+    inj.set_params(params);
+  }
+  // Static vector: apply as a degenerate "two-vector" with v1 == v2.
+  harness.set_two_vector({vector, vector}, /*t_switch=*/1e-9);
+
+  IddqMeasurement m;
+  const spice::DcResult op =
+      spice::dc_operating_point(harness.netlist(), spice::SolverOptions{});
+  m.status = op.status;
+  if (op.status != spice::SolveStatus::kOk) return m;
+  const spice::VoltageSource* vdd =
+      harness.netlist().find_vsource(harness.vdd_source_name());
+  if (vdd == nullptr) return m;
+  // Branch current of the supply source = total quiescent draw.
+  const std::size_t idx = harness.netlist().num_nodes() - 1 +
+                          static_cast<std::size_t>(vdd->branch_base());
+  m.iddq = std::fabs(op.x[idx]);
+  return m;
+}
+
+bool iddq_excites(const cells::TransistorRef& t, cells::InputBits vector) {
+  const bool high = (vector >> t.input) & 1u;
+  // NMOS defect leaks with the gate high; PMOS defect with the gate low.
+  return t.pmos ? !high : high;
+}
+
+std::vector<cells::InputBits> minimal_iddq_vectors(
+    const cells::CellTopology& topology) {
+  // All-ones covers every NMOS defect, all-zeros every PMOS defect. For
+  // cells where some input is irrelevant this is still minimal (size 2) as
+  // long as both polarities exist, which holds for all complementary cells.
+  const cells::InputBits all_ones =
+      (1u << topology.num_inputs) - 1u;
+  return {all_ones, 0u};
+}
+
+std::optional<BreakdownStage> first_iddq_detectable_stage(
+    const cells::CellTopology& topology, const cells::Technology& tech,
+    const cells::TransistorRef& fault, cells::InputBits vector,
+    double threshold) {
+  if (!iddq_excites(fault, vector)) return std::nullopt;
+  // Reference: fault-free quiescent current on the same vector.
+  const IddqMeasurement ref =
+      measure_iddq(topology, tech, std::nullopt, ObdParams{}, vector);
+  for (BreakdownStage s : kAllStages) {
+    if (s == BreakdownStage::kFaultFree) continue;
+    const IddqMeasurement m = measure_iddq(
+        topology, tech, fault, stage_params(s, fault.pmos), vector);
+    if (m.status != spice::SolveStatus::kOk) continue;
+    if (m.iddq - ref.iddq > threshold) return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace obd::core

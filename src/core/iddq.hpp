@@ -1,0 +1,54 @@
+// IDDQ (quiescent supply current) detection of OBD defects.
+//
+// Related-work context (paper Sec. 2): Segura et al. proposed IDDQ test
+// patterns for *hard* gate-oxide shorts. The diode-resistor model lets us
+// quantify how early in the progression a current-based detector fires
+// compared with a delay-based one: the breakdown path pulls a static
+// mA-scale current whenever the defective transistor's gate is driven to
+// the leaking polarity — no transition required, a single quiescent vector
+// suffices.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cells/harness.hpp"
+#include "core/obd_model.hpp"
+
+namespace obd::core {
+
+/// Quiescent supply current of the harness under a static input vector.
+struct IddqMeasurement {
+  /// Static supply current [A] after settling.
+  double iddq = 0.0;
+  spice::SolveStatus status = spice::SolveStatus::kNoConvergence;
+};
+
+/// Measures IDDQ of the Fig. 5 harness with an optional OBD defect.
+IddqMeasurement measure_iddq(const cells::CellTopology& topology,
+                             const cells::Technology& tech,
+                             const std::optional<cells::TransistorRef>& fault,
+                             const ObdParams& params, cells::InputBits vector);
+
+/// A vector excites the IDDQ signature of a defect when the defective
+/// transistor's gate is driven to the polarity that forward-biases the
+/// breakdown path: logic 1 for an NMOS defect (gate high leaks into the
+/// p-bulk spot), logic 0 for a PMOS defect (source at VDD leaks into the
+/// spot and out through the driven-low gate).
+bool iddq_excites(const cells::TransistorRef& t, cells::InputBits vector);
+
+/// Smallest set of static vectors exposing the IDDQ signature of every
+/// transistor of the cell (two vectors suffice for any cell: all-ones and
+/// all-zeros; some cells need only those).
+std::vector<cells::InputBits> minimal_iddq_vectors(
+    const cells::CellTopology& topology);
+
+/// IDDQ detection threshold analysis: the earliest stage (by index into
+/// kAllStages) whose quiescent current exceeds `threshold` amperes; nullopt
+/// when none does.
+std::optional<BreakdownStage> first_iddq_detectable_stage(
+    const cells::CellTopology& topology, const cells::Technology& tech,
+    const cells::TransistorRef& fault, cells::InputBits vector,
+    double threshold);
+
+}  // namespace obd::core

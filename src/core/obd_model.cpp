@@ -1,0 +1,118 @@
+#include "core/obd_model.hpp"
+
+namespace obd::core {
+
+const char* to_string(BreakdownStage s) {
+  switch (s) {
+    case BreakdownStage::kFaultFree: return "FaultFree";
+    case BreakdownStage::kMbd1: return "MBD1";
+    case BreakdownStage::kMbd2: return "MBD2";
+    case BreakdownStage::kMbd3: return "MBD3";
+    case BreakdownStage::kHbd: return "HBD";
+  }
+  return "?";
+}
+
+ObdParams paper_nmos_stage_params(BreakdownStage s) {
+  // Paper Table 1, NMOS columns (Isat [A], R [ohm]).
+  switch (s) {
+    case BreakdownStage::kFaultFree: return {1e-30, 10e3};
+    case BreakdownStage::kMbd1: return {2e-28, 500.0};
+    case BreakdownStage::kMbd2: return {1e-27, 100.0};
+    case BreakdownStage::kMbd3: return {5e-27, 20.0};
+    case BreakdownStage::kHbd: return {2e-24, 0.05};
+  }
+  return {};
+}
+
+ObdParams paper_pmos_stage_params(BreakdownStage s) {
+  // Paper Table 1, PMOS columns. HBD is "N/A" in the paper (the PMOS defect
+  // already produces stuck-at behaviour at MBD3); continue the trend.
+  switch (s) {
+    case BreakdownStage::kFaultFree: return {1e-30, 10e3};
+    case BreakdownStage::kMbd1: return {1e-29, 1000.0};
+    case BreakdownStage::kMbd2: return {1.1e-29, 900.0};
+    case BreakdownStage::kMbd3: return {1.2e-29, 830.0};
+    case BreakdownStage::kHbd: return {1.5e-29, 500.0};
+  }
+  return {};
+}
+
+ObdParams nmos_stage_params(BreakdownStage s) {
+  // Calibrated for this substrate (see header). Early stages = Table 1; the
+  // HBD barrier is lowered so the gate node collapses below threshold and
+  // the output genuinely sticks, as in the paper.
+  switch (s) {
+    case BreakdownStage::kFaultFree: return {1e-30, 10e3};
+    case BreakdownStage::kMbd1: return {2e-28, 500.0};
+    case BreakdownStage::kMbd2: return {1e-27, 100.0};
+    // R = 60 (not the paper's 20): at 20 ohm the injection into the stack
+    // node already overwhelms the bottom transistor in our substrate and
+    // MBD3 would stick, whereas the paper still reports ~2x delays there.
+    case BreakdownStage::kMbd3: return {5e-27, 60.0};
+    case BreakdownStage::kHbd: return {2e-13, 0.05};
+  }
+  return {};
+}
+
+ObdParams pmos_stage_params(BreakdownStage s) {
+  // Calibrated: the PMOS progression in Table 1 rides a very steep cliff
+  // (R shrinking 1000 -> 830 ohm doubles the delay and then sticks). In our
+  // substrate the same cliff is reached by lowering the breakdown-path
+  // barrier (raising Isat) as the spot grows.
+  switch (s) {
+    case BreakdownStage::kFaultFree: return {1e-30, 10e3};
+    case BreakdownStage::kMbd1: return {1e-29, 1000.0};
+    case BreakdownStage::kMbd2: return {1e-20, 900.0};
+    case BreakdownStage::kMbd3: return {1e-17, 830.0};
+    case BreakdownStage::kHbd: return {1e-13, 50.0};
+  }
+  return {};
+}
+
+ObdParams stage_params(BreakdownStage s, bool pmos) {
+  return pmos ? pmos_stage_params(s) : nmos_stage_params(s);
+}
+
+void ObdInjection::set_params(const ObdParams& p) {
+  if (!valid()) return;
+  r_break_->set_ohms(p.r);
+  spice::DiodeParams dp = d_source_->params();
+  dp.isat = p.isat;
+  d_source_->set_params(dp);
+  d_drain_->set_params(dp);
+}
+
+void ObdInjection::set_stage(BreakdownStage s) {
+  set_params(stage_params(s, pmos_));
+}
+
+ObdInjection inject_obd(spice::Netlist& nl, const std::string& mosfet_name) {
+  spice::Mosfet* m = nl.find_mosfet(mosfet_name);
+  if (m == nullptr) return {};
+  const bool pmos = m->params().pmos;
+
+  const spice::NodeId bx = nl.node(mosfet_name + ".obd.bx");
+  const ObdParams init = stage_params(BreakdownStage::kFaultFree, pmos);
+
+  spice::Resistor* rb =
+      nl.add_resistor(mosfet_name + ".obd.rb", m->gate(), bx, init.r);
+  spice::DiodeParams dp;
+  dp.isat = init.isat;
+  spice::Diode* ds = nullptr;
+  spice::Diode* dd = nullptr;
+  if (pmos) {
+    // p+ diffusions into n-bulk spot: anodes at source/drain.
+    ds = nl.add_diode(mosfet_name + ".obd.ds", m->source(), bx, dp);
+    dd = nl.add_diode(mosfet_name + ".obd.dd", m->drain(), bx, dp);
+  } else {
+    // Spot (p bulk) into n+ diffusions: anode at the spot.
+    ds = nl.add_diode(mosfet_name + ".obd.ds", bx, m->source(), dp);
+    dd = nl.add_diode(mosfet_name + ".obd.dd", bx, m->drain(), dp);
+  }
+  spice::Resistor* rs = nl.add_resistor(mosfet_name + ".obd.rs", bx,
+                                        m->bulk(), kSubstrateResistance);
+  return ObdInjection(rb, ds, dd, rs, pmos);
+}
+
+}  // namespace obd::core

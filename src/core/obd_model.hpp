@@ -1,0 +1,114 @@
+// The paper's circuit-level OBD model (Sec. 3.2, Fig. 3b) and its
+// progression stages (Table 1).
+//
+// Oxide breakdown creates a conductive spot between the gate and the bulk
+// underneath it. At circuit level this is modeled as:
+//
+//          gate --- R_break --- bx --- D_s --- source
+//                               |  \-- D_d --- drain
+//                               R_sub
+//                               |
+//                              bulk
+//
+// where bx is the breakdown spot, D_s / D_d are the pn junctions from the
+// spot to the source/drain diffusions, and R_sub is the (large) lateral
+// substrate resistance. Progression = diode saturation current grows while
+// R_break shrinks (exponential in time between soft and hard breakdown).
+//
+// Diode orientation follows junction polarity: for an NMOS the diffusions
+// are n+ in a p bulk, so current flows from the spot (p) into the
+// diffusions (n): anode at bx. For a PMOS (p+ diffusions in n bulk) the
+// diodes point from the diffusions into the spot.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cells/topology.hpp"
+#include "spice/netlist.hpp"
+
+namespace obd::core {
+
+/// Progression stage of the breakdown process.
+enum class BreakdownStage {
+  kFaultFree,  ///< Pristine oxide (Table 1 "Fault Free").
+  kMbd1,       ///< Early medium breakdown.
+  kMbd2,
+  kMbd3,
+  kHbd,  ///< Hard breakdown (gate oxide short).
+};
+
+inline constexpr BreakdownStage kAllStages[] = {
+    BreakdownStage::kFaultFree, BreakdownStage::kMbd1, BreakdownStage::kMbd2,
+    BreakdownStage::kMbd3, BreakdownStage::kHbd};
+
+const char* to_string(BreakdownStage s);
+
+/// Electrical parameters of one stage: diode saturation current and
+/// breakdown-path resistance.
+struct ObdParams {
+  double isat = 1e-30;  ///< Diode saturation current [A].
+  double r = 10e3;      ///< Gate-to-spot breakdown resistance [ohm].
+};
+
+/// The paper's literal Table 1 parameters (NMOS / PMOS columns). Kept for
+/// reference and for experiments that sweep the published values.
+ObdParams paper_nmos_stage_params(BreakdownStage s);
+ObdParams paper_pmos_stage_params(BreakdownStage s);
+
+/// Calibrated stage parameters used by default in this repo.
+///
+/// Rationale: the published (Isat, R) values were fitted to the authors'
+/// HSPICE device models. In our level-1/Shockley substrate the ideal-diode
+/// forward drop at milliamp currents stays ~1.2-1.5 V for Isat ~ 1e-29 ..
+/// 1e-24, which keeps the defective transistor's gate above threshold and
+/// therefore can never reproduce the published stuck-at end states. For the
+/// late stages we therefore raise Isat (lowering the effective barrier of
+/// the breakdown path). That follows the paper's own physical picture: hard
+/// breakdown is a *melted, permanently conductive* path (Fig. 1), i.e. an
+/// ohmic short rather than a pn junction. Early-stage values match Table 1.
+/// The Table-1 bench prints the resulting delays next to the paper's.
+ObdParams nmos_stage_params(BreakdownStage s);
+ObdParams pmos_stage_params(BreakdownStage s);
+/// Dispatch on polarity (calibrated values).
+ObdParams stage_params(BreakdownStage s, bool pmos);
+
+/// Handle to an injected OBD network; allows retuning the stage in place so
+/// one netlist can be swept over the whole progression.
+class ObdInjection {
+ public:
+  ObdInjection() = default;
+  ObdInjection(spice::Resistor* r_break, spice::Diode* d_source,
+               spice::Diode* d_drain, spice::Resistor* r_sub, bool pmos)
+      : r_break_(r_break),
+        d_source_(d_source),
+        d_drain_(d_drain),
+        r_sub_(r_sub),
+        pmos_(pmos) {}
+
+  bool valid() const { return r_break_ != nullptr; }
+  bool pmos() const { return pmos_; }
+
+  /// Applies explicit electrical parameters.
+  void set_params(const ObdParams& p);
+  /// Applies the Table-1 parameters of a stage for this polarity.
+  void set_stage(BreakdownStage s);
+
+ private:
+  spice::Resistor* r_break_ = nullptr;
+  spice::Diode* d_source_ = nullptr;
+  spice::Diode* d_drain_ = nullptr;
+  spice::Resistor* r_sub_ = nullptr;
+  bool pmos_ = false;
+};
+
+/// Injects the OBD network onto the named MOSFET. The netlist gains four
+/// devices named "<mosfet>.obd.{rb,ds,dd,rs}" and one node "<mosfet>.obd.bx".
+/// Initial stage: fault-free. Returns an invalid handle when the MOSFET
+/// does not exist.
+ObdInjection inject_obd(spice::Netlist& nl, const std::string& mosfet_name);
+
+/// Lateral substrate resistance (fixed; "far away" per the paper).
+inline constexpr double kSubstrateResistance = 500e3;
+
+}  // namespace obd::core

@@ -1,0 +1,95 @@
+// OBD progression over operating time and the concurrent-testing window of
+// opportunity (Secs. 3.3, 4.2).
+//
+// Experimental data (Linder et al., cited by the paper) show the leakage
+// through a breakdown path grows *exponentially* with time between the
+// first soft breakdown (SBD) and the final hard breakdown (HBD), spanning
+// roughly 27 hours for a 15 A-thick PFET oxide. We model:
+//
+//     Isat(t) = Isat_sbd * exp(k t),   k = ln(Isat_hbd / Isat_sbd) / T
+//
+// and, dually, the breakdown resistance shrinking geometrically. Combining
+// this clock with the characterized delay-vs-Isat curve yields the paper's
+// "window of opportunity": the span between the defect first becoming
+// observable (its added delay exceeds the detector's timing slack) and the
+// dangerous HBD stage. A concurrent test/repair scheme must run at least
+// once inside that window.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/obd_model.hpp"
+
+namespace obd::core {
+
+/// Exponential leakage-growth clock between SBD and HBD.
+class ProgressionModel {
+ public:
+  /// `t_sbd_to_hbd`: wall-clock seconds between onset and hard breakdown.
+  ProgressionModel(double isat_sbd, double isat_hbd, double t_sbd_to_hbd);
+
+  /// Default model for the polarity: SBD at the Table-1 MBD1 saturation
+  /// current, HBD at the Table-1 HBD value (NMOS) or the extrapolated value
+  /// (PMOS), 27 hours end to end (Linder et al.).
+  static ProgressionModel default_for(bool pmos);
+
+  double growth_rate() const { return k_; }
+  double t_sbd_to_hbd() const { return t_total_; }
+
+  /// Saturation current after `t` seconds of progression (clamped to the
+  /// HBD value beyond the end).
+  double isat_at(double t) const;
+  /// Inverse: time at which the leakage reaches `isat` (clamped to
+  /// [0, t_sbd_to_hbd]).
+  double time_at(double isat) const;
+  /// Breakdown resistance after `t` seconds: geometric interpolation
+  /// between the SBD and HBD Table-1 resistances.
+  double r_at(double t, double r_sbd, double r_hbd) const;
+  /// Full electrical parameters at time t.
+  ObdParams params_at(double t, const ObdParams& sbd,
+                      const ObdParams& hbd) const;
+
+ private:
+  double isat_sbd_;
+  double isat_hbd_;
+  double t_total_;
+  double k_;
+};
+
+/// One point of a delay-vs-leakage characterization.
+struct DelayVsIsat {
+  double isat = 0.0;
+  /// Added delay relative to fault free [s]; nullopt when the output was
+  /// stuck (treated as infinite delay).
+  std::optional<double> extra_delay;
+};
+
+/// The concurrent-testing window for one defect site.
+struct DetectionWindow {
+  /// Earliest progression time at which the added delay exceeds the
+  /// detection slack (nullopt: never detectable before HBD).
+  std::optional<double> t_detectable;
+  /// Time of hard breakdown (end of the safe window).
+  double t_hbd = 0.0;
+
+  bool detectable() const { return t_detectable.has_value(); }
+  /// Width of the usable window [s]; 0 when not detectable.
+  double width() const {
+    return detectable() ? t_hbd - *t_detectable : 0.0;
+  }
+};
+
+/// Computes the window of opportunity. `curve` maps leakage to added delay
+/// (points need not be sorted; interpolation is linear in log(isat)).
+/// `slack` is the timing slack of the detection mechanism: the defect is
+/// observable once extra_delay > slack. Stuck points count as observable.
+DetectionWindow detection_window(std::vector<DelayVsIsat> curve, double slack,
+                                 const ProgressionModel& model);
+
+/// Maximum concurrent-test period that still guarantees at least one test
+/// inside the window, derated by `safety` (0 < safety <= 1).
+/// 0 when the window is empty.
+double required_test_interval(const DetectionWindow& w, double safety = 0.5);
+
+}  // namespace obd::core

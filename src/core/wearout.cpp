@@ -1,0 +1,67 @@
+#include "core/wearout.hpp"
+
+#include <cmath>
+
+namespace obd::core {
+
+double Weibull::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(t / scale, shape));
+}
+
+double Weibull::sample(util::Prng& prng) const {
+  // Inverse CDF: t = eta * (-ln(1-u))^(1/beta).
+  const double u = std::min(prng.next_double(), 1.0 - 1e-15);
+  return scale * std::pow(-std::log(1.0 - u), 1.0 / shape);
+}
+
+ChipLifetimeStats simulate_chip_population(
+    const std::vector<SiteWindow>& site_windows, const Weibull& onset,
+    const ChipLifetimeOptions& opt) {
+  ChipLifetimeStats stats;
+  if (site_windows.empty() || opt.chips <= 0) return stats;
+  util::Prng prng(opt.seed);
+  stats.chips = opt.chips;
+  long total_defects = 0;
+
+  for (int chip = 0; chip < opt.chips; ++chip) {
+    const double phase = prng.next_double(0.0, opt.test_period);
+    bool any_defect = false;
+    bool escaped = false;
+    for (int site = 0; site < opt.sites_per_chip; ++site) {
+      const double t_onset = onset.sample(prng);
+      if (t_onset >= opt.mission_time) continue;
+      any_defect = true;
+      ++total_defects;
+      const SiteWindow& w = site_windows[prng.next_below(site_windows.size())];
+      const double t_open = t_onset + w.t_observable;
+      const double t_close = std::min(t_onset + w.t_hbd, opt.mission_time);
+      // HBD after mission end is not an in-field escape.
+      if (t_onset + w.t_hbd > opt.mission_time) {
+        // Window truncated by mission end: catching is nice but an escape
+        // cannot happen in the field.
+        continue;
+      }
+      if (t_open >= t_close) {
+        escaped = true;  // Never observable before HBD.
+        continue;
+      }
+      // First test at or after t_open: tests at phase + k*period.
+      const double k =
+          std::ceil((t_open - phase) / opt.test_period);
+      const double t_test = phase + std::max(0.0, k) * opt.test_period;
+      if (t_test >= t_close) escaped = true;
+    }
+    if (any_defect) ++stats.chips_with_defects;
+    if (escaped) {
+      ++stats.chips_escaped;
+    } else if (any_defect) {
+      ++stats.chips_all_caught;
+    }
+  }
+  stats.mean_defects =
+      static_cast<double>(total_defects) / static_cast<double>(opt.chips);
+  return stats;
+}
+
+}  // namespace obd::core

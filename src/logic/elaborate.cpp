@@ -1,0 +1,59 @@
+#include "logic/elaborate.hpp"
+
+#include <cassert>
+
+namespace obd::logic {
+
+Elaboration::Elaboration(const Circuit& circuit, const cells::Technology& tech)
+    : circuit_(circuit), tech_(tech) {
+  const spice::NodeId vdd = netlist_.node("vdd");
+  netlist_.add_vsource("Vdd", vdd, spice::kGround,
+                       spice::SourceWave::make_dc(tech_.vdd));
+
+  // Primary inputs: source -> two-inverter buffer -> logic net.
+  for (NetId pi : circuit_.inputs()) {
+    const std::string& name = circuit_.net_name(pi);
+    const spice::NodeId stim = netlist_.node("stim_" + name);
+    const spice::NodeId mid = netlist_.node("buf_" + name);
+    const spice::NodeId in = netlist_.node(name);
+    pi_sources_.push_back(netlist_.add_vsource(
+        "Vpi_" + name, stim, spice::kGround, spice::SourceWave::make_dc(0.0)));
+    cells::emit_inv(netlist_, "drva_" + name, stim, mid, vdd, tech_);
+    cells::emit_inv(netlist_, "drvb_" + name, mid, in, vdd, tech_);
+    pi_nodes_.push_back(name);
+  }
+
+  // Gates in topological order (order is irrelevant electrically but keeps
+  // netlists readable).
+  for (int g : circuit_.topo_order()) {
+    const Gate& gate = circuit_.gate(g);
+    const auto topo = gate_topology(gate.type);
+    assert(topo.has_value() && "elaborate requires primitive gates");
+    std::vector<spice::NodeId> ins;
+    for (NetId in : gate.inputs)
+      ins.push_back(netlist_.node(circuit_.net_name(in)));
+    const spice::NodeId out = netlist_.node(circuit_.net_name(gate.output));
+    cells::emit_cell(netlist_, *topo, gate.name, ins, out, vdd, tech_);
+  }
+
+  for (NetId po : circuit_.outputs())
+    po_nodes_.push_back(circuit_.net_name(po));
+}
+
+std::string Elaboration::transistor_name(int gate_idx,
+                                         const cells::TransistorRef& t) const {
+  const Gate& g = circuit_.gate(gate_idx);
+  return g.name + (t.pmos ? ".MP" : ".MN") + std::to_string(t.input);
+}
+
+void Elaboration::set_two_vector(std::uint64_t v1, std::uint64_t v2,
+                                 double t_switch, double t_slew) {
+  for (std::size_t i = 0; i < pi_sources_.size(); ++i) {
+    const double lvl1 = ((v1 >> i) & 1u) ? tech_.vdd : 0.0;
+    const double lvl2 = ((v2 >> i) & 1u) ? tech_.vdd : 0.0;
+    pi_sources_[i]->set_wave(spice::SourceWave::make_pwl(
+        {{0.0, lvl1}, {t_switch, lvl1}, {t_switch + t_slew, lvl2}}));
+  }
+}
+
+}  // namespace obd::logic

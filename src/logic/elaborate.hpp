@@ -1,0 +1,58 @@
+// Gate-level -> transistor-level elaboration.
+//
+// Lowers a primitive-gate Circuit into a spice::Netlist using the cell
+// library, adds PWL stimulus sources on the primary inputs, and keeps the
+// name mapping needed to inject OBD defects on any (gate, transistor) site.
+// This is how the Fig. 9 full-adder experiment runs end to end: logic
+// circuit -> transistors -> OBD injection -> transient -> waveforms at the
+// primary output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cells/cells.hpp"
+#include "logic/circuit.hpp"
+#include "spice/netlist.hpp"
+
+namespace obd::logic {
+
+/// An elaborated circuit: the spice netlist plus name mappings.
+class Elaboration {
+ public:
+  /// Elaborates `circuit` (primitive gates only; run decompose_composites
+  /// first if needed). Nets keep their logic-level names; gate instances
+  /// are named after the gate. Each PI gets a source "Vpi_<name>" followed
+  /// by a two-inverter buffer (as in the Fig. 5 harness) so every gate is
+  /// driven by real gates.
+  Elaboration(const Circuit& circuit, const cells::Technology& tech);
+
+  spice::Netlist& netlist() { return netlist_; }
+  const spice::Netlist& netlist() const { return netlist_; }
+  const Circuit& circuit() const { return circuit_; }
+  const cells::Technology& tech() const { return tech_; }
+
+  /// Spice device name of a transistor inside a gate.
+  std::string transistor_name(int gate_idx,
+                              const cells::TransistorRef& t) const;
+
+  /// Programs the PI sources with a two-vector transition (bit i of v = PI
+  /// i). V1 holds until t_switch, then ramps over t_slew.
+  void set_two_vector(std::uint64_t v1, std::uint64_t v2, double t_switch,
+                      double t_slew = 50e-12);
+
+  /// Node names of primary inputs (post-buffer, as seen by the logic) and
+  /// primary outputs.
+  const std::vector<std::string>& pi_nodes() const { return pi_nodes_; }
+  const std::vector<std::string>& po_nodes() const { return po_nodes_; }
+
+ private:
+  Circuit circuit_;
+  cells::Technology tech_;
+  spice::Netlist netlist_;
+  std::vector<spice::VoltageSource*> pi_sources_;
+  std::vector<std::string> pi_nodes_;
+  std::vector<std::string> po_nodes_;
+};
+
+}  // namespace obd::logic

@@ -1,0 +1,11 @@
+// Umbrella header for the gate-level substrate.
+#pragma once
+
+#include "logic/circuit.hpp"    // IWYU pragma: export
+#include "logic/elaborate.hpp"  // IWYU pragma: export
+#include "logic/gate.hpp"       // IWYU pragma: export
+#include "logic/netfmt.hpp"     // IWYU pragma: export
+#include "logic/sequential.hpp" // IWYU pragma: export
+#include "logic/sta.hpp"        // IWYU pragma: export
+#include "logic/timingsim.hpp"  // IWYU pragma: export
+#include "logic/zoo.hpp"        // IWYU pragma: export

@@ -1,0 +1,117 @@
+#include "logic/netfmt.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace obd::logic {
+namespace {
+
+const std::map<std::string, GateType>& type_by_name() {
+  static const std::map<std::string, GateType> kMap = {
+      {"BUF", GateType::kBuf},     {"INV", GateType::kInv},
+      {"NAND2", GateType::kNand2}, {"NAND3", GateType::kNand3},
+      {"NAND4", GateType::kNand4}, {"NOR2", GateType::kNor2},
+      {"NOR3", GateType::kNor3},   {"NOR4", GateType::kNor4},
+      {"AND2", GateType::kAnd2},   {"OR2", GateType::kOr2},
+      {"XOR2", GateType::kXor2},   {"XNOR2", GateType::kXnor2},
+      {"AOI21", GateType::kAoi21}, {"AOI22", GateType::kAoi22},
+      {"OAI21", GateType::kOai21},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+ParseResult parse_netlist(const std::string& text) {
+  ParseResult result;
+  Circuit c;
+  bool named = false;
+  int line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  auto fail = [&result, &line_no](const std::string& msg) {
+    result.error = "line " + std::to_string(line_no) + ": " + msg;
+    return result;
+  };
+
+  std::vector<std::string> pending_outputs;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto tokens = util::split_ws(line);
+    if (tokens.empty()) continue;
+    const std::string& kw = tokens[0];
+    if (kw == ".model") {
+      if (tokens.size() != 2) return fail(".model needs exactly one name");
+      c = Circuit(tokens[1]);
+      named = true;
+    } else if (kw == ".inputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) c.add_input(tokens[i]);
+    } else if (kw == ".outputs") {
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        pending_outputs.push_back(tokens[i]);
+    } else if (kw == ".gate") {
+      if (tokens.size() < 3) return fail(".gate needs type and output");
+      const auto it = type_by_name().find(tokens[1]);
+      if (it == type_by_name().end())
+        return fail("unknown gate type '" + tokens[1] + "'");
+      const GateType t = it->second;
+      const int arity = gate_arity(t);
+      if (static_cast<int>(tokens.size()) != 3 + arity)
+        return fail(tokens[1] + " expects " + std::to_string(arity) +
+                    " inputs");
+      std::vector<NetId> ins;
+      for (int k = 0; k < arity; ++k)
+        ins.push_back(c.net(tokens[static_cast<std::size_t>(3 + k)]));
+      c.add_gate(t, tokens[2], ins, c.net(tokens[2]));
+    } else if (kw == ".end") {
+      break;
+    } else {
+      return fail("unknown directive '" + kw + "'");
+    }
+  }
+  if (!named) {
+    result.error = "missing .model";
+    return result;
+  }
+  for (const auto& o : pending_outputs) {
+    const NetId n = c.find_net(o);
+    if (n == kNoNet) {
+      result.error = "output net '" + o + "' never defined";
+      return result;
+    }
+    c.mark_output(n);
+  }
+  const std::string diag = c.validate();
+  if (!diag.empty()) {
+    result.error = diag;
+    return result;
+  }
+  result.ok = true;
+  result.circuit = std::move(c);
+  return result;
+}
+
+std::string write_netlist(const Circuit& c) {
+  std::string out;
+  out += ".model " + c.name() + "\n";
+  out += ".inputs";
+  for (NetId n : c.inputs()) out += " " + c.net_name(n);
+  out += "\n.outputs";
+  for (NetId n : c.outputs()) out += " " + c.net_name(n);
+  out += "\n";
+  for (const auto& g : c.gates()) {
+    out += ".gate ";
+    out += gate_type_name(g.type);
+    out += " " + c.net_name(g.output);
+    for (NetId in : g.inputs) out += " " + c.net_name(in);
+    out += "\n";
+  }
+  out += ".end\n";
+  return out;
+}
+
+}  // namespace obd::logic

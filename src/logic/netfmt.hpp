@@ -1,0 +1,32 @@
+// Plain-text structural netlist format (BLIF-flavoured subset).
+//
+//   # comment
+//   .model fa_sum
+//   .inputs A B C
+//   .outputs S
+//   .gate NAND2 u1 na nb        <- type, output net, input nets...
+//   .end
+//
+// The gate's instance name equals its output net name. Round-trips through
+// write/parse preserve structure (net names, PI/PO order, gate order).
+#pragma once
+
+#include <string>
+
+#include "logic/circuit.hpp"
+
+namespace obd::logic {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;  ///< Diagnostic with line number when !ok.
+  Circuit circuit;
+};
+
+/// Parses the textual format above.
+ParseResult parse_netlist(const std::string& text);
+
+/// Serializes a circuit to the textual format.
+std::string write_netlist(const Circuit& c);
+
+}  // namespace obd::logic

@@ -1,0 +1,145 @@
+#include "logic/sequential.hpp"
+
+#include <algorithm>
+
+namespace obd::logic {
+
+void SequentialCircuit::add_flop(const std::string& name, NetId q, NetId d) {
+  flops_.push_back(Flop{name, q, d});
+}
+
+std::string SequentialCircuit::validate() const {
+  const std::string core_diag = core_.validate();
+  if (!core_diag.empty()) return core_diag;
+  for (const auto& f : flops_) {
+    if (core_.driver_of(f.q) >= 0)
+      return "flop '" + f.name + "' q net also driven by a gate";
+    const bool d_is_pi =
+        std::find(core_.inputs().begin(), core_.inputs().end(), f.d) !=
+        core_.inputs().end();
+    if (core_.driver_of(f.d) < 0 && !d_is_pi)
+      return "flop '" + f.name + "' d net is floating";
+  }
+  return "";
+}
+
+SequentialCircuit::CycleResult SequentialCircuit::step(
+    std::uint64_t pi, std::uint64_t state) const {
+  // Present-state nets are undriven in the core; eval() treats undriven
+  // non-PI nets as 0, so we evaluate through the scan view instead, where
+  // they are genuine PIs.
+  const Circuit sv = scan_view();
+  const std::uint64_t packed =
+      pi | (state << core_.inputs().size());
+  const std::uint64_t out = sv.eval_outputs(packed);
+  CycleResult r;
+  const std::uint64_t po_count = core_.outputs().size();
+  r.outputs = out & ((1ull << po_count) - 1);
+  r.next_state = out >> po_count;
+  return r;
+}
+
+Circuit SequentialCircuit::scan_view() const {
+  Circuit sv(core_.name() + "_scan");
+  for (NetId n : core_.inputs()) sv.add_input(core_.net_name(n));
+  for (const auto& f : flops_) sv.add_input(core_.net_name(f.q));
+  for (const auto& g : core_.gates()) {
+    std::vector<NetId> ins;
+    for (NetId in : g.inputs) ins.push_back(sv.net(core_.net_name(in)));
+    sv.add_gate(g.type, g.name, ins, sv.net(core_.net_name(g.output)));
+  }
+  for (NetId n : core_.outputs()) sv.mark_output(sv.net(core_.net_name(n)));
+  for (const auto& f : flops_) sv.mark_output(sv.net(core_.net_name(f.d)));
+  return sv;
+}
+
+Circuit SequentialCircuit::unroll_two_frames(bool share_pis) const {
+  Circuit u(core_.name() + "_x2");
+  // Frame-1 PIs, then frame-1 state, then (unless shared) frame-2 PIs.
+  for (NetId n : core_.inputs())
+    u.add_input(core_.net_name(n) + (share_pis ? "@12" : "@1"));
+  for (const auto& f : flops_) u.add_input(core_.net_name(f.q) + "@1");
+  if (!share_pis)
+    for (NetId n : core_.inputs()) u.add_input(core_.net_name(n) + "@2");
+
+  // Which suffix a net uses in a given frame: PIs may be shared.
+  auto frame_net = [this, &u, share_pis](NetId core_net,
+                                         const char* suffix) -> NetId {
+    if (share_pis) {
+      const bool is_pi = std::find(core_.inputs().begin(),
+                                   core_.inputs().end(),
+                                   core_net) != core_.inputs().end();
+      if (is_pi) return u.net(core_.net_name(core_net) + "@12");
+    }
+    return u.net(core_.net_name(core_net) + suffix);
+  };
+
+  auto copy_frame = [this, &u, &frame_net](const char* suffix) {
+    for (const auto& g : core_.gates()) {
+      std::vector<NetId> ins;
+      for (NetId in : g.inputs) ins.push_back(frame_net(in, suffix));
+      u.add_gate(g.type, g.name + suffix, ins,
+                 frame_net(g.output, suffix));
+    }
+  };
+  copy_frame("@1");
+  // Frame-2 present state = frame-1 next state: connect with buffers so the
+  // "@2" q nets exist as driven nets (two inverters keep gates primitive).
+  for (const auto& f : flops_) {
+    const NetId d1 = u.net(core_.net_name(f.d) + "@1");
+    const NetId mid = u.net(core_.net_name(f.q) + "@ff");
+    const NetId q2 = u.net(core_.net_name(f.q) + "@2");
+    u.add_gate(GateType::kInv, f.name + "@ffa", {d1}, mid);
+    u.add_gate(GateType::kInv, f.name + "@ffb", {mid}, q2);
+  }
+  copy_frame("@2");
+  for (NetId n : core_.outputs()) u.mark_output(u.net(core_.net_name(n) + "@2"));
+  for (const auto& f : flops_) u.mark_output(u.net(core_.net_name(f.d) + "@2"));
+  return u;
+}
+
+SequentialCircuit lfsr_like_machine(int bits) {
+  Circuit core("lfsr" + std::to_string(bits));
+  std::vector<NetId> x;
+  for (int i = 0; i < bits; ++i)
+    x.push_back(core.add_input("x" + std::to_string(i)));
+  std::vector<NetId> q;
+  for (int i = 0; i < bits; ++i) q.push_back(core.net("q" + std::to_string(i)));
+
+  auto emit_xor = [&core](const std::string& p, NetId a, NetId b) {
+    const NetId t = core.net(p + "_t");
+    const NetId pp = core.net(p + "_p");
+    const NetId qq = core.net(p + "_q");
+    const NetId o = core.net(p + "_o");
+    core.add_gate(GateType::kNand2, p + "_t", {a, b}, t);
+    core.add_gate(GateType::kNand2, p + "_p", {a, t}, pp);
+    core.add_gate(GateType::kNand2, p + "_q", {t, b}, qq);
+    core.add_gate(GateType::kNand2, p + "_o", {pp, qq}, o);
+    return o;
+  };
+
+  std::vector<NetId> d(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) {
+    // next[i] = q[i] ^ q[(i+1) % bits] ^ x[i]
+    const NetId a = emit_xor("n" + std::to_string(i) + "a",
+                             q[static_cast<std::size_t>(i)],
+                             q[static_cast<std::size_t>((i + 1) % bits)]);
+    d[static_cast<std::size_t>(i)] = emit_xor("n" + std::to_string(i) + "b",
+                                              a,
+                                              x[static_cast<std::size_t>(i)]);
+  }
+  // Observable output: parity of the state.
+  NetId acc = q[0];
+  for (int i = 1; i < bits; ++i)
+    acc = emit_xor("po" + std::to_string(i), acc,
+                   q[static_cast<std::size_t>(i)]);
+  core.mark_output(acc);
+
+  SequentialCircuit seq(std::move(core));
+  for (int i = 0; i < bits; ++i)
+    seq.add_flop("ff" + std::to_string(i), q[static_cast<std::size_t>(i)],
+                 d[static_cast<std::size_t>(i)]);
+  return seq;
+}
+
+}  // namespace obd::logic

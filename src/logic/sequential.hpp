@@ -1,0 +1,97 @@
+// Sequential circuits and the scan-based application of two-vector tests.
+//
+// The paper (Sec. 5) notes that sequential TPG for OBD defects is harder
+// than for stuck-at faults because the test needs *two specific vectors on
+// consecutive clock cycles*, and points to design-for-testability. This
+// module provides the standard machinery:
+//
+//  - SequentialCircuit: a combinational core plus D flip-flops;
+//  - full-scan view: flops become pseudo-PIs/pseudo-POs, any (V1, V2) pair
+//    is applicable (launch-on-shift / enhanced scan);
+//  - launch-on-capture (LOC) view: V2's state part must equal the circuit's
+//    next-state function of V1 — the realistic constraint for ordinary scan.
+//    We expose it by *unrolling* two time frames into one combinational
+//    circuit, so the existing PODEM/ATPG machinery handles the coupling
+//    exactly (frame-1 gate pins, frame-2 gate pins + fault all become
+//    constraints on the unrolled netlist).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/circuit.hpp"
+
+namespace obd::logic {
+
+/// A D flip-flop: state net (output of the flop) and data input net.
+struct Flop {
+  std::string name;
+  NetId q = kNoNet;  ///< Present-state net (read by the core).
+  NetId d = kNoNet;  ///< Next-state net (driven by the core).
+};
+
+/// Combinational core + flops. The core's nets include PIs, POs, the flop
+/// outputs (q, undriven in the core) and flop inputs (d, driven).
+class SequentialCircuit {
+ public:
+  explicit SequentialCircuit(Circuit core) : core_(std::move(core)) {}
+
+  Circuit& core() { return core_; }
+  const Circuit& core() const { return core_; }
+
+  /// Registers a flop between existing nets. `q` must not be driven by any
+  /// core gate; `d` must be a driven net or PI.
+  void add_flop(const std::string& name, NetId q, NetId d);
+
+  const std::vector<Flop>& flops() const { return flops_; }
+
+  /// Structural checks on top of the core's: q undriven, d driven.
+  std::string validate() const;
+
+  /// Next-state + output computation for one clock cycle.
+  /// `pi` bit i = primary input i; `state` bit j = flop j's present state.
+  struct CycleResult {
+    std::uint64_t outputs = 0;
+    std::uint64_t next_state = 0;
+  };
+  CycleResult step(std::uint64_t pi, std::uint64_t state) const;
+
+  /// Full-scan combinational view: every flop's q becomes an extra PI and
+  /// every flop's d an extra PO. PI order: original PIs, then flops (in
+  /// registration order); PO order likewise.
+  Circuit scan_view() const;
+
+  /// Two-frame unroll for launch-on-capture ATPG: one combinational circuit
+  /// containing two copies of the core, with frame 1's next-state feeding
+  /// frame 2's present-state. PIs: frame-1 PIs, frame-1 state (scan-loaded),
+  /// frame-2 PIs. POs: frame-2 POs and frame-2 next-state (captured into
+  /// the scan chain).
+  ///
+  /// Net naming: "<net>@1" and "<net>@2"; gate naming likewise. Gate order:
+  /// frame-1 gates (core order), then two buffer inverters per flop, then
+  /// frame-2 gates — so the frame-2 twin of core gate g has index
+  /// core().num_gates() + 2 * flops().size() + g.
+  ///
+  /// `share_pis`: when true the primary inputs are NOT duplicated — both
+  /// frames read the same PI nets, modeling a tester that must hold the
+  /// inputs constant across the launch/capture cycle pair.
+  Circuit unroll_two_frames(bool share_pis = false) const;
+
+  /// Index of the frame-2 twin of core gate `g` inside unroll_two_frames().
+  int frame2_gate_index(int g) const {
+    return static_cast<int>(core_.num_gates() + 2 * flops_.size()) + g;
+  }
+  /// Index of the frame-1 twin (identity; for symmetry).
+  int frame1_gate_index(int g) const { return g; }
+
+ private:
+  Circuit core_;
+  std::vector<Flop> flops_;
+};
+
+/// A small sequential benchmark: an n-bit counter-ish state machine whose
+/// next state is state XOR (state >> 1) XOR input pattern, built from
+/// NAND2/INV. Exercises deep state-justification paths.
+SequentialCircuit lfsr_like_machine(int bits);
+
+}  // namespace obd::logic

@@ -1,0 +1,99 @@
+#include "logic/sta.hpp"
+
+#include <algorithm>
+
+namespace obd::logic {
+
+Unateness input_unateness(GateType t, int input) {
+  const int n = gate_arity(t);
+  bool can_raise = false;
+  bool can_lower = false;
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t v = 0; v < limit; ++v) {
+    if ((v >> input) & 1u) continue;  // enumerate with the input at 0
+    const bool lo = gate_eval(t, v);
+    const bool hi = gate_eval(t, v | (1u << input));
+    if (!lo && hi) can_raise = true;
+    if (lo && !hi) can_lower = true;
+  }
+  if (can_raise && can_lower) return Unateness::kBinate;
+  return can_raise ? Unateness::kPositive : Unateness::kNegative;
+}
+
+StaResult run_sta(const Circuit& c, const DelayLibrary& lib) {
+  StaResult r;
+  r.arrival.assign(c.num_nets(), {0.0, 0.0});
+  // Backtrack pointers for critical-path extraction: the gate producing the
+  // worst arrival at each net.
+  std::vector<int> from_gate(c.num_nets(), -1);
+
+  for (int g : c.topo_order()) {
+    const Gate& gate = c.gate(g);
+    double rise_in = 0.0;
+    double fall_in = 0.0;
+    for (std::size_t k = 0; k < gate.inputs.size(); ++k) {
+      const auto& a = r.arrival[static_cast<std::size_t>(gate.inputs[k])];
+      const Unateness u = input_unateness(gate.type, static_cast<int>(k));
+      // Output rise is caused by input rise (positive), input fall
+      // (negative) or either (binate).
+      switch (u) {
+        case Unateness::kPositive:
+          rise_in = std::max(rise_in, a.first);
+          fall_in = std::max(fall_in, a.second);
+          break;
+        case Unateness::kNegative:
+          rise_in = std::max(rise_in, a.second);
+          fall_in = std::max(fall_in, a.first);
+          break;
+        case Unateness::kBinate:
+          rise_in = std::max({rise_in, a.first, a.second});
+          fall_in = std::max({fall_in, a.first, a.second});
+          break;
+      }
+    }
+    auto& out = r.arrival[static_cast<std::size_t>(gate.output)];
+    out.first = rise_in + lib.delay_of(gate.type, true);
+    out.second = fall_in + lib.delay_of(gate.type, false);
+    from_gate[static_cast<std::size_t>(gate.output)] = g;
+  }
+
+  NetId worst_net = kNoNet;
+  for (NetId po : c.outputs()) {
+    const auto& a = r.arrival[static_cast<std::size_t>(po)];
+    const double w = std::max(a.first, a.second);
+    if (w > r.worst_po_arrival) {
+      r.worst_po_arrival = w;
+      worst_net = po;
+    }
+  }
+
+  // Critical path: walk back through worst-contributing inputs.
+  NetId n = worst_net;
+  while (n != kNoNet) {
+    const int g = from_gate[static_cast<std::size_t>(n)];
+    if (g < 0) break;
+    r.critical_path.push_back(g);
+    // Choose the input whose arrival dominated.
+    const Gate& gate = c.gate(g);
+    NetId best = kNoNet;
+    double best_a = -1.0;
+    for (NetId in : gate.inputs) {
+      const auto& a = r.arrival[static_cast<std::size_t>(in)];
+      const double w = std::max(a.first, a.second);
+      if (w > best_a) {
+        best_a = w;
+        best = in;
+      }
+    }
+    n = best;
+  }
+  std::reverse(r.critical_path.begin(), r.critical_path.end());
+  return r;
+}
+
+double sta_slack(const StaResult& r, NetId net, bool rising, double capture) {
+  const auto& a = r.arrival[static_cast<std::size_t>(net)];
+  return capture - (rising ? a.first : a.second);
+}
+
+}  // namespace obd::logic

@@ -1,0 +1,42 @@
+// Static timing analysis (edge-aware, unateness-driven).
+//
+// Concurrent OBD detection is a race between the defect's added delay and
+// the capture clock (paper Sec. 4.2). Placing that clock needs the
+// fault-free worst arrival; judging whether a *marginal* defect can be
+// caught needs per-path slack. This is a compact STA over the gate-level
+// netlist: per-net rise/fall arrival times computed topologically, with
+// per-input unateness derived from the gate's truth table (all primitive
+// CMOS gates are negative-unate; XOR-style composites are binate).
+#pragma once
+
+#include <vector>
+
+#include "logic/timingsim.hpp"
+
+namespace obd::logic {
+
+/// Unateness of one gate input.
+enum class Unateness { kPositive, kNegative, kBinate };
+
+/// Derives the unateness of input `input` of gate type `t` from its truth
+/// table: positive if raising the input can only raise the output, negative
+/// if it can only lower it, binate otherwise.
+Unateness input_unateness(GateType t, int input);
+
+/// Per-net arrival times.
+struct StaResult {
+  /// arrival[net] = {rise, fall} worst-case arrival from any PI [s].
+  std::vector<std::pair<double, double>> arrival;
+  /// Worst arrival over all primary outputs (max of rise/fall).
+  double worst_po_arrival = 0.0;
+  /// Gate indices of one critical path (PI-side first).
+  std::vector<int> critical_path;
+};
+
+/// Runs STA with PIs switching at t = 0.
+StaResult run_sta(const Circuit& c, const DelayLibrary& lib);
+
+/// Slack of a net's edge against a capture time: capture - arrival.
+double sta_slack(const StaResult& r, NetId net, bool rising, double capture);
+
+}  // namespace obd::logic

@@ -1,0 +1,109 @@
+#include "logic/timingsim.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace obd::logic {
+namespace {
+
+struct Event {
+  double time;
+  NetId net;
+  bool value;
+  // Min-heap on time; ties broken by insertion order for determinism.
+  std::uint64_t seq;
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    return seq > o.seq;
+  }
+};
+
+}  // namespace
+
+TimingSimulator::TimingSimulator(const Circuit& circuit, DelayLibrary lib)
+    : circuit_(circuit), lib_(std::move(lib)) {}
+
+void TimingSimulator::set_fault(const std::optional<ObdFaultSite>& site,
+                                const ObdDelayEffect& effect) {
+  fault_ = site;
+  effect_ = effect;
+}
+
+TimingRun TimingSimulator::run_two_vector(std::uint64_t v1, std::uint64_t v2,
+                                          double capture_time) const {
+  TimingRun run;
+  // Settled state under V1.
+  std::vector<bool> value = circuit_.eval(v1);
+  // Remember each gate's input bits under V1 for excitation checks.
+  std::vector<std::uint32_t> gate_v1_bits(circuit_.num_gates());
+  for (std::size_t g = 0; g < circuit_.num_gates(); ++g)
+    gate_v1_bits[g] = circuit_.gate_input_bits(static_cast<int>(g), value);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::uint64_t seq = 0;
+  // Scheduled (future) value per net, to suppress redundant events.
+  std::vector<bool> scheduled = value;
+
+  // Launch V2 on the PIs at t = 0.
+  for (std::size_t i = 0; i < circuit_.inputs().size(); ++i) {
+    const bool nv = (v2 >> i) & 1u;
+    const NetId n = circuit_.inputs()[i];
+    if (nv != value[static_cast<std::size_t>(n)]) {
+      queue.push(Event{0.0, n, nv, seq++});
+      scheduled[static_cast<std::size_t>(n)] = nv;
+    }
+  }
+
+  std::vector<bool> captured = value;
+  bool captured_done = false;
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (!captured_done && ev.time > capture_time) {
+      captured = value;
+      captured_done = true;
+    }
+    if (value[static_cast<std::size_t>(ev.net)] == ev.value) continue;
+    value[static_cast<std::size_t>(ev.net)] = ev.value;
+    run.events.push_back(TimedEvent{ev.time, ev.net, ev.value});
+
+    for (int g : circuit_.fanout_of(ev.net)) {
+      const Gate& gate = circuit_.gate(g);
+      const std::uint32_t bits = circuit_.gate_input_bits(g, value);
+      const bool new_out = gate_eval(gate.type, bits);
+      const NetId out = gate.output;
+      if (new_out == scheduled[static_cast<std::size_t>(out)]) continue;
+
+      double delay = lib_.delay_of(gate.type, new_out);
+      bool stuck = false;
+      if (fault_ && fault_->gate_index == g) {
+        // Excitation test on the gate-local two-vector: the input state the
+        // gate settled to under V1 vs the state it is switching to now.
+        const auto topo = gate_topology(gate.type);
+        if (topo.has_value()) {
+          const std::uint32_t lv1 = gate_v1_bits[static_cast<std::size_t>(g)];
+          const std::uint32_t lv2 = bits;
+          const bool excited =
+              (topo->output(lv1) != topo->output(lv2)) &&
+              (fault_->transistor.pmos ? topo->output(lv2)
+                                       : !topo->output(lv2)) &&
+              topo->transistor_essential(fault_->transistor, lv2);
+          if (excited) {
+            if (effect_.stuck) stuck = true;
+            delay += effect_.extra_delay;
+          }
+        }
+      }
+      if (stuck) continue;  // The transition never completes.
+      queue.push(Event{ev.time + delay, out, new_out, seq++});
+      scheduled[static_cast<std::size_t>(out)] = new_out;
+    }
+  }
+  if (!captured_done) captured = value;
+  run.captured = std::move(captured);
+  run.settled = std::move(value);
+  return run;
+}
+
+}  // namespace obd::logic

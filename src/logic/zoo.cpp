@@ -1,0 +1,431 @@
+#include "logic/zoo.hpp"
+
+namespace obd::logic {
+
+Circuit full_adder_sum_circuit() {
+  Circuit c("fa_sum");
+  const NetId A = c.add_input("A");
+  const NetId B = c.add_input("B");
+  const NetId C = c.add_input("C");
+
+  // Level 1: input inverters.
+  const NetId na = c.net("na");
+  const NetId nb = c.net("nb");
+  const NetId nc = c.net("nc");
+  c.add_gate(GateType::kInv, "na", {A}, na);
+  c.add_gate(GateType::kInv, "nb", {B}, nb);
+  c.add_gate(GateType::kInv, "nc", {C}, nc);
+
+  // Level 2: two-literal product complements; q1 starts the redundant
+  // branch (B * B')' == 1).
+  const NetId u1 = c.net("u1");
+  const NetId u2 = c.net("u2");
+  const NetId u3 = c.net("u3");
+  const NetId u4 = c.net("u4");
+  const NetId q1 = c.net("q1");
+  c.add_gate(GateType::kNand2, "u1", {na, nb}, u1);
+  c.add_gate(GateType::kNand2, "u2", {na, B}, u2);
+  c.add_gate(GateType::kNand2, "u3", {A, nb}, u3);
+  c.add_gate(GateType::kNand2, "u4", {A, B}, u4);
+  c.add_gate(GateType::kNand2, "q1", {B, nb}, q1);
+
+  // Level 3: back to true products.
+  const NetId v1 = c.net("v1");
+  const NetId v2 = c.net("v2");
+  const NetId v3 = c.net("v3");
+  const NetId v4 = c.net("v4");
+  const NetId q2 = c.net("q2");
+  c.add_gate(GateType::kInv, "v1", {u1}, v1);
+  c.add_gate(GateType::kInv, "v2", {u2}, v2);
+  c.add_gate(GateType::kInv, "v3", {u3}, v3);
+  c.add_gate(GateType::kInv, "v4", {u4}, v4);
+  c.add_gate(GateType::kInv, "q2", {q1}, q2);
+
+  // Level 4: minterm complements w_i = m_i'; q3 = (B B' C)' == 1.
+  const NetId w1 = c.net("w1");
+  const NetId w2 = c.net("w2");
+  const NetId w3 = c.net("w3");
+  const NetId w4 = c.net("w4");
+  const NetId q3 = c.net("q3");
+  c.add_gate(GateType::kNand2, "w1", {v1, C}, w1);   // (A'B'C)'
+  c.add_gate(GateType::kNand2, "w2", {v2, nc}, w2);  // (A'BC')'
+  c.add_gate(GateType::kNand2, "w3", {v3, nc}, w3);  // (AB'C')'
+  c.add_gate(GateType::kNand2, "w4", {v4, C}, w4);   // (ABC)'
+  c.add_gate(GateType::kNand2, "q3", {q2, C}, q3);
+
+  // Level 5: pairwise OR of minterms; o12 is the paper's mid-path NAND
+  // (four upstream and four downstream stages).
+  const NetId o12 = c.net("o12");
+  const NetId o34 = c.net("o34");
+  c.add_gate(GateType::kNand2, "o12", {w1, w2}, o12);  // m1 + m2
+  c.add_gate(GateType::kNand2, "o34", {w3, w4}, o34);  // m3 + m4
+
+  // Levels 6-9: final OR through complements plus the redundant merge.
+  const NetId i12 = c.net("i12");
+  const NetId i34 = c.net("i34");
+  const NetId t1 = c.net("t1");
+  const NetId it1 = c.net("it1");
+  const NetId S = c.net("S");
+  c.add_gate(GateType::kInv, "i12", {o12}, i12);
+  c.add_gate(GateType::kInv, "i34", {o34}, i34);
+  c.add_gate(GateType::kNand2, "t1", {i12, i34}, t1);  // m1+m2+m3+m4
+  c.add_gate(GateType::kInv, "it1", {t1}, it1);
+  c.add_gate(GateType::kNand2, "S", {it1, q3}, S);  // OR with constant 0 term
+  c.mark_output(S);
+  return c;
+}
+
+Circuit c17() {
+  Circuit c("c17");
+  const NetId n1 = c.add_input("1");
+  const NetId n2 = c.add_input("2");
+  const NetId n3 = c.add_input("3");
+  const NetId n6 = c.add_input("6");
+  const NetId n7 = c.add_input("7");
+  const NetId n10 = c.net("10");
+  const NetId n11 = c.net("11");
+  const NetId n16 = c.net("16");
+  const NetId n19 = c.net("19");
+  const NetId n22 = c.net("22");
+  const NetId n23 = c.net("23");
+  c.add_gate(GateType::kNand2, "g10", {n1, n3}, n10);
+  c.add_gate(GateType::kNand2, "g11", {n3, n6}, n11);
+  c.add_gate(GateType::kNand2, "g16", {n2, n11}, n16);
+  c.add_gate(GateType::kNand2, "g19", {n11, n7}, n19);
+  c.add_gate(GateType::kNand2, "g22", {n10, n16}, n22);
+  c.add_gate(GateType::kNand2, "g23", {n16, n19}, n23);
+  c.mark_output(n22);
+  c.mark_output(n23);
+  return c;
+}
+
+namespace {
+
+/// Emits x ^ y with 4 NAND2 gates; returns the output net.
+NetId emit_xor(Circuit& c, const std::string& prefix, NetId x, NetId y) {
+  const NetId t = c.net(prefix + "_t");
+  const NetId p = c.net(prefix + "_p");
+  const NetId q = c.net(prefix + "_q");
+  const NetId o = c.net(prefix + "_o");
+  c.add_gate(GateType::kNand2, prefix + "_t", {x, y}, t);
+  c.add_gate(GateType::kNand2, prefix + "_p", {x, t}, p);
+  c.add_gate(GateType::kNand2, prefix + "_q", {t, y}, q);
+  c.add_gate(GateType::kNand2, prefix + "_o", {p, q}, o);
+  return o;
+}
+
+/// Majority(a, b, cin) from NAND2/INV; returns the carry-out net.
+NetId emit_carry(Circuit& c, const std::string& prefix, NetId a, NetId b,
+                 NetId cin) {
+  const NetId x = c.net(prefix + "_x");
+  const NetId y = c.net(prefix + "_y");
+  const NetId z = c.net(prefix + "_z");
+  const NetId p = c.net(prefix + "_pp");
+  const NetId ip = c.net(prefix + "_ip");
+  const NetId o = c.net(prefix + "_co");
+  c.add_gate(GateType::kNand2, prefix + "_x", {a, b}, x);
+  c.add_gate(GateType::kNand2, prefix + "_y", {a, cin}, y);
+  c.add_gate(GateType::kNand2, prefix + "_z", {b, cin}, z);
+  c.add_gate(GateType::kNand2, prefix + "_pp", {x, y}, p);  // ab + a cin
+  c.add_gate(GateType::kInv, prefix + "_ip", {p}, ip);
+  c.add_gate(GateType::kNand2, prefix + "_co", {ip, z}, o);  // p + b cin
+  return o;
+}
+
+}  // namespace
+
+Circuit ripple_carry_adder(int bits) {
+  Circuit c("rca" + std::to_string(bits));
+  std::vector<NetId> a(static_cast<std::size_t>(bits));
+  std::vector<NetId> b(static_cast<std::size_t>(bits));
+  for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = c.add_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = c.add_input("b" + std::to_string(i));
+  NetId carry = c.add_input("cin");
+  for (int i = 0; i < bits; ++i) {
+    const std::string p = "fa" + std::to_string(i);
+    const NetId axb = emit_xor(c, p + "_x1", a[static_cast<std::size_t>(i)],
+                               b[static_cast<std::size_t>(i)]);
+    const NetId sum = emit_xor(c, p + "_x2", axb, carry);
+    c.mark_output(sum);
+    carry = emit_carry(c, p, a[static_cast<std::size_t>(i)],
+                       b[static_cast<std::size_t>(i)], carry);
+  }
+  c.mark_output(carry);
+  return c;
+}
+
+Circuit parity_tree(int inputs) {
+  Circuit c("parity" + std::to_string(inputs));
+  std::vector<NetId> layer;
+  for (int i = 0; i < inputs; ++i)
+    layer.push_back(c.add_input("x" + std::to_string(i)));
+  int k = 0;
+  while (layer.size() > 1) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(
+          emit_xor(c, "p" + std::to_string(k++), layer[i], layer[i + 1]));
+    if (layer.size() % 2) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  c.mark_output(layer.front());
+  return c;
+}
+
+Circuit mux_tree(int select_bits) {
+  Circuit c("mux" + std::to_string(1 << select_bits));
+  const int n_data = 1 << select_bits;
+  std::vector<NetId> data;
+  for (int i = 0; i < n_data; ++i)
+    data.push_back(c.add_input("d" + std::to_string(i)));
+  std::vector<NetId> sel;
+  std::vector<NetId> nsel;
+  for (int i = 0; i < select_bits; ++i) {
+    sel.push_back(c.add_input("s" + std::to_string(i)));
+    const NetId ns = c.net("ns" + std::to_string(i));
+    c.add_gate(GateType::kInv, "ns" + std::to_string(i), {sel.back()}, ns);
+    nsel.push_back(ns);
+  }
+  // Level by level: mux2(a, b, s) = NAND(NAND(a, s'), NAND(b, s)).
+  std::vector<NetId> layer = data;
+  int k = 0;
+  for (int lvl = 0; lvl < select_bits; ++lvl) {
+    std::vector<NetId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      const std::string p = "m" + std::to_string(k++);
+      const NetId ta = c.net(p + "_a");
+      const NetId tb = c.net(p + "_b");
+      const NetId o = c.net(p + "_o");
+      c.add_gate(GateType::kNand2, p + "_a",
+                 {layer[i], nsel[static_cast<std::size_t>(lvl)]}, ta);
+      c.add_gate(GateType::kNand2, p + "_b",
+                 {layer[i + 1], sel[static_cast<std::size_t>(lvl)]}, tb);
+      c.add_gate(GateType::kNand2, p + "_o", {ta, tb}, o);
+      next.push_back(o);
+    }
+    layer = std::move(next);
+  }
+  c.mark_output(layer.front());
+  return c;
+}
+
+namespace {
+
+/// a AND b via NAND+INV; returns output net.
+NetId emit_and(Circuit& c, const std::string& p, NetId a, NetId b) {
+  const NetId n = c.net(p + "_n");
+  const NetId o = c.net(p + "_o");
+  c.add_gate(GateType::kNand2, p + "_n", {a, b}, n);
+  c.add_gate(GateType::kInv, p + "_o", {n}, o);
+  return o;
+}
+
+/// a OR b via De Morgan; returns output net.
+NetId emit_or(Circuit& c, const std::string& p, NetId a, NetId b) {
+  const NetId ia = c.net(p + "_ia");
+  const NetId ib = c.net(p + "_ib");
+  const NetId o = c.net(p + "_o");
+  c.add_gate(GateType::kInv, p + "_ia", {a}, ia);
+  c.add_gate(GateType::kInv, p + "_ib", {b}, ib);
+  c.add_gate(GateType::kNand2, p + "_o", {ia, ib}, o);
+  return o;
+}
+
+}  // namespace
+
+Circuit decoder(int select_bits) {
+  Circuit c("dec" + std::to_string(1 << select_bits));
+  std::vector<NetId> s;
+  std::vector<NetId> ns;
+  for (int i = 0; i < select_bits; ++i) {
+    s.push_back(c.add_input("s" + std::to_string(i)));
+    const NetId inv = c.net("ns" + std::to_string(i));
+    c.add_gate(GateType::kInv, "ns" + std::to_string(i), {s.back()}, inv);
+    ns.push_back(inv);
+  }
+  const int n_out = 1 << select_bits;
+  for (int k = 0; k < n_out; ++k) {
+    // AND tree of the appropriate literals.
+    NetId acc = ((k >> 0) & 1) ? s[0] : ns[0];
+    for (int i = 1; i < select_bits; ++i) {
+      const NetId lit = ((k >> i) & 1) ? s[static_cast<std::size_t>(i)]
+                                       : ns[static_cast<std::size_t>(i)];
+      acc = emit_and(c, "y" + std::to_string(k) + "_" + std::to_string(i),
+                     acc, lit);
+    }
+    if (select_bits == 1) {
+      // Single literal: buffer through two inverters to give it a driver.
+      const NetId m = c.net("y" + std::to_string(k) + "_m");
+      const NetId o = c.net("y" + std::to_string(k));
+      c.add_gate(GateType::kInv, "y" + std::to_string(k) + "_a", {acc}, m);
+      c.add_gate(GateType::kInv, "y" + std::to_string(k) + "_b", {m}, o);
+      acc = o;
+    }
+    c.mark_output(acc);
+  }
+  return c;
+}
+
+Circuit equality_comparator(int bits) {
+  Circuit c("eq" + std::to_string(bits));
+  std::vector<NetId> a;
+  std::vector<NetId> b;
+  for (int i = 0; i < bits; ++i) a.push_back(c.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(c.add_input("b" + std::to_string(i)));
+  // Per-bit XNOR = INV(XOR); AND-tree the results.
+  NetId acc = kNoNet;
+  for (int i = 0; i < bits; ++i) {
+    const std::string p = "x" + std::to_string(i);
+    const NetId x = emit_xor(c, p, a[static_cast<std::size_t>(i)],
+                             b[static_cast<std::size_t>(i)]);
+    const NetId xn = c.net(p + "_xn");
+    c.add_gate(GateType::kInv, p + "_xn", {x}, xn);
+    acc = (acc == kNoNet) ? xn
+                          : emit_and(c, "t" + std::to_string(i), acc, xn);
+  }
+  c.mark_output(acc);
+  return c;
+}
+
+Circuit alu_bit_slice() {
+  Circuit c("alu_slice");
+  const NetId a = c.add_input("a");
+  const NetId b = c.add_input("b");
+  const NetId cin = c.add_input("cin");
+  const NetId s0 = c.add_input("s0");
+  const NetId s1 = c.add_input("s1");
+
+  const NetId f_and = emit_and(c, "fand", a, b);
+  const NetId f_or = emit_or(c, "for", a, b);
+  const NetId f_xor = emit_xor(c, "fxor", a, b);
+  const NetId f_sum = emit_xor(c, "fsum", f_xor, cin);
+  const NetId cout = emit_carry(c, "carry", a, b, cin);
+
+  // 4:1 mux on (s1, s0): y = s1 ? (s0 ? sum : xor) : (s0 ? or : and).
+  const NetId ns0 = c.net("ns0");
+  const NetId ns1 = c.net("ns1");
+  c.add_gate(GateType::kInv, "ns0", {s0}, ns0);
+  c.add_gate(GateType::kInv, "ns1", {s1}, ns1);
+  auto mux2 = [&c](const std::string& p, NetId d0, NetId d1, NetId sel,
+                   NetId nsel) {
+    const NetId ta = c.net(p + "_a");
+    const NetId tb = c.net(p + "_b");
+    const NetId o = c.net(p + "_o");
+    c.add_gate(GateType::kNand2, p + "_a", {d0, nsel}, ta);
+    c.add_gate(GateType::kNand2, p + "_b", {d1, sel}, tb);
+    c.add_gate(GateType::kNand2, p + "_o", {ta, tb}, o);
+    return o;
+  };
+  const NetId lo = mux2("mlo", f_and, f_or, s0, ns0);
+  const NetId hi = mux2("mhi", f_xor, f_sum, s0, ns0);
+  const NetId y = mux2("my", lo, hi, s1, ns1);
+  c.mark_output(y);
+  c.mark_output(cout);
+  return c;
+}
+
+Circuit array_multiplier(int bits) {
+  Circuit c("mul" + std::to_string(bits) + "x" + std::to_string(bits));
+  std::vector<NetId> a;
+  std::vector<NetId> b;
+  for (int i = 0; i < bits; ++i) a.push_back(c.add_input("a" + std::to_string(i)));
+  for (int i = 0; i < bits; ++i) b.push_back(c.add_input("b" + std::to_string(i)));
+
+  // Partial-product matrix pp[i][j] = a[i] & b[j].
+  std::vector<std::vector<NetId>> pp(static_cast<std::size_t>(bits),
+                                     std::vector<NetId>(static_cast<std::size_t>(bits)));
+  for (int i = 0; i < bits; ++i)
+    for (int j = 0; j < bits; ++j)
+      pp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          emit_and(c, "pp" + std::to_string(i) + "_" + std::to_string(j),
+                   a[static_cast<std::size_t>(i)],
+                   b[static_cast<std::size_t>(j)]);
+
+  // Row-by-row ripple accumulation: acc holds the running sum, shifted.
+  // Row 0 seeds the accumulator.
+  std::vector<NetId> acc;
+  for (int j = 0; j < bits; ++j) acc.push_back(pp[0][static_cast<std::size_t>(j)]);
+  std::vector<NetId> product{acc[0]};  // p0
+
+  for (int i = 1; i < bits; ++i) {
+    // Add pp[i][*] to acc[1..], producing the next accumulator.
+    std::vector<NetId> next;
+    NetId carry = kNoNet;  // no carry-in for the first column
+    for (int j = 0; j < bits; ++j) {
+      const std::string p =
+          "add" + std::to_string(i) + "_" + std::to_string(j);
+      const NetId x = (static_cast<std::size_t>(j + 1) < acc.size())
+                          ? acc[static_cast<std::size_t>(j + 1)]
+                          : kNoNet;  // shifted accumulator bit
+      const NetId y = pp[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      NetId sum;
+      NetId cout;
+      if (x == kNoNet && carry == kNoNet) {
+        // Top column of the first addition: sum = y, no carry. Buffer it.
+        const NetId m = c.net(p + "_m");
+        sum = c.net(p + "_s");
+        c.add_gate(GateType::kInv, p + "_ba", {y}, m);
+        c.add_gate(GateType::kInv, p + "_bb", {m}, sum);
+        cout = kNoNet;
+      } else if (x == kNoNet) {
+        // Half adder of (y, carry).
+        sum = emit_xor(c, p + "_hx", y, carry);
+        cout = emit_and(c, p + "_hc", y, carry);
+      } else if (carry == kNoNet) {
+        // Half adder of (x, y).
+        sum = emit_xor(c, p + "_hx", x, y);
+        cout = emit_and(c, p + "_hc", x, y);
+      } else {
+        // Full adder.
+        const NetId t = emit_xor(c, p + "_x1", x, y);
+        sum = emit_xor(c, p + "_x2", t, carry);
+        cout = emit_carry(c, p, x, y, carry);
+      }
+      next.push_back(sum);
+      carry = cout;
+    }
+    if (carry != kNoNet) next.push_back(carry);
+    product.push_back(next[0]);
+    acc = std::move(next);
+  }
+  // Remaining accumulator bits are the top product bits.
+  for (std::size_t j = 1; j < acc.size(); ++j) product.push_back(acc[j]);
+  // Pad to 2n bits if the final carry column was absent.
+  while (product.size() < static_cast<std::size_t>(2 * bits)) {
+    // Constant-0 pad driven by x AND NOT x of a0 (1-bit multiplier only).
+    const std::string p = "pad" + std::to_string(product.size());
+    const NetId na = c.net(p + "_inv");
+    c.add_gate(GateType::kInv, p + "_inv", {a[0]}, na);
+    product.push_back(emit_and(c, p, a[0], na));
+  }
+  for (NetId n : product) c.mark_output(n);
+  return c;
+}
+
+Circuit random_circuit(int n_inputs, int n_gates, int n_outputs,
+                       std::uint64_t seed) {
+  util::Prng prng(seed);
+  Circuit c("rand" + std::to_string(seed));
+  std::vector<NetId> pool;
+  for (int i = 0; i < n_inputs; ++i)
+    pool.push_back(c.add_input("x" + std::to_string(i)));
+  static constexpr GateType kTypes[] = {
+      GateType::kInv,   GateType::kNand2, GateType::kNand2, GateType::kNor2,
+      GateType::kNand3, GateType::kNor3,  GateType::kAoi21};
+  for (int g = 0; g < n_gates; ++g) {
+    const GateType t =
+        kTypes[prng.next_below(sizeof kTypes / sizeof kTypes[0])];
+    std::vector<NetId> ins;
+    for (int k = 0; k < gate_arity(t); ++k)
+      ins.push_back(pool[prng.next_below(pool.size())]);
+    const NetId o = c.net("n" + std::to_string(g));
+    c.add_gate(t, "g" + std::to_string(g), ins, o);
+    pool.push_back(o);
+  }
+  const int out_count = std::min<int>(n_outputs, n_gates);
+  for (int i = 0; i < out_count; ++i)
+    c.mark_output(pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+  return c;
+}
+
+}  // namespace obd::logic

@@ -1,0 +1,60 @@
+// Circuit zoo: the paper's reconstructed full-adder sum circuit plus the
+// standard small benchmarks used by the ATPG experiments.
+#pragma once
+
+#include "logic/circuit.hpp"
+#include "util/prng.hpp"
+
+namespace obd::logic {
+
+/// Reconstruction of the paper's Fig. 8 experimental circuit: the sum bit
+/// of a full adder built *without optimization* from exactly 14 NAND2 and
+/// 11 INV gates at logic depth 9, including an intentionally redundant
+/// branch (constant-1 net) that makes some OBD faults untestable — all the
+/// structural properties Sec. 4.3 relies on. The NAND at level 5 with four
+/// upstream and four downstream logic stages (the paper's injection target)
+/// is "o12".
+///
+/// Inputs: A, B, C (in that PI order). Output: S = A ^ B ^ C.
+Circuit full_adder_sum_circuit();
+
+/// Name of the mid-path NAND gate used for the Fig. 9 fault injections.
+inline constexpr const char* kFullAdderMidNand = "o12";
+
+/// ISCAS-85 c17: 6 NAND2, 5 inputs, 2 outputs.
+Circuit c17();
+
+/// n-bit ripple-carry adder built from NAND2/INV only.
+/// Inputs: a0..a(n-1), b0..b(n-1), cin. Outputs: s0..s(n-1), cout.
+Circuit ripple_carry_adder(int bits);
+
+/// n-input parity tree (XOR decomposed into NAND2).
+Circuit parity_tree(int inputs);
+
+/// 2^sel-to-1 multiplexer tree from NAND2/INV.
+Circuit mux_tree(int select_bits);
+
+/// Random primitive-gate DAG for fuzz/property tests: `n_gates` gates over
+/// `n_inputs` PIs, every gate output reachable as a PO candidate; the last
+/// `n_outputs` generated nets are POs. Deterministic in `seed`.
+Circuit random_circuit(int n_inputs, int n_gates, int n_outputs,
+                       std::uint64_t seed);
+
+/// n-to-2^n one-hot decoder from NAND2/INV.
+/// Inputs: s0..s(n-1). Outputs: y0..y(2^n - 1), yk = (sel == k).
+Circuit decoder(int select_bits);
+
+/// n-bit equality comparator from NAND2/INV.
+/// Inputs: a0.., b0... Output: eq = (a == b).
+Circuit equality_comparator(int bits);
+
+/// One ALU bit-slice: op-selected AND / OR / XOR / SUM of (a, b, cin).
+/// Inputs: a, b, cin, s0, s1. Outputs: y (selected function), cout.
+/// s=00 -> AND, 01 -> OR, 10 -> XOR, 11 -> SUM (cout always the adder's).
+Circuit alu_bit_slice();
+
+/// n x n array multiplier from NAND2/INV (AND matrix + ripple adders).
+/// Inputs: a0.., b0... Outputs: p0..p(2n-1).
+Circuit array_multiplier(int bits);
+
+}  // namespace obd::logic

@@ -1,0 +1,114 @@
+#include "spice/dc.hpp"
+
+#include <cmath>
+
+#include "spice/newton.hpp"
+
+namespace obd::spice {
+
+DcResult dc_operating_point(const Netlist& netlist, const SolverOptions& opt,
+                            double time,
+                            const std::vector<double>* initial_guess) {
+  DcResult result;
+  std::vector<double> state(netlist.state_size(), 0.0);
+  std::vector<double> x(netlist.unknown_count(), 0.0);
+  if (initial_guess && initial_guess->size() == x.size()) x = *initial_guess;
+
+  EvalPoint eval;
+  eval.time = time;
+  eval.dt = 0.0;
+
+  // Plain attempt.
+  NewtonResult nr = solve_newton(netlist, eval, state, opt, &x);
+  result.newton_iterations += nr.iterations;
+  if (nr.status == SolveStatus::kOk) {
+    result.status = SolveStatus::kOk;
+    result.x = std::move(x);
+    return result;
+  }
+
+  // gmin stepping: start with a strong shunt everywhere and relax it.
+  if (opt.gmin_stepping) {
+    std::vector<double> xg(netlist.unknown_count(), 0.0);
+    bool ok = true;
+    for (double g = 1e-2; g >= opt.gmin * 0.99; g /= 10.0) {
+      eval.gmin_extra = (g <= opt.gmin * 1.01) ? 0.0 : g;
+      nr = solve_newton(netlist, eval, state, opt, &xg);
+      result.newton_iterations += nr.iterations;
+      if (nr.status != SolveStatus::kOk) {
+        ok = false;
+        break;
+      }
+      if (eval.gmin_extra == 0.0) break;
+    }
+    if (ok && nr.status == SolveStatus::kOk) {
+      result.status = SolveStatus::kOk;
+      result.x = std::move(xg);
+      return result;
+    }
+    eval.gmin_extra = 0.0;
+  }
+
+  // Source stepping: ramp all independent sources from 0 to full value.
+  if (opt.source_stepping) {
+    std::vector<double> xs(netlist.unknown_count(), 0.0);
+    bool ok = true;
+    for (double scale = 0.1; scale <= 1.0 + 1e-12; scale += 0.1) {
+      eval.source_scale = std::min(scale, 1.0);
+      nr = solve_newton(netlist, eval, state, opt, &xs);
+      result.newton_iterations += nr.iterations;
+      if (nr.status != SolveStatus::kOk) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && nr.status == SolveStatus::kOk) {
+      result.status = SolveStatus::kOk;
+      result.x = std::move(xs);
+      return result;
+    }
+  }
+
+  result.status = nr.status;
+  return result;
+}
+
+DcSweepResult dc_sweep(Netlist& netlist, const std::string& source_name,
+                       double start, double stop, double step,
+                       const std::vector<std::string>& record_nodes,
+                       const SolverOptions& opt) {
+  DcSweepResult result;
+  VoltageSource* src = netlist.find_vsource(source_name);
+  if (src == nullptr) {
+    result.status = SolveStatus::kSingularMatrix;
+    return result;
+  }
+  const SourceWave saved = src->wave();
+
+  for (const auto& name : record_nodes)
+    result.traces.traces.emplace_back(name);
+
+  std::vector<double> guess;
+  const double dir = stop >= start ? 1.0 : -1.0;
+  const double mag = std::fabs(step);
+  const int n_steps = static_cast<int>(std::floor(std::fabs(stop - start) / mag + 0.5));
+  for (int i = 0; i <= n_steps; ++i) {
+    const double v = start + dir * mag * i;
+    src->set_wave(SourceWave::make_dc(v));
+    DcResult op = dc_operating_point(netlist, opt, 0.0,
+                                     guess.empty() ? nullptr : &guess);
+    if (op.status != SolveStatus::kOk) {
+      result.status = op.status;
+      break;
+    }
+    guess = op.x;
+    for (std::size_t k = 0; k < record_nodes.size(); ++k) {
+      const NodeId n = netlist.find_node(record_nodes[k]);
+      result.traces.traces[k].append(v, n == kInvalidNode ? 0.0 : op.voltage(n));
+    }
+  }
+  src->set_wave(saved);
+  return result;
+}
+
+}  // namespace obd::spice

@@ -1,0 +1,47 @@
+// DC analyses: operating point (with gmin / source stepping continuation)
+// and DC sweep of a named voltage source (used for VTC extraction, Fig. 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "util/waveform.hpp"
+
+namespace obd::spice {
+
+struct DcResult {
+  SolveStatus status = SolveStatus::kNoConvergence;
+  int newton_iterations = 0;
+  /// Solution vector (node voltages then branch currents).
+  std::vector<double> x;
+
+  /// Voltage of a node in this solution.
+  double voltage(NodeId n) const {
+    return n == kGround ? 0.0 : x[static_cast<std::size_t>(n) - 1];
+  }
+};
+
+/// Solves the DC operating point at time `time` (sources evaluated there).
+/// Continuation strategy on failure: gmin stepping, then source stepping.
+/// `initial_guess` (optional) seeds the first NR attempt.
+DcResult dc_operating_point(const Netlist& netlist, const SolverOptions& opt,
+                            double time = 0.0,
+                            const std::vector<double>* initial_guess = nullptr);
+
+struct DcSweepResult {
+  SolveStatus status = SolveStatus::kOk;
+  /// One waveform per requested node; the "time" axis is the swept value.
+  util::TraceSet traces;
+};
+
+/// Sweeps the DC value of voltage source `source_name` from `start` to
+/// `stop` in steps of `step`, recording the voltages of `record_nodes`.
+/// The source's wave is restored afterwards. Each point seeds the next for
+/// smooth continuation along the transfer curve.
+DcSweepResult dc_sweep(Netlist& netlist, const std::string& source_name,
+                       double start, double stop, double step,
+                       const std::vector<std::string>& record_nodes,
+                       const SolverOptions& opt);
+
+}  // namespace obd::spice

@@ -1,0 +1,48 @@
+#include "spice/device.hpp"
+
+namespace obd::spice {
+
+void CapCompanion::stamp(const StampContext& ctx, NodeId a, NodeId b,
+                         double cap, int state_index) {
+  if (ctx.dt <= 0.0 || cap <= 0.0) return;  // Open circuit at DC.
+  const double v_prev = ctx.state[static_cast<std::size_t>(state_index)];
+  const double i_prev = ctx.state[static_cast<std::size_t>(state_index) + 1];
+  double geq = 0.0;
+  double ieq = 0.0;  // Constant part: i = geq * v + ieq.
+  if (ctx.integrator == Integrator::kBackwardEuler) {
+    geq = cap / ctx.dt;
+    ieq = -geq * v_prev;
+  } else {  // Trapezoidal.
+    geq = 2.0 * cap / ctx.dt;
+    ieq = -geq * v_prev - i_prev;
+  }
+  ctx.mna.add_conductance(a, b, geq);
+  ctx.mna.add_current(a, b, ieq);
+}
+
+void CapCompanion::update(const std::vector<double>& x, double dt,
+                          Integrator integrator, NodeId a, NodeId b,
+                          double cap, const std::vector<double>& old_state,
+                          std::vector<double>* new_state, int state_index) {
+  const double v_now =
+      MnaSystem::voltage(x, a) - MnaSystem::voltage(x, b);
+  const auto idx = static_cast<std::size_t>(state_index);
+  if (dt <= 0.0) {
+    // DC initialization: capacitor fully settled, no current.
+    (*new_state)[idx] = v_now;
+    (*new_state)[idx + 1] = 0.0;
+    return;
+  }
+  const double v_prev = old_state[idx];
+  const double i_prev = old_state[idx + 1];
+  double i_now = 0.0;
+  if (integrator == Integrator::kBackwardEuler) {
+    i_now = cap / dt * (v_now - v_prev);
+  } else {
+    i_now = 2.0 * cap / dt * (v_now - v_prev) - i_prev;
+  }
+  (*new_state)[idx] = v_now;
+  (*new_state)[idx + 1] = i_now;
+}
+
+}  // namespace obd::spice

@@ -1,0 +1,99 @@
+// Device base class: everything placeable in a Netlist.
+//
+// Devices are stamped once per Newton-Raphson iteration. Dynamic devices
+// (capacitors, MOSFET parasitics) keep per-device integration state (previous
+// voltage and current of each charge-storage element) in a flat state vector
+// owned by the analysis; each device is assigned a contiguous slice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/mna.hpp"
+#include "spice/types.hpp"
+
+namespace obd::spice {
+
+/// Context handed to Device::stamp each NR iteration.
+struct StampContext {
+  /// Current NR iterate (node voltages then branch currents).
+  const std::vector<double>& x;
+  /// Device integration state from the previous accepted timepoint.
+  const std::vector<double>& state;
+  /// Target MNA accumulator.
+  MnaSystem& mna;
+  /// Evaluation time for time-dependent sources [s].
+  double time = 0.0;
+  /// Current timestep; 0 for DC analyses (dynamic elements stamp nothing
+  /// except their leakage/gmin contributions at DC).
+  double dt = 0.0;
+  Integrator integrator = Integrator::kTrapezoidal;
+  /// Junction gmin (convergence aid used by nonlinear devices).
+  double gmin = 1e-12;
+  /// Source stepping scale in (0, 1]; independent sources multiply their
+  /// values by this factor.
+  double source_scale = 1.0;
+};
+
+/// Abstract circuit element.
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of extra MNA unknowns (branch currents) this device needs.
+  virtual int num_branches() const { return 0; }
+
+  /// Number of doubles of integration state this device needs.
+  virtual int num_state() const { return 0; }
+
+  /// Adds this device's linearized contribution to the MNA system.
+  virtual void stamp(const StampContext& ctx) const = 0;
+
+  /// Refreshes integration state after a timepoint is accepted. `x` is the
+  /// converged solution; `dt` the step just taken (0 right after DC init —
+  /// devices must then initialize state consistent with a static solution).
+  /// Reads old values from `old_state` and writes into `new_state`; both are
+  /// full state vectors, the device uses its assigned slice.
+  virtual void update_state(const std::vector<double>& x, double dt,
+                            Integrator integrator,
+                            const std::vector<double>& old_state,
+                            std::vector<double>* new_state) const {
+    (void)x;
+    (void)dt;
+    (void)integrator;
+    (void)old_state;
+    (void)new_state;
+  }
+
+  // Assigned by Netlist when the device is added.
+  void set_branch_base(int b) { branch_base_ = b; }
+  void set_state_base(int s) { state_base_ = s; }
+  int branch_base() const { return branch_base_; }
+  int state_base() const { return state_base_; }
+
+ private:
+  std::string name_;
+  int branch_base_ = -1;
+  int state_base_ = -1;
+};
+
+/// Companion-model helper for a single linear capacitance between two nodes.
+/// State layout (2 doubles): [v_prev, i_prev].
+struct CapCompanion {
+  /// Stamps the integration companion (no-op at DC, dt == 0).
+  static void stamp(const StampContext& ctx, NodeId a, NodeId b, double cap,
+                    int state_index);
+  /// Computes the new state after a converged step.
+  static void update(const std::vector<double>& x, double dt,
+                     Integrator integrator, NodeId a, NodeId b, double cap,
+                     const std::vector<double>& old_state,
+                     std::vector<double>* new_state, int state_index);
+};
+
+}  // namespace obd::spice

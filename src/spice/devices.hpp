@@ -1,0 +1,199 @@
+// Concrete circuit elements: R, C, diode, level-1 MOSFET, V/I sources.
+//
+// The MOSFET is a Shichman-Hodges (SPICE level-1) square-law model with
+// channel-length modulation and fixed (voltage-independent) terminal
+// capacitances. That is deliberately simple: the paper's OBD phenomena rest
+// on (a) gates being *current-limited* drivers and (b) the OBD network
+// injecting/diverting current — both of which a square-law model captures.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "spice/device.hpp"
+#include "util/units.hpp"
+
+namespace obd::spice {
+
+// ---------------------------------------------------------------------------
+// Parameter records
+// ---------------------------------------------------------------------------
+
+/// Shockley diode parameters.
+struct DiodeParams {
+  /// Saturation current [A]. The OBD model sweeps this over many decades.
+  double isat = 1e-14;
+  /// Ideality factor.
+  double n = 1.0;
+  /// Thermal voltage kT/q [V] (300 K default).
+  double vt = util::constants::kThermalVoltage300K;
+};
+
+/// Level-1 MOSFET parameters. All capacitances are absolute [F].
+struct MosfetParams {
+  bool pmos = false;
+  /// Threshold magnitude [V] (positive for both polarities).
+  double vt0 = 0.55;
+  /// Transconductance parameter uCox [A/V^2].
+  double kp = 170e-6;
+  /// Channel width / length [m].
+  double w = 1.0e-6;
+  double l = 0.35e-6;
+  /// Channel-length modulation [1/V].
+  double lambda = 0.05;
+  /// Fixed terminal capacitances [F].
+  double cgs = 0.0;
+  double cgd = 0.0;
+  double cdb = 0.0;
+  double csb = 0.0;
+
+  double beta() const { return kp * w / l; }
+};
+
+/// Time-dependent value of an independent source.
+struct SourceWave {
+  enum class Kind { kDc, kPulse, kPwl };
+  Kind kind = Kind::kDc;
+
+  /// DC level (kDc) [V or A].
+  double dc = 0.0;
+
+  // PULSE(v1 v2 td tr tf pw per): SPICE semantics; per <= 0 means one-shot.
+  double v1 = 0.0, v2 = 0.0;
+  double td = 0.0, tr = 1e-12, tf = 1e-12, pw = 1e-9, period = 0.0;
+
+  /// PWL breakpoints (time, value); value holds beyond the last point.
+  std::vector<std::pair<double, double>> pwl;
+
+  /// Evaluates the waveform at time t.
+  double value(double t) const;
+
+  static SourceWave make_dc(double v);
+  static SourceWave make_pulse(double v1, double v2, double td, double tr,
+                               double tf, double pw, double period = 0.0);
+  static SourceWave make_pwl(std::vector<std::pair<double, double>> pts);
+};
+
+// ---------------------------------------------------------------------------
+// Devices
+// ---------------------------------------------------------------------------
+
+/// Linear resistor.
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms)
+      : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {}
+  void stamp(const StampContext& ctx) const override;
+  double ohms() const { return ohms_; }
+  void set_ohms(double r) { ohms_ = r; }
+  NodeId node_a() const { return a_; }
+  NodeId node_b() const { return b_; }
+
+ private:
+  NodeId a_, b_;
+  double ohms_;
+};
+
+/// Linear capacitor.
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double farads)
+      : Device(std::move(name)), a_(a), b_(b), farads_(farads) {}
+  int num_state() const override { return 2; }
+  void stamp(const StampContext& ctx) const override;
+  void update_state(const std::vector<double>& x, double dt,
+                    Integrator integrator,
+                    const std::vector<double>& old_state,
+                    std::vector<double>* new_state) const override;
+  double farads() const { return farads_; }
+
+ private:
+  NodeId a_, b_;
+  double farads_;
+};
+
+/// Shockley diode with exponent limiting for NR robustness.
+class Diode final : public Device {
+ public:
+  Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams p)
+      : Device(std::move(name)), a_(anode), c_(cathode), p_(p) {}
+  void stamp(const StampContext& ctx) const override;
+  /// Current at a given junction voltage (exposed for unit tests and for
+  /// the OBD leakage-current reporting).
+  double current(double v_anode_cathode) const;
+  const DiodeParams& params() const { return p_; }
+  void set_params(const DiodeParams& p) { p_ = p; }
+
+ private:
+  NodeId a_, c_;
+  DiodeParams p_;
+};
+
+/// Level-1 MOSFET (four terminals: drain, gate, source, bulk).
+/// Bulk participates only in the fixed junction capacitances; body effect
+/// on VT is not modeled (all cells tie bulk to the source rail).
+class Mosfet final : public Device {
+ public:
+  Mosfet(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+         MosfetParams p)
+      : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), p_(p) {}
+
+  int num_state() const override { return 8; }  // 4 caps x (v_prev, i_prev)
+  void stamp(const StampContext& ctx) const override;
+  void update_state(const std::vector<double>& x, double dt,
+                    Integrator integrator,
+                    const std::vector<double>& old_state,
+                    std::vector<double>* new_state) const override;
+
+  /// Static drain current Ids (drain->source, sign per polarity) and its
+  /// derivatives at the given terminal voltages. Exposed for unit tests.
+  struct Operating {
+    double ids;  ///< Current from drain to source [A].
+    double gm;   ///< d Ids / d Vgs in the conducting frame (>= 0).
+    double gds;  ///< d Ids / d Vds in the conducting frame (>= 0).
+  };
+  Operating evaluate(double vd, double vg, double vs) const;
+
+  const MosfetParams& params() const { return p_; }
+  NodeId drain() const { return d_; }
+  NodeId gate() const { return g_; }
+  NodeId source() const { return s_; }
+  NodeId bulk() const { return b_; }
+
+ private:
+  NodeId d_, g_, s_, b_;
+  MosfetParams p_;
+};
+
+/// Independent voltage source (adds one branch-current unknown).
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, NodeId pos, NodeId neg, SourceWave wave)
+      : Device(std::move(name)), pos_(pos), neg_(neg), wave_(std::move(wave)) {}
+  int num_branches() const override { return 1; }
+  void stamp(const StampContext& ctx) const override;
+  const SourceWave& wave() const { return wave_; }
+  void set_wave(SourceWave w) { wave_ = std::move(w); }
+  NodeId pos() const { return pos_; }
+  NodeId neg() const { return neg_; }
+
+ private:
+  NodeId pos_, neg_;
+  SourceWave wave_;
+};
+
+/// Independent current source (current flows from pos through the source to
+/// neg, i.e. it *injects* into neg).
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, NodeId pos, NodeId neg, SourceWave wave)
+      : Device(std::move(name)), pos_(pos), neg_(neg), wave_(std::move(wave)) {}
+  void stamp(const StampContext& ctx) const override;
+  const SourceWave& wave() const { return wave_; }
+
+ private:
+  NodeId pos_, neg_;
+  SourceWave wave_;
+};
+
+}  // namespace obd::spice

@@ -1,0 +1,51 @@
+// Shockley diode with exponent limiting.
+//
+// The OBD model (Fig. 3b of the paper) drives these diodes across ~30 decades
+// of saturation current, so the evaluation must stay finite and the Jacobian
+// well-conditioned over the whole range. Above a fixed exponent cap the
+// characteristic continues as its tangent line (standard SPICE practice).
+#include <cmath>
+
+#include "spice/devices.hpp"
+
+namespace obd::spice {
+namespace {
+// exp(80) ~ 5.5e34; with Isat as low as 1e-30 this still yields finite
+// currents, and with Isat ~ 1e-24 (HBD) currents stay << overflow.
+constexpr double kMaxExponent = 80.0;
+}  // namespace
+
+double Diode::current(double v) const {
+  const double nvt = p_.n * p_.vt;
+  const double e = v / nvt;
+  if (e <= kMaxExponent) return p_.isat * std::expm1(e);
+  const double i_crit = p_.isat * (std::exp(kMaxExponent) - 1.0);
+  const double g_crit = p_.isat / nvt * std::exp(kMaxExponent);
+  return i_crit + g_crit * (v - kMaxExponent * nvt);
+}
+
+void Diode::stamp(const StampContext& ctx) const {
+  const double va = MnaSystem::voltage(ctx.x, a_);
+  const double vc = MnaSystem::voltage(ctx.x, c_);
+  const double v = va - vc;
+  const double nvt = p_.n * p_.vt;
+  const double e = v / nvt;
+
+  double i0 = 0.0;
+  double g = 0.0;
+  if (e <= kMaxExponent) {
+    i0 = p_.isat * std::expm1(e);
+    g = p_.isat / nvt * std::exp(e);
+  } else {
+    const double i_crit = p_.isat * (std::exp(kMaxExponent) - 1.0);
+    g = p_.isat / nvt * std::exp(kMaxExponent);
+    i0 = i_crit + g * (v - kMaxExponent * nvt);
+  }
+  g += ctx.gmin;  // Junction gmin keeps the matrix nonsingular when off.
+
+  // Norton companion: I(v) ~ i0 + g (v' - v)  =>  constant part i0 - g v.
+  ctx.mna.add_conductance(a_, c_, g);
+  ctx.mna.add_current(a_, c_, i0 - g * v);
+}
+
+}  // namespace obd::spice

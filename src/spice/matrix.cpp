@@ -1,0 +1,76 @@
+#include "spice/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace obd::spice {
+
+void DenseMatrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void DenseMatrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+bool LuSolver::factor(const DenseMatrix& a, double pivot_tol) {
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: find the largest magnitude entry in column k.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu_.at(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double mag = std::fabs(lu_.at(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_tol || !std::isfinite(pivot_mag)) return false;
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n_; ++c)
+        std::swap(lu_.at(k, c), lu_.at(pivot_row, c));
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    const double inv_pivot = 1.0 / lu_.at(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_.at(r, k) * inv_pivot;
+      lu_.at(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c)
+        lu_.at(r, c) -= factor * lu_.at(k, c);
+    }
+  }
+  return true;
+}
+
+void LuSolver::solve(const std::vector<double>& b, std::vector<double>* x) const {
+  std::vector<double> y(n_);
+  // Forward substitution with permutation: L y = P b.
+  for (std::size_t r = 0; r < n_; ++r) {
+    double sum = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) sum -= lu_.at(r, c) * y[c];
+    y[r] = sum;
+  }
+  // Back substitution: U x = y.
+  x->assign(n_, 0.0);
+  for (std::size_t ri = n_; ri-- > 0;) {
+    double sum = y[ri];
+    for (std::size_t c = ri + 1; c < n_; ++c) sum -= lu_.at(ri, c) * (*x)[c];
+    (*x)[ri] = sum / lu_.at(ri, ri);
+  }
+}
+
+bool solve_linear(const DenseMatrix& a, const std::vector<double>& b,
+                  std::vector<double>* x) {
+  LuSolver solver;
+  if (!solver.factor(a)) return false;
+  solver.solve(b, x);
+  return true;
+}
+
+}  // namespace obd::spice

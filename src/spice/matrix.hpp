@@ -1,0 +1,64 @@
+// Dense linear algebra for MNA systems.
+//
+// Circuits in this repo top out around a few hundred unknowns (the full
+// adder elaborated to transistors is ~100), so dense LU with partial
+// pivoting is both simpler and faster than a sparse solver at this scale.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace obd::spice {
+
+/// Row-major dense square-capable matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Sets every entry to zero without reallocating.
+  void clear();
+
+  /// Resizes and zeroes.
+  void resize(std::size_t rows, std::size_t cols);
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting, reusable across solves with the
+/// same matrix. Factorization is destructive on an internal copy.
+class LuSolver {
+ public:
+  /// Factors `a` (square). Returns false when the matrix is numerically
+  /// singular (pivot below `pivot_tol`).
+  bool factor(const DenseMatrix& a, double pivot_tol = 1e-300);
+
+  /// Solves A x = b using the stored factorization. `b` and `x` may alias.
+  /// Must be called after a successful factor().
+  void solve(const std::vector<double>& b, std::vector<double>* x) const;
+
+  std::size_t dimension() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// One-shot convenience: solve a x = b. Returns false on singularity.
+bool solve_linear(const DenseMatrix& a, const std::vector<double>& b,
+                  std::vector<double>* x);
+
+}  // namespace obd::spice

@@ -1,0 +1,63 @@
+#include "spice/mna.hpp"
+
+namespace obd::spice {
+
+MnaSystem::MnaSystem(std::size_t num_nodes, std::size_t num_branches)
+    : num_nodes_(num_nodes),
+      dim_(num_nodes - 1 + num_branches),
+      g_(dim_, dim_),
+      b_(dim_, 0.0) {}
+
+void MnaSystem::clear() {
+  g_.clear();
+  std::fill(b_.begin(), b_.end(), 0.0);
+}
+
+void MnaSystem::add_conductance(NodeId a, NodeId b, double g) {
+  const int ia = node_index(a);
+  const int ib = node_index(b);
+  if (ia >= 0) g_.at(ia, ia) += g;
+  if (ib >= 0) g_.at(ib, ib) += g;
+  if (ia >= 0 && ib >= 0) {
+    g_.at(ia, ib) -= g;
+    g_.at(ib, ia) -= g;
+  }
+}
+
+void MnaSystem::add_gmin(NodeId a, double g) {
+  const int ia = node_index(a);
+  if (ia >= 0) g_.at(ia, ia) += g;
+}
+
+void MnaSystem::add_current(NodeId a, NodeId b, double i) {
+  const int ia = node_index(a);
+  const int ib = node_index(b);
+  // Current leaving node a appears on the RHS with negative sign in
+  // G x = b (KCL: sum of leaving currents equals injections).
+  if (ia >= 0) b_[static_cast<std::size_t>(ia)] -= i;
+  if (ib >= 0) b_[static_cast<std::size_t>(ib)] += i;
+}
+
+void MnaSystem::add_transconductance(NodeId out_a, NodeId out_b, NodeId in_a,
+                                     NodeId in_b, double gm) {
+  const int oa = node_index(out_a);
+  const int ob = node_index(out_b);
+  const int ia = node_index(in_a);
+  const int ib = node_index(in_b);
+  if (oa >= 0 && ia >= 0) g_.at(oa, ia) += gm;
+  if (oa >= 0 && ib >= 0) g_.at(oa, ib) -= gm;
+  if (ob >= 0 && ia >= 0) g_.at(ob, ia) -= gm;
+  if (ob >= 0 && ib >= 0) g_.at(ob, ib) += gm;
+}
+
+void MnaSystem::add_entry(int row, int col, double v) {
+  if (row < 0 || col < 0) return;
+  g_.at(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+}
+
+void MnaSystem::add_rhs(int row, double v) {
+  if (row < 0) return;
+  b_[static_cast<std::size_t>(row)] += v;
+}
+
+}  // namespace obd::spice

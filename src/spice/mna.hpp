@@ -1,0 +1,82 @@
+// Modified nodal analysis (MNA) matrix/RHS accumulator.
+//
+// Unknown ordering: x[0 .. N-2] are voltages of nodes 1..N-1 (node 0 is
+// ground and eliminated), followed by one unknown per device branch current
+// (voltage sources need them). Devices stamp linearized (Norton companion)
+// contributions each Newton-Raphson iteration.
+//
+// Sign conventions used by every stamp helper:
+//  - add_current(a, b, i): a constant current `i` flows from node a to
+//    node b *through the device* (it leaves a and enters b).
+//  - add_conductance(a, b, g): a conductance between a and b.
+// Ground (node 0) rows/columns are skipped automatically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "spice/matrix.hpp"
+#include "spice/types.hpp"
+
+namespace obd::spice {
+
+/// Accumulates the linearized MNA system G x = b for one NR iteration.
+class MnaSystem {
+ public:
+  /// `num_nodes` includes ground; `num_branches` is the total branch count.
+  MnaSystem(std::size_t num_nodes, std::size_t num_branches);
+
+  /// Zeroes the matrix and RHS, keeping dimensions.
+  void clear();
+
+  std::size_t dimension() const { return dim_; }
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  // --- Index mapping -------------------------------------------------------
+  /// Unknown index of node voltage; -1 for ground.
+  int node_index(NodeId n) const { return n == kGround ? -1 : n - 1; }
+  /// Unknown index of a branch current.
+  int branch_index(int branch) const {
+    return static_cast<int>(num_nodes_) - 1 + branch;
+  }
+
+  // --- Stamp helpers -------------------------------------------------------
+  /// Conductance g between nodes a and b.
+  void add_conductance(NodeId a, NodeId b, double g);
+  /// Conductance g from node a to ground (diagonal only).
+  void add_gmin(NodeId a, double g);
+  /// Constant current i flowing from a to b through the device.
+  void add_current(NodeId a, NodeId b, double i);
+  /// Transconductance: current from `out_a` to `out_b` controlled by
+  /// v(in_a) - v(in_b) with gain gm. (MOSFET gm stamp.)
+  void add_transconductance(NodeId out_a, NodeId out_b, NodeId in_a,
+                            NodeId in_b, double gm);
+
+  // --- Raw access (branch rows, unusual stamps) ----------------------------
+  /// Raw matrix entry by *unknown index* (as returned by node_index /
+  /// branch_index); negative indices are ignored.
+  void add_entry(int row, int col, double v);
+  /// Raw RHS entry by unknown index; negative ignored.
+  void add_rhs(int row, double v);
+
+  const DenseMatrix& matrix() const { return g_; }
+  const std::vector<double>& rhs() const { return b_; }
+
+  // --- Solution access -----------------------------------------------------
+  /// Node voltage from a solution vector (0 for ground).
+  static double voltage(const std::vector<double>& x, NodeId n) {
+    return n == kGround ? 0.0 : x[static_cast<std::size_t>(n - 1)];
+  }
+  /// Branch current from a solution vector.
+  double branch_current(const std::vector<double>& x, int branch) const {
+    return x[static_cast<std::size_t>(branch_index(branch))];
+  }
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t dim_;
+  DenseMatrix g_;
+  std::vector<double> b_;
+};
+
+}  // namespace obd::spice

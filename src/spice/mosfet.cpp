@@ -1,0 +1,104 @@
+// Level-1 (Shichman-Hodges) MOSFET.
+//
+// Evaluation strategy: map PMOS onto the NMOS equations by negating all
+// terminal voltages (sign = -1), then exploit drain/source symmetry by
+// swapping terminals so the effective Vds >= 0. The linearized current is
+// stamped back in *real* node space, so the Jacobian entries need no sign
+// gymnastics at the call sites.
+#include <algorithm>
+#include <cmath>
+
+#include "spice/devices.hpp"
+
+namespace obd::spice {
+
+Mosfet::Operating Mosfet::evaluate(double vd, double vg, double vs) const {
+  const double sign = p_.pmos ? -1.0 : 1.0;
+  double td = sign * vd;
+  double tg = sign * vg;
+  double ts = sign * vs;
+  bool swapped = false;
+  if (td < ts) {
+    std::swap(td, ts);
+    swapped = true;
+  }
+  const double vgs = tg - ts;
+  const double vds = td - ts;
+  const double vgst = vgs - p_.vt0;
+
+  double ids = 0.0;
+  double gm = 0.0;
+  double gds = 0.0;
+  if (vgst > 0.0) {
+    const double beta = p_.beta();
+    const double clm = 1.0 + p_.lambda * vds;
+    if (vds < vgst) {
+      // Triode region.
+      ids = beta * (vgst * vds - 0.5 * vds * vds) * clm;
+      gm = beta * vds * clm;
+      gds = beta * ((vgst - vds) * clm +
+                    (vgst * vds - 0.5 * vds * vds) * p_.lambda);
+    } else {
+      // Saturation.
+      ids = 0.5 * beta * vgst * vgst * clm;
+      gm = beta * vgst * clm;
+      gds = 0.5 * beta * vgst * vgst * p_.lambda;
+    }
+  }
+  // Map back: current from (effective drain) to (effective source), then
+  // undo the swap and the polarity mirror.
+  double i_real = sign * ids;
+  if (swapped) i_real = -i_real;
+  return Operating{i_real, gm, gds};
+}
+
+void Mosfet::stamp(const StampContext& ctx) const {
+  const double vd = MnaSystem::voltage(ctx.x, d_);
+  const double vg = MnaSystem::voltage(ctx.x, g_);
+  const double vs = MnaSystem::voltage(ctx.x, s_);
+
+  // Recompute in the NMOS-equivalent frame to identify the conducting
+  // orientation (which real terminal acts as drain right now).
+  const double sign = p_.pmos ? -1.0 : 1.0;
+  const bool swapped = (sign * vd) < (sign * vs);
+  const NodeId na = swapped ? s_ : d_;  // Effective drain (real node).
+  const NodeId nb = swapped ? d_ : s_;  // Effective source (real node).
+
+  const Operating op = evaluate(vd, vg, vs);
+  // Current J flows from na to nb. In the transformed frame
+  // J = sign * Ids(vgs_t, vds_t) with vgs_t = sign*(vg - v(nb)),
+  // vds_t = sign*(v(na) - v(nb)). Hence in real voltages:
+  //   dJ/dvg    = gm,  dJ/dv(na) = gds,  dJ/dv(nb) = -(gm + gds).
+  const double v_na = MnaSystem::voltage(ctx.x, na);
+  const double v_nb = MnaSystem::voltage(ctx.x, nb);
+  const double j0 = swapped ? -op.ids : op.ids;  // J along na->nb.
+  const double jc = j0 - op.gds * (v_na - v_nb) - op.gm * (vg - v_nb);
+
+  ctx.mna.add_conductance(na, nb, op.gds);
+  ctx.mna.add_transconductance(na, nb, g_, nb, op.gm);
+  ctx.mna.add_current(na, nb, jc);
+  // Weak channel shunt keeps off devices from isolating nodes.
+  ctx.mna.add_conductance(d_, s_, ctx.gmin);
+
+  // Terminal capacitances.
+  CapCompanion::stamp(ctx, g_, s_, p_.cgs, state_base() + 0);
+  CapCompanion::stamp(ctx, g_, d_, p_.cgd, state_base() + 2);
+  CapCompanion::stamp(ctx, d_, b_, p_.cdb, state_base() + 4);
+  CapCompanion::stamp(ctx, s_, b_, p_.csb, state_base() + 6);
+}
+
+void Mosfet::update_state(const std::vector<double>& x, double dt,
+                          Integrator integrator,
+                          const std::vector<double>& old_state,
+                          std::vector<double>* new_state) const {
+  CapCompanion::update(x, dt, integrator, g_, s_, p_.cgs, old_state, new_state,
+                       state_base() + 0);
+  CapCompanion::update(x, dt, integrator, g_, d_, p_.cgd, old_state, new_state,
+                       state_base() + 2);
+  CapCompanion::update(x, dt, integrator, d_, b_, p_.cdb, old_state, new_state,
+                       state_base() + 4);
+  CapCompanion::update(x, dt, integrator, s_, b_, p_.csb, old_state, new_state,
+                       state_base() + 6);
+}
+
+}  // namespace obd::spice

@@ -1,0 +1,94 @@
+#include "spice/netlist.hpp"
+
+namespace obd::spice {
+
+Netlist::Netlist() {
+  node_names_.push_back("0");
+  node_ids_.emplace("0", kGround);
+  node_ids_.emplace("gnd", kGround);
+  node_ids_.emplace("GND", kGround);
+}
+
+NodeId Netlist::node(const std::string& name) {
+  auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(name);
+  node_ids_.emplace(name, id);
+  return id;
+}
+
+NodeId Netlist::find_node(const std::string& name) const {
+  auto it = node_ids_.find(name);
+  return it == node_ids_.end() ? kInvalidNode : it->second;
+}
+
+template <typename T, typename... Args>
+T* Netlist::emplace_device(Args&&... args) {
+  auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+  T* raw = dev.get();
+  raw->set_branch_base(next_branch_);
+  raw->set_state_base(next_state_);
+  next_branch_ += raw->num_branches();
+  next_state_ += raw->num_state();
+  device_by_name_[raw->name()] = raw;
+  devices_.push_back(std::move(dev));
+  return raw;
+}
+
+Resistor* Netlist::add_resistor(const std::string& name, NodeId a, NodeId b,
+                                double ohms) {
+  return emplace_device<Resistor>(name, a, b, ohms);
+}
+
+Capacitor* Netlist::add_capacitor(const std::string& name, NodeId a, NodeId b,
+                                  double farads) {
+  return emplace_device<Capacitor>(name, a, b, farads);
+}
+
+Diode* Netlist::add_diode(const std::string& name, NodeId anode,
+                          NodeId cathode, const DiodeParams& p) {
+  return emplace_device<Diode>(name, anode, cathode, p);
+}
+
+Mosfet* Netlist::add_mosfet(const std::string& name, NodeId d, NodeId g,
+                            NodeId s, NodeId b, const MosfetParams& p) {
+  return emplace_device<Mosfet>(name, d, g, s, b, p);
+}
+
+VoltageSource* Netlist::add_vsource(const std::string& name, NodeId pos,
+                                    NodeId neg, SourceWave wave) {
+  return emplace_device<VoltageSource>(name, pos, neg, std::move(wave));
+}
+
+CurrentSource* Netlist::add_isource(const std::string& name, NodeId pos,
+                                    NodeId neg, SourceWave wave) {
+  return emplace_device<CurrentSource>(name, pos, neg, std::move(wave));
+}
+
+Device* Netlist::find_device(const std::string& name) const {
+  auto it = device_by_name_.find(name);
+  return it == device_by_name_.end() ? nullptr : it->second;
+}
+
+Mosfet* Netlist::find_mosfet(const std::string& name) const {
+  return dynamic_cast<Mosfet*>(find_device(name));
+}
+
+VoltageSource* Netlist::find_vsource(const std::string& name) const {
+  return dynamic_cast<VoltageSource*>(find_device(name));
+}
+
+void Netlist::stamp_all(const StampContext& ctx) const {
+  for (const auto& dev : devices_) dev->stamp(ctx);
+}
+
+void Netlist::update_all_states(const std::vector<double>& x, double dt,
+                                Integrator integrator,
+                                const std::vector<double>& old_state,
+                                std::vector<double>* new_state) const {
+  for (const auto& dev : devices_)
+    dev->update_state(x, dt, integrator, old_state, new_state);
+}
+
+}  // namespace obd::spice

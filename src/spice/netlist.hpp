@@ -1,0 +1,86 @@
+// Netlist: named nodes plus an owning collection of devices.
+//
+// The netlist is a plain data structure; analyses (DC, transient) take a
+// const reference and keep all mutable solver state outside of it. Fault
+// injection (obd::core) works by *adding* devices (the diode-resistor OBD
+// network) and retuning their parameters between runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/devices.hpp"
+
+namespace obd::spice {
+
+class Netlist {
+ public:
+  Netlist();
+
+  // --- Nodes ---------------------------------------------------------------
+  /// Returns the node with the given name, creating it on first use.
+  /// Names "0", "gnd" and "GND" all alias ground.
+  NodeId node(const std::string& name);
+  /// Looks up an existing node; kInvalidNode when absent.
+  NodeId find_node(const std::string& name) const;
+  /// Name of a node id.
+  const std::string& node_name(NodeId n) const { return node_names_[static_cast<std::size_t>(n)]; }
+  /// Total node count including ground.
+  std::size_t num_nodes() const { return node_names_.size(); }
+
+  // --- Devices -------------------------------------------------------------
+  Resistor* add_resistor(const std::string& name, NodeId a, NodeId b,
+                         double ohms);
+  Capacitor* add_capacitor(const std::string& name, NodeId a, NodeId b,
+                           double farads);
+  Diode* add_diode(const std::string& name, NodeId anode, NodeId cathode,
+                   const DiodeParams& p);
+  Mosfet* add_mosfet(const std::string& name, NodeId d, NodeId g, NodeId s,
+                     NodeId b, const MosfetParams& p);
+  VoltageSource* add_vsource(const std::string& name, NodeId pos, NodeId neg,
+                             SourceWave wave);
+  CurrentSource* add_isource(const std::string& name, NodeId pos, NodeId neg,
+                             SourceWave wave);
+
+  const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+
+  /// Finds a device by name (nullptr when absent).
+  Device* find_device(const std::string& name) const;
+  /// Finds a MOSFET by name (nullptr when absent or not a MOSFET).
+  Mosfet* find_mosfet(const std::string& name) const;
+  /// Finds a voltage source by name (nullptr when absent / wrong type).
+  VoltageSource* find_vsource(const std::string& name) const;
+
+  std::size_t num_branches() const { return static_cast<std::size_t>(next_branch_); }
+  std::size_t state_size() const { return static_cast<std::size_t>(next_state_); }
+
+  // --- Analysis support ----------------------------------------------------
+  /// Total MNA unknowns (nodes - 1 + branches).
+  std::size_t unknown_count() const {
+    return num_nodes() - 1 + num_branches();
+  }
+  /// Stamps every device into ctx.mna.
+  void stamp_all(const StampContext& ctx) const;
+  /// Runs update_state on every device.
+  void update_all_states(const std::vector<double>& x, double dt,
+                         Integrator integrator,
+                         const std::vector<double>& old_state,
+                         std::vector<double>* new_state) const;
+
+ private:
+  template <typename T, typename... Args>
+  T* emplace_device(Args&&... args);
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<std::string, Device*> device_by_name_;
+  int next_branch_ = 0;
+  int next_state_ = 0;
+};
+
+}  // namespace obd::spice

@@ -1,0 +1,68 @@
+#include "spice/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/matrix.hpp"
+
+namespace obd::spice {
+
+NewtonResult solve_newton(const Netlist& netlist, const EvalPoint& eval,
+                          const std::vector<double>& state,
+                          const SolverOptions& opt, std::vector<double>* x) {
+  const std::size_t n_nodes = netlist.num_nodes();
+  const std::size_t n_volt = n_nodes - 1;
+  const std::size_t dim = netlist.unknown_count();
+  x->resize(dim, 0.0);
+
+  MnaSystem mna(n_nodes, netlist.num_branches());
+  LuSolver lu;
+  std::vector<double> x_new(dim);
+
+  NewtonResult result;
+  for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    mna.clear();
+    StampContext ctx{*x,       state,          mna,
+                     eval.time, eval.dt,        eval.integrator,
+                     opt.gmin,  eval.source_scale};
+    netlist.stamp_all(ctx);
+    // Global node-to-ground shunt: solver gmin plus any stepping extra.
+    const double shunt = opt.gmin + eval.gmin_extra;
+    for (std::size_t n = 1; n < n_nodes; ++n)
+      mna.add_gmin(static_cast<NodeId>(n), shunt);
+
+    if (!lu.factor(mna.matrix())) {
+      result.status = SolveStatus::kSingularMatrix;
+      return result;
+    }
+    lu.solve(mna.rhs(), &x_new);
+
+    // Damped update with voltage step clamp; convergence on max delta.
+    bool converged = true;
+    for (std::size_t i = 0; i < dim; ++i) {
+      double delta = x_new[i] - (*x)[i];
+      const bool is_voltage = i < n_volt;
+      if (is_voltage) {
+        delta = std::clamp(delta, -opt.max_voltage_step, opt.max_voltage_step);
+      }
+      const double tol = is_voltage
+                             ? opt.abstol_v + opt.reltol * std::fabs((*x)[i])
+                             : opt.abstol_i + opt.reltol * std::fabs((*x)[i]);
+      if (std::fabs(delta) > tol) converged = false;
+      (*x)[i] += delta;
+      if (!std::isfinite((*x)[i])) {
+        result.status = SolveStatus::kNoConvergence;
+        return result;
+      }
+    }
+    if (converged) {
+      result.status = SolveStatus::kOk;
+      return result;
+    }
+  }
+  result.status = SolveStatus::kNoConvergence;
+  return result;
+}
+
+}  // namespace obd::spice

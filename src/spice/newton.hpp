@@ -1,0 +1,36 @@
+// Newton-Raphson nonlinear solve of one operating point.
+//
+// The solver re-stamps the full linearized MNA system every iteration,
+// factors it with dense LU, applies a damped update (per-unknown voltage
+// step clamp), and declares convergence when both the update and the KCL
+// residual drop below tolerance.
+#pragma once
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace obd::spice {
+
+/// Fixed evaluation parameters for one NR solve (time, step, integrator).
+struct EvalPoint {
+  double time = 0.0;
+  double dt = 0.0;  ///< 0 selects DC behaviour in dynamic devices.
+  Integrator integrator = Integrator::kTrapezoidal;
+  double gmin_extra = 0.0;   ///< Additional node-to-ground shunt (gmin stepping).
+  double source_scale = 1.0; ///< Source stepping scale.
+};
+
+struct NewtonResult {
+  SolveStatus status = SolveStatus::kNoConvergence;
+  int iterations = 0;
+};
+
+/// Solves the nonlinear system at one evaluation point.
+/// `x` carries the initial guess in and the solution out; `state` is the
+/// device integration state at the previous accepted timepoint.
+NewtonResult solve_newton(const Netlist& netlist, const EvalPoint& eval,
+                          const std::vector<double>& state,
+                          const SolverOptions& opt, std::vector<double>* x);
+
+}  // namespace obd::spice

@@ -1,0 +1,25 @@
+// Resistor and capacitor stamps.
+#include "spice/devices.hpp"
+
+namespace obd::spice {
+
+void Resistor::stamp(const StampContext& ctx) const {
+  // Guard against zero/negative resistance: clamp to 1 micro-ohm, which is
+  // far below anything the OBD model uses (HBD resistance is 0.05 ohm).
+  const double r = ohms_ > 1e-6 ? ohms_ : 1e-6;
+  ctx.mna.add_conductance(a_, b_, 1.0 / r);
+}
+
+void Capacitor::stamp(const StampContext& ctx) const {
+  CapCompanion::stamp(ctx, a_, b_, farads_, state_base());
+}
+
+void Capacitor::update_state(const std::vector<double>& x, double dt,
+                             Integrator integrator,
+                             const std::vector<double>& old_state,
+                             std::vector<double>* new_state) const {
+  CapCompanion::update(x, dt, integrator, a_, b_, farads_, old_state,
+                       new_state, state_base());
+}
+
+}  // namespace obd::spice

@@ -1,0 +1,73 @@
+#include <algorithm>
+#include <cmath>
+
+#include "spice/devices.hpp"
+
+namespace obd::spice {
+
+double SourceWave::value(double t) const {
+  switch (kind) {
+    case Kind::kDc:
+      return dc;
+    case Kind::kPulse: {
+      if (t < td) return v1;
+      double tt = t - td;
+      if (period > 0.0) tt = std::fmod(tt, period);
+      if (tt < tr) return v1 + (v2 - v1) * (tt / tr);
+      tt -= tr;
+      if (tt < pw) return v2;
+      tt -= pw;
+      if (tt < tf) return v2 + (v1 - v2) * (tt / tf);
+      return v1;
+    }
+    case Kind::kPwl: {
+      if (pwl.empty()) return 0.0;
+      if (t <= pwl.front().first) return pwl.front().second;
+      if (t >= pwl.back().first) return pwl.back().second;
+      for (std::size_t i = 1; i < pwl.size(); ++i) {
+        if (t <= pwl[i].first) {
+          const double t0 = pwl[i - 1].first;
+          const double t1 = pwl[i].first;
+          const double y0 = pwl[i - 1].second;
+          const double y1 = pwl[i].second;
+          if (t1 <= t0) return y1;
+          return y0 + (y1 - y0) * (t - t0) / (t1 - t0);
+        }
+      }
+      return pwl.back().second;
+    }
+  }
+  return 0.0;
+}
+
+SourceWave SourceWave::make_dc(double v) {
+  SourceWave w;
+  w.kind = Kind::kDc;
+  w.dc = v;
+  return w;
+}
+
+SourceWave SourceWave::make_pulse(double v1, double v2, double td, double tr,
+                                  double tf, double pw, double period) {
+  SourceWave w;
+  w.kind = Kind::kPulse;
+  w.v1 = v1;
+  w.v2 = v2;
+  w.td = td;
+  w.tr = tr;
+  w.tf = tf;
+  w.pw = pw;
+  w.period = period;
+  return w;
+}
+
+SourceWave SourceWave::make_pwl(std::vector<std::pair<double, double>> pts) {
+  SourceWave w;
+  w.kind = Kind::kPwl;
+  w.pwl = std::move(pts);
+  std::sort(w.pwl.begin(), w.pwl.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return w;
+}
+
+}  // namespace obd::spice

@@ -1,0 +1,23 @@
+// Independent source stamps.
+#include "spice/devices.hpp"
+
+namespace obd::spice {
+
+void VoltageSource::stamp(const StampContext& ctx) const {
+  const int ib = ctx.mna.branch_index(branch_base());
+  const int ip = ctx.mna.node_index(pos_);
+  const int in = ctx.mna.node_index(neg_);
+  // KCL rows: branch current leaves pos, enters neg.
+  ctx.mna.add_entry(ip, ib, 1.0);
+  ctx.mna.add_entry(in, ib, -1.0);
+  // Branch row: v(pos) - v(neg) = V(t).
+  ctx.mna.add_entry(ib, ip, 1.0);
+  ctx.mna.add_entry(ib, in, -1.0);
+  ctx.mna.add_rhs(ib, wave_.value(ctx.time) * ctx.source_scale);
+}
+
+void CurrentSource::stamp(const StampContext& ctx) const {
+  ctx.mna.add_current(pos_, neg_, wave_.value(ctx.time) * ctx.source_scale);
+}
+
+}  // namespace obd::spice

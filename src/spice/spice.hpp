@@ -1,0 +1,16 @@
+// Umbrella header for the analog engine.
+//
+// Typical use:
+//   obd::spice::Netlist nl;
+//   auto vdd = nl.node("vdd");
+//   nl.add_vsource("Vdd", vdd, obd::spice::kGround,
+//                  obd::spice::SourceWave::make_dc(3.3));
+//   ... add devices ...
+//   auto res = obd::spice::transient(nl, 10e-9, {});
+#pragma once
+
+#include "spice/dc.hpp"         // IWYU pragma: export
+#include "spice/devices.hpp"    // IWYU pragma: export
+#include "spice/netlist.hpp"    // IWYU pragma: export
+#include "spice/transient.hpp"  // IWYU pragma: export
+#include "spice/types.hpp"      // IWYU pragma: export

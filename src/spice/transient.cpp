@@ -1,0 +1,138 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "spice/newton.hpp"
+
+namespace obd::spice {
+namespace {
+
+struct Recorder {
+  std::vector<NodeId> nodes;
+  std::vector<int> source_branches;
+  util::TraceSet* traces;
+  const MnaSystem* mna;
+
+  void record(double t, const std::vector<double>& x) const {
+    std::size_t k = 0;
+    for (NodeId n : nodes)
+      traces->traces[k++].append(t, MnaSystem::voltage(x, n));
+    for (int b : source_branches)
+      traces->traces[k++].append(t, mna->branch_current(x, b));
+  }
+};
+
+}  // namespace
+
+TransientResult transient(const Netlist& netlist, double t_stop,
+                          const TransientOptions& opt,
+                          const std::vector<std::string>& record_nodes,
+                          const std::vector<std::string>& record_source_currents) {
+  TransientResult result;
+
+  // --- Set up recording ----------------------------------------------------
+  Recorder rec;
+  rec.traces = &result.traces;
+  if (record_nodes.empty()) {
+    for (std::size_t n = 1; n < netlist.num_nodes(); ++n) {
+      rec.nodes.push_back(static_cast<NodeId>(n));
+      result.traces.traces.emplace_back(netlist.node_name(static_cast<NodeId>(n)));
+    }
+  } else {
+    for (const auto& name : record_nodes) {
+      const NodeId n = netlist.find_node(name);
+      if (n == kInvalidNode) continue;
+      rec.nodes.push_back(n);
+      result.traces.traces.emplace_back(name);
+    }
+  }
+  for (const auto& name : record_source_currents) {
+    const VoltageSource* src = netlist.find_vsource(name);
+    if (src == nullptr) continue;
+    rec.source_branches.push_back(src->branch_base());
+    result.traces.traces.emplace_back("I(" + name + ")");
+  }
+  // A throwaway MNA gives the branch index mapping for current readout.
+  MnaSystem index_mna(netlist.num_nodes(), netlist.num_branches());
+  rec.mna = &index_mna;
+
+  // --- Initial condition ---------------------------------------------------
+  std::vector<double> state(netlist.state_size(), 0.0);
+  std::vector<double> state_new(netlist.state_size(), 0.0);
+  std::vector<double> x(netlist.unknown_count(), 0.0);
+
+  if (opt.dc_init) {
+    DcResult op = dc_operating_point(netlist, opt.solver, 0.0);
+    if (op.status != SolveStatus::kOk) {
+      result.status = op.status;
+      return result;
+    }
+    x = std::move(op.x);
+  }
+  // Initialize device state consistent with the (static) starting solution.
+  netlist.update_all_states(x, 0.0, opt.integrator, state, &state_new);
+  std::swap(state, state_new);
+  if (opt.record) rec.record(0.0, x);
+
+  // --- Time march ----------------------------------------------------------
+  double t = 0.0;
+  double dt = opt.dt;
+  int consecutive_easy = 0;
+  // The first step always uses backward Euler: the trapezoidal companion
+  // needs a consistent previous capacitor current, which is unknown at a
+  // (possibly discontinuous) start. This is the classic SPICE startup rule.
+  bool first_step = true;
+
+  while (t < t_stop - 1e-21) {
+    dt = std::min(dt, t_stop - t);
+    const Integrator step_integrator =
+        first_step ? Integrator::kBackwardEuler : opt.integrator;
+    EvalPoint eval;
+    eval.time = t + dt;
+    eval.dt = dt;
+    eval.integrator = step_integrator;
+
+    std::vector<double> x_try = x;  // Previous solution as predictor.
+    const NewtonResult nr =
+        solve_newton(netlist, eval, state, opt.solver, &x_try);
+    result.newton_iterations += nr.iterations;
+
+    if (nr.status != SolveStatus::kOk) {
+      ++result.rejected_steps;
+      if (!opt.adaptive || dt <= opt.dt_min * 1.01) {
+        result.status = nr.status;
+        return result;
+      }
+      dt = std::max(dt * 0.5, opt.dt_min);
+      consecutive_easy = 0;
+      continue;
+    }
+
+    // Accept the step.
+    t += dt;
+    x = std::move(x_try);
+    netlist.update_all_states(x, dt, step_integrator, state, &state_new);
+    std::swap(state, state_new);
+    first_step = false;
+    ++result.accepted_steps;
+    if (opt.record) rec.record(t, x);
+
+    // Step-size recovery: after several cheap steps, grow toward opt.dt.
+    if (opt.adaptive) {
+      if (nr.iterations <= 8) {
+        if (++consecutive_easy >= 4 && dt < opt.dt) {
+          dt = std::min(dt * 2.0, opt.dt);
+          consecutive_easy = 0;
+        }
+      } else {
+        consecutive_easy = 0;
+      }
+    }
+  }
+
+  result.status = SolveStatus::kOk;
+  return result;
+}
+
+}  // namespace obd::spice

@@ -1,0 +1,37 @@
+// Transient analysis: fixed or adaptive timestep, BE or trapezoidal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/dc.hpp"
+#include "spice/netlist.hpp"
+#include "util/waveform.hpp"
+
+namespace obd::spice {
+
+struct TransientResult {
+  SolveStatus status = SolveStatus::kNoConvergence;
+  /// Node-voltage traces (one per recorded node) plus one current trace per
+  /// recorded voltage source, named "I(<source>)".
+  util::TraceSet traces;
+  int accepted_steps = 0;
+  int rejected_steps = 0;
+  long newton_iterations = 0;
+
+  const util::Waveform* trace(const std::string& name) const {
+    return traces.find(name);
+  }
+};
+
+/// Runs a transient analysis to t_stop.
+///
+/// `record_nodes`: node names to record (empty = all non-ground nodes).
+/// `record_source_currents`: voltage-source names whose branch current is
+/// recorded (supply-current / IDDQ-style observations).
+TransientResult transient(const Netlist& netlist, double t_stop,
+                          const TransientOptions& opt,
+                          const std::vector<std::string>& record_nodes = {},
+                          const std::vector<std::string>& record_source_currents = {});
+
+}  // namespace obd::spice

@@ -1,0 +1,85 @@
+// Common identifiers and option structs for the analog engine.
+//
+// obd::spice is a compact SPICE-class simulator: modified nodal analysis
+// (MNA) over nonlinear devices, Newton-Raphson per operating point, and
+// backward-Euler / trapezoidal companion models for transient analysis.
+// It exists because the paper's experiments are HSPICE runs; this module is
+// the in-tree substitute (see DESIGN.md, substitution table).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace obd::spice {
+
+/// Index of a circuit node. Node 0 is always ground.
+using NodeId = std::int32_t;
+inline constexpr NodeId kGround = 0;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Index of a device within its netlist.
+using DeviceId = std::int32_t;
+
+/// Numerical integration method for dynamic elements.
+enum class Integrator {
+  kBackwardEuler,  ///< A-stable, first order, strongly damped.
+  kTrapezoidal,    ///< A-stable, second order; default.
+};
+
+/// Newton-Raphson and convergence options.
+struct SolverOptions {
+  /// Absolute voltage tolerance [V].
+  double abstol_v = 1e-6;
+  /// Relative tolerance on voltages.
+  double reltol = 1e-4;
+  /// Absolute current tolerance for branch currents [A].
+  double abstol_i = 1e-9;
+  /// Maximum NR iterations per solve.
+  int max_iterations = 200;
+  /// Per-iteration clamp on voltage update [V]; damps NR overshoot across
+  /// exponential diode characteristics.
+  double max_voltage_step = 0.5;
+  /// Minimum conductance from every node to ground; aids convergence and
+  /// keeps the MNA matrix nonsingular for floating nodes.
+  double gmin = 1e-12;
+  /// Enable gmin stepping when the plain solve fails (DC only).
+  bool gmin_stepping = true;
+  /// Enable source stepping as the final fallback (DC only).
+  bool source_stepping = true;
+};
+
+/// Transient analysis options.
+struct TransientOptions {
+  SolverOptions solver;
+  Integrator integrator = Integrator::kTrapezoidal;
+  /// Nominal timestep [s]. With adaptive stepping this is also the maximum.
+  double dt = 1e-12;
+  /// Adaptive step control: on NR failure the step is halved (down to
+  /// dt_min); after repeated easy convergence it grows back toward dt.
+  bool adaptive = true;
+  double dt_min = 1e-16;
+  /// Record every accepted point into the result traces.
+  bool record = true;
+  /// Start from a DC operating point at t=0 (otherwise start from all-zero).
+  bool dc_init = true;
+};
+
+/// Result status of an analysis.
+enum class SolveStatus {
+  kOk,
+  kNoConvergence,
+  kSingularMatrix,
+};
+
+/// Human-readable status string.
+inline const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOk: return "ok";
+    case SolveStatus::kNoConvergence: return "no-convergence";
+    case SolveStatus::kSingularMatrix: return "singular-matrix";
+  }
+  return "unknown";
+}
+
+}  // namespace obd::spice

@@ -1,0 +1,94 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace obd::util {
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string escape(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void CsvWriter::set_header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(format_double(v));
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += escape(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_string();
+  return static_cast<bool>(f);
+}
+
+bool write_traces_csv(const std::string& path,
+                      const std::vector<const Waveform*>& traces,
+                      std::size_t samples) {
+  if (traces.empty()) return false;
+  CsvWriter csv;
+  std::vector<std::string> header{"time"};
+  for (const auto* w : traces) header.push_back(w->name());
+  csv.set_header(std::move(header));
+
+  double t0 = traces.front()->front_time();
+  double t1 = traces.front()->back_time();
+  for (const auto* w : traces) {
+    if (w->empty()) return false;
+    t0 = std::min(t0, w->front_time());
+    t1 = std::max(t1, w->back_time());
+  }
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(samples - 1);
+    std::vector<double> row{t};
+    for (const auto* w : traces) row.push_back(w->at(t));
+    csv.add_row(row);
+  }
+  return csv.write_file(path);
+}
+
+}  // namespace obd::util

@@ -1,0 +1,45 @@
+// Minimal CSV writer used by benches to dump figure data series
+// (one file per paper figure, plottable with any external tool).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/waveform.hpp"
+
+namespace obd::util {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file.
+/// Values containing commas/quotes/newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  /// Sets the header row.
+  void set_header(std::vector<std::string> columns);
+
+  /// Appends a row of preformatted cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row of doubles formatted with %.9g.
+  void add_row(const std::vector<double>& cells);
+
+  /// Serializes to a CSV string.
+  std::string to_string() const;
+
+  /// Writes to a file; returns false on I/O error.
+  bool write_file(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes a set of waveforms resampled onto a common uniform grid as CSV
+/// with columns: time, <name0>, <name1>, ... Returns false on I/O error or
+/// when `traces` is empty.
+bool write_traces_csv(const std::string& path,
+                      const std::vector<const Waveform*>& traces,
+                      std::size_t samples = 400);
+
+}  // namespace obd::util

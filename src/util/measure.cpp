@@ -1,0 +1,58 @@
+#include "util/measure.hpp"
+
+namespace obd::util {
+
+std::optional<double> edge_time(const Waveform& w, Edge edge, double t_from,
+                                const DelayOptions& opt) {
+  const double level = opt.vdd * opt.threshold_frac;
+  double t = 0.0;
+  if (w.first_crossing_after(t_from, level, edge == Edge::kRising, &t))
+    return t;
+  return std::nullopt;
+}
+
+std::optional<double> propagation_delay(const Waveform& in, Edge in_edge,
+                                        const Waveform& out, Edge out_edge,
+                                        double t_from,
+                                        const DelayOptions& opt) {
+  const auto t_in = edge_time(in, in_edge, t_from, opt);
+  if (!t_in) return std::nullopt;
+  const auto t_out = edge_time(out, out_edge, *t_in, opt);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+double settled_value(const Waveform& w, double t_settle_from) {
+  if (w.empty()) return 0.0;
+  // Average of samples from t_settle_from to the end damps residual ringing.
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w.time(i) >= t_settle_from) {
+      sum += w.value(i);
+      ++n;
+    }
+  }
+  if (n == 0) return w.final_value();
+  return sum / static_cast<double>(n);
+}
+
+std::optional<double> slew_time(const Waveform& w, Edge edge, double t_from,
+                                const DelayOptions& opt) {
+  const double lo = 0.1 * opt.vdd;
+  const double hi = 0.9 * opt.vdd;
+  double t_lo = 0.0;
+  double t_hi = 0.0;
+  if (edge == Edge::kRising) {
+    if (!w.first_crossing_after(t_from, lo, true, &t_lo)) return std::nullopt;
+    if (!w.first_crossing_after(t_lo, hi, true, &t_hi)) return std::nullopt;
+    return t_hi - t_lo;
+  }
+  if (!w.first_crossing_after(t_from, hi, false, &t_hi)) return std::nullopt;
+  if (!w.first_crossing_after(t_hi, lo, false, &t_lo)) return std::nullopt;
+  return t_lo - t_hi;
+}
+
+double swing(const Waveform& w) { return w.max_value() - w.min_value(); }
+
+}  // namespace obd::util

@@ -1,0 +1,49 @@
+// Measurement utilities over waveforms: propagation delay, logic levels,
+// output swing, slew — the quantities the paper's Table 1 and Figs. 4/6/7/9
+// are built from.
+#pragma once
+
+#include <optional>
+
+#include "util/waveform.hpp"
+
+namespace obd::util {
+
+/// Direction of a logic transition.
+enum class Edge { kRising, kFalling };
+
+/// Options for delay measurement.
+struct DelayOptions {
+  /// Supply voltage; thresholds default to fractions of this.
+  double vdd = 3.3;
+  /// Measurement threshold as a fraction of vdd (50% by convention).
+  double threshold_frac = 0.5;
+};
+
+/// Propagation delay from the `in` edge (crossing threshold in direction
+/// `in_edge` at or after t_from) to the next `out` edge crossing in
+/// direction `out_edge`. Returns nullopt when either crossing is absent —
+/// which is itself meaningful: a missing output crossing is how a
+/// progressed OBD defect manifests as stuck-at behaviour.
+std::optional<double> propagation_delay(const Waveform& in, Edge in_edge,
+                                        const Waveform& out, Edge out_edge,
+                                        double t_from,
+                                        const DelayOptions& opt = {});
+
+/// Time at which `w` crosses the threshold in the given direction at or
+/// after t_from; nullopt if it never does.
+std::optional<double> edge_time(const Waveform& w, Edge edge, double t_from,
+                                const DelayOptions& opt = {});
+
+/// Static LOW level: the waveform value at the end of the settling window
+/// [t_settle_from, end]. Used for VOL extraction in VTC-style experiments.
+double settled_value(const Waveform& w, double t_settle_from);
+
+/// 10%-90% (or mirrored) transition time of the first edge after t_from.
+std::optional<double> slew_time(const Waveform& w, Edge edge, double t_from,
+                                const DelayOptions& opt = {});
+
+/// Output swing observed over the whole waveform (max - min).
+double swing(const Waveform& w);
+
+}  // namespace obd::util

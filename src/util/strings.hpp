@@ -1,0 +1,25 @@
+// Small string helpers shared by the netlist parser and reporting code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obd::util {
+
+/// Splits on any run of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace obd::util

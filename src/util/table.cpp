@@ -1,0 +1,90 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace obd::util {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::to_string() const {
+  // Compute column widths over header + rows.
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit_row = [&widths](std::string& out, const std::vector<std::string>& row) {
+    out += "| ";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += cell;
+      out.append(widths[i] - cell.size(), ' ');
+      out += (i + 1 < widths.size()) ? " | " : " |";
+    }
+    out += '\n';
+  };
+
+  std::size_t total = 4;
+  for (std::size_t w : widths) total += w + 3;
+  if (!widths.empty()) total -= 3;
+
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  const std::string rule(total, '-');
+  out += rule;
+  out += '\n';
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    out += rule;
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit_row(out, r);
+  out += rule;
+  out += '\n';
+  return out;
+}
+
+void AsciiTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_time_eng(double seconds) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static const Scale scales[] = {{1.0, "s"},    {1e-3, "ms"}, {1e-6, "us"},
+                                 {1e-9, "ns"},  {1e-12, "ps"}, {1e-15, "fs"}};
+  const double mag = std::fabs(seconds);
+  for (const auto& s : scales) {
+    if (mag >= s.factor * 0.9995) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.3g%s", seconds / s.factor, s.suffix);
+      return buf;
+    }
+  }
+  if (mag == 0.0) return "0s";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3g%s", seconds / 1e-15, "fs");
+  return buf;
+}
+
+std::string format_g(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace obd::util

@@ -1,0 +1,39 @@
+// ASCII table printer for bench output. Benches regenerate the paper's
+// tables as aligned text so the reproduction can be eyeballed against the
+// published rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace obd::util {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with `|`-separated, width-aligned columns.
+  std::string to_string() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds as an engineering string, e.g. 9.6e-11 -> "96.0ps".
+std::string format_time_eng(double seconds);
+
+/// Formats a double with the given precision (printf %.*g).
+std::string format_g(double v, int precision = 4);
+
+}  // namespace obd::util

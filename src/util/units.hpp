@@ -1,0 +1,49 @@
+// SI unit helpers and physical constants used throughout the library.
+//
+// All internal quantities are plain SI doubles (volts, amps, ohms, farads,
+// seconds). These helpers exist only to make literals readable:
+//   using namespace obd::util::literals;
+//   double cap = 5.0_fF;      // 5e-15 F
+//   double t   = 96.0_ps;     // 9.6e-11 s
+#pragma once
+
+namespace obd::util {
+
+/// Physical constants (SI units).
+namespace constants {
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+/// Thermal voltage kT/q at 300 K [V].
+inline constexpr double kThermalVoltage300K =
+    kBoltzmann * 300.0 / kElementaryCharge;
+}  // namespace constants
+
+namespace literals {
+// Time.
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fs(long double v) { return static_cast<double>(v) * 1e-15; }
+// Capacitance.
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+// Resistance.
+constexpr double operator""_ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kohm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_Mohm(long double v) { return static_cast<double>(v) * 1e6; }
+// Voltage / current.
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+// Length (device geometry).
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+}  // namespace literals
+
+}  // namespace obd::util

@@ -1,0 +1,96 @@
+#include "util/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace obd::util {
+
+bool Waveform::append(double time, double value) {
+  if (!times_.empty() && time <= times_.back()) return false;
+  times_.push_back(time);
+  values_.push_back(value);
+  return true;
+}
+
+double Waveform::at(double t) const {
+  if (times_.empty()) return 0.0;
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  // First index with times_[idx] > t.
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double t0 = times_[lo];
+  const double t1 = times_[hi];
+  const double v0 = values_[lo];
+  const double v1 = values_[hi];
+  const double frac = (t - t0) / (t1 - t0);
+  return v0 + frac * (v1 - v0);
+}
+
+double Waveform::min_value() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Waveform::max_value() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Waveform::final_value() const {
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+std::vector<double> Waveform::crossings(double level, bool rising) const {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    const double v0 = values_[i - 1];
+    const double v1 = values_[i];
+    const bool crosses =
+        rising ? (v0 < level && v1 >= level) : (v0 > level && v1 <= level);
+    if (!crosses) continue;
+    const double dv = v1 - v0;
+    const double frac = (std::abs(dv) < 1e-300) ? 0.0 : (level - v0) / dv;
+    out.push_back(times_[i - 1] + frac * (times_[i] - times_[i - 1]));
+  }
+  return out;
+}
+
+bool Waveform::first_crossing_after(double t_from, double level, bool rising,
+                                    double* t_cross) const {
+  for (double t : crossings(level, rising)) {
+    if (t >= t_from) {
+      *t_cross = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+Waveform Waveform::resample(std::size_t n) const {
+  Waveform out(name_);
+  if (times_.size() < 2 || n < 2) return out;
+  const double t0 = times_.front();
+  const double t1 = times_.back();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(i) /
+                              static_cast<double>(n - 1);
+    out.append(t, at(t));
+  }
+  return out;
+}
+
+const Waveform* TraceSet::find(const std::string& name) const {
+  for (const auto& w : traces)
+    if (w.name() == name) return &w;
+  return nullptr;
+}
+
+Waveform* TraceSet::find(const std::string& name) {
+  for (auto& w : traces)
+    if (w.name() == name) return &w;
+  return nullptr;
+}
+
+}  // namespace obd::util

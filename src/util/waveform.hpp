@@ -1,0 +1,79 @@
+// Waveform: an ordered (time, value) series produced by transient analysis.
+//
+// Waveforms are the common currency between the analog engine (obd::spice),
+// the measurement utilities (delay, logic levels) and the bench/figure
+// regeneration code. Time points are strictly increasing; values are linearly
+// interpolated between points.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace obd::util {
+
+/// A sampled scalar signal v(t) with strictly increasing time points.
+class Waveform {
+ public:
+  Waveform() = default;
+  explicit Waveform(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a sample. Time must be strictly greater than the previous
+  /// sample's time; out-of-order samples are rejected (returns false).
+  bool append(double time, double value);
+
+  /// Signal name (node name for spice traces).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  double time(std::size_t i) const { return times_[i]; }
+  double value(std::size_t i) const { return values_[i]; }
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+  double front_time() const { return times_.front(); }
+  double back_time() const { return times_.back(); }
+
+  /// Linear interpolation at time t. Clamps to the first/last sample outside
+  /// the covered interval. Returns 0 for an empty waveform.
+  double at(double t) const;
+
+  /// Minimum / maximum sample value (0 for empty waveforms).
+  double min_value() const;
+  double max_value() const;
+
+  /// Value of the last sample (0 for empty waveforms).
+  double final_value() const;
+
+  /// All times at which the (interpolated) signal crosses `level`.
+  /// `rising` selects upward crossings, otherwise downward crossings.
+  std::vector<double> crossings(double level, bool rising) const;
+
+  /// First crossing of `level` in the given direction at or after t_from;
+  /// returns false if none exists.
+  bool first_crossing_after(double t_from, double level, bool rising,
+                            double* t_cross) const;
+
+  /// Resamples the waveform on a uniform grid of `n` points spanning
+  /// [front_time, back_time]. Returns an empty waveform when size() < 2.
+  Waveform resample(std::size_t n) const;
+
+ private:
+  std::string name_;
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// A set of named waveforms sharing a time axis (one transient run).
+struct TraceSet {
+  std::vector<Waveform> traces;
+
+  /// Find a trace by name; nullptr if absent.
+  const Waveform* find(const std::string& name) const;
+  Waveform* find(const std::string& name);
+};
+
+}  // namespace obd::util

@@ -1,0 +1,109 @@
+// Concurrent-test lifetime Monte Carlo.
+#include "core/bist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obd::core {
+namespace {
+
+SiteWindow window(double open, double hbd) {
+  SiteWindow s;
+  s.t_observable = open;
+  s.t_hbd = hbd;
+  return s;
+}
+
+TEST(SiteWindow, FromCurve) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  std::vector<DelayVsIsat> curve{
+      {1e-28, 100e-12}, {1e-26, 200e-12}, {1e-24, 400e-12}};
+  const SiteWindow s = site_window_from_curve(curve, 150e-12, m);
+  EXPECT_TRUE(s.ever_observable());
+  EXPECT_GT(s.t_observable, 0.0);
+  EXPECT_NEAR(s.t_hbd, 1000.0, 1e-9);
+}
+
+TEST(SiteWindow, UndetectableCurve) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  std::vector<DelayVsIsat> curve{{1e-28, 1e-12}, {1e-24, 2e-12}};
+  const SiteWindow s = site_window_from_curve(curve, 1e-9, m);
+  EXPECT_FALSE(s.ever_observable());
+}
+
+TEST(Lifetime, ShortPeriodAlwaysCatches) {
+  LifetimeOptions opt;
+  opt.test_period = 10.0;
+  opt.trials = 2000;
+  const LifetimeStats st = simulate_lifetime({window(100.0, 1000.0)}, opt);
+  EXPECT_EQ(st.caught, st.trials);
+  EXPECT_DOUBLE_EQ(st.catch_rate(), 1.0);
+  // Latency bounded by one period.
+  EXPECT_LE(st.mean_latency, 10.0);
+}
+
+TEST(Lifetime, PeriodLongerThanWindowSometimesEscapes) {
+  LifetimeOptions opt;
+  opt.test_period = 1800.0;  // window is only 900 s wide
+  opt.trials = 5000;
+  const LifetimeStats st = simulate_lifetime({window(100.0, 1000.0)}, opt);
+  EXPECT_GT(st.caught, 0);
+  EXPECT_GT(st.escaped_to_hbd, 0);
+  // With random phase the catch rate approximates width/period = 0.5.
+  EXPECT_NEAR(st.catch_rate(), 0.5, 0.05);
+}
+
+TEST(Lifetime, DeterministicPhaseCatchesIffPeriodFits) {
+  LifetimeOptions opt;
+  opt.random_phase = false;  // first test at onset
+  opt.trials = 10;
+  // Window [100, 1000): tests at 0, P, 2P...
+  opt.test_period = 400.0;  // test at 400 inside window
+  EXPECT_EQ(simulate_lifetime({window(100.0, 1000.0)}, opt).caught, 10);
+  opt.test_period = 1200.0;  // tests at 0 (too early) and 1200 (too late)
+  EXPECT_EQ(simulate_lifetime({window(100.0, 1000.0)}, opt).caught, 0);
+}
+
+TEST(Lifetime, NeverObservableSitesCounted) {
+  LifetimeOptions opt;
+  opt.trials = 100;
+  const LifetimeStats st =
+      simulate_lifetime({window(1000.0, 1000.0)}, opt);
+  EXPECT_EQ(st.never_observable, 100);
+  EXPECT_EQ(st.escaped_to_hbd, 100);
+}
+
+TEST(Lifetime, MixedSitesInterpolate) {
+  LifetimeOptions opt;
+  opt.test_period = 50.0;
+  opt.trials = 4000;
+  // One always-catchable site, one never-observable site, uniform choice.
+  const LifetimeStats st = simulate_lifetime(
+      {window(0.0, 1000.0), window(500.0, 500.0)}, opt);
+  EXPECT_NEAR(st.catch_rate(), 0.5, 0.05);
+}
+
+TEST(Lifetime, DeterministicSeed) {
+  LifetimeOptions opt;
+  opt.test_period = 700.0;
+  opt.trials = 1000;
+  const LifetimeStats a = simulate_lifetime({window(100.0, 1000.0)}, opt);
+  const LifetimeStats b = simulate_lifetime({window(100.0, 1000.0)}, opt);
+  EXPECT_EQ(a.caught, b.caught);
+  EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
+}
+
+TEST(Lifetime, CatchRateMonotoneInPeriod) {
+  const std::vector<SiteWindow> sites{window(100.0, 1000.0)};
+  double prev = 1.1;
+  for (double period : {100.0, 450.0, 900.0, 1800.0, 3600.0}) {
+    LifetimeOptions opt;
+    opt.test_period = period;
+    opt.trials = 4000;
+    const double rate = simulate_lifetime(sites, opt).catch_rate();
+    EXPECT_LE(rate, prev + 0.03) << period;
+    prev = rate;
+  }
+}
+
+}  // namespace
+}  // namespace obd::core

@@ -1,0 +1,188 @@
+// Spice-level characterization: Table 1 / Fig. 6 / Fig. 7 behaviours.
+//
+// These are integration tests of the whole analog stack (harness + OBD
+// injection + transient + measurement). They assert the paper's qualitative
+// claims, not picosecond values.
+#include "core/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/excitation.hpp"
+
+namespace obd::core {
+namespace {
+
+class NandCharacterizer : public testing::Test {
+ protected:
+  cells::Technology tech = cells::Technology::default_350nm();
+  GateCharacterizer chr{cells::nand_topology(2), tech};
+
+  // Paper-order transitions (input A = bit 0).
+  static constexpr cells::TwoVector kFall_01_11{0b10, 0b11};  // A rises
+  static constexpr cells::TwoVector kFall_10_11{0b01, 0b11};  // B rises
+  static constexpr cells::TwoVector kFall_00_11{0b00, 0b11};  // both rise
+  static constexpr cells::TwoVector kRise_11_01{0b11, 0b10};  // A falls
+  static constexpr cells::TwoVector kRise_11_10{0b11, 0b01};  // B falls
+};
+
+TEST_F(NandCharacterizer, FaultFreeDelaysDefined) {
+  for (const auto& tv : {kFall_01_11, kFall_10_11, kRise_11_01, kRise_11_10}) {
+    const auto m = chr.measure(std::nullopt, BreakdownStage::kFaultFree, tv);
+    ASSERT_TRUE(m.delay.has_value());
+    EXPECT_GT(*m.delay, 20e-12);
+    EXPECT_LT(*m.delay, 300e-12);
+    EXPECT_FALSE(m.stuck);
+  }
+}
+
+TEST_F(NandCharacterizer, NmosDelayGrowsMonotonicallyWithStage) {
+  // Table 1, NMOS rows: each stage adds delay until HBD sticks.
+  double prev = 0.0;
+  for (BreakdownStage s : {BreakdownStage::kFaultFree, BreakdownStage::kMbd1,
+                           BreakdownStage::kMbd2, BreakdownStage::kMbd3}) {
+    const auto m = chr.measure(cells::TransistorRef{false, 0}, s, kFall_10_11);
+    ASSERT_TRUE(m.delay.has_value()) << to_string(s);
+    EXPECT_GT(*m.delay, prev) << to_string(s);
+    prev = *m.delay;
+  }
+}
+
+TEST_F(NandCharacterizer, NmosHbdSticksHigh) {
+  const auto m = chr.measure(cells::TransistorRef{false, 0},
+                             BreakdownStage::kHbd, kFall_10_11);
+  EXPECT_FALSE(m.delay.has_value());
+  EXPECT_TRUE(m.stuck);
+  EXPECT_TRUE(m.stuck_high);  // Table 1: "sa-1"
+}
+
+TEST_F(NandCharacterizer, NmosDefectExcitedRegardlessOfSwitchingInput) {
+  // Fig. 6 claim: breakdown in an NMOS causes the transition fault
+  // independent of which input switches (series stack carries everything).
+  const BreakdownStage s = BreakdownStage::kMbd2;
+  const auto ff = chr.measure(std::nullopt, s, kFall_10_11);
+  ASSERT_TRUE(ff.delay.has_value());
+  for (const auto& tv : {kFall_01_11, kFall_10_11, kFall_00_11}) {
+    const auto m = chr.measure(cells::TransistorRef{false, 0}, s, tv);
+    ASSERT_TRUE(m.delay.has_value());
+    EXPECT_GT(*m.delay, 1.5 * *ff.delay)
+        << "transition " << cells::format_transition(tv, 2);
+  }
+}
+
+TEST_F(NandCharacterizer, PmosDefectOnlyDisturbsItsOwnTransition) {
+  // Fig. 7 / Table 1: the PMOS defect at input A delays (11,01) but leaves
+  // (11,10) at its fault-free value, and vice versa.
+  const BreakdownStage s = BreakdownStage::kMbd2;
+  const auto ff_rise = chr.measure(std::nullopt, s, kRise_11_01);
+  ASSERT_TRUE(ff_rise.delay.has_value());
+
+  const auto a_own = chr.measure(cells::TransistorRef{true, 0}, s, kRise_11_01);
+  const auto a_other =
+      chr.measure(cells::TransistorRef{true, 0}, s, kRise_11_10);
+  ASSERT_TRUE(a_own.delay.has_value());
+  ASSERT_TRUE(a_other.delay.has_value());
+  EXPECT_GT(*a_own.delay, 2.0 * *ff_rise.delay);
+  EXPECT_LT(*a_other.delay, 1.3 * *ff_rise.delay);
+
+  const auto b_own = chr.measure(cells::TransistorRef{true, 1}, s, kRise_11_10);
+  const auto b_other =
+      chr.measure(cells::TransistorRef{true, 1}, s, kRise_11_01);
+  ASSERT_TRUE(b_own.delay.has_value());
+  ASSERT_TRUE(b_other.delay.has_value());
+  EXPECT_GT(*b_own.delay, 2.0 * *ff_rise.delay);
+  EXPECT_LT(*b_other.delay, 1.3 * *ff_rise.delay);
+}
+
+TEST_F(NandCharacterizer, PmosMbd3SticksLow) {
+  const auto m = chr.measure(cells::TransistorRef{true, 1},
+                             BreakdownStage::kMbd3, kRise_11_10);
+  EXPECT_FALSE(m.delay.has_value());
+  EXPECT_TRUE(m.stuck);
+  EXPECT_FALSE(m.stuck_high);  // Table 1: "sa-0"
+}
+
+TEST_F(NandCharacterizer, ObdRaisesSupplyCurrent) {
+  // The leakage path pulls a static mA-scale current: the IDDQ signature
+  // Segura et al. exploit, visible in our peak supply current.
+  const auto ff = chr.measure(std::nullopt, BreakdownStage::kFaultFree,
+                              kFall_10_11);
+  const auto bd = chr.measure(cells::TransistorRef{false, 0},
+                              BreakdownStage::kMbd2, kFall_10_11);
+  EXPECT_GT(bd.peak_supply_current, 1.1 * ff.peak_supply_current);
+}
+
+TEST_F(NandCharacterizer, DegradedOutputLevelAtLateStage) {
+  // VOL rises when the NMOS defect injects current into the output node.
+  const auto m = chr.measure(cells::TransistorRef{false, 0},
+                             BreakdownStage::kMbd3, kFall_10_11);
+  ASSERT_TRUE(m.delay.has_value());
+  EXPECT_GT(m.settled_v, 0.02);  // no longer a clean 0 V rail
+}
+
+TEST_F(NandCharacterizer, ExcitationEngineAgreesWithAnalogDelays) {
+  // Cross-validation: for every (transistor, transition) pair, the analog
+  // delay grows noticeably iff the structural excitation engine says the
+  // pair is excited. This ties Sec. 4.1 (conditions) to Sec. 3 (model).
+  const CellTopology nand2 = cells::nand_topology(2);
+  const BreakdownStage s = BreakdownStage::kMbd2;
+  const std::vector<cells::TwoVector> transitions{
+      kFall_01_11, kFall_10_11, kFall_00_11, kRise_11_01, kRise_11_10};
+  for (const auto& t : nand2.transistors()) {
+    for (const auto& tv : transitions) {
+      const auto ff = chr.measure(std::nullopt, BreakdownStage::kFaultFree, tv);
+      const auto m = chr.measure(t, s, tv);
+      ASSERT_TRUE(ff.delay.has_value());
+      if (!m.delay.has_value()) {
+        // Stuck counts as an (extreme) delay: must be an excited pair.
+        EXPECT_TRUE(excites_obd(nand2, t, tv));
+        continue;
+      }
+      const double ratio = *m.delay / *ff.delay;
+      const bool excited = excites_obd(nand2, t, tv);
+      if (excited) {
+        EXPECT_GT(ratio, 1.3)
+            << (t.pmos ? "P" : "N") << t.input << " "
+            << cells::format_transition(tv, 2);
+      } else {
+        EXPECT_LT(ratio, 1.3)
+            << (t.pmos ? "P" : "N") << t.input << " "
+            << cells::format_transition(tv, 2);
+      }
+    }
+  }
+}
+
+TEST(CharacterizerNor, DualBehaviourAtMbd1) {
+  // NOR: NMOS defects are the input-specific ones (parallel PDN). MBD1 is
+  // the mild stage; the defect slows its own transition and leaves the
+  // other input's transition intact.
+  const cells::Technology tech = cells::Technology::default_350nm();
+  GateCharacterizer chr(cells::nor_topology(2), tech);
+  const cells::TwoVector own{0b00, 0b01};    // A rises -> output falls via A
+  const cells::TwoVector other{0b00, 0b10};  // B rises
+  const BreakdownStage s = BreakdownStage::kMbd1;
+  const auto ff = chr.measure(std::nullopt, s, own);
+  ASSERT_TRUE(ff.delay.has_value());
+  const auto m_own = chr.measure(cells::TransistorRef{false, 0}, s, own);
+  const auto m_other = chr.measure(cells::TransistorRef{false, 0}, s, other);
+  ASSERT_TRUE(m_own.delay.has_value());
+  ASSERT_TRUE(m_other.delay.has_value());
+  EXPECT_GT(*m_own.delay, 1.2 * *ff.delay);
+  EXPECT_LT(*m_other.delay, 1.2 * *ff.delay);
+}
+
+TEST(CharacterizerNor, NmosDefectSticksAtLaterStage) {
+  // At MBD2 the defective NMOS's gate is so degraded that the (still
+  // conducting) complementary PMOS wins the fight: the output can no longer
+  // fall. The single-transistor pull-down of a NOR makes NMOS defects
+  // *more* severe than in a NAND - the dual of the paper's PMOS cliff.
+  const cells::Technology tech = cells::Technology::default_350nm();
+  GateCharacterizer chr(cells::nor_topology(2), tech);
+  const auto m = chr.measure(cells::TransistorRef{false, 0},
+                             BreakdownStage::kMbd2, {0b00, 0b01});
+  EXPECT_TRUE(m.stuck);
+  EXPECT_TRUE(m.stuck_high);
+}
+
+}  // namespace
+}  // namespace obd::core

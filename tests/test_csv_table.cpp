@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace obd::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv;
+  csv.set_header({"a", "b"});
+  csv.add_row({std::string("1"), std::string("2")});
+  csv.add_row(std::vector<double>{3.5, 4.25});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST(Csv, QuotingCommasAndQuotes) {
+  CsvWriter csv;
+  csv.add_row({std::string("x,y"), std::string("say \"hi\"")});
+  EXPECT_EQ(csv.to_string(), "\"x,y\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, WriteTracesCsvResamplesAllTraces) {
+  Waveform a("a");
+  Waveform b("b");
+  for (int i = 0; i <= 10; ++i) {
+    a.append(i, i);
+    b.append(i, 10 - i);
+  }
+  const std::string path = testing::TempDir() + "/traces.csv";
+  ASSERT_TRUE(write_traces_csv(path, {&a, &b}, 11));
+  FILE* f = fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(fgets(line, sizeof line, f), nullptr);
+  EXPECT_STREQ(line, "time,a,b\n");
+  int rows = 0;
+  while (fgets(line, sizeof line, f) != nullptr) ++rows;
+  fclose(f);
+  EXPECT_EQ(rows, 11);
+}
+
+TEST(Csv, WriteTracesCsvRejectsEmpty) {
+  EXPECT_FALSE(write_traces_csv(testing::TempDir() + "/none.csv", {}));
+}
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t("Title");
+  t.set_header({"col", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| col    | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(FormatTimeEng, PicksEngineeringSuffix) {
+  EXPECT_EQ(format_time_eng(96e-12), "96ps");
+  EXPECT_EQ(format_time_eng(1.5e-9), "1.5ns");
+  EXPECT_EQ(format_time_eng(2.0), "2s");
+  EXPECT_EQ(format_time_eng(0.0), "0s");
+  EXPECT_EQ(format_time_eng(3.6e-6), "3.6us");
+}
+
+TEST(FormatG, Precision) {
+  EXPECT_EQ(format_g(3.14159, 3), "3.14");
+  EXPECT_EQ(format_g(1e-30, 2), "1e-30");
+}
+
+}  // namespace
+}  // namespace obd::util

@@ -1,0 +1,185 @@
+// DC analyses against hand-computable circuits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/spice.hpp"
+
+namespace obd::spice {
+namespace {
+
+TEST(DcOp, VoltageDivider) {
+  Netlist nl;
+  const NodeId vin = nl.node("in");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V1", vin, kGround, SourceWave::make_dc(3.0));
+  nl.add_resistor("R1", vin, mid, 1000.0);
+  nl.add_resistor("R2", mid, kGround, 2000.0);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(mid), 2.0, 1e-6);
+}
+
+TEST(DcOp, CurrentSourceIntoResistor) {
+  Netlist nl;
+  const NodeId n = nl.node("n");
+  // 1 mA injected into n (flows from ground through source into n).
+  nl.add_isource("I1", kGround, n, SourceWave::make_dc(1e-3));
+  nl.add_resistor("R1", n, kGround, 4700.0);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(n), 4.7, 1e-6);
+}
+
+TEST(DcOp, SeriesVoltageSourcesAndBranchCurrents) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_vsource("V1", a, kGround, SourceWave::make_dc(1.0));
+  nl.add_vsource("V2", b, a, SourceWave::make_dc(2.0));
+  nl.add_resistor("R1", b, kGround, 1000.0);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(b), 3.0, 1e-9);
+  // Both sources carry the same 3 mA loop current.
+  const std::size_t nv = nl.num_nodes() - 1;
+  EXPECT_NEAR(std::abs(r.x[nv + 0]), 3e-3, 1e-9);
+  EXPECT_NEAR(std::abs(r.x[nv + 1]), 3e-3, 1e-9);
+}
+
+TEST(DcOp, DiodeResistorForwardDrop) {
+  Netlist nl;
+  const NodeId vin = nl.node("in");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V1", vin, kGround, SourceWave::make_dc(3.0));
+  nl.add_resistor("R1", vin, mid, 1000.0);
+  DiodeParams dp;
+  dp.isat = 1e-14;
+  nl.add_diode("D1", mid, kGround, dp);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  const double vd = r.voltage(mid);
+  EXPECT_GT(vd, 0.5);
+  EXPECT_LT(vd, 0.8);
+  // KCL cross-check: resistor current equals diode current.
+  const double ir = (3.0 - vd) / 1000.0;
+  const double id = 1e-14 * std::expm1(vd / dp.vt);
+  EXPECT_NEAR(ir, id, ir * 1e-3);
+}
+
+TEST(DcOp, DiodeReverseBlocks) {
+  Netlist nl;
+  const NodeId vin = nl.node("in");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V1", vin, kGround, SourceWave::make_dc(-3.0));
+  nl.add_resistor("R1", vin, mid, 1000.0);
+  DiodeParams dp;
+  nl.add_diode("D1", mid, kGround, dp);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(mid), -3.0, 1e-3);  // nearly all drop across diode
+}
+
+TEST(DcOp, FloatingNodeHandledByGmin) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_vsource("V1", a, kGround, SourceWave::make_dc(1.0));
+  nl.add_capacitor("C1", a, b, 1e-12);  // b floats at DC
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(b), 0.0, 1e-6);
+}
+
+MosfetParams simple_nmos() {
+  MosfetParams p;
+  p.vt0 = 0.55;
+  p.kp = 170e-6;
+  p.w = 1e-6;
+  p.l = 0.35e-6;
+  p.lambda = 0.05;
+  return p;
+}
+
+TEST(DcOp, NmosCommonSource) {
+  // NMOS with drain resistor: check against the analytic triode solution.
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId d = nl.node("d");
+  const NodeId g = nl.node("g");
+  nl.add_vsource("Vdd", vdd, kGround, SourceWave::make_dc(3.3));
+  nl.add_vsource("Vg", g, kGround, SourceWave::make_dc(3.3));
+  nl.add_resistor("Rd", vdd, d, 10000.0);
+  nl.add_mosfet("M1", d, g, kGround, kGround, simple_nmos());
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  const double vds = r.voltage(d);
+  // Strongly driven, big resistor: should sit deep in triode (low vds).
+  EXPECT_LT(vds, 0.3);
+  EXPECT_GT(vds, 0.0);
+}
+
+TEST(DcOp, CmosInverterRails) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource("Vdd", vdd, kGround, SourceWave::make_dc(3.3));
+  VoltageSource* vin = nl.add_vsource("Vin", in, kGround, SourceWave::make_dc(0.0));
+  MosfetParams pn = simple_nmos();
+  MosfetParams pp = simple_nmos();
+  pp.pmos = true;
+  pp.kp = 60e-6;
+  pp.w = 2e-6;
+  nl.add_mosfet("MN", out, in, kGround, kGround, pn);
+  nl.add_mosfet("MP", out, in, vdd, vdd, pp);
+
+  // Input low -> output at VDD.
+  DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(out), 3.3, 1e-2);
+
+  // Input high -> output at 0.
+  vin->set_wave(SourceWave::make_dc(3.3));
+  r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(out), 0.0, 1e-2);
+}
+
+TEST(DcSweep, InverterVtcIsMonotoneFalling) {
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource("Vdd", vdd, kGround, SourceWave::make_dc(3.3));
+  nl.add_vsource("Vin", in, kGround, SourceWave::make_dc(0.0));
+  MosfetParams pn = simple_nmos();
+  MosfetParams pp = simple_nmos();
+  pp.pmos = true;
+  pp.kp = 60e-6;
+  pp.w = 2e-6;
+  nl.add_mosfet("MN", out, in, kGround, kGround, pn);
+  nl.add_mosfet("MP", out, in, vdd, vdd, pp);
+
+  const DcSweepResult sw =
+      dc_sweep(nl, "Vin", 0.0, 3.3, 0.05, {"out"}, SolverOptions{});
+  ASSERT_EQ(sw.status, SolveStatus::kOk);
+  const util::Waveform* vtc = sw.traces.find("out");
+  ASSERT_NE(vtc, nullptr);
+  ASSERT_GT(vtc->size(), 10u);
+  EXPECT_NEAR(vtc->value(0), 3.3, 0.02);
+  EXPECT_NEAR(vtc->final_value(), 0.0, 0.02);
+  for (std::size_t i = 1; i < vtc->size(); ++i)
+    EXPECT_LE(vtc->value(i), vtc->value(i - 1) + 1e-6) << "at index " << i;
+}
+
+TEST(DcSweep, MissingSourceReported) {
+  Netlist nl;
+  nl.add_resistor("R1", nl.node("a"), kGround, 1.0);
+  const DcSweepResult sw =
+      dc_sweep(nl, "nosuch", 0.0, 1.0, 0.1, {"a"}, SolverOptions{});
+  EXPECT_NE(sw.status, SolveStatus::kOk);
+}
+
+}  // namespace
+}  // namespace obd::spice

@@ -1,0 +1,191 @@
+// Device-physics unit tests: diode characteristic and MOSFET regions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/devices.hpp"
+#include "spice/netlist.hpp"
+
+namespace obd::spice {
+namespace {
+
+TEST(Diode, ForwardCurrentMatchesShockley) {
+  Netlist nl;
+  DiodeParams p;
+  p.isat = 1e-14;
+  const Diode* d = nl.add_diode("D1", nl.node("a"), nl.node("c"), p);
+  const double v = 0.6;
+  const double expected = 1e-14 * std::expm1(v / p.vt);
+  EXPECT_NEAR(d->current(v), expected, expected * 1e-12);
+}
+
+TEST(Diode, ReverseCurrentSaturates) {
+  Netlist nl;
+  DiodeParams p;
+  p.isat = 1e-14;
+  const Diode* d = nl.add_diode("D1", nl.node("a"), nl.node("c"), p);
+  EXPECT_NEAR(d->current(-1.0), -1e-14, 1e-20);
+}
+
+TEST(Diode, ExponentLimitingKeepsCurrentFinite) {
+  Netlist nl;
+  DiodeParams p;
+  p.isat = 2e-24;  // HBD-scale saturation current from Table 1
+  const Diode* d = nl.add_diode("D1", nl.node("a"), nl.node("c"), p);
+  const double i = d->current(5.0);
+  EXPECT_TRUE(std::isfinite(i));
+  EXPECT_GT(i, 0.0);
+  // Monotone beyond the limiting knee.
+  EXPECT_GT(d->current(6.0), i);
+}
+
+TEST(Diode, TinyIsatGivesNegligibleCurrent) {
+  // Fault-free OBD parameters (Isat = 1e-30) must behave as an open path.
+  Netlist nl;
+  DiodeParams p;
+  p.isat = 1e-30;
+  const Diode* d = nl.add_diode("D1", nl.node("a"), nl.node("c"), p);
+  EXPECT_LT(d->current(0.5), 1e-21);
+}
+
+// --- MOSFET ----------------------------------------------------------------
+
+MosfetParams nmos_params() {
+  MosfetParams p;
+  p.pmos = false;
+  p.vt0 = 0.55;
+  p.kp = 170e-6;
+  p.w = 1e-6;
+  p.l = 0.35e-6;
+  p.lambda = 0.0;  // simpler checks without CLM
+  return p;
+}
+
+TEST(Mosfet, CutoffNoCurrent) {
+  Netlist nl;
+  Mosfet* m = nl.add_mosfet("M1", nl.node("d"), nl.node("g"), nl.node("s"),
+                            kGround, nmos_params());
+  const auto op = m->evaluate(/*vd=*/1.0, /*vg=*/0.3, /*vs=*/0.0);
+  EXPECT_DOUBLE_EQ(op.ids, 0.0);
+  EXPECT_DOUBLE_EQ(op.gm, 0.0);
+}
+
+TEST(Mosfet, SaturationSquareLaw) {
+  Netlist nl;
+  const MosfetParams p = nmos_params();
+  Mosfet* m = nl.add_mosfet("M1", nl.node("d"), nl.node("g"), nl.node("s"),
+                            kGround, p);
+  const double vgs = 2.0;
+  const double vgst = vgs - p.vt0;
+  const auto op = m->evaluate(/*vd=*/3.3, vgs, 0.0);  // vds > vgst
+  const double expected = 0.5 * p.beta() * vgst * vgst;
+  EXPECT_NEAR(op.ids, expected, expected * 1e-12);
+  EXPECT_NEAR(op.gm, p.beta() * vgst, p.beta() * vgst * 1e-12);
+}
+
+TEST(Mosfet, TriodeRegion) {
+  Netlist nl;
+  const MosfetParams p = nmos_params();
+  Mosfet* m = nl.add_mosfet("M1", nl.node("d"), nl.node("g"), nl.node("s"),
+                            kGround, p);
+  const double vgs = 3.3;
+  const double vds = 0.1;  // deep triode
+  const auto op = m->evaluate(vds, vgs, 0.0);
+  const double vgst = vgs - p.vt0;
+  const double expected = p.beta() * (vgst * vds - 0.5 * vds * vds);
+  EXPECT_NEAR(op.ids, expected, expected * 1e-9);
+}
+
+TEST(Mosfet, DrainSourceSymmetry) {
+  // Reversing the channel reverses the current exactly.
+  Netlist nl;
+  Mosfet* m = nl.add_mosfet("M1", nl.node("d"), nl.node("g"), nl.node("s"),
+                            kGround, nmos_params());
+  const auto fwd = m->evaluate(1.0, 3.3, 0.0);
+  const auto rev = m->evaluate(0.0, 3.3, 1.0);  // vd < vs
+  EXPECT_NEAR(fwd.ids, -rev.ids, std::abs(fwd.ids) * 1e-12);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  Netlist nl;
+  MosfetParams pn = nmos_params();
+  MosfetParams pp = pn;
+  pp.pmos = true;
+  Mosfet* mn = nl.add_mosfet("MN", nl.node("d1"), nl.node("g1"), nl.node("s1"),
+                             kGround, pn);
+  Mosfet* mp = nl.add_mosfet("MP", nl.node("d2"), nl.node("g2"), nl.node("s2"),
+                             kGround, pp);
+  // PMOS with source at 3.3, gate 0, drain 0: |vgs|=3.3, conducting, current
+  // flows source->drain, i.e. ids (drain->source) is negative.
+  const auto opp = mp->evaluate(/*vd=*/0.0, /*vg=*/0.0, /*vs=*/3.3);
+  const auto opn = mn->evaluate(/*vd=*/3.3, /*vg=*/3.3, /*vs=*/0.0);
+  EXPECT_NEAR(opp.ids, -opn.ids, std::abs(opn.ids) * 1e-12);
+}
+
+TEST(Mosfet, PmosOffWhenGateHigh) {
+  Netlist nl;
+  MosfetParams pp = nmos_params();
+  pp.pmos = true;
+  Mosfet* mp = nl.add_mosfet("MP", nl.node("d"), nl.node("g"), nl.node("s"),
+                             kGround, pp);
+  const auto op = mp->evaluate(0.0, 3.3, 3.3);
+  EXPECT_DOUBLE_EQ(op.ids, 0.0);
+}
+
+TEST(Mosfet, ChannelLengthModulationIncreasesSatCurrent) {
+  Netlist nl;
+  MosfetParams p = nmos_params();
+  p.lambda = 0.05;
+  Mosfet* m = nl.add_mosfet("M1", nl.node("d"), nl.node("g"), nl.node("s"),
+                            kGround, p);
+  const auto lo = m->evaluate(2.0, 2.0, 0.0);
+  const auto hi = m->evaluate(3.0, 2.0, 0.0);
+  EXPECT_GT(hi.ids, lo.ids);
+  EXPECT_GT(hi.gds, 0.0);
+}
+
+TEST(Netlist, NodeAliasesForGround) {
+  Netlist nl;
+  EXPECT_EQ(nl.node("0"), kGround);
+  EXPECT_EQ(nl.node("gnd"), kGround);
+  EXPECT_EQ(nl.node("GND"), kGround);
+}
+
+TEST(Netlist, NodeIdentityAndNames) {
+  Netlist nl;
+  const NodeId a = nl.node("alpha");
+  EXPECT_EQ(nl.node("alpha"), a);
+  EXPECT_EQ(nl.node_name(a), "alpha");
+  EXPECT_EQ(nl.find_node("beta"), kInvalidNode);
+  EXPECT_NE(nl.node("beta"), a);
+}
+
+TEST(Netlist, DeviceLookupByNameAndType) {
+  Netlist nl;
+  nl.add_resistor("R1", nl.node("a"), kGround, 100.0);
+  nl.add_mosfet("M1", nl.node("d"), nl.node("g"), nl.node("s"), kGround,
+                nmos_params());
+  nl.add_vsource("V1", nl.node("a"), kGround, SourceWave::make_dc(1.0));
+  EXPECT_NE(nl.find_device("R1"), nullptr);
+  EXPECT_NE(nl.find_mosfet("M1"), nullptr);
+  EXPECT_EQ(nl.find_mosfet("R1"), nullptr);
+  EXPECT_NE(nl.find_vsource("V1"), nullptr);
+  EXPECT_EQ(nl.find_vsource("M1"), nullptr);
+  EXPECT_EQ(nl.find_device("nope"), nullptr);
+}
+
+TEST(Netlist, BranchAndStateAccounting) {
+  Netlist nl;
+  nl.add_vsource("V1", nl.node("a"), kGround, SourceWave::make_dc(1.0));
+  nl.add_vsource("V2", nl.node("b"), kGround, SourceWave::make_dc(2.0));
+  nl.add_capacitor("C1", nl.node("a"), kGround, 1e-12);
+  nl.add_mosfet("M1", nl.node("d"), nl.node("g"), nl.node("s"), kGround,
+                nmos_params());
+  EXPECT_EQ(nl.num_branches(), 2u);
+  EXPECT_EQ(nl.state_size(), 2u + 8u);
+  // unknowns: nodes (a,b,d,g,s) + 2 branches
+  EXPECT_EQ(nl.unknown_count(), 5u + 2u);
+}
+
+}  // namespace
+}  // namespace obd::spice

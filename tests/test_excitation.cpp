@@ -1,0 +1,248 @@
+// Excitation-condition derivation vs the paper's published conditions.
+#include "core/excitation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace obd::core {
+namespace {
+
+using cells::format_transition;
+
+std::set<std::string> format_all(const std::vector<TwoVector>& trs, int n) {
+  std::set<std::string> out;
+  for (const auto& t : trs) out.insert(format_transition(t, n));
+  return out;
+}
+
+// --- NAND2: the paper's Sec. 4.1 conditions --------------------------------
+
+TEST(ExcitationNand2, NmosExcitedByAnyFallingOutputTransition) {
+  const CellTopology c = cells::nand_topology(2);
+  // Paper: NMOS OBD detected through {(01,11),(10,11),(00,11)} - any input
+  // switching producing a high-to-low output edge.
+  const std::set<std::string> expected{"(01,11)", "(10,11)", "(00,11)"};
+  for (int input : {0, 1}) {
+    const auto got = format_all(obd_excitations(c, {false, input}), 2);
+    EXPECT_EQ(got, expected) << "NMOS input " << input;
+  }
+}
+
+TEST(ExcitationNand2, PmosInputSpecific) {
+  const CellTopology c = cells::nand_topology(2);
+  // Paper: PMOS at input A only via (11,01); at input B only via (11,10).
+  EXPECT_EQ(format_all(obd_excitations(c, {true, 0}), 2),
+            std::set<std::string>{"(11,01)"});
+  EXPECT_EQ(format_all(obd_excitations(c, {true, 1}), 2),
+            std::set<std::string>{"(11,10)"});
+}
+
+TEST(ExcitationNand2, SimultaneousPmosSwitchExcitesNeither) {
+  // (11,00) turns on both PMOS in parallel: neither is essential.
+  const CellTopology c = cells::nand_topology(2);
+  const TwoVector tv{0b11, 0b00};
+  EXPECT_FALSE(excites_obd(c, {true, 0}, tv));
+  EXPECT_FALSE(excites_obd(c, {true, 1}, tv));
+  // But both carry current: EM excitation applies.
+  EXPECT_TRUE(excites_em(c, {true, 0}, tv));
+  EXPECT_TRUE(excites_em(c, {true, 1}, tv));
+}
+
+TEST(ExcitationNand2, MinimalTestSetSizeThree) {
+  // Paper: one of {(10,11),(00,11),(01,11)} plus {(11,10)} and {(11,01)}
+  // is necessary and sufficient -> 3 transitions.
+  const CellTopology c = cells::nand_topology(2);
+  const auto set = minimal_obd_test_set(c);
+  ASSERT_EQ(set.size(), 3u);
+  const auto got = format_all(set, 2);
+  EXPECT_TRUE(got.count("(11,01)"));
+  EXPECT_TRUE(got.count("(11,10)"));
+  // The third element is one of the falling-output transitions.
+  int falling = 0;
+  for (const auto& s : got)
+    if (s == "(01,11)" || s == "(10,11)" || s == "(00,11)") ++falling;
+  EXPECT_EQ(falling, 1);
+}
+
+// --- NOR2: the paper's Sec. 5 dual conditions -------------------------------
+
+TEST(ExcitationNor2, PmosExcitedByAnyRisingOutputTransition) {
+  const CellTopology c = cells::nor_topology(2);
+  // Paper: for NOR, one of {(10,00),(01,00),(11,00)} covers the PMOS pair.
+  const std::set<std::string> expected{"(10,00)", "(01,00)", "(11,00)"};
+  for (int input : {0, 1}) {
+    const auto got = format_all(obd_excitations(c, {true, input}), 2);
+    EXPECT_EQ(got, expected) << "PMOS input " << input;
+  }
+}
+
+TEST(ExcitationNor2, NmosInputSpecific) {
+  const CellTopology c = cells::nor_topology(2);
+  // Paper: sequences {(00,01)} and {(00,10)} for the two NMOS.
+  EXPECT_EQ(format_all(obd_excitations(c, {false, 0}), 2),
+            std::set<std::string>{"(00,10)"});
+  EXPECT_EQ(format_all(obd_excitations(c, {false, 1}), 2),
+            std::set<std::string>{"(00,01)"});
+}
+
+TEST(ExcitationNor2, MinimalTestSetSizeThree) {
+  const CellTopology c = cells::nor_topology(2);
+  EXPECT_EQ(minimal_obd_test_set(c).size(), 3u);
+}
+
+// --- Inverter ----------------------------------------------------------------
+
+TEST(ExcitationInv, BothEdgesNeeded) {
+  const CellTopology c = cells::inv_topology();
+  EXPECT_EQ(format_all(obd_excitations(c, {false, 0}), 1),
+            std::set<std::string>{"(0,1)"});
+  EXPECT_EQ(format_all(obd_excitations(c, {true, 0}), 1),
+            std::set<std::string>{"(1,0)"});
+  EXPECT_EQ(minimal_obd_test_set(c).size(), 2u);
+}
+
+// --- NAND3: generalization --------------------------------------------------
+
+TEST(ExcitationNand3, PmosNeedsAllOthersHeldHigh) {
+  const CellTopology c = cells::nand_topology(3);
+  // PMOS at input 0: v1 = 111, v2 = 011 (A low, B and C high).
+  const auto got = format_all(obd_excitations(c, {true, 0}), 3);
+  EXPECT_EQ(got, std::set<std::string>{"(111,011)"});
+}
+
+TEST(ExcitationNand3, NmosExcitedByAllFallingTransitions) {
+  const CellTopology c = cells::nand_topology(3);
+  // Any v1 != 111 followed by v2 = 111: 7 transitions.
+  const auto got = obd_excitations(c, {false, 1});
+  EXPECT_EQ(got.size(), 7u);
+  for (const auto& tv : got) EXPECT_EQ(tv.v2, 0b111u);
+}
+
+TEST(ExcitationNand3, MinimalTestSetSizeFour) {
+  // One falling + one rising per PMOS input.
+  EXPECT_EQ(minimal_obd_test_set(cells::nand_topology(3)).size(), 4u);
+}
+
+// --- AOI21: where OBD and EM conditions split (paper Sec. 5) ---------------
+
+TEST(ExcitationAoi21, ObdStricterThanEm) {
+  const CellTopology c = cells::aoi21_topology();
+  // Falling transition 000 -> 111 (out: 1 -> 0). PDN: (A.B) || C, both
+  // branches conduct under 111: every NMOS carries current (EM excited)
+  // but none is essential (OBD not excited).
+  const TwoVector tv{0b000, 0b111};
+  for (int i : {0, 1, 2}) {
+    EXPECT_TRUE(excites_em(c, {false, i}, tv)) << i;
+    EXPECT_FALSE(excites_obd(c, {false, i}, tv)) << i;
+  }
+}
+
+TEST(ExcitationAoi21, ObdNmosOnSeriesBranchNeedsParallelBranchOff) {
+  const CellTopology c = cells::aoi21_topology();
+  // 000 -> 011 (A=B=1, C=0): only the series branch pulls down.
+  const TwoVector tv{0b000, 0b011};
+  EXPECT_TRUE(excites_obd(c, {false, 0}, tv));
+  EXPECT_TRUE(excites_obd(c, {false, 1}, tv));
+  EXPECT_FALSE(excites_obd(c, {false, 2}, tv));
+}
+
+TEST(ExcitationAoi21, EmTestSetDoesNotCoverObdFaults) {
+  // The paper's warning: EM-targeting tests need not detect OBD defects.
+  const CellTopology c = cells::aoi21_topology();
+  const auto em_set = minimal_em_test_set(c);
+  // Check whether every OBD-excitable transistor is excited by some EM test.
+  bool all_covered = true;
+  for (const auto& t : c.transistors()) {
+    if (obd_excitations(c, t).empty()) continue;  // not OBD-excitable anyway
+    bool covered = false;
+    for (const auto& tv : em_set)
+      if (excites_obd(c, t, tv)) covered = true;
+    if (!covered) all_covered = false;
+  }
+  EXPECT_FALSE(all_covered)
+      << "minimal EM set unexpectedly covers all OBD faults";
+}
+
+TEST(ExcitationAoi21, MinimalObdSetCoversAllExcitable) {
+  const CellTopology c = cells::aoi21_topology();
+  const auto set = minimal_obd_test_set(c);
+  for (const auto& t : c.transistors()) {
+    if (obd_excitations(c, t).empty()) continue;
+    bool covered = false;
+    for (const auto& tv : set)
+      if (excites_obd(c, t, tv)) covered = true;
+    EXPECT_TRUE(covered) << (t.pmos ? "P" : "N") << t.input;
+  }
+}
+
+// --- Generic properties over the whole zoo ----------------------------------
+
+class ExcitationPropertyTest
+    : public testing::TestWithParam<CellTopology> {};
+
+TEST_P(ExcitationPropertyTest, ObdImpliesEm) {
+  const CellTopology& c = GetParam();
+  const InputBits limit = 1u << c.num_inputs;
+  for (const auto& t : c.transistors())
+    for (InputBits v1 = 0; v1 < limit; ++v1)
+      for (InputBits v2 = 0; v2 < limit; ++v2) {
+        const TwoVector tv{v1, v2};
+        if (excites_obd(c, t, tv))
+          EXPECT_TRUE(excites_em(c, t, tv))
+              << c.type_name << " " << t.input << " " << v1 << "->" << v2;
+      }
+}
+
+TEST_P(ExcitationPropertyTest, ExcitationRequiresOutputSwitch) {
+  const CellTopology& c = GetParam();
+  const InputBits limit = 1u << c.num_inputs;
+  for (const auto& t : c.transistors())
+    for (InputBits v1 = 0; v1 < limit; ++v1)
+      for (InputBits v2 = 0; v2 < limit; ++v2) {
+        if (c.output(v1) == c.output(v2)) {
+          EXPECT_FALSE(excites_obd(c, t, {v1, v2}));
+          EXPECT_FALSE(excites_em(c, t, {v1, v2}));
+        }
+      }
+}
+
+TEST_P(ExcitationPropertyTest, EveryTransistorExcitableInComplementaryCell) {
+  // For complementary SP cells every transistor has at least one exciting
+  // transition (choose v2 so that only its own branch conducts).
+  const CellTopology& c = GetParam();
+  for (const auto& t : c.transistors())
+    EXPECT_FALSE(obd_excitations(c, t).empty())
+        << c.type_name << " " << (t.pmos ? "P" : "N") << t.input;
+}
+
+TEST_P(ExcitationPropertyTest, MinimalSetNoSmallerThanPmosOrNmosDemand) {
+  // Each input-specific transistor needs its own transition, so the set
+  // size is at least the max per-polarity count of singleton conditions.
+  const CellTopology& c = GetParam();
+  const auto set = minimal_obd_test_set(c);
+  EXPECT_FALSE(set.empty());
+  // And it must cover everything (cross-check of the cover search).
+  for (const auto& t : c.transistors()) {
+    if (obd_excitations(c, t).empty()) continue;
+    bool covered = false;
+    for (const auto& tv : set)
+      if (excites_obd(c, t, tv)) covered = true;
+    EXPECT_TRUE(covered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, ExcitationPropertyTest,
+    testing::Values(cells::inv_topology(), cells::nand_topology(2),
+                    cells::nand_topology(3), cells::nand_topology(4),
+                    cells::nor_topology(2), cells::nor_topology(3),
+                    cells::aoi21_topology(), cells::aoi22_topology(),
+                    cells::oai21_topology()),
+    [](const testing::TestParamInfo<CellTopology>& info) {
+      return info.param.type_name;
+    });
+
+}  // namespace
+}  // namespace obd::core

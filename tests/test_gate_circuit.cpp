@@ -1,0 +1,194 @@
+// Gate primitives and circuit graph mechanics.
+#include <gtest/gtest.h>
+
+#include "logic/circuit.hpp"
+
+namespace obd::logic {
+namespace {
+
+TEST(GateEval, ArityAndNames) {
+  EXPECT_EQ(gate_arity(GateType::kInv), 1);
+  EXPECT_EQ(gate_arity(GateType::kNand3), 3);
+  EXPECT_EQ(gate_arity(GateType::kAoi22), 4);
+  EXPECT_STREQ(gate_type_name(GateType::kNor3), "NOR3");
+}
+
+TEST(GateEval, BooleanFunctions) {
+  EXPECT_TRUE(gate_eval(GateType::kNand2, 0b01));
+  EXPECT_FALSE(gate_eval(GateType::kNand2, 0b11));
+  EXPECT_TRUE(gate_eval(GateType::kXor2, 0b01));
+  EXPECT_FALSE(gate_eval(GateType::kXor2, 0b11));
+  EXPECT_TRUE(gate_eval(GateType::kXnor2, 0b11));
+  EXPECT_FALSE(gate_eval(GateType::kAoi21, 0b100));  // C=1 pulls low
+  EXPECT_TRUE(gate_eval(GateType::kOai21, 0b000));
+}
+
+TEST(GateEval, PrimitiveMatchesTopologyEverywhere) {
+  // Cross-check gate_eval against the transistor-level boolean model.
+  for (GateType t : {GateType::kInv, GateType::kNand2, GateType::kNand3,
+                     GateType::kNand4, GateType::kNor2, GateType::kNor3,
+                     GateType::kNor4, GateType::kAoi21, GateType::kAoi22,
+                     GateType::kOai21}) {
+    const auto topo = gate_topology(t);
+    ASSERT_TRUE(topo.has_value());
+    const std::uint32_t limit = 1u << gate_arity(t);
+    for (std::uint32_t v = 0; v < limit; ++v)
+      EXPECT_EQ(gate_eval(t, v), topo->output(v))
+          << gate_type_name(t) << " v=" << v;
+  }
+}
+
+TEST(GateEval3, KnownInputsBehaveLikeBoolean) {
+  const Tri in[2] = {Tri::k1, Tri::k0};
+  EXPECT_EQ(gate_eval3(GateType::kNand2, in), Tri::k1);
+  const Tri in2[2] = {Tri::k1, Tri::k1};
+  EXPECT_EQ(gate_eval3(GateType::kNand2, in2), Tri::k0);
+}
+
+TEST(GateEval3, ControllingValueDominatesX) {
+  const Tri in[2] = {Tri::k0, Tri::kX};
+  EXPECT_EQ(gate_eval3(GateType::kNand2, in), Tri::k1);  // 0 controls NAND
+  const Tri in2[2] = {Tri::k1, Tri::kX};
+  EXPECT_EQ(gate_eval3(GateType::kNor2, in2), Tri::k0);  // 1 controls NOR
+}
+
+TEST(GateEval3, NonControllingXPropagates) {
+  const Tri in[2] = {Tri::k1, Tri::kX};
+  EXPECT_EQ(gate_eval3(GateType::kNand2, in), Tri::kX);
+  const Tri in2[1] = {Tri::kX};
+  EXPECT_EQ(gate_eval3(GateType::kInv, in2), Tri::kX);
+}
+
+TEST(GateEval3, XorAlwaysXWithAnyX) {
+  const Tri in[2] = {Tri::k0, Tri::kX};
+  EXPECT_EQ(gate_eval3(GateType::kXor2, in), Tri::kX);
+}
+
+TEST(Circuit, BuildAndEvalSmall) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId b = c.add_input("b");
+  const NetId n1 = c.net("n1");
+  const NetId o = c.net("o");
+  c.add_gate(GateType::kNand2, "g1", {a, b}, n1);
+  c.add_gate(GateType::kInv, "g2", {n1}, o);
+  c.mark_output(o);
+  // o = a AND b.
+  EXPECT_EQ(c.eval_outputs(0b00), 0u);
+  EXPECT_EQ(c.eval_outputs(0b01), 0u);
+  EXPECT_EQ(c.eval_outputs(0b10), 0u);
+  EXPECT_EQ(c.eval_outputs(0b11), 1u);
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(Circuit, TopoOrderRespectsDependencies) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId n1 = c.net("n1");
+  const NetId n2 = c.net("n2");
+  // Add gates in reverse dependency order on purpose.
+  c.add_gate(GateType::kInv, "g2", {n1}, n2);
+  c.add_gate(GateType::kInv, "g1", {a}, n1);
+  c.mark_output(n2);
+  const auto& order = c.topo_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(c.gate(order[0]).name, "g1");
+  EXPECT_EQ(c.gate(order[1]).name, "g2");
+}
+
+TEST(Circuit, LevelsAndDepth) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId n1 = c.net("n1");
+  const NetId n2 = c.net("n2");
+  const NetId n3 = c.net("n3");
+  c.add_gate(GateType::kInv, "g1", {a}, n1);
+  c.add_gate(GateType::kInv, "g2", {n1}, n2);
+  c.add_gate(GateType::kNand2, "g3", {a, n2}, n3);
+  c.mark_output(n3);
+  EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, ValidateCatchesDoubleDriver) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId n1 = c.net("n1");
+  c.add_gate(GateType::kInv, "g1", {a}, n1);
+  c.add_gate(GateType::kInv, "g2", {a}, n1);
+  EXPECT_FALSE(c.validate().empty());
+}
+
+TEST(Circuit, ValidateCatchesCycle) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId n1 = c.net("n1");
+  const NetId n2 = c.net("n2");
+  c.add_gate(GateType::kNand2, "g1", {a, n2}, n1);
+  c.add_gate(GateType::kInv, "g2", {n1}, n2);
+  EXPECT_FALSE(c.validate().empty());
+}
+
+TEST(Circuit, Eval3FullySpecifiedMatchesEval) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId b = c.add_input("b");
+  const NetId o = c.net("o");
+  c.add_gate(GateType::kNand2, "g", {a, b}, o);
+  c.mark_output(o);
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    const std::vector<Tri> pis{tri_of(v & 1), tri_of(v & 2)};
+    const auto vals = c.eval3(pis);
+    EXPECT_EQ(vals[static_cast<std::size_t>(o)] == Tri::k1,
+              c.eval_outputs(v) == 1u);
+  }
+}
+
+TEST(Circuit, FanoutTracking) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId n1 = c.net("n1");
+  const NetId n2 = c.net("n2");
+  c.add_gate(GateType::kInv, "g1", {a}, n1);
+  c.add_gate(GateType::kInv, "g2", {a}, n2);
+  EXPECT_EQ(c.fanout_of(a).size(), 2u);
+  EXPECT_EQ(c.driver_of(n1), 0);
+  EXPECT_EQ(c.driver_of(a), -1);
+}
+
+TEST(Decompose, CompositeLoweringPreservesFunction) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId b = c.add_input("b");
+  const NetId cc = c.add_input("c");
+  const NetId x = c.net("x");
+  const NetId y = c.net("y");
+  const NetId o = c.net("o");
+  c.add_gate(GateType::kXor2, "gx", {a, b}, x);
+  c.add_gate(GateType::kAnd2, "ga", {x, cc}, y);
+  c.add_gate(GateType::kOr2, "go", {y, a}, o);
+  c.mark_output(o);
+
+  const Circuit p = decompose_composites(c);
+  EXPECT_TRUE(p.validate().empty());
+  for (const auto& g : p.gates())
+    EXPECT_TRUE(is_primitive_cmos(g.type)) << g.name;
+  for (std::uint64_t v = 0; v < 8; ++v)
+    EXPECT_EQ(p.eval_outputs(v), c.eval_outputs(v)) << "v=" << v;
+}
+
+TEST(Decompose, BufAndXnor) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId b = c.add_input("b");
+  const NetId x = c.net("x");
+  const NetId o = c.net("o");
+  c.add_gate(GateType::kXnor2, "gx", {a, b}, x);
+  c.add_gate(GateType::kBuf, "gb", {x}, o);
+  c.mark_output(o);
+  const Circuit p = decompose_composites(c);
+  for (std::uint64_t v = 0; v < 4; ++v)
+    EXPECT_EQ(p.eval_outputs(v), c.eval_outputs(v));
+}
+
+}  // namespace
+}  // namespace obd::logic

@@ -1,0 +1,112 @@
+// Fig. 5 harness: stimulus programming and fault-free delays.
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "spice/spice.hpp"
+#include "util/measure.hpp"
+
+namespace obd::cells {
+namespace {
+
+TEST(Harness, FaultFreeNandDelaysInCalibratedBand) {
+  const Technology tech = Technology::default_350nm();
+  Harness h(nand_topology(2), tech);
+  h.set_two_vector({0b01, 0b11});  // B rises, output falls.
+  spice::TransientOptions opt;
+  opt.dt = 2e-12;
+  const auto res = spice::transient(h.netlist(), 6e-9, opt,
+                                    {"in0", "in1", "out", "load_out"});
+  ASSERT_EQ(res.status, spice::SolveStatus::kOk);
+  util::DelayOptions dopt;
+  dopt.vdd = tech.vdd;
+  const auto d = util::propagation_delay(
+      *res.trace("in1"), util::Edge::kRising, *res.trace("out"),
+      util::Edge::kFalling, h.t_switch(), dopt);
+  ASSERT_TRUE(d.has_value());
+  // Calibrated to the paper's ~96 ps scale; keep a generous band.
+  EXPECT_GT(*d, 30e-12);
+  EXPECT_LT(*d, 250e-12);
+}
+
+TEST(Harness, RiseSlowerThanFallLikePaper) {
+  // Paper Table 1 fault-free: 96 ps fall vs 110 ps rise.
+  const Technology tech = Technology::default_350nm();
+  util::DelayOptions dopt;
+  dopt.vdd = tech.vdd;
+  spice::TransientOptions opt;
+  opt.dt = 2e-12;
+
+  Harness hf(nand_topology(2), tech);
+  hf.set_two_vector({0b01, 0b11});
+  const auto rf = spice::transient(hf.netlist(), 6e-9, opt, {"in1", "out"});
+  ASSERT_EQ(rf.status, spice::SolveStatus::kOk);
+  const auto fall = util::propagation_delay(
+      *rf.trace("in1"), util::Edge::kRising, *rf.trace("out"),
+      util::Edge::kFalling, hf.t_switch(), dopt);
+
+  Harness hr(nand_topology(2), tech);
+  hr.set_two_vector({0b11, 0b01});  // B falls, single PMOS charges: rise.
+  const auto rr = spice::transient(hr.netlist(), 6e-9, opt, {"in1", "out"});
+  ASSERT_EQ(rr.status, spice::SolveStatus::kOk);
+  const auto rise = util::propagation_delay(
+      *rr.trace("in1"), util::Edge::kFalling, *rr.trace("out"),
+      util::Edge::kRising, hr.t_switch(), dopt);
+
+  ASSERT_TRUE(fall.has_value());
+  ASSERT_TRUE(rise.has_value());
+  EXPECT_GT(*rise, *fall);
+}
+
+TEST(Harness, StimulusHoldsV1UntilSwitch) {
+  const Technology tech = Technology::default_350nm();
+  Harness h(nand_topology(2), tech);
+  h.set_two_vector({0b01, 0b11}, /*t_switch=*/2e-9);
+  spice::TransientOptions opt;
+  opt.dt = 5e-12;
+  const auto res = spice::transient(h.netlist(), 4e-9, opt, {"in0", "in1"});
+  ASSERT_EQ(res.status, spice::SolveStatus::kOk);
+  // Input A (bit 0 of v1=0b01) high from the start; B low until 2 ns.
+  EXPECT_GT(res.trace("in0")->at(1e-9), 0.9 * tech.vdd);
+  EXPECT_LT(res.trace("in1")->at(1e-9), 0.1 * tech.vdd);
+  EXPECT_GT(res.trace("in1")->at(3.5e-9), 0.9 * tech.vdd);
+}
+
+TEST(Harness, LoadOutputRestoresInvertedValue) {
+  const Technology tech = Technology::default_350nm();
+  Harness h(nand_topology(2), tech);
+  h.set_two_vector({0b01, 0b11});
+  spice::TransientOptions opt;
+  opt.dt = 2e-12;
+  const auto res =
+      spice::transient(h.netlist(), 6e-9, opt, {"out", "load_out"});
+  ASSERT_EQ(res.status, spice::SolveStatus::kOk);
+  // After the output falls, the load inverter output rises to VDD.
+  EXPECT_LT(res.trace("out")->final_value(), 0.1 * tech.vdd);
+  EXPECT_GT(res.trace("load_out")->final_value(), 0.9 * tech.vdd);
+}
+
+TEST(Harness, NoSwitchNoGlitch) {
+  const Technology tech = Technology::default_350nm();
+  Harness h(nand_topology(2), tech);
+  h.set_two_vector({0b00, 0b00});
+  spice::TransientOptions opt;
+  opt.dt = 5e-12;
+  const auto res = spice::transient(h.netlist(), 4e-9, opt, {"out"});
+  ASSERT_EQ(res.status, spice::SolveStatus::kOk);
+  EXPECT_GT(res.trace("out")->min_value(), 0.9 * tech.vdd);
+}
+
+TEST(Harness, WorksForNorToo) {
+  const Technology tech = Technology::default_350nm();
+  Harness h(nor_topology(2), tech);
+  h.set_two_vector({0b01, 0b00});  // A falls -> NOR output rises.
+  spice::TransientOptions opt;
+  opt.dt = 2e-12;
+  const auto res = spice::transient(h.netlist(), 6e-9, opt, {"in0", "out"});
+  ASSERT_EQ(res.status, spice::SolveStatus::kOk);
+  EXPECT_LT(res.trace("out")->at(1.9e-9), 0.1 * tech.vdd);
+  EXPECT_GT(res.trace("out")->final_value(), 0.9 * tech.vdd);
+}
+
+}  // namespace
+}  // namespace obd::cells

@@ -1,0 +1,112 @@
+// IDDQ detection of OBD defects (Segura-style quiescent current testing).
+#include "core/iddq.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obd::core {
+namespace {
+
+const cells::Technology& tech() {
+  static const cells::Technology t = cells::Technology::default_350nm();
+  return t;
+}
+
+TEST(IddqExcites, PolarityRules) {
+  // NMOS defect leaks with its gate high; PMOS with its gate low.
+  EXPECT_TRUE(iddq_excites({false, 0}, 0b01));
+  EXPECT_FALSE(iddq_excites({false, 0}, 0b10));
+  EXPECT_TRUE(iddq_excites({true, 1}, 0b01));
+  EXPECT_FALSE(iddq_excites({true, 1}, 0b10));
+}
+
+TEST(IddqVectors, TwoVectorsCoverEveryTransistor) {
+  for (const auto& cell :
+       {cells::nand_topology(2), cells::nor_topology(3),
+        cells::aoi21_topology(), cells::inv_topology()}) {
+    const auto vectors = minimal_iddq_vectors(cell);
+    ASSERT_EQ(vectors.size(), 2u) << cell.type_name;
+    for (const auto& t : cell.transistors()) {
+      bool covered = false;
+      for (cells::InputBits v : vectors)
+        if (iddq_excites(t, v)) covered = true;
+      EXPECT_TRUE(covered) << cell.type_name;
+    }
+  }
+}
+
+TEST(Iddq, FaultFreeQuiescentCurrentTiny) {
+  const auto m = measure_iddq(cells::nand_topology(2), tech(), std::nullopt,
+                              ObdParams{}, 0b11);
+  ASSERT_EQ(m.status, spice::SolveStatus::kOk);
+  EXPECT_LT(m.iddq, 50e-6);  // microamp-scale leakage at most
+}
+
+TEST(Iddq, NmosDefectRaisesCurrentWhenGateHigh) {
+  const cells::TransistorRef na{false, 0};
+  const ObdParams p = nmos_stage_params(BreakdownStage::kMbd1);
+  const auto ref = measure_iddq(cells::nand_topology(2), tech(), std::nullopt,
+                                ObdParams{}, 0b11);
+  const auto bad =
+      measure_iddq(cells::nand_topology(2), tech(), na, p, 0b11);
+  ASSERT_EQ(bad.status, spice::SolveStatus::kOk);
+  EXPECT_GT(bad.iddq, ref.iddq + 1e-4);  // +100 uA at least
+}
+
+TEST(Iddq, NmosDefectSilentWhenGateLow) {
+  const cells::TransistorRef na{false, 0};
+  const ObdParams p = nmos_stage_params(BreakdownStage::kMbd2);
+  const auto ref = measure_iddq(cells::nand_topology(2), tech(), std::nullopt,
+                                ObdParams{}, 0b00);
+  const auto bad =
+      measure_iddq(cells::nand_topology(2), tech(), na, p, 0b00);
+  ASSERT_EQ(bad.status, spice::SolveStatus::kOk);
+  EXPECT_LT(bad.iddq - ref.iddq, 5e-5);
+}
+
+TEST(Iddq, PmosDefectRaisesCurrentWhenGateLow) {
+  const cells::TransistorRef pa{true, 0};
+  const ObdParams p = pmos_stage_params(BreakdownStage::kMbd2);
+  const auto ref = measure_iddq(cells::nand_topology(2), tech(), std::nullopt,
+                                ObdParams{}, 0b10);
+  const auto bad =
+      measure_iddq(cells::nand_topology(2), tech(), pa, p, 0b10);
+  ASSERT_EQ(bad.status, spice::SolveStatus::kOk);
+  EXPECT_GT(bad.iddq, ref.iddq + 1e-4);
+}
+
+TEST(Iddq, CurrentGrowsWithStage) {
+  const cells::TransistorRef na{false, 0};
+  double prev = 0.0;
+  for (BreakdownStage s : {BreakdownStage::kMbd1, BreakdownStage::kMbd2,
+                           BreakdownStage::kMbd3}) {
+    const auto m = measure_iddq(cells::nand_topology(2), tech(), na,
+                                nmos_stage_params(s), 0b11);
+    ASSERT_EQ(m.status, spice::SolveStatus::kOk);
+    EXPECT_GT(m.iddq, prev) << to_string(s);
+    prev = m.iddq;
+  }
+}
+
+TEST(Iddq, FirstDetectableStageEarlierForLowerThreshold) {
+  const cells::TransistorRef na{false, 0};
+  const auto tight = first_iddq_detectable_stage(
+      cells::nand_topology(2), tech(), na, 0b11, /*threshold=*/50e-6);
+  const auto loose = first_iddq_detectable_stage(
+      cells::nand_topology(2), tech(), na, 0b11, /*threshold=*/10e-3);
+  ASSERT_TRUE(tight.has_value());
+  // MBD1 already pulls ~mA: a 50 uA threshold fires at the first stage.
+  EXPECT_EQ(*tight, BreakdownStage::kMbd1);
+  if (loose.has_value()) {
+    EXPECT_GE(static_cast<int>(*loose), static_cast<int>(*tight));
+  }
+}
+
+TEST(Iddq, WrongPolarityVectorNeverDetects) {
+  const cells::TransistorRef na{false, 0};
+  EXPECT_FALSE(first_iddq_detectable_stage(cells::nand_topology(2), tech(),
+                                           na, 0b10, 1e-6)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace obd::core

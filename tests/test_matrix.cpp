@@ -1,0 +1,109 @@
+#include "spice/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.hpp"
+
+namespace obd::spice {
+namespace {
+
+TEST(DenseMatrix, ResizeZeroes) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 5.0;
+  m.resize(3, 3);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_EQ(m.rows(), 3u);
+}
+
+TEST(DenseMatrix, ClearKeepsShape) {
+  DenseMatrix m(2, 3);
+  m.at(1, 2) = 4.0;
+  m.clear();
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(LuSolver, Identity) {
+  DenseMatrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a.at(i, i) = 1.0;
+  std::vector<double> b{1.0, 2.0, 3.0};
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear(a, b, &x));
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(LuSolver, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 1.0;
+  std::vector<double> b{3.0, 5.0};
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear(a, b, &x));
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, SingularDetected) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  LuSolver lu;
+  EXPECT_FALSE(lu.factor(a, 1e-12));
+}
+
+TEST(LuSolver, SolveReusableAfterFactor) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  LuSolver lu;
+  ASSERT_TRUE(lu.factor(a));
+  std::vector<double> x;
+  lu.solve({1.0, 2.0}, &x);
+  EXPECT_NEAR(4.0 * x[0] + x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 2.0, 1e-12);
+  lu.solve({0.0, 1.0}, &x);
+  EXPECT_NEAR(4.0 * x[0] + x[1], 0.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 1.0, 1e-12);
+}
+
+class LuRandomTest : public testing::TestWithParam<int> {};
+
+TEST_P(LuRandomTest, RandomSystemsSolveToResidualZero) {
+  const int n = GetParam();
+  util::Prng prng(static_cast<std::uint64_t>(n) * 7919);
+  DenseMatrix a(n, n);
+  std::vector<double> b(n);
+  // Diagonally dominated random matrix: well conditioned by construction.
+  for (int r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (int c = 0; c < n; ++c) {
+      a.at(r, c) = prng.next_double(-1.0, 1.0);
+      row_sum += std::abs(a.at(r, c));
+    }
+    a.at(r, r) += row_sum + 1.0;
+    b[static_cast<std::size_t>(r)] = prng.next_double(-10.0, 10.0);
+  }
+  std::vector<double> x;
+  ASSERT_TRUE(solve_linear(a, b, &x));
+  for (int r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < n; ++c) acc += a.at(r, c) * x[static_cast<std::size_t>(c)];
+    EXPECT_NEAR(acc, b[static_cast<std::size_t>(r)], 1e-8) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace obd::spice

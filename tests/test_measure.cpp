@@ -1,0 +1,92 @@
+#include "util/measure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obd::util {
+namespace {
+
+Waveform ramp(double t0, double t1, double v0, double v1, int n = 100) {
+  Waveform w;
+  for (int i = 0; i <= n; ++i) {
+    const double f = static_cast<double>(i) / n;
+    w.append(t0 + f * (t1 - t0), v0 + f * (v1 - v0));
+  }
+  return w;
+}
+
+TEST(Measure, EdgeTimeRising) {
+  DelayOptions opt;
+  opt.vdd = 3.3;
+  const Waveform w = ramp(0.0, 1.0, 0.0, 3.3);
+  const auto t = edge_time(w, Edge::kRising, 0.0, opt);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-6);
+}
+
+TEST(Measure, EdgeTimeMissingReturnsNullopt) {
+  DelayOptions opt;
+  const Waveform w = ramp(0.0, 1.0, 0.0, 1.0);  // never reaches 1.65
+  EXPECT_FALSE(edge_time(w, Edge::kRising, 0.0, opt).has_value());
+}
+
+TEST(Measure, PropagationDelayInverterLike) {
+  DelayOptions opt;
+  opt.vdd = 3.3;
+  // Input rises crossing 1.65 at t=0.5; output falls crossing 1.65 at t=0.8.
+  Waveform in = ramp(0.0, 1.0, 0.0, 3.3);
+  Waveform out = ramp(0.3, 1.3, 3.3, 0.0);
+  const auto d = propagation_delay(in, Edge::kRising, out, Edge::kFalling, 0.0, opt);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 0.3, 1e-6);
+}
+
+TEST(Measure, PropagationDelayNulloptWhenOutputStuck) {
+  DelayOptions opt;
+  opt.vdd = 3.3;
+  Waveform in = ramp(0.0, 1.0, 0.0, 3.3);
+  Waveform out = ramp(0.0, 2.0, 3.3, 3.2);  // output never falls: "stuck"
+  EXPECT_FALSE(
+      propagation_delay(in, Edge::kRising, out, Edge::kFalling, 0.0, opt)
+          .has_value());
+}
+
+TEST(Measure, SettledValueAveragesTail) {
+  Waveform w;
+  for (int i = 0; i <= 100; ++i) w.append(i, i < 50 ? 3.3 : 0.4);
+  EXPECT_NEAR(settled_value(w, 60.0), 0.4, 1e-12);
+}
+
+TEST(Measure, SettledValueEmptyTailFallsBack) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(settled_value(w, 5.0), 2.0);
+}
+
+TEST(Measure, SlewRising) {
+  DelayOptions opt;
+  opt.vdd = 1.0;
+  const Waveform w = ramp(0.0, 1.0, 0.0, 1.0);
+  const auto s = slew_time(w, Edge::kRising, 0.0, opt);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 0.8, 1e-6);  // 10% to 90% of a linear ramp
+}
+
+TEST(Measure, SlewFalling) {
+  DelayOptions opt;
+  opt.vdd = 1.0;
+  const Waveform w = ramp(0.0, 2.0, 1.0, 0.0);
+  const auto s = slew_time(w, Edge::kFalling, 0.0, opt);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 1.6, 1e-6);
+}
+
+TEST(Measure, Swing) {
+  Waveform w;
+  w.append(0.0, 0.3);
+  w.append(1.0, 2.9);
+  EXPECT_NEAR(swing(w), 2.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace obd::util

@@ -1,0 +1,120 @@
+// n-detect OBD test sets and timing-aware coverage.
+#include "atpg/ndetect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/zoo.hpp"
+
+namespace obd::atpg {
+namespace {
+
+using logic::Circuit;
+
+TEST(NDetect, OneDetectMatchesPlainAtpgCoverage) {
+  const Circuit c = logic::c17();
+  const auto faults = enumerate_obd_faults(c);
+  NDetectOptions opt;
+  opt.n = 1;
+  const NDetectResult r = build_ndetect_set(c, faults, opt);
+  const AtpgRun base = run_obd_atpg(c, faults);
+  EXPECT_EQ(r.detectable, base.found);
+  EXPECT_EQ(r.satisfied, base.found);
+}
+
+class NDetectCountTest : public testing::TestWithParam<int> {};
+
+TEST_P(NDetectCountTest, CountsReachTargetWherePossible) {
+  const int n = GetParam();
+  const Circuit c = logic::c17();
+  const auto faults = enumerate_obd_faults(c);
+  NDetectOptions opt;
+  opt.n = n;
+  opt.random_pool = 512;
+  const NDetectResult r = build_ndetect_set(c, faults, opt);
+  // Every detectable fault should reach n on this tiny, well-connected
+  // circuit with a 512-pattern pool.
+  EXPECT_EQ(r.satisfied, r.detectable);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (r.detect_counts[i] > 0) EXPECT_GE(r.detect_counts[i], n > 0 ? 1 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, NDetectCountTest, testing::Values(1, 2, 3, 5));
+
+TEST(NDetect, SetSizeGrowsWithN) {
+  const Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = enumerate_obd_faults(c);
+  std::size_t prev = 0;
+  for (int n : {1, 2, 4}) {
+    NDetectOptions opt;
+    opt.n = n;
+    const NDetectResult r = build_ndetect_set(c, faults, opt);
+    EXPECT_GE(r.tests.size(), prev);
+    prev = r.tests.size();
+  }
+}
+
+TEST(NDetect, CountsConsistentWithIndependentFaultSim) {
+  const Circuit c = logic::c17();
+  const auto faults = enumerate_obd_faults(c);
+  NDetectOptions opt;
+  opt.n = 2;
+  const NDetectResult r = build_ndetect_set(c, faults, opt);
+  std::vector<int> recount(faults.size(), 0);
+  for (const auto& t : r.tests) {
+    const auto det = simulate_obd(c, t, faults);
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (det[i]) ++recount[i];
+  }
+  EXPECT_EQ(recount, r.detect_counts);
+}
+
+TEST(TimingAware, FullDelayAlwaysCaughtAtTightCapture) {
+  const Circuit c = logic::c17();
+  const auto faults = enumerate_obd_faults(c);
+  const AtpgRun base = run_obd_atpg(c, faults);
+  const double t_crit = nominal_critical_time(c, base.tests);
+  ASSERT_GT(t_crit, 0.0);
+  // Huge extra delay, capture just after nominal settle: every
+  // gross-delay-detectable fault is caught.
+  const double cov = timing_aware_coverage(c, base.tests, faults, 1e-6,
+                                           t_crit * 1.05);
+  EXPECT_NEAR(cov, static_cast<double>(base.found) /
+                       static_cast<double>(faults.size()),
+              1e-9);
+}
+
+TEST(TimingAware, SmallExtraDelaySlipsThroughSlack) {
+  const Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = enumerate_obd_faults(c);
+  const AtpgRun base = run_obd_atpg(c, faults);
+  const double t_crit = nominal_critical_time(c, base.tests);
+  // Capture with generous slack: a tiny extra delay hides in the margin.
+  const double cov = timing_aware_coverage(c, base.tests, faults, 5e-12,
+                                           t_crit * 1.5);
+  EXPECT_LT(cov, 0.2);
+}
+
+TEST(TimingAware, NDetectImprovesMarginalCoverage) {
+  // The headline property: for a marginal extra delay, a 4-detect set
+  // catches at least as many faults as the 1-detect set, typically more.
+  const Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = enumerate_obd_faults(c);
+  NDetectOptions o1;
+  o1.n = 1;
+  NDetectOptions o4;
+  o4.n = 4;
+  const NDetectResult s1 = build_ndetect_set(c, faults, o1);
+  const NDetectResult s4 = build_ndetect_set(c, faults, o4);
+  const double t_crit = nominal_critical_time(c, s4.tests);
+  const double capture = t_crit * 1.02;
+  for (double extra : {100e-12, 200e-12, 400e-12}) {
+    const double c1 =
+        timing_aware_coverage(c, s1.tests, faults, extra, capture);
+    const double c4 =
+        timing_aware_coverage(c, s4.tests, faults, extra, capture);
+    EXPECT_GE(c4 + 1e-12, c1) << "extra=" << extra;
+  }
+}
+
+}  // namespace
+}  // namespace obd::atpg

@@ -1,0 +1,96 @@
+// Netlist text format: parse, serialize, round-trip, diagnostics.
+#include <gtest/gtest.h>
+
+#include "logic/netfmt.hpp"
+#include "logic/zoo.hpp"
+
+namespace obd::logic {
+namespace {
+
+TEST(NetFmt, ParseMinimal) {
+  const std::string text = R"(
+# a comment
+.model tiny
+.inputs a b
+.outputs o
+.gate NAND2 o a b
+.end
+)";
+  const ParseResult r = parse_netlist(text);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.circuit.name(), "tiny");
+  EXPECT_EQ(r.circuit.inputs().size(), 2u);
+  EXPECT_EQ(r.circuit.outputs().size(), 1u);
+  EXPECT_EQ(r.circuit.num_gates(), 1u);
+  EXPECT_EQ(r.circuit.eval_outputs(0b11), 0u);
+  EXPECT_EQ(r.circuit.eval_outputs(0b01), 1u);
+}
+
+TEST(NetFmt, RoundTripFullAdder) {
+  const Circuit original = full_adder_sum_circuit();
+  const std::string text = write_netlist(original);
+  const ParseResult r = parse_netlist(text);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.circuit.num_gates(), original.num_gates());
+  EXPECT_EQ(r.circuit.inputs().size(), original.inputs().size());
+  for (std::uint64_t v = 0; v < 8; ++v)
+    EXPECT_EQ(r.circuit.eval_outputs(v), original.eval_outputs(v));
+}
+
+TEST(NetFmt, RoundTripC17) {
+  const Circuit original = c17();
+  const ParseResult r = parse_netlist(write_netlist(original));
+  ASSERT_TRUE(r.ok) << r.error;
+  for (std::uint64_t v = 0; v < 32; ++v)
+    EXPECT_EQ(r.circuit.eval_outputs(v), original.eval_outputs(v));
+}
+
+TEST(NetFmt, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      ".model t\n\n# hello\n.inputs a\n.outputs o\n.gate INV o a # inline\n.end\n";
+  const ParseResult r = parse_netlist(text);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.circuit.num_gates(), 1u);
+}
+
+TEST(NetFmt, ErrorUnknownGateType) {
+  const ParseResult r =
+      parse_netlist(".model t\n.inputs a\n.outputs o\n.gate FROB o a\n.end\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("FROB"), std::string::npos);
+  EXPECT_NE(r.error.find("line 4"), std::string::npos);
+}
+
+TEST(NetFmt, ErrorWrongArity) {
+  const ParseResult r = parse_netlist(
+      ".model t\n.inputs a b c\n.outputs o\n.gate NAND2 o a b c\n.end\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("expects 2"), std::string::npos);
+}
+
+TEST(NetFmt, ErrorMissingModel) {
+  const ParseResult r = parse_netlist(".inputs a\n.outputs a\n.end\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(NetFmt, ErrorUndefinedOutput) {
+  const ParseResult r =
+      parse_netlist(".model t\n.inputs a\n.outputs ghost\n.end\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("ghost"), std::string::npos);
+}
+
+TEST(NetFmt, ErrorUnknownDirective) {
+  const ParseResult r = parse_netlist(".model t\n.wires a b\n.end\n");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(NetFmt, ErrorCycleReported) {
+  const ParseResult r = parse_netlist(
+      ".model t\n.inputs a\n.outputs x\n.gate NAND2 x a y\n.gate INV y x\n.end\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cycle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obd::logic

@@ -1,0 +1,167 @@
+// OBD model: stage tables, injection plumbing, Fig. 4 VTC shifts.
+#include "core/obd_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "core/characterize.hpp"
+#include "spice/spice.hpp"
+
+namespace obd::core {
+namespace {
+
+TEST(ObdParamsTable, PaperValuesNmos) {
+  // Spot-check the literal Table 1 values.
+  EXPECT_DOUBLE_EQ(paper_nmos_stage_params(BreakdownStage::kFaultFree).isat,
+                   1e-30);
+  EXPECT_DOUBLE_EQ(paper_nmos_stage_params(BreakdownStage::kFaultFree).r,
+                   10e3);
+  EXPECT_DOUBLE_EQ(paper_nmos_stage_params(BreakdownStage::kMbd2).isat, 1e-27);
+  EXPECT_DOUBLE_EQ(paper_nmos_stage_params(BreakdownStage::kMbd2).r, 100.0);
+  EXPECT_DOUBLE_EQ(paper_nmos_stage_params(BreakdownStage::kHbd).isat, 2e-24);
+  EXPECT_DOUBLE_EQ(paper_nmos_stage_params(BreakdownStage::kHbd).r, 0.05);
+}
+
+TEST(ObdParamsTable, PaperValuesPmos) {
+  EXPECT_DOUBLE_EQ(paper_pmos_stage_params(BreakdownStage::kMbd1).isat, 1e-29);
+  EXPECT_DOUBLE_EQ(paper_pmos_stage_params(BreakdownStage::kMbd1).r, 1000.0);
+  EXPECT_DOUBLE_EQ(paper_pmos_stage_params(BreakdownStage::kMbd3).r, 830.0);
+}
+
+class StageMonotoneTest : public testing::TestWithParam<bool> {};
+
+TEST_P(StageMonotoneTest, IsatGrowsAndResistanceShrinks) {
+  const bool pmos = GetParam();
+  double prev_isat = 0.0;
+  double prev_r = 1e18;
+  for (BreakdownStage s : kAllStages) {
+    const ObdParams p = stage_params(s, pmos);
+    EXPECT_GT(p.isat, prev_isat) << to_string(s);
+    EXPECT_LT(p.r, prev_r) << to_string(s);
+    prev_isat = p.isat;
+    prev_r = p.r;
+  }
+}
+
+TEST_P(StageMonotoneTest, PaperTableAlsoMonotone) {
+  const bool pmos = GetParam();
+  double prev_isat = 0.0;
+  double prev_r = 1e18;
+  for (BreakdownStage s : kAllStages) {
+    const ObdParams p =
+        pmos ? paper_pmos_stage_params(s) : paper_nmos_stage_params(s);
+    EXPECT_GE(p.isat, prev_isat) << to_string(s);
+    EXPECT_LT(p.r, prev_r) << to_string(s);
+    prev_isat = p.isat;
+    prev_r = p.r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Polarity, StageMonotoneTest, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "PMOS" : "NMOS";
+                         });
+
+TEST(Injection, AddsFourDevicesAndBreakdownNode) {
+  spice::Netlist nl;
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const spice::NodeId vdd = nl.node("vdd");
+  cells::emit_inv(nl, "g", nl.node("a"), nl.node("o"), vdd, tech);
+  const std::size_t before = nl.devices().size();
+  ObdInjection inj = inject_obd(nl, "g.MN0");
+  EXPECT_TRUE(inj.valid());
+  EXPECT_FALSE(inj.pmos());
+  EXPECT_EQ(nl.devices().size(), before + 4);
+  EXPECT_NE(nl.find_node("g.MN0.obd.bx"), spice::kInvalidNode);
+  EXPECT_NE(nl.find_device("g.MN0.obd.rb"), nullptr);
+  EXPECT_NE(nl.find_device("g.MN0.obd.ds"), nullptr);
+  EXPECT_NE(nl.find_device("g.MN0.obd.dd"), nullptr);
+  EXPECT_NE(nl.find_device("g.MN0.obd.rs"), nullptr);
+}
+
+TEST(Injection, MissingMosfetYieldsInvalidHandle) {
+  spice::Netlist nl;
+  ObdInjection inj = inject_obd(nl, "nope");
+  EXPECT_FALSE(inj.valid());
+  inj.set_stage(BreakdownStage::kHbd);  // must not crash
+}
+
+TEST(Injection, SetStageRetunesDevices) {
+  spice::Netlist nl;
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const spice::NodeId vdd = nl.node("vdd");
+  cells::emit_inv(nl, "g", nl.node("a"), nl.node("o"), vdd, tech);
+  ObdInjection inj = inject_obd(nl, "g.MN0");
+  inj.set_stage(BreakdownStage::kMbd2);
+  const auto* rb = dynamic_cast<spice::Resistor*>(nl.find_device("g.MN0.obd.rb"));
+  ASSERT_NE(rb, nullptr);
+  EXPECT_DOUBLE_EQ(rb->ohms(), nmos_stage_params(BreakdownStage::kMbd2).r);
+  const auto* ds = dynamic_cast<spice::Diode*>(nl.find_device("g.MN0.obd.ds"));
+  ASSERT_NE(ds, nullptr);
+  EXPECT_DOUBLE_EQ(ds->params().isat,
+                   nmos_stage_params(BreakdownStage::kMbd2).isat);
+}
+
+TEST(Injection, PmosPolarityDetected) {
+  spice::Netlist nl;
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const spice::NodeId vdd = nl.node("vdd");
+  cells::emit_inv(nl, "g", nl.node("a"), nl.node("o"), vdd, tech);
+  ObdInjection inj = inject_obd(nl, "g.MP0");
+  EXPECT_TRUE(inj.valid());
+  EXPECT_TRUE(inj.pmos());
+}
+
+// --- Fig. 4: inverter VTC under NMOS OBD ------------------------------------
+
+TEST(InverterVtc, NmosObdRaisesVolMonotonically) {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  double prev_vol = -1.0;
+  for (BreakdownStage s :
+       {BreakdownStage::kFaultFree, BreakdownStage::kMbd1,
+        BreakdownStage::kMbd2, BreakdownStage::kMbd3, BreakdownStage::kHbd}) {
+    const util::Waveform vtc =
+        inverter_vtc_with_obd(tech, /*pmos=*/false, nmos_stage_params(s));
+    ASSERT_FALSE(vtc.empty()) << to_string(s);
+    const double vol = vtc.final_value();  // output at Vin = VDD
+    EXPECT_GE(vol, prev_vol - 1e-3) << to_string(s);
+    prev_vol = vol;
+  }
+}
+
+TEST(InverterVtc, FaultFreeRailsClean) {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const util::Waveform vtc = inverter_vtc_with_obd(
+      tech, false, nmos_stage_params(BreakdownStage::kFaultFree));
+  ASSERT_FALSE(vtc.empty());
+  EXPECT_GT(vtc.value(0), 0.95 * tech.vdd);
+  EXPECT_LT(vtc.final_value(), 0.05 * tech.vdd);
+}
+
+TEST(InverterVtc, HbdShiftsVolSubstantially) {
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const util::Waveform vtc = inverter_vtc_with_obd(
+      tech, false, nmos_stage_params(BreakdownStage::kHbd));
+  ASSERT_FALSE(vtc.empty());
+  // Fig. 4: hard breakdown lifts VOL far off the rail. With the input
+  // driven by an ideal source only the drain-injection half of the
+  // mechanism acts, so the shift is smaller than in the gate-driven
+  // harness; 0.25 V is still an order of magnitude off the clean rail.
+  EXPECT_GT(vtc.final_value(), 0.25);
+}
+
+TEST(InverterVtc, PmosObdLowersVoh) {
+  // Dual effect reported by Rodriguez et al. and the paper: PMOS OBD drags
+  // VOH down (measured at Vin = 0).
+  const cells::Technology tech = cells::Technology::default_350nm();
+  const util::Waveform ff = inverter_vtc_with_obd(
+      tech, true, pmos_stage_params(BreakdownStage::kFaultFree));
+  const util::Waveform bd = inverter_vtc_with_obd(
+      tech, true, pmos_stage_params(BreakdownStage::kMbd3));
+  ASSERT_FALSE(ff.empty());
+  ASSERT_FALSE(bd.empty());
+  EXPECT_LT(bd.value(0), ff.value(0) - 0.05);
+}
+
+}  // namespace
+}  // namespace obd::core

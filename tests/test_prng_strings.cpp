@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/prng.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace obd::util {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBelowIsInRange) {
+  Prng p(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(p.next_below(17), 17u);
+}
+
+TEST(Prng, NextBelowCoversRange) {
+  Prng p(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(p.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng p(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = p.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Prng, DoubleInCustomInterval) {
+  Prng p(5);
+  for (int i = 0; i < 100; ++i) {
+    const double d = p.next_double(-2.0, 2.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 2.0);
+  }
+}
+
+TEST(Strings, SplitWs) {
+  const auto t = split_ws("  a  bb\tccc \n");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "ccc");
+}
+
+TEST(Strings, SplitWsEmpty) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto t = split("a,,b", ',');
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t\n"), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(str_format("%.2f", 1.5), "1.50");
+}
+
+TEST(Units, Literals) {
+  using namespace literals;
+  EXPECT_DOUBLE_EQ(1.0_ns, 1e-9);
+  EXPECT_DOUBLE_EQ(96.0_ps, 96e-12);
+  EXPECT_DOUBLE_EQ(5.0_fF, 5e-15);
+  EXPECT_DOUBLE_EQ(10.0_kohm, 1e4);
+  EXPECT_DOUBLE_EQ(3.3_V, 3.3);
+  EXPECT_DOUBLE_EQ(0.35_um, 0.35e-6);
+}
+
+TEST(Units, ThermalVoltage) {
+  EXPECT_NEAR(constants::kThermalVoltage300K, 0.02585, 1e-4);
+}
+
+}  // namespace
+}  // namespace obd::util

@@ -1,0 +1,138 @@
+// Progression model and detection-window math (Secs. 3.3, 4.2).
+#include "core/progression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace obd::core {
+namespace {
+
+TEST(ProgressionModel, EndpointsExact) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  EXPECT_DOUBLE_EQ(m.isat_at(0.0), 1e-28);
+  EXPECT_NEAR(m.isat_at(1000.0), 1e-24, 1e-28);
+  EXPECT_DOUBLE_EQ(m.time_at(1e-28), 0.0);
+  EXPECT_DOUBLE_EQ(m.time_at(1e-24), 1000.0);
+}
+
+TEST(ProgressionModel, ExponentialGrowthIsLogLinear) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  // 4 decades over 1000 s: one decade per 250 s.
+  EXPECT_NEAR(m.isat_at(250.0), 1e-27, 2e-28);
+  EXPECT_NEAR(m.isat_at(500.0), 1e-26, 2e-27);
+  EXPECT_NEAR(m.time_at(1e-26), 500.0, 1.0);
+}
+
+TEST(ProgressionModel, ClampsOutsideRange) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  EXPECT_DOUBLE_EQ(m.isat_at(-5.0), 1e-28);
+  EXPECT_DOUBLE_EQ(m.isat_at(2000.0), 1e-24);
+  EXPECT_DOUBLE_EQ(m.time_at(1e-30), 0.0);
+  EXPECT_DOUBLE_EQ(m.time_at(1.0), 1000.0);
+}
+
+TEST(ProgressionModel, InverseRoundTrip) {
+  ProgressionModel m(2e-28, 2e-13, 27.0 * 3600.0);
+  for (double t : {0.0, 1000.0, 50000.0, 97200.0}) {
+    EXPECT_NEAR(m.time_at(m.isat_at(t)), t, 1e-6 * 97200.0);
+  }
+}
+
+TEST(ProgressionModel, DefaultModelsSpanTwentySevenHours) {
+  const ProgressionModel n = ProgressionModel::default_for(false);
+  const ProgressionModel p = ProgressionModel::default_for(true);
+  EXPECT_DOUBLE_EQ(n.t_sbd_to_hbd(), 27.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(p.t_sbd_to_hbd(), 27.0 * 3600.0);
+  EXPECT_GT(n.growth_rate(), 0.0);
+  EXPECT_GT(p.growth_rate(), 0.0);
+}
+
+TEST(ProgressionModel, ResistanceInterpolatesGeometrically) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  const double r0 = 1000.0;
+  const double r1 = 10.0;
+  EXPECT_DOUBLE_EQ(m.r_at(0.0, r0, r1), r0);
+  EXPECT_NEAR(m.r_at(1000.0, r0, r1), r1, 1e-9);
+  EXPECT_NEAR(m.r_at(500.0, r0, r1), 100.0, 0.5);  // geometric midpoint
+}
+
+TEST(ProgressionModel, ParamsAtCombinesBoth) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  const ObdParams sbd{1e-28, 500.0};
+  const ObdParams hbd{1e-24, 0.05};
+  const ObdParams mid = m.params_at(500.0, sbd, hbd);
+  EXPECT_GT(mid.isat, sbd.isat);
+  EXPECT_LT(mid.isat, hbd.isat);
+  EXPECT_LT(mid.r, sbd.r);
+  EXPECT_GT(mid.r, hbd.r);
+}
+
+// --- Detection windows -------------------------------------------------------
+
+TEST(DetectionWindow, SimpleCrossing) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  // Delay grows with isat; slack of 150 ps crossed between the two points.
+  std::vector<DelayVsIsat> curve{
+      {1e-28, 100e-12},
+      {1e-26, 200e-12},
+      {1e-24, 400e-12},
+  };
+  const DetectionWindow w = detection_window(curve, 150e-12, m);
+  ASSERT_TRUE(w.detectable());
+  EXPECT_GT(*w.t_detectable, 0.0);
+  EXPECT_LT(*w.t_detectable, 500.0);
+  EXPECT_NEAR(w.t_hbd, 1000.0, 1e-9);
+  EXPECT_GT(w.width(), 500.0);
+}
+
+TEST(DetectionWindow, NeverDetectable) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  std::vector<DelayVsIsat> curve{{1e-28, 1e-12}, {1e-24, 5e-12}};
+  const DetectionWindow w = detection_window(curve, 1e-9, m);
+  EXPECT_FALSE(w.detectable());
+  EXPECT_DOUBLE_EQ(w.width(), 0.0);
+  EXPECT_DOUBLE_EQ(required_test_interval(w), 0.0);
+}
+
+TEST(DetectionWindow, StuckPointCountsAsObservable) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  std::vector<DelayVsIsat> curve{
+      {1e-28, 10e-12},
+      {1e-25, std::nullopt},  // output stuck: infinitely late
+  };
+  const DetectionWindow w = detection_window(curve, 1e-9, m);
+  ASSERT_TRUE(w.detectable());
+  EXPECT_NEAR(*w.t_detectable, m.time_at(1e-25), 1.0);
+}
+
+TEST(DetectionWindow, TighterSlackOpensWindowEarlier) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  std::vector<DelayVsIsat> curve{
+      {1e-28, 100e-12}, {1e-26, 200e-12}, {1e-24, 400e-12}};
+  const DetectionWindow tight = detection_window(curve, 120e-12, m);
+  const DetectionWindow loose = detection_window(curve, 300e-12, m);
+  ASSERT_TRUE(tight.detectable());
+  ASSERT_TRUE(loose.detectable());
+  EXPECT_LT(*tight.t_detectable, *loose.t_detectable);
+  EXPECT_GT(tight.width(), loose.width());
+}
+
+TEST(DetectionWindow, UnsortedCurveHandled) {
+  ProgressionModel m(1e-28, 1e-24, 1000.0);
+  std::vector<DelayVsIsat> curve{
+      {1e-24, 400e-12}, {1e-28, 100e-12}, {1e-26, 200e-12}};
+  const DetectionWindow w = detection_window(curve, 150e-12, m);
+  EXPECT_TRUE(w.detectable());
+}
+
+TEST(RequiredTestInterval, ScalesWithSafety) {
+  DetectionWindow w;
+  w.t_detectable = 100.0;
+  w.t_hbd = 1100.0;
+  EXPECT_DOUBLE_EQ(required_test_interval(w, 0.5), 500.0);
+  EXPECT_DOUBLE_EQ(required_test_interval(w, 1.0), 1000.0);
+}
+
+}  // namespace
+}  // namespace obd::core

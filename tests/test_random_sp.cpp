@@ -1,0 +1,126 @@
+// Property tests over random series-parallel cells: the excitation engine's
+// guarantees must hold for arbitrary SP topologies, not just the named zoo.
+#include <gtest/gtest.h>
+
+#include "core/excitation.hpp"
+#include "util/prng.hpp"
+
+namespace obd::core {
+namespace {
+
+using cells::CellTopology;
+using cells::InputBits;
+using cells::SpNode;
+
+/// Builds a random SP tree over inputs [0, n) using each exactly once, and
+/// the complementary dual for the other network.
+SpNode random_sp(util::Prng& prng, int lo, int hi) {
+  if (hi - lo == 1) return SpNode::transistor(lo);
+  // Split the input range and combine randomly in series or parallel.
+  const int mid = lo + 1 + static_cast<int>(prng.next_below(
+                               static_cast<std::uint64_t>(hi - lo - 1)));
+  std::vector<SpNode> ch;
+  ch.push_back(random_sp(prng, lo, mid));
+  ch.push_back(random_sp(prng, mid, hi));
+  return prng.next_bool() ? SpNode::series(std::move(ch))
+                          : SpNode::parallel(std::move(ch));
+}
+
+/// Dual: swap series and parallel.
+SpNode dual(const SpNode& n) {
+  if (n.kind == SpNode::Kind::kTransistor) return n;
+  std::vector<SpNode> ch;
+  for (const auto& c : n.children) ch.push_back(dual(c));
+  return n.kind == SpNode::Kind::kSeries ? SpNode::parallel(std::move(ch))
+                                         : SpNode::series(std::move(ch));
+}
+
+CellTopology random_cell(std::uint64_t seed, int n_inputs) {
+  util::Prng prng(seed);
+  CellTopology c;
+  c.type_name = "RAND" + std::to_string(seed);
+  c.num_inputs = n_inputs;
+  c.pdn = random_sp(prng, 0, n_inputs);
+  c.pun = dual(c.pdn);
+  return c;
+}
+
+class RandomSpTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomSpTest, DualConstructionIsComplementary) {
+  for (int n = 2; n <= 5; ++n) {
+    const CellTopology c = random_cell(GetParam() * 31 + n, n);
+    EXPECT_TRUE(c.is_complementary()) << c.type_name << " n=" << n;
+  }
+}
+
+TEST_P(RandomSpTest, EssentialImpliesConducting) {
+  const CellTopology c = random_cell(GetParam(), 4);
+  const InputBits limit = 1u << c.num_inputs;
+  for (const auto& t : c.transistors())
+    for (InputBits v = 0; v < limit; ++v)
+      if (c.transistor_essential(t, v))
+        EXPECT_TRUE(c.transistor_conducting(t, v));
+}
+
+TEST_P(RandomSpTest, EveryTransistorHasAnObdExcitation) {
+  // For complementary SP cells with each input used once, every transistor
+  // can be made the sole conducting path.
+  const CellTopology c = random_cell(GetParam(), 4);
+  for (const auto& t : c.transistors())
+    EXPECT_FALSE(obd_excitations(c, t).empty())
+        << c.type_name << " " << (t.pmos ? "P" : "N") << t.input;
+}
+
+TEST_P(RandomSpTest, MinimalSetCoversAndIsMinimalish) {
+  const CellTopology c = random_cell(GetParam(), 4);
+  const auto set = minimal_obd_test_set(c);
+  ASSERT_FALSE(set.empty());
+  for (const auto& t : c.transistors()) {
+    bool covered = false;
+    for (const auto& tv : set)
+      if (excites_obd(c, t, tv)) covered = true;
+    EXPECT_TRUE(covered);
+  }
+  // Upper bound: one transition per transistor would always suffice.
+  EXPECT_LE(set.size(), c.transistors().size());
+}
+
+TEST_P(RandomSpTest, ObdSubsetOfEm) {
+  const CellTopology c = random_cell(GetParam(), 5);
+  const InputBits limit = 1u << c.num_inputs;
+  for (const auto& t : c.transistors())
+    for (InputBits v1 = 0; v1 < limit; ++v1)
+      for (InputBits v2 = 0; v2 < limit; ++v2)
+        if (excites_obd(c, t, {v1, v2}))
+          EXPECT_TRUE(excites_em(c, t, {v1, v2}));
+}
+
+TEST_P(RandomSpTest, ExcitationMatchesBruteForceDefinition) {
+  // Re-derive "essential" by brute force over all root-to-rail conduction
+  // paths and compare with the engine.
+  const CellTopology c = random_cell(GetParam(), 4);
+  const InputBits limit = 1u << c.num_inputs;
+  for (const auto& t : c.transistors()) {
+    for (InputBits v = 0; v < limit; ++v) {
+      // Brute force: network conducts with t on, and removing t cuts it.
+      const bool on = t.pmos ? !((v >> t.input) & 1u) : ((v >> t.input) & 1u);
+      const bool conducts =
+          t.pmos ? c.pun_conducts(v) : c.pdn_conducts(v);
+      // Force t off by flipping its input to the off polarity.
+      const InputBits v_off = t.pmos ? (v | (1u << t.input))
+                                     : (v & ~(1u << t.input));
+      const bool conducts_without =
+          t.pmos ? c.pun_conducts(v_off) : c.pdn_conducts(v_off);
+      const bool expected = on && conducts && !conducts_without;
+      EXPECT_EQ(c.transistor_essential(t, v), expected)
+          << c.type_name << " t=" << t.input << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSpTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace obd::core

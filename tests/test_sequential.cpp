@@ -1,0 +1,151 @@
+// Sequential circuits: flops, scan view, two-frame unrolling.
+#include "logic/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obd::logic {
+namespace {
+
+/// 1-bit toggle machine: q' = q XOR x, output = q (via double inverter).
+SequentialCircuit toggle_machine() {
+  Circuit core("toggle");
+  const NetId x = core.add_input("x");
+  const NetId q = core.net("q");
+  // XOR via 4 NAND.
+  const NetId t = core.net("t");
+  const NetId p = core.net("p");
+  const NetId r = core.net("r");
+  const NetId d = core.net("d");
+  core.add_gate(GateType::kNand2, "t", {x, q}, t);
+  core.add_gate(GateType::kNand2, "p", {x, t}, p);
+  core.add_gate(GateType::kNand2, "r", {t, q}, r);
+  core.add_gate(GateType::kNand2, "d", {p, r}, d);
+  const NetId nq = core.net("nq");
+  const NetId po = core.net("po");
+  core.add_gate(GateType::kInv, "nq", {q}, nq);
+  core.add_gate(GateType::kInv, "po", {nq}, po);
+  core.mark_output(po);
+  SequentialCircuit seq(std::move(core));
+  seq.add_flop("ff", q, d);
+  return seq;
+}
+
+TEST(Sequential, ValidatesCleanMachine) {
+  EXPECT_TRUE(toggle_machine().validate().empty());
+}
+
+TEST(Sequential, ValidateCatchesDrivenQ) {
+  Circuit core("bad");
+  const NetId x = core.add_input("x");
+  const NetId q = core.net("q");
+  core.add_gate(GateType::kInv, "g", {x}, q);  // q driven!
+  core.mark_output(q);
+  SequentialCircuit seq(std::move(core));
+  seq.add_flop("ff", q, x);
+  EXPECT_FALSE(seq.validate().empty());
+}
+
+TEST(Sequential, StepTogglesState) {
+  const SequentialCircuit seq = toggle_machine();
+  // x=1: state toggles each cycle; output reads the present state.
+  auto r = seq.step(/*pi=*/1, /*state=*/0);
+  EXPECT_EQ(r.next_state, 1u);
+  EXPECT_EQ(r.outputs, 0u);
+  r = seq.step(1, 1);
+  EXPECT_EQ(r.next_state, 0u);
+  EXPECT_EQ(r.outputs, 1u);
+  // x=0: state holds.
+  r = seq.step(0, 1);
+  EXPECT_EQ(r.next_state, 1u);
+}
+
+TEST(Sequential, ScanViewExposesStateAsPiPo) {
+  const SequentialCircuit seq = toggle_machine();
+  const Circuit sv = seq.scan_view();
+  EXPECT_EQ(sv.inputs().size(), 2u);   // x + q
+  EXPECT_EQ(sv.outputs().size(), 2u);  // po + d
+  EXPECT_TRUE(sv.validate().empty());
+  // Scan-view evaluation matches step().
+  for (std::uint64_t x = 0; x < 2; ++x)
+    for (std::uint64_t q = 0; q < 2; ++q) {
+      const std::uint64_t packed = x | (q << 1);
+      const std::uint64_t out = sv.eval_outputs(packed);
+      const auto r = seq.step(x, q);
+      EXPECT_EQ(out & 1u, r.outputs);
+      EXPECT_EQ((out >> 1) & 1u, r.next_state);
+    }
+}
+
+TEST(Sequential, UnrollConnectsFrames) {
+  const SequentialCircuit seq = toggle_machine();
+  const Circuit u = seq.unroll_two_frames();
+  ASSERT_TRUE(u.validate().empty());
+  // PIs: x@1, q@1, x@2. POs: po@2, d@2.
+  EXPECT_EQ(u.inputs().size(), 3u);
+  EXPECT_EQ(u.outputs().size(), 2u);
+  // Two-cycle behaviour matches step(step()).
+  for (std::uint64_t x1 = 0; x1 < 2; ++x1)
+    for (std::uint64_t q1 = 0; q1 < 2; ++q1)
+      for (std::uint64_t x2 = 0; x2 < 2; ++x2) {
+        const std::uint64_t packed = x1 | (q1 << 1) | (x2 << 2);
+        const std::uint64_t out = u.eval_outputs(packed);
+        const auto r1 = seq.step(x1, q1);
+        const auto r2 = seq.step(x2, r1.next_state);
+        EXPECT_EQ(out & 1u, r2.outputs) << x1 << q1 << x2;
+        EXPECT_EQ((out >> 1) & 1u, r2.next_state) << x1 << q1 << x2;
+      }
+}
+
+TEST(Sequential, UnrollSharedPiForcesEquality) {
+  const SequentialCircuit seq = toggle_machine();
+  const Circuit u = seq.unroll_two_frames(/*share_pis=*/true);
+  ASSERT_TRUE(u.validate().empty());
+  EXPECT_EQ(u.inputs().size(), 2u);  // x@12, q@1
+  for (std::uint64_t x = 0; x < 2; ++x)
+    for (std::uint64_t q1 = 0; q1 < 2; ++q1) {
+      const std::uint64_t packed = x | (q1 << 1);
+      const std::uint64_t out = u.eval_outputs(packed);
+      const auto r1 = seq.step(x, q1);
+      const auto r2 = seq.step(x, r1.next_state);
+      EXPECT_EQ(out & 1u, r2.outputs);
+    }
+}
+
+TEST(Sequential, Frame2GateIndexPointsAtTwin) {
+  const SequentialCircuit seq = toggle_machine();
+  const Circuit u = seq.unroll_two_frames();
+  for (std::size_t g = 0; g < seq.core().num_gates(); ++g) {
+    const auto& g1 = u.gate(seq.frame1_gate_index(static_cast<int>(g)));
+    const auto& g2 = u.gate(seq.frame2_gate_index(static_cast<int>(g)));
+    EXPECT_EQ(g1.name, seq.core().gate(static_cast<int>(g)).name + "@1");
+    EXPECT_EQ(g2.name, seq.core().gate(static_cast<int>(g)).name + "@2");
+    EXPECT_EQ(g1.type, g2.type);
+  }
+}
+
+TEST(Sequential, LfsrMachineValid) {
+  for (int bits : {2, 3, 4}) {
+    const SequentialCircuit seq = lfsr_like_machine(bits);
+    EXPECT_TRUE(seq.validate().empty()) << bits;
+    EXPECT_EQ(seq.flops().size(), static_cast<std::size_t>(bits));
+  }
+}
+
+TEST(Sequential, LfsrNextStateFunction) {
+  const SequentialCircuit seq = lfsr_like_machine(3);
+  for (std::uint64_t s = 0; s < 8; ++s)
+    for (std::uint64_t x = 0; x < 8; ++x) {
+      const auto r = seq.step(x, s);
+      std::uint64_t expect = 0;
+      for (int i = 0; i < 3; ++i) {
+        const bool bit = (((s >> i) ^ (s >> ((i + 1) % 3)) ^ (x >> i)) & 1u);
+        if (bit) expect |= (1ull << i);
+      }
+      EXPECT_EQ(r.next_state, expect) << "s=" << s << " x=" << x;
+      EXPECT_EQ(r.outputs, static_cast<std::uint64_t>(
+                               __builtin_popcountll(s) & 1));
+    }
+}
+
+}  // namespace
+}  // namespace obd::logic

@@ -1,0 +1,172 @@
+// Solver edge cases: continuation strategies, pathological circuits,
+// conservation properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/newton.hpp"
+#include "spice/spice.hpp"
+
+namespace obd::spice {
+namespace {
+
+TEST(NewtonEdge, DiodeStackNeedsDamping) {
+  // Two diodes in series across a source: NR without damping would
+  // oscillate; the clamped update must converge.
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId m = nl.node("m");
+  nl.add_vsource("V1", a, kGround, SourceWave::make_dc(2.0));
+  DiodeParams dp;
+  dp.isat = 1e-15;
+  nl.add_diode("D1", a, m, dp);
+  nl.add_diode("D2", m, kGround, dp);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  // Symmetric stack: the middle sits at half the supply.
+  EXPECT_NEAR(r.voltage(m), 1.0, 0.05);
+}
+
+TEST(NewtonEdge, BackToBackDiodesBlockBothWays) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId m = nl.node("m");
+  nl.add_vsource("V1", a, kGround, SourceWave::make_dc(1.0));
+  nl.add_resistor("R1", a, m, 1e3);
+  DiodeParams dp;
+  // Anti-series diodes: no DC path.
+  nl.add_diode("D1", m, nl.node("x"), dp);
+  nl.add_diode("D2", kGround, nl.node("x"), dp);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(m), 1.0, 1e-3);  // no current through R1
+}
+
+TEST(NewtonEdge, GminSteppingRescuesHardCircuit) {
+  // Positive-feedback-ish structure: cross-coupled inverters forced by a
+  // weak input; plain NR from zero may wander, continuation must succeed.
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId q = nl.node("q");
+  const NodeId nq = nl.node("nq");
+  nl.add_vsource("Vdd", vdd, kGround, SourceWave::make_dc(3.3));
+  MosfetParams pn;
+  pn.vt0 = 0.72;
+  pn.kp = 170e-6;
+  pn.w = 0.8e-6;
+  pn.l = 0.35e-6;
+  MosfetParams pp = pn;
+  pp.pmos = true;
+  pp.kp = 60e-6;
+  pp.w = 1.6e-6;
+  // inv1: q -> nq ; inv2: nq -> q, plus a tie-breaking resistor to ground.
+  nl.add_mosfet("MN1", nq, q, kGround, kGround, pn);
+  nl.add_mosfet("MP1", nq, q, vdd, vdd, pp);
+  nl.add_mosfet("MN2", q, nq, kGround, kGround, pn);
+  nl.add_mosfet("MP2", q, nq, vdd, vdd, pp);
+  nl.add_resistor("Rtie", q, kGround, 50e3);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  // The tie resistor biases q low, nq high.
+  EXPECT_LT(r.voltage(q), 1.0);
+  EXPECT_GT(r.voltage(nq), 2.3);
+}
+
+TEST(NewtonEdge, SupplyCurrentConservation) {
+  // KCL sanity: in a two-source circuit, the current leaving Vdd equals
+  // the current entering ground through the load chain.
+  Netlist nl;
+  const NodeId vdd = nl.node("vdd");
+  const NodeId m = nl.node("m");
+  nl.add_vsource("Vdd", vdd, kGround, SourceWave::make_dc(3.0));
+  nl.add_resistor("R1", vdd, m, 1e3);
+  nl.add_resistor("R2", m, kGround, 2e3);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  const double i_src = r.x[nl.num_nodes() - 1];  // single branch current
+  EXPECT_NEAR(std::abs(i_src), 1e-3, 1e-9);
+}
+
+TEST(NewtonEdge, ZeroOhmResistorClamped) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_vsource("V1", a, kGround, SourceWave::make_dc(1.0));
+  nl.add_resistor("R0", a, b, 0.0);  // clamped internally to 1 micro-ohm
+  nl.add_resistor("RL", b, kGround, 1e3);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  EXPECT_NEAR(r.voltage(b), 1.0, 1e-6);
+}
+
+TEST(NewtonEdge, HbdScaleObdParametersConverge) {
+  // The harshest OBD configuration: milli-ohm breakdown resistance with a
+  // high-saturation diode directly across a driven gate.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId bx = nl.node("bx");
+  nl.add_vsource("Vin", in, kGround, SourceWave::make_dc(3.3));
+  nl.add_resistor("Rsrc", in, nl.node("g"), 2e3);  // weak driver
+  nl.add_resistor("Rb", nl.node("g"), bx, 0.05);
+  DiodeParams dp;
+  dp.isat = 2e-13;
+  nl.add_diode("Dd", bx, kGround, dp);
+  const DcResult r = dc_operating_point(nl, SolverOptions{});
+  ASSERT_EQ(r.status, SolveStatus::kOk);
+  // The gate collapses to roughly one diode drop.
+  EXPECT_LT(r.voltage(nl.node("g")), 0.9);
+  EXPECT_GT(r.voltage(nl.node("g")), 0.3);
+}
+
+TEST(TransientEdge, LongQuiescentRunStaysPut) {
+  // Nothing switches: the integrator must not drift over many steps.
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_vsource("V1", a, kGround, SourceWave::make_dc(1.5));
+  nl.add_resistor("R1", a, nl.node("m"), 1e4);
+  nl.add_capacitor("C1", nl.node("m"), kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 10e-12;
+  const TransientResult res = transient(nl, 50e-9, opt, {"m"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  const auto* w = res.trace("m");
+  EXPECT_NEAR(w->min_value(), 1.5, 1e-4);
+  EXPECT_NEAR(w->max_value(), 1.5, 1e-4);
+}
+
+TEST(TransientEdge, RepeatedPulsesStaySymmetric) {
+  // Periodic pulse through an RC: after settling, highs and lows repeat.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource("V1", in, kGround,
+                 SourceWave::make_pulse(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 2e-9,
+                                        4e-9));
+  nl.add_resistor("R1", in, out, 1e3);
+  nl.add_capacitor("C1", out, kGround, 50e-15);
+  TransientOptions opt;
+  opt.dt = 10e-12;
+  const TransientResult res = transient(nl, 20e-9, opt, {"out"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  const auto* w = res.trace("out");
+  // Compare two steady-state periods.
+  EXPECT_NEAR(w->at(10e-9), w->at(14e-9), 1e-3);
+  EXPECT_NEAR(w->at(12e-9), w->at(16e-9), 1e-3);
+}
+
+TEST(TransientEdge, BranchCurrentMatchesLoad) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_vsource("V1", a, kGround, SourceWave::make_dc(2.0));
+  nl.add_resistor("R1", a, kGround, 1e3);
+  TransientOptions opt;
+  opt.dt = 1e-10;
+  const TransientResult res = transient(nl, 1e-9, opt, {"a"}, {"V1"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  const auto* i = res.trace("I(V1)");
+  ASSERT_NE(i, nullptr);
+  EXPECT_NEAR(std::abs(i->final_value()), 2e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace obd::spice

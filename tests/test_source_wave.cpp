@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "spice/devices.hpp"
+
+namespace obd::spice {
+namespace {
+
+TEST(SourceWave, DcConstant) {
+  const auto w = SourceWave::make_dc(3.3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.value(1e-3), 3.3);
+}
+
+TEST(SourceWave, PulseShape) {
+  // v1=0 v2=1, delay 1ns, rise 1ns, fall 1ns, width 2ns.
+  const auto w = SourceWave::make_pulse(0.0, 1.0, 1e-9, 1e-9, 1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);           // before delay
+  EXPECT_DOUBLE_EQ(w.value(1e-9), 0.0);          // at delay start
+  EXPECT_NEAR(w.value(1.5e-9), 0.5, 1e-12);      // mid rise
+  EXPECT_DOUBLE_EQ(w.value(2.5e-9), 1.0);        // plateau
+  EXPECT_NEAR(w.value(4.5e-9), 0.5, 1e-12);      // mid fall
+  EXPECT_DOUBLE_EQ(w.value(6e-9), 0.0);          // after
+}
+
+TEST(SourceWave, PulsePeriodic) {
+  const auto w = SourceWave::make_pulse(0.0, 1.0, 0.0, 1e-9, 1e-9, 1e-9, 4e-9);
+  EXPECT_NEAR(w.value(0.5e-9), 0.5, 1e-12);
+  EXPECT_NEAR(w.value(4.5e-9), 0.5, 1e-12);  // same phase next period
+  EXPECT_NEAR(w.value(8.5e-9), 0.5, 1e-12);
+}
+
+TEST(SourceWave, PwlInterpolatesAndHolds) {
+  const auto w = SourceWave::make_pwl({{0.0, 0.0}, {1e-9, 3.3}, {2e-9, 3.3}, {3e-9, 0.0}});
+  EXPECT_DOUBLE_EQ(w.value(-1e-9), 0.0);
+  EXPECT_NEAR(w.value(0.5e-9), 1.65, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value(1.5e-9), 3.3);
+  EXPECT_NEAR(w.value(2.5e-9), 1.65, 1e-12);
+  EXPECT_DOUBLE_EQ(w.value(10e-9), 0.0);  // holds last value
+}
+
+TEST(SourceWave, PwlUnsortedInputGetsSorted) {
+  const auto w = SourceWave::make_pwl({{2.0, 4.0}, {0.0, 0.0}, {1.0, 2.0}});
+  EXPECT_NEAR(w.value(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(w.value(1.5), 3.0, 1e-12);
+}
+
+TEST(SourceWave, PwlEmptyIsZero) {
+  const auto w = SourceWave::make_pwl({});
+  EXPECT_DOUBLE_EQ(w.value(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace obd::spice

@@ -1,0 +1,125 @@
+// Static timing analysis: unateness, arrivals, cross-check vs event sim.
+#include "logic/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "atpg/patterns.hpp"
+#include "logic/zoo.hpp"
+
+namespace obd::logic {
+namespace {
+
+TEST(Unateness, InvertingGatesNegative) {
+  for (GateType t : {GateType::kInv, GateType::kNand2, GateType::kNand3,
+                     GateType::kNor2, GateType::kNor3, GateType::kAoi21,
+                     GateType::kOai21}) {
+    for (int i = 0; i < gate_arity(t); ++i)
+      EXPECT_EQ(input_unateness(t, i), Unateness::kNegative)
+          << gate_type_name(t) << " input " << i;
+  }
+}
+
+TEST(Unateness, NonInvertingPositive) {
+  EXPECT_EQ(input_unateness(GateType::kBuf, 0), Unateness::kPositive);
+  EXPECT_EQ(input_unateness(GateType::kAnd2, 0), Unateness::kPositive);
+  EXPECT_EQ(input_unateness(GateType::kOr2, 1), Unateness::kPositive);
+}
+
+TEST(Unateness, XorBinate) {
+  EXPECT_EQ(input_unateness(GateType::kXor2, 0), Unateness::kBinate);
+  EXPECT_EQ(input_unateness(GateType::kXnor2, 1), Unateness::kBinate);
+}
+
+TEST(Sta, InverterChainArrival) {
+  Circuit c("chain");
+  NetId prev = c.add_input("a");
+  for (int i = 0; i < 4; ++i) {
+    const NetId next = c.net("n" + std::to_string(i));
+    c.add_gate(GateType::kInv, "g" + std::to_string(i), {prev}, next);
+    prev = next;
+  }
+  c.mark_output(prev);
+  DelayLibrary lib;
+  lib.rise = 110e-12;
+  lib.fall = 96e-12;
+  const StaResult r = run_sta(c, lib);
+  // Alternating edges: the worst PO arrival alternates rise/fall sums.
+  // 4 stages: rise path = f+r+f+r or r+f+r+f depending on edge; max is
+  // 2*(110+96) ps either way... both equal here.
+  EXPECT_NEAR(r.worst_po_arrival, 2 * (110e-12 + 96e-12), 1e-15);
+  EXPECT_EQ(r.critical_path.size(), 4u);
+}
+
+TEST(Sta, CriticalPathGatesConnected) {
+  const Circuit c = full_adder_sum_circuit();
+  const StaResult r = run_sta(c, DelayLibrary{});
+  ASSERT_FALSE(r.critical_path.empty());
+  // Path depth equals the circuit's logic depth for a uniform library.
+  EXPECT_EQ(static_cast<int>(r.critical_path.size()), c.depth());
+  // Consecutive gates connected: each one's output feeds the next.
+  for (std::size_t i = 0; i + 1 < r.critical_path.size(); ++i) {
+    const Gate& g1 = c.gate(r.critical_path[i]);
+    const Gate& g2 = c.gate(r.critical_path[i + 1]);
+    const bool feeds =
+        std::find(g2.inputs.begin(), g2.inputs.end(), g1.output) !=
+        g2.inputs.end();
+    EXPECT_TRUE(feeds) << g1.name << " -> " << g2.name;
+  }
+}
+
+TEST(Sta, UpperBoundsEventSimulation) {
+  // STA's worst arrival bounds the event simulator's last event for every
+  // two-vector test (conservatism property).
+  for (const Circuit& c :
+       {full_adder_sum_circuit(), c17(), parity_tree(4)}) {
+    const DelayLibrary lib;
+    const StaResult sta = run_sta(c, lib);
+    TimingSimulator sim(c, lib);
+    double worst_seen = 0.0;
+    for (const auto& t :
+         atpg::all_ordered_pairs(static_cast<int>(c.inputs().size()))) {
+      const TimingRun run = sim.run_two_vector(t.v1, t.v2, 1.0);
+      if (!run.events.empty())
+        worst_seen = std::max(worst_seen, run.events.back().time);
+    }
+    EXPECT_LE(worst_seen, sta.worst_po_arrival * (1.0 + 1e-9)) << c.name();
+    // And the bound is tight within a gate delay or two for these small
+    // circuits (exhaustive stimulus).
+    EXPECT_GT(worst_seen, 0.5 * sta.worst_po_arrival) << c.name();
+  }
+}
+
+TEST(Sta, SlackSignConvention) {
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId o = c.net("o");
+  c.add_gate(GateType::kInv, "g", {a}, o);
+  c.mark_output(o);
+  DelayLibrary lib;
+  lib.rise = 100e-12;
+  lib.fall = 100e-12;
+  const StaResult r = run_sta(c, lib);
+  EXPECT_GT(sta_slack(r, o, true, 150e-12), 0.0);
+  EXPECT_LT(sta_slack(r, o, true, 50e-12), 0.0);
+}
+
+TEST(Sta, BinateGateTakesWorstEdge) {
+  // XOR after an asymmetric chain: rise/fall arrivals both feed its output.
+  Circuit c("t");
+  const NetId a = c.add_input("a");
+  const NetId b = c.add_input("b");
+  const NetId m = c.net("m");
+  const NetId o = c.net("o");
+  c.add_gate(GateType::kInv, "g1", {a}, m);
+  c.add_gate(GateType::kXor2, "g2", {m, b}, o);
+  c.mark_output(o);
+  DelayLibrary lib;
+  lib.rise = 110e-12;
+  lib.fall = 96e-12;
+  const StaResult r = run_sta(c, lib);
+  // Worst: inverter rise (110) + xor rise (110).
+  EXPECT_NEAR(r.worst_po_arrival, 220e-12, 1e-15);
+}
+
+}  // namespace
+}  // namespace obd::logic

@@ -1,0 +1,124 @@
+// Emitted transistor-level cells: DC truth tables match the boolean model.
+#include <gtest/gtest.h>
+
+#include "cells/cells.hpp"
+#include "spice/spice.hpp"
+
+namespace obd::cells {
+namespace {
+
+/// Builds a cell driven directly by DC sources, solves the operating point
+/// for every input vector, and compares the output level with the boolean
+/// topology model.
+void check_dc_truth_table(const CellTopology& topo) {
+  const Technology tech = Technology::default_350nm();
+  const InputBits limit = 1u << topo.num_inputs;
+  for (InputBits v = 0; v < limit; ++v) {
+    spice::Netlist nl;
+    const spice::NodeId vdd = nl.node("vdd");
+    nl.add_vsource("Vdd", vdd, spice::kGround,
+                   spice::SourceWave::make_dc(tech.vdd));
+    std::vector<spice::NodeId> ins;
+    for (int i = 0; i < topo.num_inputs; ++i) {
+      const spice::NodeId in = nl.node("in" + std::to_string(i));
+      const double lvl = ((v >> i) & 1u) ? tech.vdd : 0.0;
+      nl.add_vsource("Vin" + std::to_string(i), in, spice::kGround,
+                     spice::SourceWave::make_dc(lvl));
+      ins.push_back(in);
+    }
+    const spice::NodeId out = nl.node("out");
+    emit_cell(nl, topo, "dut", ins, out, vdd, tech);
+    const spice::DcResult r = spice::dc_operating_point(nl, {});
+    ASSERT_EQ(r.status, spice::SolveStatus::kOk)
+        << topo.type_name << " v=" << v;
+    const double vo = r.voltage(out);
+    if (topo.output(v)) {
+      EXPECT_GT(vo, 0.9 * tech.vdd) << topo.type_name << " v=" << v;
+    } else {
+      EXPECT_LT(vo, 0.1 * tech.vdd) << topo.type_name << " v=" << v;
+    }
+  }
+}
+
+class DcTruthTest : public testing::TestWithParam<CellTopology> {};
+
+TEST_P(DcTruthTest, MatchesBooleanModel) { check_dc_truth_table(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, DcTruthTest,
+    testing::Values(inv_topology(), nand_topology(2), nand_topology(3),
+                    nor_topology(2), nor_topology(3), aoi21_topology(),
+                    aoi22_topology(), oai21_topology()),
+    [](const testing::TestParamInfo<CellTopology>& info) {
+      return info.param.type_name;
+    });
+
+TEST(StdCells, TransistorNamingConvention) {
+  spice::Netlist nl;
+  const Technology tech = Technology::default_350nm();
+  const spice::NodeId vdd = nl.node("vdd");
+  const CellInstance g =
+      emit_nand2(nl, "g1", nl.node("a"), nl.node("b"), nl.node("o"), vdd, tech);
+  EXPECT_EQ(g.transistor_name({false, 0}), "g1.MN0");
+  EXPECT_EQ(g.transistor_name({true, 1}), "g1.MP1");
+  EXPECT_NE(nl.find_mosfet("g1.MN0"), nullptr);
+  EXPECT_NE(nl.find_mosfet("g1.MN1"), nullptr);
+  EXPECT_NE(nl.find_mosfet("g1.MP0"), nullptr);
+  EXPECT_NE(nl.find_mosfet("g1.MP1"), nullptr);
+}
+
+TEST(StdCells, SeriesStackCreatesInternalNode) {
+  spice::Netlist nl;
+  const Technology tech = Technology::default_350nm();
+  const spice::NodeId vdd = nl.node("vdd");
+  emit_nand2(nl, "g1", nl.node("a"), nl.node("b"), nl.node("o"), vdd, tech);
+  // NAND2: one internal node in the NMOS stack, none in the parallel PUN.
+  EXPECT_NE(nl.find_node("g1.xn0"), spice::kInvalidNode);
+  EXPECT_EQ(nl.find_node("g1.xp0"), spice::kInvalidNode);
+}
+
+TEST(StdCells, PdnAndPunInternalNodesDoNotCollide) {
+  // AOI21 has internal nodes in both networks; they must be distinct.
+  spice::Netlist nl;
+  const Technology tech = Technology::default_350nm();
+  const spice::NodeId vdd = nl.node("vdd");
+  std::vector<spice::NodeId> ins{nl.node("a"), nl.node("b"), nl.node("c")};
+  emit_cell(nl, aoi21_topology(), "g1", ins, nl.node("o"), vdd, tech);
+  const spice::NodeId xn = nl.find_node("g1.xn0");
+  const spice::NodeId xp = nl.find_node("g1.xp0");
+  EXPECT_NE(xn, spice::kInvalidNode);
+  EXPECT_NE(xp, spice::kInvalidNode);
+  EXPECT_NE(xn, xp);
+}
+
+TEST(StdCells, SeriesDevicesUpsized) {
+  spice::Netlist nl;
+  const Technology tech = Technology::default_350nm();
+  const spice::NodeId vdd = nl.node("vdd");
+  emit_nand2(nl, "g1", nl.node("a"), nl.node("b"), nl.node("o"), vdd, tech);
+  const spice::Mosfet* mn = nl.find_mosfet("g1.MN0");
+  const spice::Mosfet* mp = nl.find_mosfet("g1.MP0");
+  ASSERT_NE(mn, nullptr);
+  ASSERT_NE(mp, nullptr);
+  // NMOS stack depth 2 -> 2x width; parallel PMOS stays 1x.
+  EXPECT_NEAR(mn->params().w, 2.0 * tech.wn, 1e-12);
+  EXPECT_NEAR(mp->params().w, tech.wp, 1e-12);
+}
+
+TEST(StdCells, WireLoadAttached) {
+  spice::Netlist nl;
+  const Technology tech = Technology::default_350nm();
+  const spice::NodeId vdd = nl.node("vdd");
+  emit_inv(nl, "g1", nl.node("a"), nl.node("o"), vdd, tech);
+  EXPECT_NE(nl.find_device("g1.Cw"), nullptr);
+}
+
+TEST(FormatBits, PaperOrdering) {
+  // The paper prints input A first; our bit 0 is input A.
+  EXPECT_EQ(format_bits(0b01, 2), "10");  // A=1, B=0
+  EXPECT_EQ(format_bits(0b10, 2), "01");  // A=0, B=1
+  EXPECT_EQ(format_transition({0b11, 0b10}, 2), "(11,01)");
+}
+
+}  // namespace
+}  // namespace obd::cells

@@ -1,0 +1,97 @@
+// Technology card: temperature retargeting and process perturbation.
+#include "cells/tech.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace obd::cells {
+namespace {
+
+TEST(Tech, DefaultsSane) {
+  const Technology t = Technology::default_350nm();
+  EXPECT_GT(t.vdd, 3.0);
+  EXPECT_GT(t.vtn, 0.3);
+  EXPECT_GT(t.kpn, t.kpp);  // electrons faster than holes
+  EXPECT_NEAR(t.temperature, 300.0, 1e-9);
+  EXPECT_NEAR(t.thermal_voltage(), 0.02585, 1e-4);
+}
+
+TEST(Tech, MosfetRecordScalesWithWidth) {
+  const Technology t = Technology::default_350nm();
+  const auto p1 = t.nmos(1.0);
+  const auto p2 = t.nmos(2.0);
+  EXPECT_NEAR(p2.w, 2.0 * p1.w, 1e-15);
+  EXPECT_NEAR(p2.cgs, 2.0 * p1.cgs, 1e-20);
+  EXPECT_FALSE(p1.pmos);
+  EXPECT_TRUE(t.pmos().pmos);
+}
+
+TEST(Tech, HotterMeansSlowerDevices) {
+  const Technology cold = Technology::default_350nm();
+  const Technology hot = cold.at_temperature(398.0);
+  EXPECT_LT(hot.kpn, cold.kpn);
+  EXPECT_LT(hot.kpp, cold.kpp);
+  // Mobility scaling exponent -1.5.
+  EXPECT_NEAR(hot.kpn / cold.kpn, std::pow(398.0 / 300.0, -1.5), 1e-6);
+  // Thresholds shrink when hot.
+  EXPECT_LT(hot.vtn, cold.vtn);
+  EXPECT_NEAR(hot.vtn, cold.vtn - 98e-3, 1e-9);
+  EXPECT_NEAR(hot.thermal_voltage(), 0.0343, 1e-3);
+}
+
+TEST(Tech, ColderMeansFasterDevices) {
+  const Technology nom = Technology::default_350nm();
+  const Technology cold = nom.at_temperature(233.0);
+  EXPECT_GT(cold.kpn, nom.kpn);
+  EXPECT_GT(cold.vtn, nom.vtn);
+}
+
+TEST(Tech, TemperatureRoundTripIdentity) {
+  const Technology t = Technology::default_350nm();
+  const Technology same = t.at_temperature(300.0);
+  EXPECT_NEAR(same.kpn, t.kpn, 1e-12);
+  EXPECT_NEAR(same.vtn, t.vtn, 1e-12);
+}
+
+TEST(Tech, PerturbationDeterministic) {
+  util::Prng a(99);
+  util::Prng b(99);
+  const Technology base = Technology::default_350nm();
+  const Technology p1 = base.perturbed(a);
+  const Technology p2 = base.perturbed(b);
+  EXPECT_DOUBLE_EQ(p1.vtn, p2.vtn);
+  EXPECT_DOUBLE_EQ(p1.kpp, p2.kpp);
+}
+
+TEST(Tech, PerturbationSpreadMatchesSigma) {
+  util::Prng prng(123);
+  const Technology base = Technology::default_350nm();
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const Technology p = base.perturbed(prng, 0.03, 0.05);
+    const double d = p.vtn - base.vtn;
+    sum += d;
+    sq += d * d;
+  }
+  const double mean = sum / n;
+  const double sigma = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(sigma, 0.03, 0.01);
+}
+
+TEST(Tech, PerturbationClampsPathological) {
+  util::Prng prng(5);
+  const Technology base = Technology::default_350nm();
+  for (int i = 0; i < 100; ++i) {
+    const Technology p = base.perturbed(prng, /*sigma_vt=*/1.0,
+                                        /*sigma_kp_rel=*/1.0);
+    EXPECT_GE(p.vtn, 0.1);
+    EXPECT_GE(p.kpn, 0.5 * base.kpn);
+  }
+}
+
+}  // namespace
+}  // namespace obd::cells

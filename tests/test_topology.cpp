@@ -1,0 +1,155 @@
+// Cell topology: conduction, complementarity, essential/conducting analysis.
+#include "cells/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace obd::cells {
+namespace {
+
+TEST(Topology, InverterTruth) {
+  const CellTopology inv = inv_topology();
+  EXPECT_TRUE(inv.output(0b0));
+  EXPECT_FALSE(inv.output(0b1));
+}
+
+TEST(Topology, Nand2Truth) {
+  const CellTopology c = nand_topology(2);
+  EXPECT_TRUE(c.output(0b00));
+  EXPECT_TRUE(c.output(0b01));
+  EXPECT_TRUE(c.output(0b10));
+  EXPECT_FALSE(c.output(0b11));
+}
+
+TEST(Topology, Nor2Truth) {
+  const CellTopology c = nor_topology(2);
+  EXPECT_TRUE(c.output(0b00));
+  EXPECT_FALSE(c.output(0b01));
+  EXPECT_FALSE(c.output(0b10));
+  EXPECT_FALSE(c.output(0b11));
+}
+
+TEST(Topology, Aoi21Truth) {
+  // out = !(A*B + C), A=bit0, B=bit1, C=bit2.
+  const CellTopology c = aoi21_topology();
+  for (InputBits v = 0; v < 8; ++v) {
+    const bool a = v & 1, b = v & 2, cc = v & 4;
+    EXPECT_EQ(c.output(v), !((a && b) || cc)) << "v=" << v;
+  }
+}
+
+TEST(Topology, Aoi22Truth) {
+  const CellTopology c = aoi22_topology();
+  for (InputBits v = 0; v < 16; ++v) {
+    const bool a = v & 1, b = v & 2, cc = v & 4, d = v & 8;
+    EXPECT_EQ(c.output(v), !((a && b) || (cc && d))) << "v=" << v;
+  }
+}
+
+TEST(Topology, Oai21Truth) {
+  const CellTopology c = oai21_topology();
+  for (InputBits v = 0; v < 8; ++v) {
+    const bool a = v & 1, b = v & 2, cc = v & 4;
+    EXPECT_EQ(c.output(v), !((a || b) && cc)) << "v=" << v;
+  }
+}
+
+class AllCellsTest : public testing::TestWithParam<CellTopology> {};
+
+TEST_P(AllCellsTest, IsComplementary) {
+  EXPECT_TRUE(GetParam().is_complementary()) << GetParam().type_name;
+}
+
+TEST_P(AllCellsTest, OneNmosOnePmosPerInput) {
+  const CellTopology& c = GetParam();
+  const auto ts = c.transistors();
+  EXPECT_EQ(ts.size(), 2u * static_cast<std::size_t>(c.num_inputs));
+  for (int i = 0; i < c.num_inputs; ++i) {
+    int n = 0, p = 0;
+    for (const auto& t : ts) {
+      if (t.input != i) continue;
+      (t.pmos ? p : n)++;
+    }
+    EXPECT_EQ(n, 1) << c.type_name << " input " << i;
+    EXPECT_EQ(p, 1) << c.type_name << " input " << i;
+  }
+}
+
+TEST_P(AllCellsTest, EssentialImpliesConducting) {
+  const CellTopology& c = GetParam();
+  const InputBits limit = 1u << c.num_inputs;
+  for (const auto& t : c.transistors())
+    for (InputBits v = 0; v < limit; ++v)
+      if (c.transistor_essential(t, v))
+        EXPECT_TRUE(c.transistor_conducting(t, v))
+            << c.type_name << " t=" << t.input << " v=" << v;
+}
+
+TEST_P(AllCellsTest, OffTransistorNeverEssentialOrConducting) {
+  const CellTopology& c = GetParam();
+  const InputBits limit = 1u << c.num_inputs;
+  for (const auto& t : c.transistors()) {
+    for (InputBits v = 0; v < limit; ++v) {
+      const bool on = t.pmos ? !((v >> t.input) & 1u) : ((v >> t.input) & 1u);
+      if (!on) {
+        EXPECT_FALSE(c.transistor_essential(t, v));
+        EXPECT_FALSE(c.transistor_conducting(t, v));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, AllCellsTest,
+    testing::Values(inv_topology(), nand_topology(2), nand_topology(3),
+                    nand_topology(4), nor_topology(2), nor_topology(3),
+                    aoi21_topology(), aoi22_topology(), oai21_topology()),
+    [](const testing::TestParamInfo<CellTopology>& info) {
+      return info.param.type_name;
+    });
+
+TEST(Topology, NandSeriesNmosAlwaysEssentialWhenConducting) {
+  // In a series stack every device carries the full current.
+  const CellTopology c = nand_topology(3);
+  const InputBits all_on = 0b111;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(c.transistor_essential({false, i}, all_on));
+    EXPECT_TRUE(c.transistor_conducting({false, i}, all_on));
+  }
+}
+
+TEST(Topology, NandParallelPmosEssentialOnlyWhenAlone) {
+  const CellTopology c = nand_topology(2);
+  // v = A=0, B=1: only PMOS A conducts -> essential.
+  EXPECT_TRUE(c.transistor_essential({true, 0}, 0b10));
+  // v = 00: both PMOS conduct -> each carries current but none essential.
+  EXPECT_FALSE(c.transistor_essential({true, 0}, 0b00));
+  EXPECT_TRUE(c.transistor_conducting({true, 0}, 0b00));
+  EXPECT_FALSE(c.transistor_essential({true, 1}, 0b00));
+  EXPECT_TRUE(c.transistor_conducting({true, 1}, 0b00));
+}
+
+TEST(Topology, Aoi21SeriesBranchConductingNotEssential) {
+  const CellTopology c = aoi21_topology();
+  // PDN = (A series B) parallel C. With A=B=C=1 both branches conduct:
+  // A carries current (its branch conducts) but is not essential (C bypasses).
+  const InputBits v = 0b111;
+  EXPECT_TRUE(c.transistor_conducting({false, 0}, v));
+  EXPECT_FALSE(c.transistor_essential({false, 0}, v));
+  EXPECT_TRUE(c.transistor_conducting({false, 2}, v));
+  EXPECT_FALSE(c.transistor_essential({false, 2}, v));
+  // With A=B=1, C=0 the series branch is the only path: A essential.
+  EXPECT_TRUE(c.transistor_essential({false, 0}, 0b011));
+}
+
+TEST(Topology, Aoi21BlockedSeriesBranchCarriesNothing) {
+  const CellTopology c = aoi21_topology();
+  // A=1, B=0, C=1: PDN conducts via C only; A is on but its series branch
+  // is blocked by B, so A neither conducts nor is essential.
+  const InputBits v = 0b101;
+  EXPECT_TRUE(c.pdn_conducts(v));
+  EXPECT_FALSE(c.transistor_conducting({false, 0}, v));
+  EXPECT_FALSE(c.transistor_essential({false, 0}, v));
+}
+
+}  // namespace
+}  // namespace obd::cells

@@ -1,0 +1,185 @@
+// Transient integration against analytic solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/spice.hpp"
+#include "util/measure.hpp"
+
+namespace obd::spice {
+namespace {
+
+// RC charging circuit: V -> R -> node -> C -> gnd. Analytic:
+// v(t) = V (1 - exp(-t/RC)).
+struct RcFixture {
+  Netlist nl;
+  NodeId out;
+  double r = 1000.0;
+  double c = 1e-12;
+  double v = 1.0;
+
+  RcFixture() {
+    const NodeId vin = nl.node("in");
+    out = nl.node("out");
+    // Source steps from 0 to v at t=0+ via a fast PWL ramp.
+    nl.add_vsource("V1", vin, kGround,
+                   SourceWave::make_pwl({{0.0, 0.0}, {1e-15, v}}));
+    nl.add_resistor("R1", vin, out, r);
+    nl.add_capacitor("C1", out, kGround, c);
+  }
+};
+
+class RcIntegratorTest : public testing::TestWithParam<Integrator> {};
+
+TEST_P(RcIntegratorTest, MatchesAnalyticCharging) {
+  RcFixture f;
+  TransientOptions opt;
+  opt.integrator = GetParam();
+  opt.dt = 5e-12;  // tau/200
+  opt.adaptive = false;
+  const double tau = f.r * f.c;
+  const TransientResult res = transient(f.nl, 5.0 * tau, opt, {"out"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  const util::Waveform* w = res.trace("out");
+  ASSERT_NE(w, nullptr);
+  for (double frac : {0.5, 1.0, 2.0, 3.0, 4.5}) {
+    const double t = frac * tau;
+    const double expected = f.v * (1.0 - std::exp(-t / tau));
+    EXPECT_NEAR(w->at(t), expected, 0.01) << "at t/tau=" << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Integrators, RcIntegratorTest,
+                         testing::Values(Integrator::kBackwardEuler,
+                                         Integrator::kTrapezoidal));
+
+TEST(Transient, TrapezoidalMoreAccurateThanBackwardEuler) {
+  // Clean initial-value problem: capacitor starts discharged (dc_init off),
+  // DC source charges it. No mid-run discontinuity, so trapezoidal's
+  // second-order accuracy shows directly.
+  const double tau = 1e-9;
+  double err[2] = {0.0, 0.0};
+  int k = 0;
+  for (Integrator ig : {Integrator::kBackwardEuler, Integrator::kTrapezoidal}) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource("V1", in, kGround, SourceWave::make_dc(1.0));
+    nl.add_resistor("R1", in, out, 1000.0);
+    nl.add_capacitor("C1", out, kGround, 1e-12);
+    TransientOptions opt;
+    opt.integrator = ig;
+    opt.dt = 5e-11;  // deliberately coarse: tau/20
+    opt.adaptive = false;
+    opt.dc_init = false;  // start from v(out) = 0 and charge up
+    const TransientResult res = transient(nl, 2.0 * tau, opt, {"out"});
+    ASSERT_EQ(res.status, SolveStatus::kOk);
+    const util::Waveform* w = res.trace("out");
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < w->size(); ++i) {
+      const double expected = 1.0 * (1.0 - std::exp(-w->time(i) / tau));
+      max_err = std::max(max_err, std::abs(w->value(i) - expected));
+    }
+    err[k++] = max_err;
+  }
+  EXPECT_LT(err[1], err[0]);
+}
+
+TEST(Transient, DcInitStartsSettled) {
+  // With dc_init, a divider node starts at its settled value; no transient.
+  Netlist nl;
+  const NodeId vin = nl.node("in");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V1", vin, kGround, SourceWave::make_dc(2.0));
+  nl.add_resistor("R1", vin, mid, 1000.0);
+  nl.add_resistor("R2", mid, kGround, 1000.0);
+  nl.add_capacitor("C1", mid, kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 1e-11;
+  const TransientResult res = transient(nl, 1e-9, opt, {"mid"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  const util::Waveform* w = res.trace("mid");
+  EXPECT_NEAR(w->value(0), 1.0, 1e-6);
+  EXPECT_NEAR(w->final_value(), 1.0, 1e-6);
+}
+
+TEST(Transient, RecordsSourceCurrent) {
+  RcFixture f;
+  TransientOptions opt;
+  opt.dt = 5e-12;
+  const TransientResult res = transient(f.nl, 5e-9, opt, {"out"}, {"V1"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  const util::Waveform* i = res.trace("I(V1)");
+  ASSERT_NE(i, nullptr);
+  // Branch current flows from + through the source: at t~0 the capacitor is
+  // empty, so |I| ~ V/R = 1mA; magnitude decays afterwards.
+  const double i_early = std::abs(i->at(5e-12));
+  const double i_late = std::abs(i->final_value());
+  EXPECT_GT(i_early, 5e-4);
+  EXPECT_LT(i_late, 1e-5);
+}
+
+TEST(Transient, PulseThroughRcDelays) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource("V1", in, kGround,
+                 SourceWave::make_pulse(0.0, 3.3, 1e-9, 0.1e-9, 0.1e-9, 4e-9));
+  nl.add_resistor("R1", in, out, 1000.0);
+  nl.add_capacitor("C1", out, kGround, 100e-15);  // tau = 100ps
+  TransientOptions opt;
+  opt.dt = 1e-11;
+  const TransientResult res = transient(nl, 8e-9, opt, {"in", "out"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  util::DelayOptions dopt;
+  dopt.vdd = 3.3;
+  const auto d = util::propagation_delay(*res.trace("in"), util::Edge::kRising,
+                                         *res.trace("out"), util::Edge::kRising,
+                                         0.0, dopt);
+  ASSERT_TRUE(d.has_value());
+  // 50% crossing of an RC step response happens at ln(2) * tau ~ 69ps.
+  EXPECT_NEAR(*d, std::log(2.0) * 100e-12, 15e-12);
+}
+
+TEST(Transient, AdaptiveRecoversFromHardStep) {
+  // A very sharp edge with adaptive stepping must still converge.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource("V1", in, kGround,
+                 SourceWave::make_pwl({{0.0, 0.0}, {1e-12, 3.3}}));
+  nl.add_resistor("R1", in, out, 100.0);
+  DiodeParams dp;
+  dp.isat = 1e-16;
+  nl.add_diode("D1", out, kGround, dp);
+  nl.add_capacitor("C1", out, kGround, 10e-15);
+  TransientOptions opt;
+  opt.dt = 2e-11;
+  opt.adaptive = true;
+  const TransientResult res = transient(nl, 2e-9, opt, {"out"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  // Diode clamps the node near its forward drop.
+  EXPECT_GT(res.trace("out")->final_value(), 0.6);
+  EXPECT_LT(res.trace("out")->final_value(), 1.2);
+}
+
+TEST(Transient, CapacitorDividerWithTrapezoidal) {
+  // Two series capacitors divide a fast step by the capacitance ratio.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource("V1", in, kGround,
+                 SourceWave::make_pwl({{1e-10, 0.0}, {2e-10, 2.0}}));
+  nl.add_capacitor("C1", in, mid, 3e-12);
+  nl.add_capacitor("C2", mid, kGround, 1e-12);
+  TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.solver.gmin = 1e-15;  // keep the divider from leaking during the run
+  const TransientResult res = transient(nl, 1e-9, opt, {"mid"});
+  ASSERT_EQ(res.status, SolveStatus::kOk);
+  // dV(mid) = dV(in) * C1/(C1+C2) = 2 * 0.75 = 1.5.
+  EXPECT_NEAR(res.trace("mid")->final_value(), 1.5, 0.05);
+}
+
+}  // namespace
+}  // namespace obd::spice

@@ -1,0 +1,126 @@
+#include "util/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace obd::util {
+namespace {
+
+TEST(Waveform, AppendEnforcesMonotonicTime) {
+  Waveform w("x");
+  EXPECT_TRUE(w.append(0.0, 1.0));
+  EXPECT_TRUE(w.append(1.0, 2.0));
+  EXPECT_FALSE(w.append(1.0, 3.0));  // equal time rejected
+  EXPECT_FALSE(w.append(0.5, 3.0));  // going backwards rejected
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(Waveform, EmptyBehaviour) {
+  Waveform w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_DOUBLE_EQ(w.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(w.max_value(), 0.0);
+  EXPECT_DOUBLE_EQ(w.final_value(), 0.0);
+  EXPECT_TRUE(w.crossings(0.5, true).empty());
+}
+
+TEST(Waveform, LinearInterpolation) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(w.at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5), 1.0);
+}
+
+TEST(Waveform, InterpolationClampsOutsideRange) {
+  Waveform w;
+  w.append(1.0, 5.0);
+  w.append(2.0, 7.0);
+  EXPECT_DOUBLE_EQ(w.at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(w.at(3.0), 7.0);
+}
+
+TEST(Waveform, MinMaxFinal) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, -2.0);
+  w.append(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(w.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(w.max_value(), 3.0);
+  EXPECT_DOUBLE_EQ(w.final_value(), 3.0);
+}
+
+TEST(Waveform, RisingCrossingInterpolated) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  const auto xs = w.crossings(0.25, true);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_NEAR(xs[0], 0.25, 1e-12);
+}
+
+TEST(Waveform, FallingCrossing) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 0.0);
+  const auto rising = w.crossings(0.5, true);
+  const auto falling = w.crossings(0.5, false);
+  EXPECT_TRUE(rising.empty());
+  ASSERT_EQ(falling.size(), 1u);
+  EXPECT_NEAR(falling[0], 0.5, 1e-12);
+}
+
+TEST(Waveform, MultipleCrossingsOfPulse) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(2.0, 0.0);
+  w.append(3.0, 1.0);
+  EXPECT_EQ(w.crossings(0.5, true).size(), 2u);
+  EXPECT_EQ(w.crossings(0.5, false).size(), 1u);
+}
+
+TEST(Waveform, FirstCrossingAfter) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(2.0, 0.0);
+  w.append(3.0, 1.0);
+  double t = 0.0;
+  ASSERT_TRUE(w.first_crossing_after(1.5, 0.5, true, &t));
+  EXPECT_NEAR(t, 2.5, 1e-12);
+  EXPECT_FALSE(w.first_crossing_after(2.6, 0.5, false, &t));
+}
+
+TEST(Waveform, ResampleUniformGrid) {
+  Waveform w("sig");
+  for (int i = 0; i <= 10; ++i) w.append(i, i * i);
+  const Waveform r = w.resample(5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.time(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.time(4), 10.0);
+  EXPECT_EQ(r.name(), "sig");
+  // Interior points linearly interpolated between integer samples.
+  EXPECT_NEAR(r.at(5.0), 25.0, 1e-9);
+}
+
+TEST(Waveform, ResampleDegenerate) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  EXPECT_TRUE(w.resample(10).empty());
+}
+
+TEST(TraceSet, FindByName) {
+  TraceSet ts;
+  ts.traces.emplace_back("a");
+  ts.traces.emplace_back("b");
+  EXPECT_NE(ts.find("a"), nullptr);
+  EXPECT_NE(ts.find("b"), nullptr);
+  EXPECT_EQ(ts.find("c"), nullptr);
+  EXPECT_EQ(ts.find("a")->name(), "a");
+}
+
+}  // namespace
+}  // namespace obd::util

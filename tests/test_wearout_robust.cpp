@@ -1,0 +1,183 @@
+// Weibull wear-out population model and robustness classification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atpg/robust.hpp"
+#include "atpg/twoframe.hpp"
+#include "core/wearout.hpp"
+#include "logic/zoo.hpp"
+
+namespace obd {
+namespace {
+
+// --- Weibull -----------------------------------------------------------------
+
+TEST(Weibull, CdfBasics) {
+  core::Weibull w;
+  w.shape = 2.0;
+  w.scale = 100.0;
+  EXPECT_DOUBLE_EQ(w.cdf(0.0), 0.0);
+  EXPECT_NEAR(w.cdf(100.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_GT(w.cdf(200.0), w.cdf(100.0));
+  EXPECT_LT(w.cdf(1e9), 1.0 + 1e-12);
+}
+
+TEST(Weibull, SampleMatchesCdf) {
+  core::Weibull w;
+  w.shape = 2.0;
+  w.scale = 100.0;
+  util::Prng prng(42);
+  int below_scale = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (w.sample(prng) < 100.0) ++below_scale;
+  EXPECT_NEAR(static_cast<double>(below_scale) / n, w.cdf(100.0), 0.02);
+}
+
+TEST(Weibull, ShapeControlsWearout) {
+  // Higher shape concentrates failures near the scale.
+  core::Weibull steep{8.0, 100.0};
+  core::Weibull flat{1.0, 100.0};
+  util::Prng p1(7), p2(7);
+  double var_steep = 0.0, var_flat = 0.0;
+  const int n = 5000;
+  std::vector<double> xs, ys;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(steep.sample(p1));
+    ys.push_back(flat.sample(p2));
+  }
+  auto variance = [](const std::vector<double>& v) {
+    double m = 0;
+    for (double x : v) m += x;
+    m /= v.size();
+    double s = 0;
+    for (double x : v) s += (x - m) * (x - m);
+    return s / v.size();
+  };
+  var_steep = variance(xs);
+  var_flat = variance(ys);
+  EXPECT_LT(var_steep, var_flat);
+}
+
+// --- Chip population -----------------------------------------------------------
+
+core::SiteWindow mkwin(double open, double hbd) {
+  core::SiteWindow s;
+  s.t_observable = open;
+  s.t_hbd = hbd;
+  return s;
+}
+
+TEST(ChipPopulation, FrequentTestingPreventsEscapes) {
+  core::Weibull onset{2.0, 5e8};
+  core::ChipLifetimeOptions opt;
+  opt.sites_per_chip = 200;
+  opt.chips = 500;
+  opt.test_period = 600.0;  // 10 min: far shorter than the 1-day window
+  const auto st = core::simulate_chip_population(
+      {mkwin(3600.0, 86400.0)}, onset, opt);
+  EXPECT_EQ(st.chips, 500);
+  EXPECT_GT(st.chips_with_defects, 0);
+  EXPECT_EQ(st.chips_escaped, 0);
+}
+
+TEST(ChipPopulation, NoTestingMeansEscapes) {
+  core::Weibull onset{2.0, 5e8};
+  core::ChipLifetimeOptions opt;
+  opt.sites_per_chip = 200;
+  opt.chips = 500;
+  opt.test_period = 1e9;  // effectively never tests inside a window
+  const auto st = core::simulate_chip_population(
+      {mkwin(3600.0, 86400.0)}, onset, opt);
+  EXPECT_GT(st.chips_escaped, 0);
+  EXPECT_GE(st.chips_with_defects, st.chips_escaped);
+}
+
+TEST(ChipPopulation, EscapeRateMonotoneInPeriod) {
+  core::Weibull onset{2.0, 5e8};
+  double prev = -0.01;
+  for (double period : {3600.0, 43200.0, 86400.0 * 2}) {
+    core::ChipLifetimeOptions opt;
+    opt.sites_per_chip = 100;
+    opt.chips = 800;
+    opt.test_period = period;
+    const auto st = core::simulate_chip_population(
+        {mkwin(3600.0, 86400.0)}, onset, opt);
+    EXPECT_GE(st.escape_rate() + 0.02, prev) << period;
+    prev = st.escape_rate();
+  }
+}
+
+TEST(ChipPopulation, Deterministic) {
+  core::Weibull onset{2.0, 5e8};
+  core::ChipLifetimeOptions opt;
+  opt.chips = 200;
+  const auto a =
+      core::simulate_chip_population({mkwin(0.0, 86400.0)}, onset, opt);
+  const auto b =
+      core::simulate_chip_population({mkwin(0.0, 86400.0)}, onset, opt);
+  EXPECT_EQ(a.chips_escaped, b.chips_escaped);
+  EXPECT_EQ(a.mean_defects, b.mean_defects);
+}
+
+// --- Robustness ----------------------------------------------------------------
+
+TEST(Robust, SicDetection) {
+  EXPECT_TRUE(atpg::is_single_input_change({0b001, 0b011}));
+  EXPECT_FALSE(atpg::is_single_input_change({0b00, 0b11}));
+  EXPECT_FALSE(atpg::is_single_input_change({0b01, 0b01}));
+}
+
+TEST(Robust, SingleGateCircuitAlwaysRobust) {
+  // With no other gates there is nothing to mask the detection.
+  logic::Circuit c("g");
+  const auto a = c.add_input("a");
+  const auto b = c.add_input("b");
+  const auto o = c.net("o");
+  c.add_gate(logic::GateType::kNand2, "g", {a, b}, o);
+  c.mark_output(o);
+  const auto faults = atpg::enumerate_obd_faults(c);
+  for (const auto& f : faults) {
+    const auto r = atpg::generate_obd_test(c, f);
+    ASSERT_EQ(r.status, atpg::PodemStatus::kFound);
+    EXPECT_TRUE(atpg::robust_under_single_slow_gate(c, r.test, f));
+  }
+}
+
+TEST(Robust, UndetectedNeverRobust) {
+  logic::Circuit c("g");
+  const auto a = c.add_input("a");
+  const auto b = c.add_input("b");
+  const auto o = c.net("o");
+  c.add_gate(logic::GateType::kNand2, "g", {a, b}, o);
+  c.mark_output(o);
+  const auto faults = atpg::enumerate_obd_faults(c);
+  // (11,00) excites no OBD fault: not detected, hence not robust.
+  for (const auto& f : faults)
+    EXPECT_FALSE(
+        atpg::robust_under_single_slow_gate(c, {0b11, 0b00}, f));
+}
+
+TEST(Robust, ReportCountsConsistent) {
+  const logic::Circuit c = logic::c17();
+  const auto faults = atpg::enumerate_obd_faults(c);
+  const auto run = atpg::run_obd_atpg(c, faults);
+  const auto rep = atpg::classify_obd_tests(c, faults, run.tests);
+  EXPECT_GT(rep.tests, 0);
+  EXPECT_LE(rep.robust, rep.tests);
+  EXPECT_LE(rep.sic, rep.tests);
+}
+
+TEST(Robust, RobustDetectionsExistOnFullAdder) {
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = atpg::enumerate_obd_faults(c);
+  const auto run = atpg::run_obd_atpg(c, faults);
+  const auto rep = atpg::classify_obd_tests(c, faults, run.tests);
+  EXPECT_GT(rep.robust, 0);
+  // And some detections are non-robust (reconvergent XOR structure).
+  EXPECT_LT(rep.robust, rep.tests);
+}
+
+}  // namespace
+}  // namespace obd

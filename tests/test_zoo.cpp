@@ -1,0 +1,173 @@
+// Circuit zoo: structural properties the paper relies on, and functional
+// correctness of the benchmark circuits.
+#include <gtest/gtest.h>
+
+#include "logic/zoo.hpp"
+
+namespace obd::logic {
+namespace {
+
+TEST(FullAdderSum, ComputesXor3) {
+  const Circuit c = full_adder_sum_circuit();
+  ASSERT_TRUE(c.validate().empty());
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const int ones = __builtin_popcountll(v);
+    EXPECT_EQ(c.eval_outputs(v), static_cast<std::uint64_t>(ones & 1))
+        << "v=" << v;
+  }
+}
+
+TEST(FullAdderSum, ExactGateCountsFromPaper) {
+  // Sec. 4.3: 14 NAND gates and 11 inverters.
+  const Circuit c = full_adder_sum_circuit();
+  int nands = 0;
+  int invs = 0;
+  for (const auto& g : c.gates()) {
+    if (g.type == GateType::kNand2) ++nands;
+    if (g.type == GateType::kInv) ++invs;
+  }
+  EXPECT_EQ(nands, 14);
+  EXPECT_EQ(invs, 11);
+  EXPECT_EQ(c.num_gates(), 25u);
+}
+
+TEST(FullAdderSum, LogicDepthNine) {
+  // Sec. 4.3: "resulting in a logic depth of 9".
+  EXPECT_EQ(full_adder_sum_circuit().depth(), 9);
+}
+
+TEST(FullAdderSum, MidNandHasFourStagesEachWay) {
+  // The injected NAND has four upstream and four downstream stages.
+  const Circuit c = full_adder_sum_circuit();
+  const auto levels = c.gate_levels();
+  int mid = -1;
+  for (std::size_t g = 0; g < c.num_gates(); ++g)
+    if (c.gate(static_cast<int>(g)).name == kFullAdderMidNand)
+      mid = static_cast<int>(g);
+  ASSERT_GE(mid, 0);
+  EXPECT_EQ(levels[static_cast<std::size_t>(mid)], 5);  // stages 1-4 above, 6-9 below
+  EXPECT_EQ(c.gate(mid).type, GateType::kNand2);
+}
+
+TEST(FullAdderSum, RedundantBranchIsConstant) {
+  // q1 and q3 evaluate to 1 and q2 to 0 for every input: the intentional
+  // redundancy that makes some OBD faults untestable.
+  const Circuit c = full_adder_sum_circuit();
+  const NetId q1 = c.find_net("q1");
+  const NetId q2 = c.find_net("q2");
+  const NetId q3 = c.find_net("q3");
+  ASSERT_NE(q1, kNoNet);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const auto vals = c.eval(v);
+    EXPECT_TRUE(vals[static_cast<std::size_t>(q1)]);
+    EXPECT_FALSE(vals[static_cast<std::size_t>(q2)]);
+    EXPECT_TRUE(vals[static_cast<std::size_t>(q3)]);
+  }
+}
+
+TEST(FullAdderSum, FiftySixObdSitesInNands) {
+  // Sec. 4.3: "56 distinct locations for OBD defects in the 14 NAND gates".
+  const Circuit c = full_adder_sum_circuit();
+  int sites = 0;
+  for (const auto& g : c.gates())
+    if (g.type == GateType::kNand2) sites += 4;  // 2 NMOS + 2 PMOS
+  EXPECT_EQ(sites, 56);
+}
+
+TEST(C17, TruthMatchesReference) {
+  const Circuit c = c17();
+  ASSERT_TRUE(c.validate().empty());
+  // Reference model: out22 = !(n10 & n16), out23 = !(n16 & n19).
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    const bool i1 = v & 1, i2 = v & 2, i3 = v & 4, i6 = v & 8, i7 = v & 16;
+    const bool n10 = !(i1 && i3);
+    const bool n11 = !(i3 && i6);
+    const bool n16 = !(i2 && n11);
+    const bool n19 = !(n11 && i7);
+    const bool o22 = !(n10 && n16);
+    const bool o23 = !(n16 && n19);
+    const std::uint64_t expect =
+        (o22 ? 1u : 0u) | (o23 ? 2u : 0u);
+    EXPECT_EQ(c.eval_outputs(v), expect) << "v=" << v;
+  }
+}
+
+class RcaTest : public testing::TestWithParam<int> {};
+
+TEST_P(RcaTest, AddsCorrectly) {
+  const int bits = GetParam();
+  const Circuit c = ripple_carry_adder(bits);
+  ASSERT_TRUE(c.validate().empty());
+  const std::uint64_t mask = (1ull << bits) - 1;
+  // Exhaustive for small widths, strided sampling for wider ones.
+  const std::uint64_t stride = bits <= 3 ? 1 : (bits <= 4 ? 3 : 37);
+  for (std::uint64_t a = 0; a <= mask; a += stride) {
+    for (std::uint64_t b = 0; b <= mask; b += stride) {
+      for (std::uint64_t cin = 0; cin <= 1; ++cin) {
+        const std::uint64_t pi = a | (b << bits) | (cin << (2 * bits));
+        const std::uint64_t sum = a + b + cin;
+        EXPECT_EQ(c.eval_outputs(pi), sum & ((mask << 1) | 1))
+            << "a=" << a << " b=" << b << " cin=" << cin;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RcaTest, testing::Values(1, 2, 3, 4, 6, 8));
+
+class ParityTest : public testing::TestWithParam<int> {};
+
+TEST_P(ParityTest, MatchesPopcount) {
+  const int n = GetParam();
+  const Circuit c = parity_tree(n);
+  ASSERT_TRUE(c.validate().empty());
+  const std::uint64_t limit = 1ull << n;
+  const std::uint64_t stride = n <= 10 ? 1 : 1023;
+  for (std::uint64_t v = 0; v < limit; v += stride)
+    EXPECT_EQ(c.eval_outputs(v),
+              static_cast<std::uint64_t>(__builtin_popcountll(v) & 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParityTest, testing::Values(2, 3, 4, 5, 8));
+
+class MuxTest : public testing::TestWithParam<int> {};
+
+TEST_P(MuxTest, SelectsCorrectInput) {
+  const int sel_bits = GetParam();
+  const Circuit c = mux_tree(sel_bits);
+  ASSERT_TRUE(c.validate().empty());
+  const int n_data = 1 << sel_bits;
+  for (int s = 0; s < n_data; ++s) {
+    // Set exactly one data input high; output must equal (sel == s).
+    for (int hot = 0; hot < n_data; ++hot) {
+      const std::uint64_t pi = (1ull << hot) |
+                               (static_cast<std::uint64_t>(s) << n_data);
+      EXPECT_EQ(c.eval_outputs(pi), static_cast<std::uint64_t>(hot == s))
+          << "sel=" << s << " hot=" << hot;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MuxTest, testing::Values(1, 2, 3));
+
+TEST(RandomCircuit, DeterministicAndValid) {
+  const Circuit a = random_circuit(6, 40, 4, 123);
+  const Circuit b = random_circuit(6, 40, 4, 123);
+  ASSERT_TRUE(a.validate().empty());
+  EXPECT_EQ(a.num_gates(), 40u);
+  EXPECT_EQ(a.outputs().size(), 4u);
+  for (std::uint64_t v = 0; v < 64; ++v)
+    EXPECT_EQ(a.eval_outputs(v), b.eval_outputs(v));
+}
+
+TEST(RandomCircuit, DifferentSeedsDiffer) {
+  const Circuit a = random_circuit(6, 40, 4, 1);
+  const Circuit b = random_circuit(6, 40, 4, 2);
+  bool any_diff = false;
+  for (std::uint64_t v = 0; v < 64 && !any_diff; ++v)
+    any_diff = a.eval_outputs(v) != b.eval_outputs(v);
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace obd::logic

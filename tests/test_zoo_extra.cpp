@@ -1,0 +1,104 @@
+// Extra zoo circuits: decoder, comparator, ALU slice; plus the cross-layer
+// property test (random circuits: spice DC vs logic evaluation).
+#include <gtest/gtest.h>
+
+#include "logic/elaborate.hpp"
+#include "logic/zoo.hpp"
+#include "spice/spice.hpp"
+
+namespace obd::logic {
+namespace {
+
+class DecoderTest : public testing::TestWithParam<int> {};
+
+TEST_P(DecoderTest, OneHotOutputs) {
+  const int n = GetParam();
+  const Circuit c = decoder(n);
+  ASSERT_TRUE(c.validate().empty());
+  const int n_out = 1 << n;
+  for (std::uint64_t sel = 0; sel < static_cast<std::uint64_t>(n_out); ++sel) {
+    const std::uint64_t out = c.eval_outputs(sel);
+    EXPECT_EQ(out, 1ull << sel) << "sel=" << sel;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DecoderTest, testing::Values(1, 2, 3, 4));
+
+class ComparatorTest : public testing::TestWithParam<int> {};
+
+TEST_P(ComparatorTest, EqualityOverAllPairs) {
+  const int bits = GetParam();
+  const Circuit c = equality_comparator(bits);
+  ASSERT_TRUE(c.validate().empty());
+  const std::uint64_t limit = 1ull << bits;
+  for (std::uint64_t a = 0; a < limit; ++a)
+    for (std::uint64_t b = 0; b < limit; ++b) {
+      const std::uint64_t pi = a | (b << bits);
+      EXPECT_EQ(c.eval_outputs(pi), static_cast<std::uint64_t>(a == b))
+          << a << " vs " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ComparatorTest, testing::Values(1, 2, 3, 4));
+
+TEST(AluSlice, AllOpsAllInputs) {
+  const Circuit c = alu_bit_slice();
+  ASSERT_TRUE(c.validate().empty());
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    const bool a = v & 1, b = v & 2, cin = v & 4, s0 = v & 8, s1 = v & 16;
+    bool y;
+    if (!s1 && !s0) y = a && b;
+    else if (!s1 && s0) y = a || b;
+    else if (s1 && !s0) y = a != b;
+    else y = (a != b) != cin;
+    const bool cout = (a && b) || (a && cin) || (b && cin);
+    const std::uint64_t expect = (y ? 1u : 0u) | (cout ? 2u : 0u);
+    EXPECT_EQ(c.eval_outputs(v), expect) << "v=" << v;
+  }
+}
+
+TEST(AluSlice, OnlyPrimitiveGates) {
+  const Circuit c = alu_bit_slice();
+  for (const auto& g : c.gates())
+    EXPECT_TRUE(is_primitive_cmos(g.type)) << g.name;
+}
+
+// --- Cross-layer property: spice DC == logic eval on random circuits --------
+
+class CrossLayerTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossLayerTest, SpiceDcMatchesLogicEval) {
+  // Random primitive circuit, elaborated to transistors; every input
+  // vector's DC solution must reproduce the boolean outputs. This closes
+  // the loop between the boolean models (topology/gate_eval) and the
+  // analog substrate across arbitrary compositions.
+  const std::uint64_t seed = GetParam();
+  const Circuit c = random_circuit(4, 12, 3, seed);
+  ASSERT_TRUE(c.validate().empty());
+  const cells::Technology tech = cells::Technology::default_350nm();
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    Elaboration el(c, tech);
+    el.set_two_vector(v, v, 1e-9);
+    const spice::DcResult r =
+        spice::dc_operating_point(el.netlist(), spice::SolverOptions{});
+    ASSERT_EQ(r.status, spice::SolveStatus::kOk) << "seed=" << seed
+                                                 << " v=" << v;
+    const std::uint64_t expect = c.eval_outputs(v);
+    for (std::size_t o = 0; o < el.po_nodes().size(); ++o) {
+      const spice::NodeId node = el.netlist().find_node(el.po_nodes()[o]);
+      const double vo = r.voltage(node);
+      const bool logic_hi = (expect >> o) & 1u;
+      if (logic_hi) {
+        EXPECT_GT(vo, 0.9 * tech.vdd) << "seed=" << seed << " v=" << v;
+      } else {
+        EXPECT_LT(vo, 0.1 * tech.vdd) << "seed=" << seed << " v=" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossLayerTest,
+                         testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace obd::logic
