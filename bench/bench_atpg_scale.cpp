@@ -6,6 +6,10 @@
 // adders and parity trees, reporting per-fault effort (backtracks and
 // implications). OBD cost tracks the stuck-at/transition trend (a constant
 // small factor for the two frames), not a different complexity class.
+// The bit-parallel engine comparison below (and BENCH_atpg_scale.json)
+// tracks the fault-simulation hot path: legacy one-fault-one-pattern
+// full-circuit evaluation vs 64-lane pattern blocks with cone propagation
+// and fault dropping, at identical coverage.
 #include "bench_common.hpp"
 #include <chrono>
 
@@ -17,6 +21,126 @@ namespace {
 using namespace obd;
 using namespace obd::atpg;
 using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct SimComparison {
+  std::string circuit;
+  std::size_t gates = 0;
+  std::size_t faults = 0;
+  std::size_t patterns = 0;
+  double legacy_s = 0.0;
+  double block_s = 0.0;
+  double drop_s = 0.0;
+  int legacy_detected = 0;
+  int block_detected = 0;
+
+  double legacy_throughput() const {
+    return static_cast<double>(faults * patterns) / legacy_s;
+  }
+  double block_throughput() const {
+    return static_cast<double>(faults * patterns) / block_s;
+  }
+  double speedup() const { return legacy_s / block_s; }
+  double drop_speedup() const { return legacy_s / drop_s; }
+};
+
+/// Times legacy scalar vs block engine (with and without fault dropping)
+/// over the same OBD fault list and test set.
+SimComparison compare_obd_sim(const logic::Circuit& c, int n_tests) {
+  SimComparison r;
+  r.circuit = c.name();
+  r.gates = c.num_gates();
+  const auto faults = enumerate_obd_faults(c);
+  r.faults = faults.size();
+  const auto tests =
+      random_pairs(static_cast<int>(c.inputs().size()), n_tests, 0xca11ab1e);
+  r.patterns = tests.size();
+
+  auto t0 = Clock::now();
+  {
+    std::vector<bool> covered(faults.size(), false);
+    for (const auto& t : tests) {
+      const auto det = legacy::simulate_obd(c, t, faults);
+      for (std::size_t f = 0; f < faults.size(); ++f)
+        if (det[f] && !covered[f]) {
+          covered[f] = true;
+          ++r.legacy_detected;
+        }
+    }
+    r.legacy_s = seconds_since(t0);
+  }
+  {
+    FaultSimEngine engine(c);
+    t0 = Clock::now();
+    const auto campaign = engine.campaign_obd(tests, faults, false);
+    r.block_s = seconds_since(t0);
+    r.block_detected = campaign.detected;
+  }
+  {
+    FaultSimEngine engine(c);
+    t0 = Clock::now();
+    const auto campaign = engine.campaign_obd(tests, faults, true);
+    r.drop_s = seconds_since(t0);
+    if (campaign.detected != r.block_detected) r.block_detected = -1;
+  }
+  return r;
+}
+
+void emit_json(const std::vector<SimComparison>& rows) {
+  std::FILE* f = std::fopen("BENCH_atpg_scale.json", "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"atpg_scale_faultsim\",\n"
+               "  \"unit\": \"fault_patterns_per_sec\",\n  \"circuits\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SimComparison& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"gates\": %zu, \"obd_faults\": %zu, "
+        "\"patterns\": %zu, \"detected\": %d, \"coverage_match\": %s, "
+        "\"legacy_fps\": %.4g, \"block_fps\": %.4g, \"speedup\": %.4g, "
+        "\"drop_speedup\": %.4g}%s\n",
+        r.circuit.c_str(), r.gates, r.faults, r.patterns, r.block_detected,
+        r.legacy_detected == r.block_detected ? "true" : "false",
+        r.legacy_throughput(), r.block_throughput(), r.speedup(),
+        r.drop_speedup(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void reproduce_faultsim_scale() {
+  std::printf(
+      "=== Bit-parallel fault simulation: legacy scalar vs 64-lane blocks "
+      "===\n\n");
+  std::vector<SimComparison> rows;
+  rows.push_back(compare_obd_sim(logic::full_adder_sum_circuit(), 512));
+  rows.push_back(compare_obd_sim(logic::ripple_carry_adder(8), 256));
+  rows.push_back(compare_obd_sim(logic::ripple_carry_adder(16), 256));
+  rows.push_back(compare_obd_sim(logic::parity_tree(16), 256));
+  rows.push_back(compare_obd_sim(logic::array_multiplier(4), 256));
+
+  util::AsciiTable t("OBD fault-sim throughput (fault x patterns / sec)");
+  t.set_header({"circuit", "gates", "faults", "tests", "cov ok", "legacy",
+                "block", "speedup", "w/ dropping"});
+  for (const auto& r : rows) {
+    t.add_row({r.circuit, std::to_string(r.gates), std::to_string(r.faults),
+               std::to_string(r.patterns),
+               r.legacy_detected == r.block_detected ? "yes" : "NO",
+               util::format_g(r.legacy_throughput(), 3),
+               util::format_g(r.block_throughput(), 3),
+               util::format_g(r.speedup(), 3) + "x",
+               util::format_g(r.drop_speedup(), 3) + "x"});
+  }
+  t.print();
+  emit_json(rows);
+  std::printf(
+      "identical detections, one good evaluation per 64-test block, and\n"
+      "per-fault fanout-cone propagation; fault dropping then removes\n"
+      "covered faults from later blocks. JSON: BENCH_atpg_scale.json\n\n");
+}
 
 struct Effort {
   double ms_per_fault = 0.0;
@@ -113,8 +237,51 @@ void BM_BitParallelFaultSim(benchmark::State& state) {
 }
 BENCHMARK(BM_BitParallelFaultSim);
 
+void BM_ObdFaultSimLegacy(benchmark::State& state) {
+  const logic::Circuit c = logic::ripple_carry_adder(8);
+  const auto faults = enumerate_obd_faults(c);
+  const auto tests =
+      random_pairs(static_cast<int>(c.inputs().size()), 128, 0xca11ab1e);
+  for (auto _ : state) {
+    int detected = 0;
+    for (const auto& t : tests)
+      for (bool d : legacy::simulate_obd(c, t, faults)) detected += d;
+    benchmark::DoNotOptimize(detected);
+  }
+}
+BENCHMARK(BM_ObdFaultSimLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_ObdFaultSimBlocks(benchmark::State& state) {
+  const logic::Circuit c = logic::ripple_carry_adder(8);
+  const auto faults = enumerate_obd_faults(c);
+  const auto tests =
+      random_pairs(static_cast<int>(c.inputs().size()), 128, 0xca11ab1e);
+  FaultSimEngine engine(c);
+  for (auto _ : state) {
+    const auto campaign = engine.campaign_obd(tests, faults, false);
+    benchmark::DoNotOptimize(campaign.detected);
+  }
+}
+BENCHMARK(BM_ObdFaultSimBlocks)->Unit(benchmark::kMillisecond);
+
+void BM_ObdFaultSimBlocksDropping(benchmark::State& state) {
+  const logic::Circuit c = logic::ripple_carry_adder(8);
+  const auto faults = enumerate_obd_faults(c);
+  const auto tests =
+      random_pairs(static_cast<int>(c.inputs().size()), 128, 0xca11ab1e);
+  FaultSimEngine engine(c);
+  for (auto _ : state) {
+    const auto campaign = engine.campaign_obd(tests, faults, true);
+    benchmark::DoNotOptimize(campaign.detected);
+  }
+}
+BENCHMARK(BM_ObdFaultSimBlocksDropping)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  return obd::benchsup::run_bench_main(argc, argv, &reproduce);
+  return obd::benchsup::run_bench_main(argc, argv, [] {
+    reproduce();
+    reproduce_faultsim_scale();
+  });
 }

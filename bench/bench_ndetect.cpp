@@ -76,6 +76,33 @@ void BM_Build4DetectSet(benchmark::State& state) {
 }
 BENCHMARK(BM_Build4DetectSet)->Unit(benchmark::kMillisecond);
 
+// The n-detect pool is now fault-simulated as one block-parallel detection
+// matrix; these two benchmarks compare that against the old per-pattern
+// scalar loop it replaced.
+void BM_NdetectPoolLegacyScalar(benchmark::State& state) {
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = enumerate_obd_faults(c);
+  const auto pool = random_pairs(static_cast<int>(c.inputs().size()), 512, 9);
+  for (auto _ : state) {
+    long detections = 0;
+    for (const auto& t : pool)
+      for (bool d : legacy::simulate_obd(c, t, faults)) detections += d;
+    benchmark::DoNotOptimize(detections);
+  }
+}
+BENCHMARK(BM_NdetectPoolLegacyScalar)->Unit(benchmark::kMillisecond);
+
+void BM_NdetectPoolBlockMatrix(benchmark::State& state) {
+  const logic::Circuit c = logic::full_adder_sum_circuit();
+  const auto faults = enumerate_obd_faults(c);
+  const auto pool = random_pairs(static_cast<int>(c.inputs().size()), 512, 9);
+  for (auto _ : state) {
+    const DetectionMatrix m = build_obd_matrix(c, pool, faults);
+    benchmark::DoNotOptimize(m.covered_count);
+  }
+}
+BENCHMARK(BM_NdetectPoolBlockMatrix)->Unit(benchmark::kMillisecond);
+
 void BM_TimingAwareCoverage(benchmark::State& state) {
   const logic::Circuit c = logic::full_adder_sum_circuit();
   const auto faults = enumerate_obd_faults(c);

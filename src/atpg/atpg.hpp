@@ -6,6 +6,7 @@
 #include "atpg/diagnose.hpp"  // IWYU pragma: export
 #include "atpg/faults.hpp"    // IWYU pragma: export
 #include "atpg/faultsim.hpp"  // IWYU pragma: export
+#include "atpg/faultsim_engine.hpp"  // IWYU pragma: export
 #include "atpg/ndetect.hpp"   // IWYU pragma: export
 #include "atpg/patterns.hpp"  // IWYU pragma: export
 #include "atpg/podem.hpp"     // IWYU pragma: export

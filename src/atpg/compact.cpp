@@ -1,15 +1,17 @@
 #include "atpg/compact.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace obd::atpg {
 namespace {
 
-std::size_t count_new(const std::vector<bool>& row,
-                      const std::vector<bool>& covered) {
+/// Word-packed "still uncovered" gain of a test row.
+std::size_t count_new(const std::uint64_t* row,
+                      const std::vector<std::uint64_t>& covered) {
   std::size_t n = 0;
-  for (std::size_t i = 0; i < row.size(); ++i)
-    if (row[i] && !covered[i]) ++n;
+  for (std::size_t w = 0; w < covered.size(); ++w)
+    n += static_cast<std::size_t>(std::popcount(row[w] & ~covered[w]));
   return n;
 }
 
@@ -17,16 +19,15 @@ std::size_t count_new(const std::vector<bool>& row,
 
 std::vector<std::size_t> greedy_cover(const DetectionMatrix& m) {
   std::vector<std::size_t> picks;
-  if (m.detects.empty()) return picks;
-  const std::size_t n_faults = m.covered.size();
-  std::vector<bool> covered(n_faults, false);
+  if (m.n_tests == 0) return picks;
+  std::vector<std::uint64_t> covered(m.words_per_row, 0);
   std::size_t remaining = static_cast<std::size_t>(m.covered_count);
 
   while (remaining > 0) {
     std::size_t best = 0;
     std::size_t best_gain = 0;
-    for (std::size_t t = 0; t < m.detects.size(); ++t) {
-      const std::size_t gain = count_new(m.detects[t], covered);
+    for (std::size_t t = 0; t < m.n_tests; ++t) {
+      const std::size_t gain = count_new(m.row(t), covered);
       if (gain > best_gain) {
         best_gain = gain;
         best = t;
@@ -34,11 +35,9 @@ std::vector<std::size_t> greedy_cover(const DetectionMatrix& m) {
     }
     if (best_gain == 0) break;  // Only uncoverable faults remain.
     picks.push_back(best);
-    for (std::size_t i = 0; i < n_faults; ++i)
-      if (m.detects[best][i] && !covered[i]) {
-        covered[i] = true;
-        --remaining;
-      }
+    const std::uint64_t* row = m.row(best);
+    for (std::size_t w = 0; w < covered.size(); ++w) covered[w] |= row[w];
+    remaining -= best_gain;
   }
   return picks;
 }
@@ -51,8 +50,10 @@ struct ExactSearch {
   std::size_t nodes = 0;
   std::vector<std::size_t> best;
   std::vector<std::size_t> current;
+  /// Word-packed mask of coverable faults (uncoverable ones never block).
+  std::vector<std::uint64_t> coverable;
 
-  void run(std::vector<bool>& covered, std::size_t remaining,
+  void run(std::vector<std::uint64_t>& covered, std::size_t remaining,
            std::size_t start) {
     if (++nodes > max_nodes) return;
     if (remaining == 0) {
@@ -64,27 +65,42 @@ struct ExactSearch {
       // cheap lower bound: at least one more test is needed.
       if (current.size() + 1 > best.size()) return;
     }
-    // Branch on the first uncovered fault: some selected test must cover it.
-    std::size_t fault = 0;
-    while (fault < covered.size() && (covered[fault] || !m.covered[fault]))
-      ++fault;
-    if (fault == covered.size()) return;
-    for (std::size_t t = start; t < m.detects.size(); ++t) {
-      if (!m.detects[t][fault]) continue;
-      // Apply.
-      std::vector<std::size_t> newly;
-      for (std::size_t i = 0; i < covered.size(); ++i)
-        if (m.detects[t][i] && !covered[i]) {
-          covered[i] = true;
-          newly.push_back(i);
-        }
+    // Branch on the first uncovered coverable fault: some selected test
+    // must cover it.
+    std::size_t fault_word = 0;
+    std::uint64_t open = 0;
+    for (; fault_word < covered.size(); ++fault_word) {
+      open = coverable[fault_word] & ~covered[fault_word];
+      if (open) break;
+    }
+    if (!open) return;
+    const std::size_t fault =
+        fault_word * 64 + static_cast<std::size_t>(std::countr_zero(open));
+    for (std::size_t t = start; t < m.n_tests; ++t) {
+      if (!m.detects(t, fault)) continue;
+      // Apply, remembering the newly covered bits per word to undo.
+      const std::uint64_t* row = m.row(t);
+      std::vector<std::uint64_t> newly(covered.size());
+      std::size_t gained = 0;
+      for (std::size_t w = 0; w < covered.size(); ++w) {
+        newly[w] = row[w] & ~covered[w];
+        covered[w] |= newly[w];
+        gained += static_cast<std::size_t>(std::popcount(newly[w]));
+      }
       current.push_back(t);
-      run(covered, remaining - newly.size(), 0);
+      run(covered, remaining - gained, 0);
       current.pop_back();
-      for (std::size_t i : newly) covered[i] = false;
+      for (std::size_t w = 0; w < covered.size(); ++w) covered[w] &= ~newly[w];
     }
   }
 };
+
+std::vector<std::uint64_t> covered_mask(const DetectionMatrix& m) {
+  std::vector<std::uint64_t> mask(m.words_per_row, 0);
+  for (std::size_t f = 0; f < m.n_faults; ++f)
+    if (m.covered[f]) mask[f >> 6] |= 1ull << (f & 63);
+  return mask;
+}
 
 }  // namespace
 
@@ -93,19 +109,22 @@ std::vector<std::size_t> exact_cover(const DetectionMatrix& m,
   const std::vector<std::size_t> greedy = greedy_cover(m);
   ExactSearch search{m, max_nodes};
   search.best = greedy;
-  std::vector<bool> covered(m.covered.size(), false);
+  search.coverable = covered_mask(m);
+  std::vector<std::uint64_t> covered(m.words_per_row, 0);
   search.run(covered, static_cast<std::size_t>(m.covered_count), 0);
   return search.best;
 }
 
 bool covers_all(const DetectionMatrix& m,
                 const std::vector<std::size_t>& selection) {
-  std::vector<bool> covered(m.covered.size(), false);
-  for (std::size_t t : selection)
-    for (std::size_t i = 0; i < covered.size(); ++i)
-      if (m.detects[t][i]) covered[i] = true;
-  for (std::size_t i = 0; i < covered.size(); ++i)
-    if (m.covered[i] && !covered[i]) return false;
+  std::vector<std::uint64_t> covered(m.words_per_row, 0);
+  for (std::size_t t : selection) {
+    const std::uint64_t* row = m.row(t);
+    for (std::size_t w = 0; w < covered.size(); ++w) covered[w] |= row[w];
+  }
+  const std::vector<std::uint64_t> need = covered_mask(m);
+  for (std::size_t w = 0; w < covered.size(); ++w)
+    if ((covered[w] & need[w]) != need[w]) return false;
   return true;
 }
 

@@ -10,7 +10,8 @@
 namespace obd::atpg {
 
 /// Greedy set cover: repeatedly picks the test detecting the most
-/// still-uncovered faults. Returns selected test indices (in pick order).
+/// still-uncovered faults (word-packed rows, popcount gains).
+/// Returns selected test indices (in pick order).
 std::vector<std::size_t> greedy_cover(const DetectionMatrix& m);
 
 /// Exact minimum cover via branch and bound (seeded by the greedy bound).

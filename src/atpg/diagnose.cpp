@@ -7,12 +7,13 @@ namespace obd::atpg {
 ObdDictionary::ObdDictionary(const Circuit& c, std::vector<TwoVectorTest> tests,
                              std::vector<ObdFaultSite> faults)
     : c_(c), tests_(std::move(tests)), faults_(std::move(faults)) {
+  // One block-parallel pass over the whole (test, fault) matrix; the
+  // syndrome of fault f is column f.
   syndromes_.assign(faults_.size(), std::vector<bool>(tests_.size(), false));
-  for (std::size_t t = 0; t < tests_.size(); ++t) {
-    const auto det = simulate_obd(c_, tests_[t], faults_);
+  const DetectionMatrix m = build_obd_matrix(c_, tests_, faults_);
+  for (std::size_t t = 0; t < tests_.size(); ++t)
     for (std::size_t f = 0; f < faults_.size(); ++f)
-      if (det[f]) syndromes_[f][t] = true;
-  }
+      if (m.detects(t, f)) syndromes_[f][t] = true;
 }
 
 std::vector<std::size_t> ObdDictionary::exact_candidates(

@@ -1,5 +1,7 @@
 #include "atpg/faultsim.hpp"
 
+#include <bit>
+
 #include "core/excitation.hpp"
 
 namespace obd::atpg {
@@ -12,15 +14,208 @@ std::uint64_t outputs_of(const Circuit& c, const std::vector<bool>& values) {
   return out;
 }
 
-/// Frame-2 PO word with one net frozen (bit-parallel over 64 patterns, but
-/// we use it single-pattern here; words are all-ones or all-zeros).
+std::vector<bool> lane0_bools(const std::vector<std::uint64_t>& detect) {
+  std::vector<bool> out(detect.size(), false);
+  for (std::size_t i = 0; i < detect.size(); ++i) out[i] = detect[i] & 1u;
+  return out;
+}
+
+}  // namespace
+
+// --- One-lane wrappers over the block engine --------------------------------
+
+std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
+                                    const std::vector<StuckFault>& faults) {
+  FaultSimEngine engine(c);
+  PatternBlock b(c);
+  b.push({pattern, pattern});
+  std::vector<std::uint64_t> detect;
+  engine.block_stuck(b, faults, detect);
+  return lane0_bools(detect);
+}
+
+std::vector<bool> simulate_obd(const Circuit& c, const TwoVectorTest& test,
+                               const std::vector<ObdFaultSite>& faults) {
+  FaultSimEngine engine(c);
+  PatternBlock b(c);
+  b.push(test);
+  std::vector<std::uint64_t> detect;
+  engine.block_obd(b, faults, detect);
+  return lane0_bools(detect);
+}
+
+std::vector<bool> simulate_transition(
+    const Circuit& c, const TwoVectorTest& test,
+    const std::vector<TransitionFault>& faults) {
+  FaultSimEngine engine(c);
+  PatternBlock b(c);
+  b.push(test);
+  std::vector<std::uint64_t> detect;
+  engine.block_transition(b, faults, detect);
+  return lane0_bools(detect);
+}
+
+bool forced_outputs_differ(const Circuit& c, std::uint64_t pattern, NetId net,
+                           bool value) {
+  // Lightweight single-lane path (no engine / cone cache): callers such as
+  // scan-test verification invoke this once per fault on a fresh circuit.
+  std::vector<std::uint64_t> pi(c.inputs().size());
+  for (std::size_t i = 0; i < pi.size(); ++i) pi[i] = (pattern >> i) & 1u;
+  const auto good = c.eval_words(pi);
+  const auto bad = c.eval_words(pi, net, value ? 1ull : 0ull);
+  for (NetId po : c.outputs()) {
+    const auto n = static_cast<std::size_t>(po);
+    if ((good[n] ^ bad[n]) & 1u) return true;
+  }
+  return false;
+}
+
+bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
+                         const ObdFaultSite& fault, double extra_delay,
+                         bool stuck, double capture_time,
+                         const logic::DelayLibrary& lib) {
+  logic::TimingSimulator good_sim(c, lib);
+  const logic::TimingRun good = good_sim.run_two_vector(test.v1, test.v2,
+                                                        capture_time);
+  logic::TimingSimulator bad_sim(c, lib);
+  bad_sim.set_fault(fault, logic::ObdDelayEffect{extra_delay, stuck});
+  const logic::TimingRun bad = bad_sim.run_two_vector(test.v1, test.v2,
+                                                      capture_time);
+  for (NetId po : c.outputs())
+    if (good.captured_of(po) != bad.captured_of(po)) return true;
+  return false;
+}
+
+// --- Detection matrices ------------------------------------------------------
+
+std::size_t DetectionMatrix::row_count(std::size_t test) const {
+  std::size_t n = 0;
+  const std::uint64_t* r = row(test);
+  for (std::size_t w = 0; w < words_per_row; ++w)
+    n += static_cast<std::size_t>(std::popcount(r[w]));
+  return n;
+}
+
+namespace {
+
+template <typename Fault, typename BlockFn>
+DetectionMatrix build_matrix(const Circuit& c,
+                             const std::vector<TwoVectorTest>& tests,
+                             const std::vector<Fault>& faults,
+                             BlockFn block_fn) {
+  DetectionMatrix m;
+  m.n_tests = tests.size();
+  m.n_faults = faults.size();
+  m.words_per_row = (faults.size() + 63) / 64;
+  m.rows.assign(m.n_tests * m.words_per_row, 0);
+  m.covered.assign(faults.size(), false);
+
+  FaultSimEngine engine(c);
+  std::vector<std::uint64_t> detect;
+  std::size_t base = 0;
+  for (const PatternBlock& b : PatternBlock::pack(c, tests)) {
+    block_fn(engine, b, faults, detect);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      std::uint64_t word = detect[f];
+      if (!word) continue;
+      if (!m.covered[f]) {
+        m.covered[f] = true;
+        ++m.covered_count;
+      }
+      const std::size_t fw = f >> 6;
+      const std::uint64_t fbit = 1ull << (f & 63);
+      while (word) {
+        const int lane = std::countr_zero(word);
+        word &= word - 1;
+        m.rows[(base + static_cast<std::size_t>(lane)) * m.words_per_row + fw] |=
+            fbit;
+      }
+    }
+    base += static_cast<std::size_t>(b.size());
+  }
+  return m;
+}
+
+}  // namespace
+
+DetectionMatrix build_stuck_matrix(const Circuit& c,
+                                   const std::vector<std::uint64_t>& patterns,
+                                   const std::vector<StuckFault>& faults) {
+  std::vector<TwoVectorTest> tests;
+  tests.reserve(patterns.size());
+  for (std::uint64_t p : patterns) tests.push_back({p, p});
+  return build_matrix(c, tests, faults,
+                      [](FaultSimEngine& e, const PatternBlock& b,
+                         const auto& fl, auto& det) {
+                        e.block_stuck(b, fl, det);
+                      });
+}
+
+DetectionMatrix build_obd_matrix(const Circuit& c,
+                                 const std::vector<TwoVectorTest>& tests,
+                                 const std::vector<ObdFaultSite>& faults) {
+  return build_matrix(c, tests, faults,
+                      [](FaultSimEngine& e, const PatternBlock& b,
+                         const auto& fl, auto& det) {
+                        e.block_obd(b, fl, det);
+                      });
+}
+
+DetectionMatrix build_transition_matrix(
+    const Circuit& c, const std::vector<TwoVectorTest>& tests,
+    const std::vector<TransitionFault>& faults) {
+  return build_matrix(c, tests, faults,
+                      [](FaultSimEngine& e, const PatternBlock& b,
+                         const auto& fl, auto& det) {
+                        e.block_transition(b, fl, det);
+                      });
+}
+
+// --- Coverage (fault-dropping campaigns) -------------------------------------
+
+double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
+                    const std::vector<ObdFaultSite>& faults) {
+  if (faults.empty()) return 1.0;
+  FaultSimEngine engine(c);
+  const auto campaign = engine.campaign_obd(tests, faults);
+  return static_cast<double>(campaign.detected) /
+         static_cast<double>(faults.size());
+}
+
+double stuck_coverage(const Circuit& c,
+                      const std::vector<std::uint64_t>& patterns,
+                      const std::vector<StuckFault>& faults) {
+  if (faults.empty()) return 1.0;
+  FaultSimEngine engine(c);
+  const auto campaign = engine.campaign_stuck(patterns, faults);
+  return static_cast<double>(campaign.detected) /
+         static_cast<double>(faults.size());
+}
+
+double transition_coverage(const Circuit& c,
+                           const std::vector<TwoVectorTest>& tests,
+                           const std::vector<TransitionFault>& faults) {
+  if (faults.empty()) return 1.0;
+  FaultSimEngine engine(c);
+  const auto campaign = engine.campaign_transition(tests, faults);
+  return static_cast<double>(campaign.detected) /
+         static_cast<double>(faults.size());
+}
+
+// --- Legacy reference implementations ----------------------------------------
+
+namespace legacy {
+namespace {
+
+/// Frame-2 PO word with one net frozen: the original per-pattern path. The
+/// pattern is broadcast to every lane and lane 0 read back — exactly the
+/// 1/64 utilization the block engine eliminates.
 std::uint64_t outputs_with_forced(const Circuit& c, std::uint64_t pattern,
                                   NetId forced, bool forced_value) {
   std::vector<std::uint64_t> pi(c.inputs().size());
   for (std::size_t i = 0; i < pi.size(); ++i)
     pi[i] = ((pattern >> i) & 1u) ? ~0ull : 0ull;
-  const auto words =
-      c.eval_words(pi, forced, forced_value ? ~0ull : 0ull);
+  const auto words = c.eval_words(pi, forced, forced_value ? ~0ull : 0ull);
   std::uint64_t out = 0;
   for (std::size_t i = 0; i < c.outputs().size(); ++i)
     if (words[static_cast<std::size_t>(c.outputs()[i])] & 1ull)
@@ -87,66 +282,6 @@ std::vector<bool> simulate_transition(
   return detected;
 }
 
-bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
-                         const ObdFaultSite& fault, double extra_delay,
-                         bool stuck, double capture_time,
-                         const logic::DelayLibrary& lib) {
-  logic::TimingSimulator good_sim(c, lib);
-  const logic::TimingRun good = good_sim.run_two_vector(test.v1, test.v2,
-                                                        capture_time);
-  logic::TimingSimulator bad_sim(c, lib);
-  bad_sim.set_fault(fault, logic::ObdDelayEffect{extra_delay, stuck});
-  const logic::TimingRun bad = bad_sim.run_two_vector(test.v1, test.v2,
-                                                      capture_time);
-  for (NetId po : c.outputs())
-    if (good.captured_of(po) != bad.captured_of(po)) return true;
-  return false;
-}
-
-namespace {
-
-template <typename Fault, typename Sim>
-DetectionMatrix build_matrix(const std::vector<TwoVectorTest>& tests,
-                             const std::vector<Fault>& faults, Sim sim) {
-  DetectionMatrix m;
-  m.detects.reserve(tests.size());
-  m.covered.assign(faults.size(), false);
-  for (const auto& t : tests) {
-    m.detects.push_back(sim(t));
-    const auto& row = m.detects.back();
-    for (std::size_t i = 0; i < faults.size(); ++i)
-      if (row[i] && !m.covered[i]) {
-        m.covered[i] = true;
-        ++m.covered_count;
-      }
-  }
-  return m;
-}
-
-}  // namespace
-
-DetectionMatrix build_obd_matrix(const Circuit& c,
-                                 const std::vector<TwoVectorTest>& tests,
-                                 const std::vector<ObdFaultSite>& faults) {
-  return build_matrix(tests, faults, [&](const TwoVectorTest& t) {
-    return simulate_obd(c, t, faults);
-  });
-}
-
-DetectionMatrix build_transition_matrix(
-    const Circuit& c, const std::vector<TwoVectorTest>& tests,
-    const std::vector<TransitionFault>& faults) {
-  return build_matrix(tests, faults, [&](const TwoVectorTest& t) {
-    return simulate_transition(c, t, faults);
-  });
-}
-
-double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
-                    const std::vector<ObdFaultSite>& faults) {
-  if (faults.empty()) return 1.0;
-  const DetectionMatrix m = build_obd_matrix(c, tests, faults);
-  return static_cast<double>(m.covered_count) /
-         static_cast<double>(faults.size());
-}
+}  // namespace legacy
 
 }  // namespace obd::atpg

@@ -9,9 +9,17 @@
 //  - OBD timing-aware: event-driven simulation with a finite extra delay
 //    and a concrete capture time — the fine-grained end of Sec. 4.2, used
 //    for window-of-opportunity studies.
+//
+// All set-level work runs on the bit-parallel FaultSimEngine
+// (faultsim_engine.hpp): 64 patterns per word, one good evaluation per
+// block, per-fault fanout-cone propagation, optional fault dropping. The
+// single-test functions below are one-lane wrappers kept for API
+// compatibility; `legacy::` holds the original one-fault-one-pattern
+// reference implementations for equivalence tests and benchmarks.
 #pragma once
 
 #include "atpg/faults.hpp"
+#include "atpg/faultsim_engine.hpp"
 #include "atpg/patterns.hpp"
 
 namespace obd::atpg {
@@ -29,6 +37,11 @@ std::vector<bool> simulate_transition(const Circuit& c,
                                       const TwoVectorTest& test,
                                       const std::vector<TransitionFault>& faults);
 
+/// Does forcing `net` to `value` under `pattern` change any PO? The
+/// single-pattern building block shared with scan-test verification.
+bool forced_outputs_differ(const Circuit& c, std::uint64_t pattern, NetId net,
+                           bool value);
+
 /// Timing-aware OBD detection of a single fault: event-driven run with
 /// `extra_delay` added to excited transitions (or a stall when `stuck`),
 /// sampled at `capture_time`. Returns true when a captured PO differs from
@@ -38,13 +51,32 @@ bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
                          bool stuck, double capture_time,
                          const logic::DelayLibrary& lib = {});
 
-/// Detection matrix: row per test, bitset over the fault list.
+/// Detection matrix: row per test, bit-packed over the fault list (64
+/// faults per word). Built block-by-block by the engine; consumed directly
+/// by compaction, n-detect selection, and the diagnosis dictionary.
 struct DetectionMatrix {
-  std::vector<std::vector<bool>> detects;  // [test][fault]
+  std::size_t n_tests = 0;
+  std::size_t n_faults = 0;
+  std::size_t words_per_row = 0;
+  /// Row-major packed bits: rows[t * words_per_row + (f >> 6)] bit (f & 63).
+  std::vector<std::uint64_t> rows;
   /// Faults detected by at least one test.
   std::vector<bool> covered;
   int covered_count = 0;
+
+  bool detects(std::size_t test, std::size_t fault) const {
+    return (rows[test * words_per_row + (fault >> 6)] >> (fault & 63)) & 1u;
+  }
+  const std::uint64_t* row(std::size_t test) const {
+    return rows.data() + test * words_per_row;
+  }
+  /// Detection count of one test (row popcount).
+  std::size_t row_count(std::size_t test) const;
 };
+
+DetectionMatrix build_stuck_matrix(const Circuit& c,
+                                   const std::vector<std::uint64_t>& patterns,
+                                   const std::vector<StuckFault>& faults);
 
 DetectionMatrix build_obd_matrix(const Circuit& c,
                                  const std::vector<TwoVectorTest>& tests,
@@ -55,7 +87,29 @@ DetectionMatrix build_transition_matrix(
     const std::vector<TransitionFault>& faults);
 
 /// Coverage of a fault list by a test set (fraction of faults detected).
+/// Runs a fault-dropping engine campaign — no matrix is materialized.
 double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
                     const std::vector<ObdFaultSite>& faults);
+double stuck_coverage(const Circuit& c,
+                      const std::vector<std::uint64_t>& patterns,
+                      const std::vector<StuckFault>& faults);
+double transition_coverage(const Circuit& c,
+                           const std::vector<TwoVectorTest>& tests,
+                           const std::vector<TransitionFault>& faults);
+
+namespace legacy {
+
+/// Reference one-fault-one-pattern simulators (full-circuit re-evaluation
+/// per fault per test). Kept as the equivalence oracle for the block engine
+/// and as the baseline in the old-vs-new benchmarks.
+std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
+                                    const std::vector<StuckFault>& faults);
+std::vector<bool> simulate_obd(const Circuit& c, const TwoVectorTest& test,
+                               const std::vector<ObdFaultSite>& faults);
+std::vector<bool> simulate_transition(
+    const Circuit& c, const TwoVectorTest& test,
+    const std::vector<TransitionFault>& faults);
+
+}  // namespace legacy
 
 }  // namespace obd::atpg

@@ -1,0 +1,270 @@
+#include "atpg/faultsim_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "core/excitation.hpp"
+
+namespace obd::atpg {
+
+void PatternBlock::clear() {
+  size_ = 0;
+  tests_.clear();
+  std::fill(pi1_.begin(), pi1_.end(), 0);
+  std::fill(pi2_.begin(), pi2_.end(), 0);
+}
+
+void PatternBlock::push(const TwoVectorTest& t) {
+  assert(size_ < kLanes);
+  const std::uint64_t lane = 1ull << size_;
+  for (std::size_t i = 0; i < pi1_.size(); ++i) {
+    if ((t.v1 >> i) & 1u) pi1_[i] |= lane;
+    if ((t.v2 >> i) & 1u) pi2_[i] |= lane;
+  }
+  tests_.push_back(t);
+  ++size_;
+}
+
+std::vector<PatternBlock> PatternBlock::pack(
+    const Circuit& c, const std::vector<TwoVectorTest>& tests) {
+  std::vector<PatternBlock> blocks;
+  for (const auto& t : tests) {
+    if (blocks.empty() || blocks.back().full()) blocks.emplace_back(c);
+    blocks.back().push(t);
+  }
+  return blocks;
+}
+
+FaultSimEngine::FaultSimEngine(const Circuit& c)
+    : c_(c),
+      topo_pos_(c.num_gates(), 0),
+      cones_(c.num_nets()),
+      bad_(c.num_nets(), 0) {
+  const auto& order = c.topo_order();
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    topo_pos_[static_cast<std::size_t>(order[rank])] = static_cast<int>(rank);
+}
+
+const FaultSimEngine::Cone& FaultSimEngine::cone_of(NetId n) {
+  auto& slot = cones_[static_cast<std::size_t>(n)];
+  if (slot) return *slot;
+  slot = std::make_unique<Cone>();
+  Cone& cone = *slot;
+  cone.member.assign(c_.num_nets(), 0);
+  cone.member[static_cast<std::size_t>(n)] = 1;
+
+  // BFS over fanout; gates collected once, then sorted by topo rank.
+  std::vector<std::uint8_t> gate_seen(c_.num_gates(), 0);
+  std::vector<NetId> frontier{n};
+  while (!frontier.empty()) {
+    const NetId net = frontier.back();
+    frontier.pop_back();
+    for (int g : c_.fanout_of(net)) {
+      if (gate_seen[static_cast<std::size_t>(g)]) continue;
+      gate_seen[static_cast<std::size_t>(g)] = 1;
+      cone.gates.push_back(g);
+      const NetId out = c_.gate(g).output;
+      if (!cone.member[static_cast<std::size_t>(out)]) {
+        cone.member[static_cast<std::size_t>(out)] = 1;
+        frontier.push_back(out);
+      }
+    }
+  }
+  std::sort(cone.gates.begin(), cone.gates.end(), [this](int a, int b) {
+    return topo_pos_[static_cast<std::size_t>(a)] <
+           topo_pos_[static_cast<std::size_t>(b)];
+  });
+
+  for (NetId po : c_.outputs())
+    if (cone.member[static_cast<std::size_t>(po)]) cone.po_nets.push_back(po);
+  std::sort(cone.po_nets.begin(), cone.po_nets.end());
+  cone.po_nets.erase(std::unique(cone.po_nets.begin(), cone.po_nets.end()),
+                     cone.po_nets.end());
+  return cone;
+}
+
+std::uint64_t FaultSimEngine::forced_diff(
+    const std::vector<std::uint64_t>& good, NetId forced,
+    std::uint64_t forced_word) {
+  const Cone& cone = cone_of(forced);
+  bad_[static_cast<std::size_t>(forced)] = forced_word;
+  std::uint64_t ins[8];
+  for (int gi : cone.gates) {
+    const auto& gate = c_.gate(gi);
+    for (std::size_t k = 0; k < gate.inputs.size(); ++k) {
+      const auto n = static_cast<std::size_t>(gate.inputs[k]);
+      ins[k] = cone.member[n] ? bad_[n] : good[n];
+    }
+    bad_[static_cast<std::size_t>(gate.output)] =
+        logic::gate_eval_words(gate.type, ins);
+  }
+  std::uint64_t diff = 0;
+  for (NetId po : cone.po_nets) {
+    const auto n = static_cast<std::size_t>(po);
+    diff |= bad_[n] ^ good[n];
+  }
+  return diff;
+}
+
+void FaultSimEngine::block_stuck(const PatternBlock& b,
+                                 const std::vector<StuckFault>& faults,
+                                 std::vector<std::uint64_t>& detect,
+                                 const std::vector<std::uint8_t>* active) {
+  detect.assign(faults.size(), 0);
+  c_.eval_words_into(b.pi2(), good2_);
+  const std::uint64_t lanes = b.lane_mask();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (active && !(*active)[i]) continue;
+    const StuckFault& f = faults[i];
+    const std::uint64_t value_word = f.value ? ~0ull : 0ull;
+    // Lanes where the fault does not even change its own net are unaffected
+    // (lane-independent logic), so an all-equal block needs no cone pass.
+    if (((good2_[static_cast<std::size_t>(f.net)] ^ value_word) & lanes) == 0)
+      continue;
+    detect[i] = forced_diff(good2_, f.net, value_word) & lanes;
+  }
+}
+
+void FaultSimEngine::block_transition(const PatternBlock& b,
+                                      const std::vector<TransitionFault>& faults,
+                                      std::vector<std::uint64_t>& detect,
+                                      const std::vector<std::uint8_t>* active) {
+  detect.assign(faults.size(), 0);
+  c_.eval_words_into(b.pi1(), good1_);
+  c_.eval_words_into(b.pi2(), good2_);
+  const std::uint64_t lanes = b.lane_mask();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (active && !(*active)[i]) continue;
+    const TransitionFault& f = faults[i];
+    const std::uint64_t o1 = good1_[static_cast<std::size_t>(f.net)];
+    const std::uint64_t o2 = good2_[static_cast<std::size_t>(f.net)];
+    const std::uint64_t excited =
+        (f.slow_to_rise ? (~o1 & o2) : (o1 & ~o2)) & lanes;
+    if (!excited) continue;
+    // The slow output holds its per-lane frame-1 value during capture.
+    detect[i] = forced_diff(good2_, f.net, o1) & excited;
+  }
+}
+
+const std::array<std::uint16_t, 16>& FaultSimEngine::obd_table(
+    logic::GateType t, const cells::TransistorRef& tr) {
+  const auto key = std::make_tuple(static_cast<int>(t), tr.pmos, tr.input);
+  auto it = obd_tables_.find(key);
+  if (it != obd_tables_.end()) return it->second;
+  std::array<std::uint16_t, 16> table{};
+  const auto topo = logic::gate_topology(t);
+  if (topo.has_value()) {
+    const int n_vec = 1 << topo->num_inputs;
+    for (int v1 = 0; v1 < n_vec; ++v1)
+      for (int v2 = 0; v2 < n_vec; ++v2)
+        if (core::excites_obd(*topo, tr,
+                              cells::TwoVector{static_cast<std::uint32_t>(v1),
+                                               static_cast<std::uint32_t>(v2)}))
+          table[static_cast<std::size_t>(v1)] |=
+              static_cast<std::uint16_t>(1u << v2);
+  }
+  return obd_tables_.emplace(key, table).first->second;
+}
+
+void FaultSimEngine::block_obd(const PatternBlock& b,
+                               const std::vector<ObdFaultSite>& faults,
+                               std::vector<std::uint64_t>& detect,
+                               const std::vector<std::uint8_t>* active) {
+  detect.assign(faults.size(), 0);
+  c_.eval_words_into(b.pi1(), good1_);
+  c_.eval_words_into(b.pi2(), good2_);
+  const std::uint64_t lanes = b.lane_mask();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (active && !(*active)[i]) continue;
+    const ObdFaultSite& f = faults[i];
+    const auto& g = c_.gate(f.gate_index);
+    if (!logic::is_primitive_cmos(g.type)) continue;
+    const auto& table = obd_table(g.type, f.transistor);
+
+    // Per-lane local two-vectors at the gate, probed against the table.
+    const std::size_t n_in = g.inputs.size();
+    std::uint64_t in1[4], in2[4];
+    for (std::size_t k = 0; k < n_in; ++k) {
+      in1[k] = good1_[static_cast<std::size_t>(g.inputs[k])];
+      in2[k] = good2_[static_cast<std::size_t>(g.inputs[k])];
+    }
+    std::uint64_t excited = 0;
+    for (int lane = 0; lane < b.size(); ++lane) {
+      std::uint32_t lv1 = 0, lv2 = 0;
+      for (std::size_t k = 0; k < n_in; ++k) {
+        lv1 |= static_cast<std::uint32_t>((in1[k] >> lane) & 1u) << k;
+        lv2 |= static_cast<std::uint32_t>((in2[k] >> lane) & 1u) << k;
+      }
+      if ((table[lv1] >> lv2) & 1u) excited |= 1ull << lane;
+    }
+    if (!excited) continue;
+    // Gross-delay: the excited gate output keeps its per-lane frame-1 value.
+    const std::uint64_t old_out = good1_[static_cast<std::size_t>(g.output)];
+    detect[i] = forced_diff(good2_, g.output, old_out) & excited & lanes;
+  }
+}
+
+template <typename Fault, typename BlockFn>
+FaultSimEngine::Campaign FaultSimEngine::run_campaign(
+    const std::vector<TwoVectorTest>& tests, const std::vector<Fault>& faults,
+    bool drop_detected, BlockFn block_fn) {
+  Campaign result;
+  result.first_test.assign(faults.size(), -1);
+  std::vector<std::uint8_t> active(faults.size(), 1);
+  std::vector<std::uint64_t> detect;
+  PatternBlock block(c_);
+  int base = 0;
+  for (std::size_t t = 0; t <= tests.size(); ++t) {
+    if (t < tests.size()) {
+      block.push(tests[t]);
+      if (!block.full() && t + 1 < tests.size()) continue;
+    }
+    if (block.size() == 0) break;
+    for (std::uint8_t a : active) result.fault_block_evals += a;
+    block_fn(block, faults, detect, &active);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (!detect[i]) continue;
+      if (result.first_test[i] < 0) {
+        result.first_test[i] =
+            base + std::countr_zero(detect[i]);
+        ++result.detected;
+      }
+      if (drop_detected) active[i] = 0;
+    }
+    base += block.size();
+    block.clear();
+  }
+  return result;
+}
+
+FaultSimEngine::Campaign FaultSimEngine::campaign_stuck(
+    const std::vector<std::uint64_t>& patterns,
+    const std::vector<StuckFault>& faults, bool drop_detected) {
+  std::vector<TwoVectorTest> tests;
+  tests.reserve(patterns.size());
+  for (std::uint64_t p : patterns) tests.push_back({p, p});
+  return run_campaign(tests, faults, drop_detected,
+                      [this](const PatternBlock& b, const auto& fl, auto& det,
+                             const auto* act) { block_stuck(b, fl, det, act); });
+}
+
+FaultSimEngine::Campaign FaultSimEngine::campaign_transition(
+    const std::vector<TwoVectorTest>& tests,
+    const std::vector<TransitionFault>& faults, bool drop_detected) {
+  return run_campaign(tests, faults, drop_detected,
+                      [this](const PatternBlock& b, const auto& fl, auto& det,
+                             const auto* act) {
+                        block_transition(b, fl, det, act);
+                      });
+}
+
+FaultSimEngine::Campaign FaultSimEngine::campaign_obd(
+    const std::vector<TwoVectorTest>& tests,
+    const std::vector<ObdFaultSite>& faults, bool drop_detected) {
+  return run_campaign(tests, faults, drop_detected,
+                      [this](const PatternBlock& b, const auto& fl, auto& det,
+                             const auto* act) { block_obd(b, fl, det, act); });
+}
+
+}  // namespace obd::atpg

@@ -1,0 +1,146 @@
+// Bit-parallel batched fault simulation (PPSFP).
+//
+// The legacy simulators re-evaluated the whole circuit once per fault per
+// pattern through the 64-lane Circuit::eval_words kernel with a single live
+// bit — wasting 63/64 of every word. This engine restores the classical
+// parallel-pattern single-fault-propagation structure:
+//
+//   - a PatternBlock packs up to 64 (two-vector) tests, one per word lane;
+//   - the good circuit is evaluated once per block (per frame);
+//   - each fault is simulated against the whole block at once: its net is
+//     forced to a per-lane word and only the fault's fanout cone is
+//     re-evaluated (cones are cached per net);
+//   - OBD excitation is decided per lane from a per-(gate type, transistor)
+//     lookup table over local two-vectors, so input-specific conditions
+//     cost a table probe instead of a topology walk;
+//   - campaigns optionally drop a fault from the active list at its first
+//     detection, so late blocks only pay for the hard remainder.
+//
+// The legacy entry points in faultsim.hpp are thin wrappers over one-test
+// blocks, keeping every existing caller's API and semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "atpg/faults.hpp"
+#include "atpg/patterns.hpp"
+
+namespace obd::atpg {
+
+/// Up to 64 two-vector tests packed lane-per-test (stuck-at tests use only
+/// the second frame, with v1 == v2).
+class PatternBlock {
+ public:
+  static constexpr int kLanes = 64;
+
+  explicit PatternBlock(const Circuit& c)
+      : pi1_(c.inputs().size(), 0), pi2_(c.inputs().size(), 0) {}
+
+  int size() const { return size_; }
+  bool full() const { return size_ == kLanes; }
+  /// Low `size()` bits set: lanes that carry real tests.
+  std::uint64_t lane_mask() const {
+    return size_ == kLanes ? ~0ull : ((1ull << size_) - 1);
+  }
+
+  void clear();
+  void push(const TwoVectorTest& t);
+
+  const std::vector<std::uint64_t>& pi1() const { return pi1_; }
+  const std::vector<std::uint64_t>& pi2() const { return pi2_; }
+  const TwoVectorTest& test(int lane) const {
+    return tests_[static_cast<std::size_t>(lane)];
+  }
+
+  /// Packs a test list into ceil(n/64) blocks, preserving order.
+  static std::vector<PatternBlock> pack(const Circuit& c,
+                                        const std::vector<TwoVectorTest>& tests);
+
+ private:
+  int size_ = 0;
+  std::vector<std::uint64_t> pi1_, pi2_;  // [pi] -> lane words
+  std::vector<TwoVectorTest> tests_;
+};
+
+class FaultSimEngine {
+ public:
+  explicit FaultSimEngine(const Circuit& c);
+
+  const Circuit& circuit() const { return c_; }
+
+  // --- Block primitives ------------------------------------------------
+  // Each fills `detect` (resized to faults.size()) with one word per fault;
+  // bit k set = lane k of the block detects the fault. When `active` is
+  // non-null, faults with active[i] == 0 are skipped (their word is 0).
+
+  void block_stuck(const PatternBlock& b, const std::vector<StuckFault>& faults,
+                   std::vector<std::uint64_t>& detect,
+                   const std::vector<std::uint8_t>* active = nullptr);
+  void block_transition(const PatternBlock& b,
+                        const std::vector<TransitionFault>& faults,
+                        std::vector<std::uint64_t>& detect,
+                        const std::vector<std::uint8_t>* active = nullptr);
+  void block_obd(const PatternBlock& b, const std::vector<ObdFaultSite>& faults,
+                 std::vector<std::uint64_t>& detect,
+                 const std::vector<std::uint8_t>* active = nullptr);
+
+  // --- Campaigns --------------------------------------------------------
+  /// Whole-test-set simulation. With `drop_detected`, a fault leaves the
+  /// active list at its first detection (first_test is unaffected: it is
+  /// the first detecting test index either way; -1 = undetected).
+  struct Campaign {
+    std::vector<int> first_test;
+    int detected = 0;
+    /// Number of (active fault x block) pairs simulated (an upper bound on
+    /// cone evaluations: unexcited faults short-circuit before the cone
+    /// pass) — the work metric fault dropping shrinks.
+    long long fault_block_evals = 0;
+  };
+
+  Campaign campaign_stuck(const std::vector<std::uint64_t>& patterns,
+                          const std::vector<StuckFault>& faults,
+                          bool drop_detected = true);
+  Campaign campaign_transition(const std::vector<TwoVectorTest>& tests,
+                               const std::vector<TransitionFault>& faults,
+                               bool drop_detected = true);
+  Campaign campaign_obd(const std::vector<TwoVectorTest>& tests,
+                        const std::vector<ObdFaultSite>& faults,
+                        bool drop_detected = true);
+
+  /// PO difference word between the good block valuation `good` and the
+  /// same block with `forced` pinned to `forced_word`, re-evaluating only
+  /// the forced net's fanout cone.
+  std::uint64_t forced_diff(const std::vector<std::uint64_t>& good,
+                            NetId forced, std::uint64_t forced_word);
+
+ private:
+  struct Cone {
+    std::vector<int> gates;          // topo order
+    std::vector<NetId> po_nets;      // PO nets inside the cone (dedup'd)
+    std::vector<std::uint8_t> member;  // per-net: 1 = value comes from bad_
+  };
+
+  const Cone& cone_of(NetId n);
+  /// 2^n x 2^n excitation table for (gate type, transistor): row bit v2 of
+  /// entry v1 set when (v1 -> v2) excites the OBD defect.
+  const std::array<std::uint16_t, 16>& obd_table(logic::GateType t,
+                                                 const cells::TransistorRef& tr);
+
+  template <typename Fault, typename BlockFn>
+  Campaign run_campaign(const std::vector<TwoVectorTest>& tests,
+                        const std::vector<Fault>& faults, bool drop_detected,
+                        BlockFn block_fn);
+
+  const Circuit& c_;
+  std::vector<int> topo_pos_;                    // gate -> topo rank
+  std::vector<std::unique_ptr<Cone>> cones_;     // per net, lazy
+  std::map<std::tuple<int, bool, int>, std::array<std::uint16_t, 16>>
+      obd_tables_;
+  std::vector<std::uint64_t> good1_, good2_, bad_;  // per-net scratch words
+};
+
+}  // namespace obd::atpg

@@ -28,16 +28,18 @@ NDetectResult build_ndetect_set(const Circuit& c,
             });
   pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
 
-  // Greedy growth: keep any test that raises a below-target fault's count.
-  for (const auto& t : pool) {
-    const auto det = simulate_obd(c, t, faults);
+  // Fault-simulate the whole pool in 64-test blocks, then replay the greedy
+  // growth over matrix rows: keep any test that raises a below-target
+  // fault's count. (Counts must reach n, so no fault dropping here.)
+  const DetectionMatrix m = build_obd_matrix(c, pool, faults);
+  for (std::size_t t = 0; t < pool.size(); ++t) {
     bool useful = false;
     for (std::size_t i = 0; i < faults.size(); ++i)
-      if (det[i] && result.detect_counts[i] < opt.n) useful = true;
+      if (m.detects(t, i) && result.detect_counts[i] < opt.n) useful = true;
     if (!useful) continue;
-    result.tests.push_back(t);
+    result.tests.push_back(pool[t]);
     for (std::size_t i = 0; i < faults.size(); ++i)
-      if (det[i]) ++result.detect_counts[i];
+      if (m.detects(t, i)) ++result.detect_counts[i];
   }
 
   for (int cnt : result.detect_counts) {

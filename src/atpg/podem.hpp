@@ -29,6 +29,12 @@ struct PodemOptions {
   long max_backtracks = 100000;
   /// Value used to fill don't-care PIs in the returned vector.
   bool fill_value = false;
+  /// Random-pattern prepass for the whole-list drivers (run_*_atpg): this
+  /// many random tests are fault-simulated in 64-lane blocks with fault
+  /// dropping; the deterministic search then only targets the survivors,
+  /// and the useful random tests join the returned test set. 0 disables.
+  int random_phase = 0;
+  std::uint64_t random_phase_seed = 0x0bd5eedull;
 };
 
 enum class PodemStatus { kFound, kUntestable, kAborted };

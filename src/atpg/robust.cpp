@@ -19,11 +19,12 @@ bool is_single_input_change(const TwoVectorTest& t) {
   return diff != 0 && (diff & (diff - 1)) == 0;
 }
 
-bool robust_under_single_slow_gate(const Circuit& c, const TwoVectorTest& test,
-                                   const ObdFaultSite& fault) {
-  // Baseline detection must hold.
-  if (!simulate_obd(c, test, {fault})[0]) return false;
+namespace {
 
+/// Core of the robustness check, assuming the (test, fault) detection has
+/// already been established by the caller.
+bool robust_given_detected(const Circuit& c, const TwoVectorTest& test,
+                           const ObdFaultSite& fault) {
   const std::vector<bool> v1_values = c.eval(test.v1);
   const std::vector<bool> v2_values = c.eval(test.v2);
   const auto& fgate = c.gate(fault.gate_index);
@@ -64,18 +65,28 @@ bool robust_under_single_slow_gate(const Circuit& c, const TwoVectorTest& test,
   return true;
 }
 
+}  // namespace
+
+bool robust_under_single_slow_gate(const Circuit& c, const TwoVectorTest& test,
+                                   const ObdFaultSite& fault) {
+  // Baseline detection must hold.
+  if (!simulate_obd(c, test, {fault})[0]) return false;
+  return robust_given_detected(c, test, fault);
+}
+
 RobustnessReport classify_obd_tests(const Circuit& c,
                                     const std::vector<ObdFaultSite>& faults,
                                     const std::vector<TwoVectorTest>& tests) {
   RobustnessReport rep;
-  // Pair each test with the faults it detects; classify per detection.
-  for (const auto& t : tests) {
-    const auto det = simulate_obd(c, t, faults);
+  // One block-parallel pass for the detection pairs, then classify each.
+  const DetectionMatrix m = build_obd_matrix(c, tests, faults);
+  for (std::size_t t = 0; t < tests.size(); ++t) {
     for (std::size_t f = 0; f < faults.size(); ++f) {
-      if (!det[f]) continue;
+      if (!m.detects(t, f)) continue;
       ++rep.tests;
-      if (is_single_input_change(t)) ++rep.sic;
-      if (robust_under_single_slow_gate(c, t, faults[f])) ++rep.robust;
+      if (is_single_input_change(tests[t])) ++rep.sic;
+      // Detection is established by the matrix; go straight to the check.
+      if (robust_given_detected(c, tests[t], faults[f])) ++rep.robust;
     }
   }
   return rep;

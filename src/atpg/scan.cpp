@@ -1,5 +1,6 @@
 #include "atpg/scan.hpp"
 
+#include "atpg/faultsim.hpp"
 #include "core/excitation.hpp"
 
 namespace obd::atpg {
@@ -121,7 +122,6 @@ bool verify_scan_obd_test(const SequentialCircuit& seq,
                          : seq.step(test.pi1, test.state1).next_state;
   const std::uint64_t in2 = test.pi2 | (state2 << n_pi);
   const std::vector<bool> vals2 = sv.eval(in2);
-  const std::uint64_t good2 = sv.eval_outputs(in2);
 
   // Gate-local excitation across the launch->capture boundary.
   const auto& gate = sv.gate(site.gate_index);
@@ -133,18 +133,9 @@ bool verify_scan_obd_test(const SequentialCircuit& seq,
     return false;
 
   // Gross-delay: the gate output holds its frame-1 value during capture.
-  std::vector<std::uint64_t> pi_words(sv.inputs().size());
-  for (std::size_t i = 0; i < pi_words.size(); ++i)
-    pi_words[i] = ((in2 >> i) & 1u) ? ~0ull : 0ull;
-  const bool old_out = topo->output(lv1);
-  const auto words =
-      sv.eval_words(pi_words, gate.output, old_out ? ~0ull : 0ull);
-  std::uint64_t bad2 = 0;
-  for (std::size_t o = 0; o < sv.outputs().size(); ++o)
-    if (words[static_cast<std::size_t>(sv.outputs()[o])] & 1ull)
-      bad2 |= (1ull << o);
   // Observation: POs plus the captured next-state (both are scan_view POs).
-  return bad2 != good2;
+  const bool old_out = topo->output(lv1);
+  return forced_outputs_differ(sv, in2, gate.output, old_out);
 }
 
 ScanCampaign run_scan_obd_atpg(const SequentialCircuit& seq,

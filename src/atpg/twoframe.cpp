@@ -1,5 +1,6 @@
 #include "atpg/twoframe.hpp"
 
+#include "atpg/faultsim_engine.hpp"
 #include "core/excitation.hpp"
 
 namespace obd::atpg {
@@ -82,10 +83,44 @@ TwoFrameResult generate_transition_test(const Circuit& c,
 
 namespace {
 
+/// Random-pattern phase: block-simulate `tests` with fault dropping; faults
+/// caught there skip the deterministic search, and each random test that is
+/// the *first* detector of some fault joins the run's test set.
+/// `campaign` maps (engine, tests) to a fault-dropping engine campaign.
+template <typename Fault, typename CampaignFn>
+std::vector<std::uint8_t> random_phase_prepass(
+    const Circuit& c, const std::vector<Fault>& faults,
+    const std::vector<TwoVectorTest>& tests, AtpgRun& run,
+    CampaignFn campaign) {
+  std::vector<std::uint8_t> skip(faults.size(), 0);
+  if (tests.empty() || faults.empty()) return skip;
+  FaultSimEngine engine(c);
+  const FaultSimEngine::Campaign result = campaign(engine, tests);
+  std::vector<std::uint8_t> useful(tests.size(), 0);
+  for (std::size_t i = 0; i < result.first_test.size(); ++i) {
+    const int t = result.first_test[i];
+    if (t < 0) continue;
+    useful[static_cast<std::size_t>(t)] = 1;
+    skip[i] = 1;
+    ++run.found;
+  }
+  for (std::size_t t = 0; t < tests.size(); ++t)
+    if (useful[t]) run.tests.push_back(tests[t]);
+  return skip;
+}
+
+std::vector<TwoVectorTest> random_phase_tests(const Circuit& c,
+                                              const PodemOptions& opt) {
+  if (opt.random_phase <= 0) return {};
+  return random_pairs(static_cast<int>(c.inputs().size()), opt.random_phase,
+                      opt.random_phase_seed);
+}
+
 template <typename Fault, typename Gen>
-AtpgRun run_all(const std::vector<Fault>& faults, Gen gen) {
-  AtpgRun run;
+AtpgRun run_all(const std::vector<Fault>& faults,
+                std::vector<std::uint8_t> skip, AtpgRun run, Gen gen) {
   for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (skip[i]) continue;
     const TwoFrameResult r = gen(faults[i]);
     run.total_backtracks += r.backtracks;
     run.total_implications += r.implications;
@@ -110,31 +145,57 @@ AtpgRun run_all(const std::vector<Fault>& faults, Gen gen) {
 
 AtpgRun run_obd_atpg(const Circuit& c, const std::vector<ObdFaultSite>& faults,
                      const PodemOptions& opt) {
-  return run_all(faults, [&](const ObdFaultSite& f) {
-    return generate_obd_test(c, f, opt);
-  });
+  AtpgRun run;
+  auto skip = random_phase_prepass(
+      c, faults, random_phase_tests(c, opt), run,
+      [&](FaultSimEngine& e, const std::vector<TwoVectorTest>& tests) {
+        return e.campaign_obd(tests, faults);
+      });
+  return run_all(faults, std::move(skip), std::move(run),
+                 [&](const ObdFaultSite& f) {
+                   return generate_obd_test(c, f, opt);
+                 });
 }
 
 AtpgRun run_transition_atpg(const Circuit& c,
                             const std::vector<TransitionFault>& faults,
                             const PodemOptions& opt) {
-  return run_all(faults, [&](const TransitionFault& f) {
-    return generate_transition_test(c, f, opt);
-  });
+  AtpgRun run;
+  auto skip = random_phase_prepass(
+      c, faults, random_phase_tests(c, opt), run,
+      [&](FaultSimEngine& e, const std::vector<TwoVectorTest>& tests) {
+        return e.campaign_transition(tests, faults);
+      });
+  return run_all(faults, std::move(skip), std::move(run),
+                 [&](const TransitionFault& f) {
+                   return generate_transition_test(c, f, opt);
+                 });
 }
 
 AtpgRun run_stuck_at_atpg(const Circuit& c,
                           const std::vector<StuckFault>& faults,
                           const PodemOptions& opt) {
-  return run_all(faults, [&](const StuckFault& f) {
-    const PodemResult r = podem_stuck_at(c, f, opt);
-    TwoFrameResult t;
-    t.status = r.status;
-    t.backtracks = r.backtracks;
-    t.implications = r.implications;
-    t.test = TwoVectorTest{r.vector.bits, r.vector.bits};
-    return t;
-  });
+  AtpgRun run;
+  // Single-vector patterns: the v2 halves of the shared pair generator.
+  auto tests = random_phase_tests(c, opt);
+  for (auto& t : tests) t.v1 = t.v2;
+  auto skip = random_phase_prepass(
+      c, faults, tests, run,
+      [&](FaultSimEngine& e, const std::vector<TwoVectorTest>& ts) {
+        std::vector<std::uint64_t> patterns(ts.size());
+        for (std::size_t i = 0; i < ts.size(); ++i) patterns[i] = ts[i].v2;
+        return e.campaign_stuck(patterns, faults);
+      });
+  return run_all(faults, std::move(skip), std::move(run),
+                 [&](const StuckFault& f) {
+                   const PodemResult r = podem_stuck_at(c, f, opt);
+                   TwoFrameResult t;
+                   t.status = r.status;
+                   t.backtracks = r.backtracks;
+                   t.implications = r.implications;
+                   t.test = TwoVectorTest{r.vector.bits, r.vector.bits};
+                   return t;
+                 });
 }
 
 }  // namespace obd::atpg

@@ -150,7 +150,16 @@ std::vector<Tri> Circuit::eval3(const std::vector<Tri>& pi_values) const {
 std::vector<std::uint64_t> Circuit::eval_words(
     const std::vector<std::uint64_t>& pi_words, NetId forced_net,
     std::uint64_t forced_value) const {
-  std::vector<std::uint64_t> values(net_names_.size(), 0);
+  std::vector<std::uint64_t> values;
+  eval_words_into(pi_words, values, forced_net, forced_value);
+  return values;
+}
+
+void Circuit::eval_words_into(const std::vector<std::uint64_t>& pi_words,
+                              std::vector<std::uint64_t>& values,
+                              NetId forced_net,
+                              std::uint64_t forced_value) const {
+  values.assign(net_names_.size(), 0);
   for (std::size_t i = 0; i < inputs_.size() && i < pi_words.size(); ++i) {
     const NetId n = inputs_[i];
     values[static_cast<std::size_t>(n)] =
@@ -165,8 +174,29 @@ std::vector<std::uint64_t> Circuit::eval_words(
         (gate.output == forced_net) ? forced_value
                                     : gate_eval_words(gate.type, ins);
   }
+}
+
+std::vector<Words3> Circuit::eval3_words(const std::vector<Words3>& pi_words,
+                                         NetId forced_net,
+                                         Words3 forced_value) const {
+  std::vector<Words3> values(net_names_.size(), Words3::all_x());
+  for (std::size_t i = 0; i < inputs_.size() && i < pi_words.size(); ++i) {
+    const NetId n = inputs_[i];
+    values[static_cast<std::size_t>(n)] =
+        (n == forced_net) ? forced_value : pi_words[i];
+  }
+  Words3 ins[8];
+  for (int g : topo_order()) {
+    const Gate& gate = gates_[static_cast<std::size_t>(g)];
+    for (std::size_t k = 0; k < gate.inputs.size(); ++k)
+      ins[k] = values[static_cast<std::size_t>(gate.inputs[k])];
+    values[static_cast<std::size_t>(gate.output)] =
+        (gate.output == forced_net) ? forced_value
+                                    : gate_eval_words3(gate.type, ins);
+  }
   return values;
 }
+
 
 std::uint32_t Circuit::gate_input_bits(
     int gate_idx, const std::vector<bool>& net_values) const {

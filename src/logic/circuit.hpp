@@ -85,10 +85,28 @@ class Circuit {
   /// Bit-parallel evaluation: 64 independent patterns at once. Word i of
   /// `pi_words` carries 64 values of PI i (bit k = pattern k). Optionally
   /// forces one net to a fixed word (fault injection): the forced net's
-  /// driver output is replaced wholesale.
+  /// driver output is replaced wholesale. The forced word is per-lane, so
+  /// all 64 lanes carry real, independent patterns.
   std::vector<std::uint64_t> eval_words(
       const std::vector<std::uint64_t>& pi_words, NetId forced_net = kNoNet,
       std::uint64_t forced_value = 0) const;
+
+  /// Allocation-free eval_words: writes per-net words into `values`
+  /// (resized to num_nets()). The block fault-sim engine calls this once
+  /// per 64-pattern block and reuses the buffer across faults.
+  void eval_words_into(const std::vector<std::uint64_t>& pi_words,
+                       std::vector<std::uint64_t>& values,
+                       NetId forced_net = kNoNet,
+                       std::uint64_t forced_value = 0) const;
+
+  /// Bit-parallel three-valued evaluation over the same block machinery:
+  /// 64 lanes of Kleene values per net in dual-rail words. PIs beyond
+  /// `pi_words.size()` and undriven nets are X, matching eval3. A forced
+  /// net (fault injection) is pinned to `forced_value` across all lanes.
+  std::vector<Words3> eval3_words(const std::vector<Words3>& pi_words,
+                                  NetId forced_net = kNoNet,
+                                  Words3 forced_value = Words3::all_x()) const;
+
 
   /// Gate-local input bits for a gate under a per-net valuation.
   std::uint32_t gate_input_bits(int gate_idx,

@@ -137,6 +137,46 @@ std::uint64_t gate_eval_words(GateType t, const std::uint64_t* in) {
   return 0;
 }
 
+Words3 gate_eval_words3(GateType t, const Words3* in) {
+  switch (t) {
+    case GateType::kXor2: {
+      Words3 out;
+      out.can1 = (in[0].can1 & in[1].can0) | (in[0].can0 & in[1].can1);
+      out.can0 = (in[0].can0 & in[1].can0) | (in[0].can1 & in[1].can1);
+      return out;
+    }
+    case GateType::kXnor2: {
+      Words3 out;
+      out.can0 = (in[0].can1 & in[1].can0) | (in[0].can0 & in[1].can1);
+      out.can1 = (in[0].can0 & in[1].can0) | (in[0].can1 & in[1].can1);
+      return out;
+    }
+    default:
+      break;
+  }
+  // Unate gates: the output extremes are reached at the input extremes.
+  // Minimal completion of a lane is 0 where can0, else 1; maximal is 1
+  // where can1, else 0.
+  const int n = gate_arity(t);
+  std::uint64_t lo[8], hi[8];
+  for (int k = 0; k < n; ++k) {
+    lo[k] = ~in[k].can0;
+    hi[k] = in[k].can1;
+  }
+  const bool positive_unate =
+      t == GateType::kBuf || t == GateType::kAnd2 || t == GateType::kOr2;
+  Words3 out;
+  if (positive_unate) {
+    out.can1 = gate_eval_words(t, hi);
+    out.can0 = ~gate_eval_words(t, lo);
+  } else {
+    // INV/NAND/NOR/AOI/OAI: negative-unate in every input.
+    out.can1 = gate_eval_words(t, lo);
+    out.can0 = ~gate_eval_words(t, hi);
+  }
+  return out;
+}
+
 bool is_primitive_cmos(GateType t) {
   switch (t) {
     case GateType::kInv:

@@ -55,6 +55,25 @@ Tri gate_eval3(GateType t, const Tri* inputs);
 /// Bit-parallel gate evaluation: each word carries 64 independent patterns.
 std::uint64_t gate_eval_words(GateType t, const std::uint64_t* inputs);
 
+/// Dual-rail encoding of 64 three-valued lanes: bit k of `can0`/`can1` says
+/// the lane-k value can resolve to 0/1. Exactly one bit set = known value,
+/// both set = X. (Both clear is unused/invalid.)
+struct Words3 {
+  std::uint64_t can0 = 0;
+  std::uint64_t can1 = 0;
+
+  static Words3 of(bool v) { return v ? Words3{0, ~0ull} : Words3{~0ull, 0}; }
+  static Words3 all_x() { return {~0ull, ~0ull}; }
+  std::uint64_t known() const { return can0 ^ can1; }
+  std::uint64_t x_mask() const { return can0 & can1; }
+};
+
+/// Bit-parallel three-valued gate evaluation, lane-exact w.r.t. gate_eval3.
+/// All primitive CMOS gates (and BUF/AND/OR) are unate in every input, so
+/// both rails come from two two-valued gate_eval_words calls on the extreme
+/// completions; XOR/XNOR get exact dual-rail formulas.
+Words3 gate_eval_words3(GateType t, const Words3* inputs);
+
 /// True for gates that map directly onto a CMOS cell (OBD faults defined).
 bool is_primitive_cmos(GateType t);
 

@@ -1,0 +1,226 @@
+// Bit-parallel fault-sim engine vs the legacy scalar reference: randomized
+// equivalence over zoo circuits, fault dropping, packed detection matrices,
+// and the 3-valued block evaluator.
+#include <gtest/gtest.h>
+
+#include "atpg/atpg.hpp"
+#include "logic/zoo.hpp"
+#include "util/prng.hpp"
+
+namespace obd::atpg {
+namespace {
+
+using logic::Circuit;
+
+std::vector<Circuit> zoo_circuits() {
+  std::vector<Circuit> out;
+  out.push_back(logic::full_adder_sum_circuit());
+  out.push_back(logic::c17());
+  out.push_back(logic::ripple_carry_adder(4));
+  out.push_back(logic::mux_tree(2));
+  out.push_back(logic::random_circuit(8, 60, 6, 0xfeed));
+  return out;
+}
+
+std::vector<TwoVectorTest> random_tests(const Circuit& c, int count,
+                                        std::uint64_t seed) {
+  // 150 tests -> blocks of 64, 64, 22: exercises full and partial blocks.
+  return random_pairs(static_cast<int>(c.inputs().size()), count, seed);
+}
+
+TEST(FaultSimEngine, StuckEquivalentToLegacy) {
+  for (const Circuit& c : zoo_circuits()) {
+    const auto faults = enumerate_stuck_faults(c);
+    const auto tests = random_tests(c, 150, 0x5eed0);
+    std::vector<std::uint64_t> patterns;
+    for (const auto& t : tests) patterns.push_back(t.v2);
+    const DetectionMatrix m = build_stuck_matrix(c, patterns, faults);
+    for (std::size_t t = 0; t < patterns.size(); ++t) {
+      const auto ref = legacy::simulate_stuck_at(c, patterns[t], faults);
+      for (std::size_t f = 0; f < faults.size(); ++f)
+        ASSERT_EQ(m.detects(t, f), ref[f])
+            << c.name() << " test " << t << " fault " << f;
+    }
+  }
+}
+
+TEST(FaultSimEngine, TransitionEquivalentToLegacy) {
+  for (const Circuit& c : zoo_circuits()) {
+    const auto faults = enumerate_transition_faults(c);
+    const auto tests = random_tests(c, 150, 0x5eed1);
+    const DetectionMatrix m = build_transition_matrix(c, tests, faults);
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      const auto ref = legacy::simulate_transition(c, tests[t], faults);
+      for (std::size_t f = 0; f < faults.size(); ++f)
+        ASSERT_EQ(m.detects(t, f), ref[f])
+            << c.name() << " test " << t << " fault " << f;
+    }
+  }
+}
+
+TEST(FaultSimEngine, ObdEquivalentToLegacy) {
+  for (const Circuit& c : zoo_circuits()) {
+    const auto faults = enumerate_obd_faults(c);
+    const auto tests = random_tests(c, 150, 0x5eed2);
+    const DetectionMatrix m = build_obd_matrix(c, tests, faults);
+    for (std::size_t t = 0; t < tests.size(); ++t) {
+      const auto ref = legacy::simulate_obd(c, tests[t], faults);
+      for (std::size_t f = 0; f < faults.size(); ++f)
+        ASSERT_EQ(m.detects(t, f), ref[f])
+            << c.name() << " test " << t << " fault " << f;
+    }
+  }
+}
+
+TEST(FaultSimEngine, ScalarWrappersMatchLegacy) {
+  const Circuit c = logic::random_circuit(7, 40, 5, 0xabc);
+  const auto of = enumerate_obd_faults(c);
+  const auto sf = enumerate_stuck_faults(c);
+  for (const auto& t : random_tests(c, 40, 0x5eed3)) {
+    EXPECT_EQ(simulate_obd(c, t, of), legacy::simulate_obd(c, t, of));
+    EXPECT_EQ(simulate_stuck_at(c, t.v2, sf),
+              legacy::simulate_stuck_at(c, t.v2, sf));
+  }
+}
+
+TEST(FaultSimEngine, FaultDroppingPreservesDetection) {
+  for (const Circuit& c : zoo_circuits()) {
+    const auto faults = enumerate_obd_faults(c);
+    const auto tests = random_tests(c, 200, 0x5eed4);
+    FaultSimEngine engine(c);
+    const auto dropped = engine.campaign_obd(tests, faults, true);
+    const auto full = engine.campaign_obd(tests, faults, false);
+    // Dropping must not change what is detected or by which first test.
+    EXPECT_EQ(dropped.detected, full.detected) << c.name();
+    EXPECT_EQ(dropped.first_test, full.first_test) << c.name();
+    // It must do no more (and with any detection, strictly less) work.
+    EXPECT_LE(dropped.fault_block_evals, full.fault_block_evals);
+    if (dropped.detected > 0 && tests.size() > PatternBlock::kLanes)
+      EXPECT_LT(dropped.fault_block_evals, full.fault_block_evals);
+    // And the detected count must match the matrix's covered count.
+    const DetectionMatrix m = build_obd_matrix(c, tests, faults);
+    EXPECT_EQ(dropped.detected, m.covered_count) << c.name();
+  }
+}
+
+TEST(FaultSimEngine, CampaignFirstTestMatchesMatrix) {
+  const Circuit c = logic::ripple_carry_adder(4);
+  const auto faults = enumerate_transition_faults(c);
+  const auto tests = random_tests(c, 130, 0x5eed5);
+  FaultSimEngine engine(c);
+  const auto campaign = engine.campaign_transition(tests, faults, true);
+  const DetectionMatrix m = build_transition_matrix(c, tests, faults);
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    int first = -1;
+    for (std::size_t t = 0; t < tests.size() && first < 0; ++t)
+      if (m.detects(t, f)) first = static_cast<int>(t);
+    EXPECT_EQ(campaign.first_test[f], first) << "fault " << f;
+  }
+}
+
+TEST(PatternBlockTest, PackPreservesOrderAndLanes) {
+  const Circuit c = logic::c17();
+  const auto tests = random_tests(c, 70, 0x5eed6);
+  const auto blocks = PatternBlock::pack(c, tests);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].size(), 64);
+  EXPECT_EQ(blocks[1].size(), 6);
+  EXPECT_EQ(blocks[1].lane_mask(), 0x3full);
+  for (std::size_t t = 0; t < tests.size(); ++t) {
+    const PatternBlock& b = blocks[t / 64];
+    const int lane = static_cast<int>(t % 64);
+    EXPECT_EQ(b.test(lane), tests[t]);
+    for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+      EXPECT_EQ((b.pi1()[i] >> lane) & 1u, (tests[t].v1 >> i) & 1u);
+      EXPECT_EQ((b.pi2()[i] >> lane) & 1u, (tests[t].v2 >> i) & 1u);
+    }
+  }
+}
+
+TEST(EvalWords3, MatchesScalarEval3) {
+  using logic::Tri;
+  using logic::Words3;
+  util::Prng prng(0x3fa1);
+  for (const Circuit& c : zoo_circuits()) {
+    const std::size_t n_pi = c.inputs().size();
+    // 64 random lanes of {0, 1, X} per PI.
+    std::vector<Words3> pi_words(n_pi);
+    std::vector<std::vector<Tri>> lanes(64, std::vector<Tri>(n_pi, Tri::kX));
+    for (std::size_t i = 0; i < n_pi; ++i) {
+      for (int lane = 0; lane < 64; ++lane) {
+        const auto r = prng.next_u64() % 3;
+        const Tri v = r == 0 ? Tri::k0 : (r == 1 ? Tri::k1 : Tri::kX);
+        lanes[static_cast<std::size_t>(lane)][i] = v;
+        if (v != Tri::k1) pi_words[i].can0 |= 1ull << lane;
+        if (v != Tri::k0) pi_words[i].can1 |= 1ull << lane;
+      }
+    }
+    const auto words = c.eval3_words(pi_words);
+    for (int lane = 0; lane < 64; ++lane) {
+      const auto ref = c.eval3(lanes[static_cast<std::size_t>(lane)]);
+      for (std::size_t n = 0; n < c.num_nets(); ++n) {
+        const bool can0 = (words[n].can0 >> lane) & 1u;
+        const bool can1 = (words[n].can1 >> lane) & 1u;
+        const Tri got = can0 && can1 ? Tri::kX : (can1 ? Tri::k1 : Tri::k0);
+        ASSERT_EQ(got, ref[n]) << c.name() << " lane " << lane << " net "
+                               << c.net_name(static_cast<logic::NetId>(n));
+      }
+    }
+  }
+}
+
+TEST(RandomPhase, AtpgWithPrepassKeepsCoverage) {
+  const Circuit c = logic::ripple_carry_adder(4);
+  const auto faults = enumerate_obd_faults(c);
+  const AtpgRun base = run_obd_atpg(c, faults);
+  PodemOptions opt;
+  opt.random_phase = 256;
+  const AtpgRun rnd = run_obd_atpg(c, faults, opt);
+  // The prepass may only reduce deterministic work, never coverage.
+  EXPECT_EQ(rnd.found + rnd.untestable + rnd.aborted,
+            static_cast<int>(faults.size()));
+  EXPECT_GE(rnd.found, base.found);
+  EXPECT_LE(rnd.total_implications, base.total_implications);
+  EXPECT_GE(obd_coverage(c, rnd.tests, faults),
+            obd_coverage(c, base.tests, faults) - 1e-12);
+  // Every random test kept in the set detects at least one fault.
+  const DetectionMatrix m = build_obd_matrix(c, rnd.tests, faults);
+  for (std::size_t t = 0; t < rnd.tests.size(); ++t)
+    EXPECT_GT(m.row_count(t), 0u) << "useless test " << t;
+}
+
+TEST(FaultSimEngine, CoverageFunctionsMatchMatrices) {
+  const Circuit c = logic::mux_tree(2);
+  const auto tests = random_tests(c, 100, 0x5eed7);
+  std::vector<std::uint64_t> patterns;
+  for (const auto& t : tests) patterns.push_back(t.v2);
+
+  const auto sf = enumerate_stuck_faults(c);
+  const DetectionMatrix ms = build_stuck_matrix(c, patterns, sf);
+  EXPECT_DOUBLE_EQ(stuck_coverage(c, patterns, sf),
+                   static_cast<double>(ms.covered_count) / sf.size());
+
+  const auto tf = enumerate_transition_faults(c);
+  const DetectionMatrix mt = build_transition_matrix(c, tests, tf);
+  EXPECT_DOUBLE_EQ(transition_coverage(c, tests, tf),
+                   static_cast<double>(mt.covered_count) / tf.size());
+
+  const auto of = enumerate_obd_faults(c);
+  const DetectionMatrix mo = build_obd_matrix(c, tests, of);
+  EXPECT_DOUBLE_EQ(obd_coverage(c, tests, of),
+                   static_cast<double>(mo.covered_count) / of.size());
+}
+
+TEST(ForcedOutputsDiffer, MatchesStuckDetection) {
+  const Circuit c = logic::c17();
+  const auto faults = enumerate_stuck_faults(c);
+  for (std::uint64_t p = 0; p < 32; ++p) {
+    const auto det = legacy::simulate_stuck_at(c, p, faults);
+    for (std::size_t f = 0; f < faults.size(); ++f)
+      EXPECT_EQ(forced_outputs_differ(c, p, faults[f].net, faults[f].value),
+                det[f]);
+  }
+}
+
+}  // namespace
+}  // namespace obd::atpg
