@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <numeric>
 
 namespace obd::atpg {
 namespace {
@@ -126,6 +127,90 @@ bool covers_all(const DetectionMatrix& m,
   for (std::size_t w = 0; w < covered.size(); ++w)
     if ((covered[w] & need[w]) != need[w]) return false;
   return true;
+}
+
+// --- X-overlap merging -------------------------------------------------------
+
+namespace {
+
+void or_into(std::vector<std::uint64_t>& acc,
+             const std::vector<std::uint64_t>& v) {
+  for (std::size_t w = 0; w < v.size(); ++w) acc[w] |= v[w];
+}
+
+}  // namespace
+
+XMergeResult merge_x_overlap(const Circuit& c,
+                             const std::vector<XTwoVectorTest>& tests,
+                             const std::vector<ObdFaultSite>& faults) {
+  XMergeResult out;
+  FaultSimEngine engine(c);
+  // test_obd with the identity index packs its detect words with fault f
+  // at bit (f & 63) of word (f >> 6) — the superset()/or_into() layout.
+  std::vector<int> all(faults.size());
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<std::uint64_t> scratch;
+  const auto concrete_obd = [&](const XTwoVectorTest& t) {
+    engine.test_obd(t.concrete(), faults, all, scratch);
+    return scratch;
+  };
+  // Acceptance only asks whether `t` detects every fault in `need` (the
+  // constituents' detections, usually a tiny fraction of the fault list),
+  // so simulate just those: every lane of every word must come back set.
+  std::vector<int> need_idx;
+  const auto detects_all = [&](const XTwoVectorTest& t,
+                               const std::vector<std::uint64_t>& need) {
+    need_idx.clear();
+    for (std::size_t w = 0; w < need.size(); ++w) {
+      std::uint64_t word = need[w];
+      while (word) {
+        need_idx.push_back(
+            static_cast<int>(w * 64 + static_cast<std::size_t>(
+                                          std::countr_zero(word))));
+        word &= word - 1;
+      }
+    }
+    engine.test_obd(t.concrete(), faults, need_idx, scratch);
+    for (std::size_t w = 0; w < scratch.size(); ++w) {
+      const std::size_t lanes =
+          std::min<std::size_t>(64, need_idx.size() - w * 64);
+      const std::uint64_t full = lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
+      if ((scratch[w] & full) != full) return false;
+    }
+    return true;
+  };
+
+  struct Slot {
+    XTwoVectorTest test;
+    std::vector<std::uint64_t> concrete;  // union of constituents' concrete
+  };
+  std::vector<Slot> slots;
+
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    const auto concrete = concrete_obd(tests[i]);
+    bool placed = false;
+    for (std::size_t s = 0; s < slots.size() && !placed; ++s) {
+      Slot& slot = slots[s];
+      if (!slot.test.compatible(tests[i])) continue;
+      // Definite (3-valued) detections need no check here: merging only
+      // refines care bits, and eval3_words is Kleene-monotone, so every
+      // constituent's definite detection carries over (see compact.hpp).
+      const XTwoVectorTest cand = slot.test.merged(tests[i]);
+      std::vector<std::uint64_t> need_conc = slot.concrete;
+      or_into(need_conc, concrete);
+      if (!detects_all(cand, need_conc)) continue;
+      slot.test = cand;
+      slot.concrete = std::move(need_conc);
+      out.members[s].push_back(i);
+      placed = true;
+    }
+    if (!placed) {
+      slots.push_back({tests[i], concrete});
+      out.members.push_back({i});
+    }
+  }
+  for (auto& s : slots) out.tests.push_back(s.test);
+  return out;
 }
 
 }  // namespace obd::atpg

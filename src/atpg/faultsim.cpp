@@ -14,45 +14,42 @@ std::uint64_t outputs_of(const Circuit& c, const std::vector<bool>& values) {
   return out;
 }
 
-std::vector<bool> lane0_bools(const std::vector<std::uint64_t>& detect) {
-  std::vector<bool> out(detect.size(), false);
-  for (std::size_t i = 0; i < detect.size(); ++i) out[i] = detect[i] & 1u;
+std::vector<bool> row0_bools(const DetectionMatrix& m) {
+  std::vector<bool> out(m.n_faults, false);
+  for (std::size_t f = 0; f < m.n_faults; ++f) out[f] = m.detects(0, f);
   return out;
 }
 
 }  // namespace
 
-// --- One-lane wrappers over the block engine --------------------------------
+// --- One-test wrappers over the scheduler -----------------------------------
+// The auto packing picks the fault-major axis here (one test, many faults):
+// ceil(faults/64) full-circuit evaluations instead of one cone pass per
+// fault — and every existing caller exercises that kernel.
 
 std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
                                     const std::vector<StuckFault>& faults) {
-  FaultSimEngine engine(c);
-  PatternBlock b(c);
-  b.push({pattern, pattern});
-  std::vector<std::uint64_t> detect;
-  engine.block_stuck(b, faults, detect);
-  return lane0_bools(detect);
+  FaultSimScheduler sched(c);
+  return row0_bools(sched.matrix_stuck({pattern}, faults));
 }
 
 std::vector<bool> simulate_obd(const Circuit& c, const TwoVectorTest& test,
                                const std::vector<ObdFaultSite>& faults) {
-  FaultSimEngine engine(c);
-  PatternBlock b(c);
-  b.push(test);
-  std::vector<std::uint64_t> detect;
-  engine.block_obd(b, faults, detect);
-  return lane0_bools(detect);
+  FaultSimScheduler sched(c);
+  return row0_bools(sched.matrix_obd({test}, faults));
 }
 
 std::vector<bool> simulate_transition(
     const Circuit& c, const TwoVectorTest& test,
     const std::vector<TransitionFault>& faults) {
+  FaultSimScheduler sched(c);
+  return row0_bools(sched.matrix_transition({test}, faults));
+}
+
+std::vector<bool> simulate_obd_x(const Circuit& c, const XTwoVectorTest& test,
+                                 const std::vector<ObdFaultSite>& faults) {
   FaultSimEngine engine(c);
-  PatternBlock b(c);
-  b.push(test);
-  std::vector<std::uint64_t> detect;
-  engine.block_transition(b, faults, detect);
-  return lane0_bools(detect);
+  return engine.definite_obd(test, faults);
 }
 
 bool forced_outputs_differ(const Circuit& c, std::uint64_t pattern, NetId net,
@@ -88,116 +85,70 @@ bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
 
 // --- Detection matrices ------------------------------------------------------
 
-std::size_t DetectionMatrix::row_count(std::size_t test) const {
-  std::size_t n = 0;
-  const std::uint64_t* r = row(test);
-  for (std::size_t w = 0; w < words_per_row; ++w)
-    n += static_cast<std::size_t>(std::popcount(r[w]));
-  return n;
-}
-
-namespace {
-
-template <typename Fault, typename BlockFn>
-DetectionMatrix build_matrix(const Circuit& c,
-                             const std::vector<TwoVectorTest>& tests,
-                             const std::vector<Fault>& faults,
-                             BlockFn block_fn) {
-  DetectionMatrix m;
-  m.n_tests = tests.size();
-  m.n_faults = faults.size();
-  m.words_per_row = (faults.size() + 63) / 64;
-  m.rows.assign(m.n_tests * m.words_per_row, 0);
-  m.covered.assign(faults.size(), false);
-
-  FaultSimEngine engine(c);
-  std::vector<std::uint64_t> detect;
-  std::size_t base = 0;
-  for (const PatternBlock& b : PatternBlock::pack(c, tests)) {
-    block_fn(engine, b, faults, detect);
-    for (std::size_t f = 0; f < faults.size(); ++f) {
-      std::uint64_t word = detect[f];
-      if (!word) continue;
-      if (!m.covered[f]) {
-        m.covered[f] = true;
-        ++m.covered_count;
-      }
-      const std::size_t fw = f >> 6;
-      const std::uint64_t fbit = 1ull << (f & 63);
-      while (word) {
-        const int lane = std::countr_zero(word);
-        word &= word - 1;
-        m.rows[(base + static_cast<std::size_t>(lane)) * m.words_per_row + fw] |=
-            fbit;
-      }
-    }
-    base += static_cast<std::size_t>(b.size());
-  }
-  return m;
-}
-
-}  // namespace
-
 DetectionMatrix build_stuck_matrix(const Circuit& c,
                                    const std::vector<std::uint64_t>& patterns,
-                                   const std::vector<StuckFault>& faults) {
-  std::vector<TwoVectorTest> tests;
-  tests.reserve(patterns.size());
-  for (std::uint64_t p : patterns) tests.push_back({p, p});
-  return build_matrix(c, tests, faults,
-                      [](FaultSimEngine& e, const PatternBlock& b,
-                         const auto& fl, auto& det) {
-                        e.block_stuck(b, fl, det);
-                      });
+                                   const std::vector<StuckFault>& faults,
+                                   const SimOptions& sim) {
+  return FaultSimScheduler(c, sim).matrix_stuck(patterns, faults);
 }
 
 DetectionMatrix build_obd_matrix(const Circuit& c,
                                  const std::vector<TwoVectorTest>& tests,
-                                 const std::vector<ObdFaultSite>& faults) {
-  return build_matrix(c, tests, faults,
-                      [](FaultSimEngine& e, const PatternBlock& b,
-                         const auto& fl, auto& det) {
-                        e.block_obd(b, fl, det);
-                      });
+                                 const std::vector<ObdFaultSite>& faults,
+                                 const SimOptions& sim) {
+  return FaultSimScheduler(c, sim).matrix_obd(tests, faults);
 }
 
 DetectionMatrix build_transition_matrix(
     const Circuit& c, const std::vector<TwoVectorTest>& tests,
-    const std::vector<TransitionFault>& faults) {
-  return build_matrix(c, tests, faults,
-                      [](FaultSimEngine& e, const PatternBlock& b,
-                         const auto& fl, auto& det) {
-                        e.block_transition(b, fl, det);
-                      });
+    const std::vector<TransitionFault>& faults, const SimOptions& sim) {
+  return FaultSimScheduler(c, sim).matrix_transition(tests, faults);
+}
+
+PrepassMarks mark_first_detections(const FaultSimEngine::Campaign& campaign,
+                                   std::size_t n_tests) {
+  PrepassMarks m;
+  m.useful.assign(n_tests, 0);
+  m.skip.assign(campaign.first_test.size(), 0);
+  for (std::size_t f = 0; f < campaign.first_test.size(); ++f) {
+    const int t = campaign.first_test[f];
+    if (t < 0) continue;
+    m.useful[static_cast<std::size_t>(t)] = 1;
+    m.skip[f] = 1;
+    ++m.found;
+  }
+  return m;
 }
 
 // --- Coverage (fault-dropping campaigns) -------------------------------------
 
 double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
-                    const std::vector<ObdFaultSite>& faults) {
+                    const std::vector<ObdFaultSite>& faults,
+                    const SimOptions& sim) {
   if (faults.empty()) return 1.0;
-  FaultSimEngine engine(c);
-  const auto campaign = engine.campaign_obd(tests, faults);
+  const auto campaign = FaultSimScheduler(c, sim).campaign_obd(tests, faults);
   return static_cast<double>(campaign.detected) /
          static_cast<double>(faults.size());
 }
 
 double stuck_coverage(const Circuit& c,
                       const std::vector<std::uint64_t>& patterns,
-                      const std::vector<StuckFault>& faults) {
+                      const std::vector<StuckFault>& faults,
+                      const SimOptions& sim) {
   if (faults.empty()) return 1.0;
-  FaultSimEngine engine(c);
-  const auto campaign = engine.campaign_stuck(patterns, faults);
+  const auto campaign =
+      FaultSimScheduler(c, sim).campaign_stuck(patterns, faults);
   return static_cast<double>(campaign.detected) /
          static_cast<double>(faults.size());
 }
 
 double transition_coverage(const Circuit& c,
                            const std::vector<TwoVectorTest>& tests,
-                           const std::vector<TransitionFault>& faults) {
+                           const std::vector<TransitionFault>& faults,
+                           const SimOptions& sim) {
   if (faults.empty()) return 1.0;
-  FaultSimEngine engine(c);
-  const auto campaign = engine.campaign_transition(tests, faults);
+  const auto campaign =
+      FaultSimScheduler(c, sim).campaign_transition(tests, faults);
   return static_cast<double>(campaign.detected) /
          static_cast<double>(faults.size());
 }

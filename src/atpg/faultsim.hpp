@@ -10,12 +10,14 @@
 //    and a concrete capture time — the fine-grained end of Sec. 4.2, used
 //    for window-of-opportunity studies.
 //
-// All set-level work runs on the bit-parallel FaultSimEngine
-// (faultsim_engine.hpp): 64 patterns per word, one good evaluation per
-// block, per-fault fanout-cone propagation, optional fault dropping. The
-// single-test functions below are one-lane wrappers kept for API
-// compatibility; `legacy::` holds the original one-fault-one-pattern
-// reference implementations for equivalence tests and benchmarks.
+// All set-level work runs through the FaultSimScheduler
+// (faultsim_engine.hpp), which picks a packing axis per call shape — 64
+// patterns per word with per-fault cone propagation, or 64 faults per word
+// against one pattern — and optionally shards pattern blocks across worker
+// threads, with results bit-identical at any thread count. The single-test
+// functions below are one-test wrappers kept for API compatibility;
+// `legacy::` holds the original one-fault-one-pattern reference
+// implementations for equivalence tests and benchmarks.
 #pragma once
 
 #include "atpg/faults.hpp"
@@ -37,6 +39,12 @@ std::vector<bool> simulate_transition(const Circuit& c,
                                       const TwoVectorTest& test,
                                       const std::vector<TransitionFault>& faults);
 
+/// Definite OBD detections under a partially-specified test: detections that
+/// hold for *every* fill of the X (non-care) bits, proven by the 3-valued
+/// block evaluator. The workhorse of X-overlap test compaction.
+std::vector<bool> simulate_obd_x(const Circuit& c, const XTwoVectorTest& test,
+                                 const std::vector<ObdFaultSite>& faults);
+
 /// Does forcing `net` to `value` under `pattern` change any PO? The
 /// single-pattern building block shared with scan-test verification.
 bool forced_outputs_differ(const Circuit& c, std::uint64_t pattern, NetId net,
@@ -51,51 +59,48 @@ bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
                          bool stuck, double capture_time,
                          const logic::DelayLibrary& lib = {});
 
-/// Detection matrix: row per test, bit-packed over the fault list (64
-/// faults per word). Built block-by-block by the engine; consumed directly
-/// by compaction, n-detect selection, and the diagnosis dictionary.
-struct DetectionMatrix {
-  std::size_t n_tests = 0;
-  std::size_t n_faults = 0;
-  std::size_t words_per_row = 0;
-  /// Row-major packed bits: rows[t * words_per_row + (f >> 6)] bit (f & 63).
-  std::vector<std::uint64_t> rows;
-  /// Faults detected by at least one test.
-  std::vector<bool> covered;
-  int covered_count = 0;
-
-  bool detects(std::size_t test, std::size_t fault) const {
-    return (rows[test * words_per_row + (fault >> 6)] >> (fault & 63)) & 1u;
-  }
-  const std::uint64_t* row(std::size_t test) const {
-    return rows.data() + test * words_per_row;
-  }
-  /// Detection count of one test (row popcount).
-  std::size_t row_count(std::size_t test) const;
-};
+// DetectionMatrix itself lives in faultsim_engine.hpp (the scheduler builds
+// it); the builders below pick packing and threads from `sim`.
 
 DetectionMatrix build_stuck_matrix(const Circuit& c,
                                    const std::vector<std::uint64_t>& patterns,
-                                   const std::vector<StuckFault>& faults);
+                                   const std::vector<StuckFault>& faults,
+                                   const SimOptions& sim = {});
 
 DetectionMatrix build_obd_matrix(const Circuit& c,
                                  const std::vector<TwoVectorTest>& tests,
-                                 const std::vector<ObdFaultSite>& faults);
+                                 const std::vector<ObdFaultSite>& faults,
+                                 const SimOptions& sim = {});
 
 DetectionMatrix build_transition_matrix(
     const Circuit& c, const std::vector<TwoVectorTest>& tests,
-    const std::vector<TransitionFault>& faults);
+    const std::vector<TransitionFault>& faults, const SimOptions& sim = {});
+
+/// First-detection bookkeeping of a random-phase prepass campaign: which
+/// tests first-detect some fault (and so join the returned test set) and
+/// which faults are detected (and so skip the deterministic search).
+/// Shared by the combinational (twoframe.cpp) and scan (scan.cpp) flows.
+struct PrepassMarks {
+  std::vector<std::uint8_t> useful;  // per test: first detector of some fault
+  std::vector<std::uint8_t> skip;    // per fault: detected by the prepass
+  int found = 0;
+};
+PrepassMarks mark_first_detections(const FaultSimEngine::Campaign& campaign,
+                                   std::size_t n_tests);
 
 /// Coverage of a fault list by a test set (fraction of faults detected).
-/// Runs a fault-dropping engine campaign — no matrix is materialized.
+/// Runs a fault-dropping scheduler campaign — no matrix is materialized.
 double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
-                    const std::vector<ObdFaultSite>& faults);
+                    const std::vector<ObdFaultSite>& faults,
+                    const SimOptions& sim = {});
 double stuck_coverage(const Circuit& c,
                       const std::vector<std::uint64_t>& patterns,
-                      const std::vector<StuckFault>& faults);
+                      const std::vector<StuckFault>& faults,
+                      const SimOptions& sim = {});
 double transition_coverage(const Circuit& c,
                            const std::vector<TwoVectorTest>& tests,
-                           const std::vector<TransitionFault>& faults);
+                           const std::vector<TransitionFault>& faults,
+                           const SimOptions& sim = {});
 
 namespace legacy {
 

@@ -1,12 +1,24 @@
 #include "atpg/faultsim_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
 #include <bit>
 #include <cassert>
+#include <numeric>
+#include <thread>
 
 #include "core/excitation.hpp"
 
 namespace obd::atpg {
+
+std::size_t DetectionMatrix::row_count(std::size_t test) const {
+  std::size_t n = 0;
+  const std::uint64_t* r = row(test);
+  for (std::size_t w = 0; w < words_per_row; ++w)
+    n += static_cast<std::size_t>(std::popcount(r[w]));
+  return n;
+}
 
 void PatternBlock::clear() {
   size_ = 0;
@@ -40,7 +52,9 @@ FaultSimEngine::FaultSimEngine(const Circuit& c)
     : c_(c),
       topo_pos_(c.num_gates(), 0),
       cones_(c.num_nets()),
-      bad_(c.num_nets(), 0) {
+      bad_(c.num_nets(), 0),
+      inj_set0_(c.num_nets(), 0),
+      inj_set1_(c.num_nets(), 0) {
   const auto& order = c.topo_order();
   for (std::size_t rank = 0; rank < order.size(); ++rank)
     topo_pos_[static_cast<std::size_t>(order[rank])] = static_cast<int>(rank);
@@ -265,6 +279,510 @@ FaultSimEngine::Campaign FaultSimEngine::campaign_obd(
   return run_campaign(tests, faults, drop_detected,
                       [this](const PatternBlock& b, const auto& fl, auto& det,
                              const auto* act) { block_obd(b, fl, det, act); });
+}
+
+// --- Fault-major kernels -----------------------------------------------------
+
+void FaultSimEngine::load_broadcast_goods(const TwoVectorTest& t,
+                                          bool need_frame1) {
+  pi_bcast_.assign(c_.inputs().size(), 0);
+  if (need_frame1) {
+    for (std::size_t i = 0; i < pi_bcast_.size(); ++i)
+      pi_bcast_[i] = ((t.v1 >> i) & 1u) ? ~0ull : 0ull;
+    c_.eval_words_into(pi_bcast_, good1_);
+  }
+  for (std::size_t i = 0; i < pi_bcast_.size(); ++i)
+    pi_bcast_[i] = ((t.v2 >> i) & 1u) ? ~0ull : 0ull;
+  c_.eval_words_into(pi_bcast_, good2_);
+}
+
+void FaultSimEngine::inject(NetId n, int lane, bool value) {
+  const auto s = static_cast<std::size_t>(n);
+  (value ? inj_set1_ : inj_set0_)[s] |= 1ull << lane;
+  inj_nets_.push_back(n);
+}
+
+void FaultSimEngine::clear_injections() {
+  for (NetId n : inj_nets_) {
+    inj_set0_[static_cast<std::size_t>(n)] = 0;
+    inj_set1_[static_cast<std::size_t>(n)] = 0;
+  }
+  inj_nets_.clear();
+}
+
+std::uint64_t FaultSimEngine::injected_diff() {
+  // pi_bcast_ still holds the frame-2 broadcast words from
+  // load_broadcast_goods; good2_ is the matching fault-free valuation.
+  ibad_.assign(c_.num_nets(), 0);
+  for (std::size_t i = 0; i < c_.inputs().size(); ++i)
+    ibad_[static_cast<std::size_t>(c_.inputs()[i])] = pi_bcast_[i];
+  // Forcing must also reach PI and undriven fault nets, which the gate loop
+  // below never writes.
+  for (NetId n : inj_nets_) {
+    const auto s = static_cast<std::size_t>(n);
+    ibad_[s] = (ibad_[s] | inj_set1_[s]) & ~inj_set0_[s];
+  }
+  std::uint64_t ins[8];
+  for (int g : c_.topo_order()) {
+    const auto& gate = c_.gate(g);
+    for (std::size_t k = 0; k < gate.inputs.size(); ++k)
+      ins[k] = ibad_[static_cast<std::size_t>(gate.inputs[k])];
+    const auto o = static_cast<std::size_t>(gate.output);
+    // inj_set words are zero for untouched nets, so the mask application is
+    // branch-free identity almost everywhere.
+    ibad_[o] =
+        (logic::gate_eval_words(gate.type, ins) | inj_set1_[o]) & ~inj_set0_[o];
+  }
+  std::uint64_t diff = 0;
+  for (NetId po : c_.outputs()) {
+    const auto s = static_cast<std::size_t>(po);
+    diff |= ibad_[s] ^ good2_[s];
+  }
+  return diff;
+}
+
+void FaultSimEngine::test_stuck(std::uint64_t pattern,
+                                const std::vector<StuckFault>& faults,
+                                const std::vector<int>& idx,
+                                std::vector<std::uint64_t>& detect) {
+  load_broadcast_goods({pattern, pattern}, /*need_frame1=*/false);
+  const std::size_t words = (idx.size() + 63) / 64;
+  detect.assign(words, 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    const int n = static_cast<int>(std::min<std::size_t>(64, idx.size() - w * 64));
+    clear_injections();
+    std::uint64_t changed = 0;
+    for (int j = 0; j < n; ++j) {
+      const StuckFault& f = faults[static_cast<std::size_t>(idx[w * 64 + j])];
+      // A lane whose forced value equals the good value is identity.
+      if (((good2_[static_cast<std::size_t>(f.net)] & 1u) != 0) == f.value)
+        continue;
+      changed |= 1ull << j;
+      inject(f.net, j, f.value);
+    }
+    if (changed) detect[w] = injected_diff() & changed;
+  }
+  clear_injections();
+}
+
+void FaultSimEngine::test_transition(const TwoVectorTest& t,
+                                     const std::vector<TransitionFault>& faults,
+                                     const std::vector<int>& idx,
+                                     std::vector<std::uint64_t>& detect) {
+  load_broadcast_goods(t);
+  const std::size_t words = (idx.size() + 63) / 64;
+  detect.assign(words, 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    const int n = static_cast<int>(std::min<std::size_t>(64, idx.size() - w * 64));
+    clear_injections();
+    std::uint64_t excited = 0;
+    for (int j = 0; j < n; ++j) {
+      const TransitionFault& f =
+          faults[static_cast<std::size_t>(idx[w * 64 + j])];
+      const bool o1 = good1_[static_cast<std::size_t>(f.net)] & 1u;
+      const bool o2 = good2_[static_cast<std::size_t>(f.net)] & 1u;
+      if (f.slow_to_rise ? !(!o1 && o2) : !(o1 && !o2)) continue;
+      excited |= 1ull << j;
+      // The slow output holds its frame-1 value during capture.
+      inject(f.net, j, o1);
+    }
+    if (excited) detect[w] = injected_diff() & excited;
+  }
+  clear_injections();
+}
+
+void FaultSimEngine::test_obd(const TwoVectorTest& t,
+                              const std::vector<ObdFaultSite>& faults,
+                              const std::vector<int>& idx,
+                              std::vector<std::uint64_t>& detect) {
+  load_broadcast_goods(t);
+  const std::size_t words = (idx.size() + 63) / 64;
+  detect.assign(words, 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    const int n = static_cast<int>(std::min<std::size_t>(64, idx.size() - w * 64));
+    clear_injections();
+    std::uint64_t excited = 0;
+    for (int j = 0; j < n; ++j) {
+      const ObdFaultSite& f = faults[static_cast<std::size_t>(idx[w * 64 + j])];
+      const auto& g = c_.gate(f.gate_index);
+      if (!logic::is_primitive_cmos(g.type)) continue;
+      const auto& table = obd_table(g.type, f.transistor);
+      std::uint32_t lv1 = 0, lv2 = 0;
+      for (std::size_t k = 0; k < g.inputs.size(); ++k) {
+        const auto in = static_cast<std::size_t>(g.inputs[k]);
+        lv1 |= static_cast<std::uint32_t>(good1_[in] & 1u) << k;
+        lv2 |= static_cast<std::uint32_t>(good2_[in] & 1u) << k;
+      }
+      if (!((table[lv1] >> lv2) & 1u)) continue;
+      excited |= 1ull << j;
+      // Gross-delay: the excited gate output keeps its frame-1 value.
+      inject(g.output, j, good1_[static_cast<std::size_t>(g.output)] & 1u);
+    }
+    if (excited) detect[w] = injected_diff() & excited;
+  }
+  clear_injections();
+}
+
+// --- X-aware (3-valued) detection --------------------------------------------
+
+std::vector<bool> FaultSimEngine::definite_obd(
+    const XTwoVectorTest& t, const std::vector<ObdFaultSite>& faults) {
+  using logic::Words3;
+  const std::size_t n_pi = c_.inputs().size();
+  std::vector<std::uint64_t> bits(n_pi), care(n_pi);
+  for (std::size_t i = 0; i < n_pi; ++i) {
+    bits[i] = ((t.v1.bits >> i) & 1u) ? ~0ull : 0ull;
+    care[i] = ((t.v1.care_mask >> i) & 1u) ? ~0ull : 0ull;
+  }
+  const std::vector<Words3> good1 = c_.eval3_words(bits, care);
+  for (std::size_t i = 0; i < n_pi; ++i) {
+    bits[i] = ((t.v2.bits >> i) & 1u) ? ~0ull : 0ull;
+    care[i] = ((t.v2.care_mask >> i) & 1u) ? ~0ull : 0ull;
+  }
+  const std::vector<Words3> pi2 = [&] {
+    std::vector<Words3> w(n_pi);
+    for (std::size_t i = 0; i < n_pi; ++i)
+      w[i] = Words3::from_bits_care(bits[i], care[i]);
+    return w;
+  }();
+  const std::vector<Words3> good2 = c_.eval3_words(pi2);
+
+  std::vector<bool> detected(faults.size(), false);
+  std::vector<Words3> bad2;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const ObdFaultSite& f = faults[i];
+    const auto& g = c_.gate(f.gate_index);
+    if (!logic::is_primitive_cmos(g.type)) continue;
+    // Excitation must be definite: every gate-local input known, both frames.
+    std::uint32_t lv1 = 0, lv2 = 0;
+    bool known = true;
+    for (std::size_t k = 0; k < g.inputs.size() && known; ++k) {
+      const auto in = static_cast<std::size_t>(g.inputs[k]);
+      if (!(good1[in].known() & good2[in].known() & 1u)) {
+        known = false;
+        break;
+      }
+      lv1 |= static_cast<std::uint32_t>(good1[in].can1 & 1u) << k;
+      lv2 |= static_cast<std::uint32_t>(good2[in].can1 & 1u) << k;
+    }
+    const auto out = static_cast<std::size_t>(g.output);
+    if (!known || !(good1[out].known() & 1u)) continue;
+    if (!((obd_table(g.type, f.transistor)[lv1] >> lv2) & 1u)) continue;
+    const bool old_out = good1[out].can1 & 1u;
+    c_.eval3_words_into(pi2, bad2, g.output, Words3::of(old_out));
+    for (NetId po : c_.outputs()) {
+      const auto s = static_cast<std::size_t>(po);
+      if ((good2[s].known() & bad2[s].known() &
+           (good2[s].can1 ^ bad2[s].can1) & 1u)) {
+        detected[i] = true;
+        break;
+      }
+    }
+  }
+  return detected;
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+const char* to_string(SimPacking p) {
+  switch (p) {
+    case SimPacking::kAuto: return "auto";
+    case SimPacking::kPatternMajor: return "pattern-major";
+    case SimPacking::kFaultMajor: return "fault-major";
+  }
+  return "?";
+}
+
+FaultSimScheduler::FaultSimScheduler(const Circuit& c, SimOptions opt)
+    : c_(c), opt_(opt) {
+  if (opt_.threads < 1) opt_.threads = 1;
+  // All workers are created up front, on the caller's thread: the first
+  // engine construction warms the circuit's lazy topo-order cache, so the
+  // shared Circuit is strictly read-only once workers run.
+  engines_.reserve(static_cast<std::size_t>(opt_.threads));
+  for (int w = 0; w < opt_.threads; ++w)
+    engines_.push_back(std::make_unique<FaultSimEngine>(c_));
+}
+
+FaultSimScheduler::~FaultSimScheduler() = default;
+
+SimPacking FaultSimScheduler::resolve_packing(std::size_t n_tests,
+                                              std::size_t n_faults) const {
+  if (opt_.packing != SimPacking::kAuto) return opt_.packing;
+  if (n_tests <= PatternBlock::kLanes / 8 &&
+      n_faults >= static_cast<std::size_t>(PatternBlock::kLanes))
+    return SimPacking::kFaultMajor;
+  return SimPacking::kPatternMajor;
+}
+
+int FaultSimScheduler::workers_for(std::size_t jobs) const {
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(opt_.threads), jobs));
+}
+
+namespace {
+
+/// Runs job(w) on `n` workers: inline when n <= 1, else on n std::threads.
+template <typename Job>
+void run_workers(int n, Job job) {
+  if (n <= 1) {
+    job(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w) pool.emplace_back(job, w);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace
+
+template <typename Fault, typename BlockFn, typename TestFn>
+DetectionMatrix FaultSimScheduler::build_matrix(
+    const std::vector<TwoVectorTest>& tests, const std::vector<Fault>& faults,
+    BlockFn block_fn, TestFn test_fn) {
+  DetectionMatrix m;
+  m.n_tests = tests.size();
+  m.n_faults = faults.size();
+  m.words_per_row = (faults.size() + 63) / 64;
+  m.rows.assign(m.n_tests * m.words_per_row, 0);
+  m.covered.assign(faults.size(), false);
+  if (tests.empty() || faults.empty()) return m;
+
+  if (resolve_packing(tests.size(), faults.size()) == SimPacking::kFaultMajor) {
+    // Shard whole tests: each worker owns disjoint matrix rows, and the
+    // fault-major detect words *are* the row words.
+    std::vector<int> idx(faults.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::atomic<std::size_t> next{0};
+    run_workers(workers_for(tests.size()), [&](int w) {
+      FaultSimEngine& e = engine(w);
+      std::vector<std::uint64_t> detect;
+      for (std::size_t t = next.fetch_add(1); t < tests.size();
+           t = next.fetch_add(1)) {
+        test_fn(e, tests[t], faults, idx, detect);
+        std::copy(detect.begin(), detect.end(),
+                  m.rows.begin() + static_cast<std::ptrdiff_t>(t * m.words_per_row));
+      }
+    });
+  } else {
+    // Shard whole blocks: block b owns rows [64b, 64b + size).
+    const std::vector<PatternBlock> blocks = PatternBlock::pack(c_, tests);
+    std::atomic<std::size_t> next{0};
+    run_workers(workers_for(blocks.size()), [&](int w) {
+      FaultSimEngine& e = engine(w);
+      std::vector<std::uint64_t> detect;
+      for (std::size_t b = next.fetch_add(1); b < blocks.size();
+           b = next.fetch_add(1)) {
+        block_fn(e, blocks[b], faults, detect);
+        const std::size_t base = b * PatternBlock::kLanes;
+        for (std::size_t f = 0; f < faults.size(); ++f) {
+          std::uint64_t word = detect[f];
+          if (!word) continue;
+          const std::size_t fw = f >> 6;
+          const std::uint64_t fbit = 1ull << (f & 63);
+          while (word) {
+            const auto lane = static_cast<std::size_t>(std::countr_zero(word));
+            word &= word - 1;
+            m.rows[(base + lane) * m.words_per_row + fw] |= fbit;
+          }
+        }
+      }
+    });
+  }
+
+  // OR-reduce the rows column-wise: one word per 64 faults instead of a
+  // bit probe per (test, fault) pair.
+  std::vector<std::uint64_t> any(m.words_per_row, 0);
+  for (std::size_t t = 0; t < m.n_tests; ++t) {
+    const std::uint64_t* r = m.row(t);
+    for (std::size_t w = 0; w < m.words_per_row; ++w) any[w] |= r[w];
+  }
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if ((any[f >> 6] >> (f & 63)) & 1u) {
+      m.covered[f] = true;
+      ++m.covered_count;
+    }
+  }
+  return m;
+}
+
+template <typename Fault, typename BlockFn, typename TestFn>
+FaultSimEngine::Campaign FaultSimScheduler::run_campaign(
+    const std::vector<TwoVectorTest>& tests, const std::vector<Fault>& faults,
+    bool drop_detected, BlockFn block_fn, TestFn test_fn) {
+  FaultSimEngine::Campaign r;
+  r.first_test.assign(faults.size(), -1);
+  if (tests.empty() || faults.empty()) return r;
+
+  const SimPacking pack = resolve_packing(tests.size(), faults.size());
+  if (pack == SimPacking::kFaultMajor) {
+    // Tests are inherently sequential under dropping; the 64-fault words of
+    // one test are the parallel axis, but at the shapes that select this
+    // packing (a handful of tests) the per-test work is too small to shard,
+    // so it runs inline on worker 0.
+    FaultSimEngine& e = engine(0);
+    std::vector<int> idx(faults.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::vector<std::uint64_t> detect;
+    std::vector<int> survivors;
+    for (std::size_t t = 0; t < tests.size() && !idx.empty(); ++t) {
+      r.fault_block_evals += static_cast<long long>((idx.size() + 63) / 64);
+      test_fn(e, tests[t], faults, idx, detect);
+      bool any = false;
+      for (std::size_t w = 0; w < detect.size(); ++w) {
+        std::uint64_t word = detect[w];
+        while (word) {
+          const int j = std::countr_zero(word);
+          word &= word - 1;
+          const auto f = static_cast<std::size_t>(idx[w * 64 + static_cast<std::size_t>(j)]);
+          if (r.first_test[f] < 0) {
+            r.first_test[f] = static_cast<int>(t);
+            ++r.detected;
+          }
+          any = true;
+        }
+      }
+      if (drop_detected && any) {
+        survivors.clear();
+        for (int f : idx)
+          if (r.first_test[static_cast<std::size_t>(f)] < 0)
+            survivors.push_back(f);
+        idx.swap(survivors);
+      }
+    }
+    return r;
+  }
+
+  // Pattern-major: rounds of `threads` blocks against a frozen active list,
+  // reconciled in block order — bit-identical to the single-threaded drop
+  // campaign (first_test is the true first detection either way). Workers
+  // are spawned once for the whole campaign; the barrier's completion step
+  // (one thread, all workers parked) reconciles each round and re-freezes
+  // the active list, so no shared state is touched while blocks simulate.
+  const std::vector<PatternBlock> blocks = PatternBlock::pack(c_, tests);
+  std::vector<std::uint8_t> active(faults.size(), 1);
+  long long n_active = static_cast<long long>(faults.size());
+  const int workers = workers_for(blocks.size());
+  std::vector<std::vector<std::uint64_t>> detect(
+      static_cast<std::size_t>(workers));
+  std::size_t start = 0;
+  bool stop = false;
+  const auto round_blocks = [&] {
+    return static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(workers), blocks.size() - start));
+  };
+  r.fault_block_evals += n_active * round_blocks();
+  std::barrier sync(workers, [&]() noexcept {
+    const int n = round_blocks();
+    for (int b = 0; b < n; ++b) {
+      const int base =
+          static_cast<int>((start + static_cast<std::size_t>(b)) *
+                           PatternBlock::kLanes);
+      const auto& det = detect[static_cast<std::size_t>(b)];
+      for (std::size_t f = 0; f < faults.size(); ++f) {
+        if (!det[f] || r.first_test[f] >= 0) continue;
+        r.first_test[f] = base + std::countr_zero(det[f]);
+        ++r.detected;
+      }
+    }
+    if (drop_detected) {
+      for (std::size_t f = 0; f < faults.size(); ++f) {
+        if (active[f] && r.first_test[f] >= 0) {
+          active[f] = 0;
+          --n_active;
+        }
+      }
+    }
+    start += static_cast<std::size_t>(n);
+    stop = start >= blocks.size() || (drop_detected && n_active == 0);
+    if (!stop) r.fault_block_evals += n_active * round_blocks();
+  });
+  run_workers(workers, [&](int w) {
+    while (!stop) {
+      const std::size_t b = start + static_cast<std::size_t>(w);
+      if (b < blocks.size())
+        block_fn(engine(w), blocks[b], faults,
+                 detect[static_cast<std::size_t>(w)], &active);
+      sync.arrive_and_wait();
+    }
+  });
+  return r;
+}
+
+DetectionMatrix FaultSimScheduler::matrix_stuck(
+    const std::vector<std::uint64_t>& patterns,
+    const std::vector<StuckFault>& faults) {
+  std::vector<TwoVectorTest> tests;
+  tests.reserve(patterns.size());
+  for (std::uint64_t p : patterns) tests.push_back({p, p});
+  return build_matrix(
+      tests, faults,
+      [](FaultSimEngine& e, const PatternBlock& b, const auto& fl, auto& det) {
+        e.block_stuck(b, fl, det);
+      },
+      [](FaultSimEngine& e, const TwoVectorTest& t, const auto& fl,
+         const auto& idx, auto& det) { e.test_stuck(t.v2, fl, idx, det); });
+}
+
+DetectionMatrix FaultSimScheduler::matrix_transition(
+    const std::vector<TwoVectorTest>& tests,
+    const std::vector<TransitionFault>& faults) {
+  return build_matrix(
+      tests, faults,
+      [](FaultSimEngine& e, const PatternBlock& b, const auto& fl, auto& det) {
+        e.block_transition(b, fl, det);
+      },
+      [](FaultSimEngine& e, const TwoVectorTest& t, const auto& fl,
+         const auto& idx, auto& det) { e.test_transition(t, fl, idx, det); });
+}
+
+DetectionMatrix FaultSimScheduler::matrix_obd(
+    const std::vector<TwoVectorTest>& tests,
+    const std::vector<ObdFaultSite>& faults) {
+  return build_matrix(
+      tests, faults,
+      [](FaultSimEngine& e, const PatternBlock& b, const auto& fl, auto& det) {
+        e.block_obd(b, fl, det);
+      },
+      [](FaultSimEngine& e, const TwoVectorTest& t, const auto& fl,
+         const auto& idx, auto& det) { e.test_obd(t, fl, idx, det); });
+}
+
+FaultSimEngine::Campaign FaultSimScheduler::campaign_stuck(
+    const std::vector<std::uint64_t>& patterns,
+    const std::vector<StuckFault>& faults, bool drop_detected) {
+  std::vector<TwoVectorTest> tests;
+  tests.reserve(patterns.size());
+  for (std::uint64_t p : patterns) tests.push_back({p, p});
+  return run_campaign(
+      tests, faults, drop_detected,
+      [](FaultSimEngine& e, const PatternBlock& b, const auto& fl, auto& det,
+         const auto* act) { e.block_stuck(b, fl, det, act); },
+      [](FaultSimEngine& e, const TwoVectorTest& t, const auto& fl,
+         const auto& idx, auto& det) { e.test_stuck(t.v2, fl, idx, det); });
+}
+
+FaultSimEngine::Campaign FaultSimScheduler::campaign_transition(
+    const std::vector<TwoVectorTest>& tests,
+    const std::vector<TransitionFault>& faults, bool drop_detected) {
+  return run_campaign(
+      tests, faults, drop_detected,
+      [](FaultSimEngine& e, const PatternBlock& b, const auto& fl, auto& det,
+         const auto* act) { e.block_transition(b, fl, det, act); },
+      [](FaultSimEngine& e, const TwoVectorTest& t, const auto& fl,
+         const auto& idx, auto& det) { e.test_transition(t, fl, idx, det); });
+}
+
+FaultSimEngine::Campaign FaultSimScheduler::campaign_obd(
+    const std::vector<TwoVectorTest>& tests,
+    const std::vector<ObdFaultSite>& faults, bool drop_detected) {
+  return run_campaign(
+      tests, faults, drop_detected,
+      [](FaultSimEngine& e, const PatternBlock& b, const auto& fl, auto& det,
+         const auto* act) { e.block_obd(b, fl, det, act); },
+      [](FaultSimEngine& e, const TwoVectorTest& t, const auto& fl,
+         const auto& idx, auto& det) { e.test_obd(t, fl, idx, det); });
 }
 
 }  // namespace obd::atpg

@@ -1,4 +1,4 @@
-// Bit-parallel batched fault simulation (PPSFP).
+// Bit-parallel batched fault simulation (PPSFP) and its scheduler.
 //
 // The legacy simulators re-evaluated the whole circuit once per fault per
 // pattern through the 64-lane Circuit::eval_words kernel with a single live
@@ -16,8 +16,22 @@
 //   - campaigns optionally drop a fault from the active list at its first
 //     detection, so late blocks only pay for the hard remainder.
 //
-// The legacy entry points in faultsim.hpp are thin wrappers over one-test
-// blocks, keeping every existing caller's API and semantics.
+// Two additions layer on top:
+//
+//   - the complementary *fault-major* packing (test_stuck/test_transition/
+//     test_obd): 64 faults per word against one test, each word costing one
+//     full-circuit injected evaluation — the winning axis when the fault
+//     list dwarfs the test list (the OBD regime: one fault per transistor
+//     per polarity);
+//   - FaultSimScheduler: picks the packing per call shape and shards
+//     independent pattern blocks across a small std::thread pool with
+//     per-worker engines (cone caches and excitation tables are the only
+//     per-engine state). Fault dropping is reconciled in block order after
+//     each round, so campaign results are bit-identical to a
+//     single-threaded run at any thread count or packing.
+//
+// The legacy entry points in faultsim.hpp are thin wrappers over the
+// scheduler, keeping every existing caller's API and semantics.
 #pragma once
 
 #include <array>
@@ -66,13 +80,38 @@ class PatternBlock {
   std::vector<TwoVectorTest> tests_;
 };
 
+/// Detection matrix: row per test, bit-packed over the fault list (64
+/// faults per word). Built by the scheduler in either packing (pattern
+/// blocks fill 64 rows per engine call; fault-major fills one row word per
+/// injected evaluation); consumed directly by compaction, n-detect
+/// selection, and the diagnosis dictionary.
+struct DetectionMatrix {
+  std::size_t n_tests = 0;
+  std::size_t n_faults = 0;
+  std::size_t words_per_row = 0;
+  /// Row-major packed bits: rows[t * words_per_row + (f >> 6)] bit (f & 63).
+  std::vector<std::uint64_t> rows;
+  /// Faults detected by at least one test.
+  std::vector<bool> covered;
+  int covered_count = 0;
+
+  bool detects(std::size_t test, std::size_t fault) const {
+    return (rows[test * words_per_row + (fault >> 6)] >> (fault & 63)) & 1u;
+  }
+  const std::uint64_t* row(std::size_t test) const {
+    return rows.data() + test * words_per_row;
+  }
+  /// Detection count of one test (row popcount).
+  std::size_t row_count(std::size_t test) const;
+};
+
 class FaultSimEngine {
  public:
   explicit FaultSimEngine(const Circuit& c);
 
   const Circuit& circuit() const { return c_; }
 
-  // --- Block primitives ------------------------------------------------
+  // --- Block primitives (pattern-major) --------------------------------
   // Each fills `detect` (resized to faults.size()) with one word per fault;
   // bit k set = lane k of the block detects the fault. When `active` is
   // non-null, faults with active[i] == 0 are skipped (their word is 0).
@@ -88,6 +127,35 @@ class FaultSimEngine {
                  std::vector<std::uint64_t>& detect,
                  const std::vector<std::uint8_t>* active = nullptr);
 
+  // --- Fault-packed primitives (fault-major) ---------------------------
+  // One test against an arbitrary subset of the fault list, 64 faults per
+  // word: detect (resized to ceil(idx.size()/64)) gets bit j of word w set
+  // when faults[idx[64w + j]] is detected. Each word costs one full-circuit
+  // evaluation with per-lane fault injection, independent of how many
+  // lanes are live — the complementary axis to the pattern blocks.
+
+  void test_stuck(std::uint64_t pattern, const std::vector<StuckFault>& faults,
+                  const std::vector<int>& idx,
+                  std::vector<std::uint64_t>& detect);
+  void test_transition(const TwoVectorTest& t,
+                       const std::vector<TransitionFault>& faults,
+                       const std::vector<int>& idx,
+                       std::vector<std::uint64_t>& detect);
+  void test_obd(const TwoVectorTest& t, const std::vector<ObdFaultSite>& faults,
+                const std::vector<int>& idx,
+                std::vector<std::uint64_t>& detect);
+
+  // --- X-aware (3-valued) detection ------------------------------------
+  /// Definite OBD detections under a partially-specified test, through
+  /// Circuit::eval3_words on the care-masked vectors: a fault counts only
+  /// when its gate-local two-vector is fully specified and exciting, the
+  /// frame-1 output value is known, and some PO is known in both the good
+  /// and the faulty frame-2 valuation with differing values. Kleene
+  /// conservatism makes this a guarantee over *every* fill of the X bits —
+  /// the property X-overlap compaction relies on.
+  std::vector<bool> definite_obd(const XTwoVectorTest& t,
+                                 const std::vector<ObdFaultSite>& faults);
+
   // --- Campaigns --------------------------------------------------------
   /// Whole-test-set simulation. With `drop_detected`, a fault leaves the
   /// active list at its first detection (first_test is unaffected: it is
@@ -95,9 +163,11 @@ class FaultSimEngine {
   struct Campaign {
     std::vector<int> first_test;
     int detected = 0;
-    /// Number of (active fault x block) pairs simulated (an upper bound on
-    /// cone evaluations: unexcited faults short-circuit before the cone
-    /// pass) — the work metric fault dropping shrinks.
+    /// Work metric fault dropping shrinks. Pattern-major: (active fault x
+    /// block) pairs simulated (an upper bound on cone evaluations).
+    /// Fault-major: 64-fault words simulated (an upper bound on injected
+    /// full-circuit evaluations: words with no excited lane short-circuit).
+    /// Not comparable across packings.
     long long fault_block_evals = 0;
   };
 
@@ -135,12 +205,93 @@ class FaultSimEngine {
                         const std::vector<Fault>& faults, bool drop_detected,
                         BlockFn block_fn);
 
+  /// Broadcast good valuations of both frames of `t` into good1_/good2_
+  /// (frame 1 skipped when `need_frame1` is false — the stuck-at kernel
+  /// reads only good2_).
+  void load_broadcast_goods(const TwoVectorTest& t, bool need_frame1 = true);
+  /// Registers lane `lane` of net `n` to be forced to `value` by the next
+  /// injected_diff(). Lanes of untouched nets keep the good value.
+  void inject(NetId n, int lane, bool value);
+  void clear_injections();
+  /// Full-circuit frame-2 evaluation with the registered injections; returns
+  /// the OR over POs of (faulty ^ good2_).
+  std::uint64_t injected_diff();
+
   const Circuit& c_;
   std::vector<int> topo_pos_;                    // gate -> topo rank
   std::vector<std::unique_ptr<Cone>> cones_;     // per net, lazy
   std::map<std::tuple<int, bool, int>, std::array<std::uint16_t, 16>>
       obd_tables_;
   std::vector<std::uint64_t> good1_, good2_, bad_;  // per-net scratch words
+  // Fault-major injection scratch: per-net forced-to-{0,1} lane masks, the
+  // touched-net reset list, and the faulty valuation buffer.
+  std::vector<std::uint64_t> inj_set0_, inj_set1_;
+  std::vector<NetId> inj_nets_;
+  std::vector<std::uint64_t> pi_bcast_, ibad_;
+};
+
+/// Schedules fault-simulation calls over packing modes and a worker pool.
+/// (SimPacking/SimOptions live in patterns.hpp.)
+///
+/// Determinism contract: matrices and campaigns are bit-identical across
+/// packings and thread counts (the randomized oracle harness in
+/// tests/oracle_common.hpp enforces this against the legacy scalar
+/// simulators). Threads shard whole pattern blocks (matrix rows are
+/// disjoint per block) or whole tests (fault-major rows are disjoint per
+/// test); fault-dropping campaigns run rounds of `threads` blocks against
+/// a frozen active list and reconcile detections in block order between
+/// rounds, trading a little redundant tail work for exact equivalence.
+class FaultSimScheduler {
+ public:
+  explicit FaultSimScheduler(const Circuit& c, SimOptions opt = {});
+  ~FaultSimScheduler();
+
+  const Circuit& circuit() const { return c_; }
+  const SimOptions& options() const { return opt_; }
+
+  /// kAuto resolution for a call shape. Fault-major pays one full-circuit
+  /// evaluation per 64 faults per test; pattern-major one cone evaluation
+  /// per fault per 64 tests plus a good evaluation per block — so the
+  /// fault axis wins only when the test list is a small fraction of one
+  /// block and the fault list spans words.
+  SimPacking resolve_packing(std::size_t n_tests, std::size_t n_faults) const;
+
+  // --- Detection matrices ----------------------------------------------
+  DetectionMatrix matrix_stuck(const std::vector<std::uint64_t>& patterns,
+                               const std::vector<StuckFault>& faults);
+  DetectionMatrix matrix_transition(const std::vector<TwoVectorTest>& tests,
+                                    const std::vector<TransitionFault>& faults);
+  DetectionMatrix matrix_obd(const std::vector<TwoVectorTest>& tests,
+                             const std::vector<ObdFaultSite>& faults);
+
+  // --- Campaigns (deterministic fault-drop reconciliation) -------------
+  FaultSimEngine::Campaign campaign_stuck(
+      const std::vector<std::uint64_t>& patterns,
+      const std::vector<StuckFault>& faults, bool drop_detected = true);
+  FaultSimEngine::Campaign campaign_transition(
+      const std::vector<TwoVectorTest>& tests,
+      const std::vector<TransitionFault>& faults, bool drop_detected = true);
+  FaultSimEngine::Campaign campaign_obd(
+      const std::vector<TwoVectorTest>& tests,
+      const std::vector<ObdFaultSite>& faults, bool drop_detected = true);
+
+ private:
+  template <typename Fault, typename BlockFn, typename TestFn>
+  DetectionMatrix build_matrix(const std::vector<TwoVectorTest>& tests,
+                               const std::vector<Fault>& faults,
+                               BlockFn block_fn, TestFn test_fn);
+  template <typename Fault, typename BlockFn, typename TestFn>
+  FaultSimEngine::Campaign run_campaign(const std::vector<TwoVectorTest>& tests,
+                                        const std::vector<Fault>& faults,
+                                        bool drop_detected, BlockFn block_fn,
+                                        TestFn test_fn);
+
+  int workers_for(std::size_t jobs) const;
+  FaultSimEngine& engine(int worker) { return *engines_[static_cast<std::size_t>(worker)]; }
+
+  const Circuit& c_;
+  SimOptions opt_;
+  std::vector<std::unique_ptr<FaultSimEngine>> engines_;  // one per worker
 };
 
 }  // namespace obd::atpg

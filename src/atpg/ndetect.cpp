@@ -28,10 +28,11 @@ NDetectResult build_ndetect_set(const Circuit& c,
             });
   pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
 
-  // Fault-simulate the whole pool in 64-test blocks, then replay the greedy
-  // growth over matrix rows: keep any test that raises a below-target
-  // fault's count. (Counts must reach n, so no fault dropping here.)
-  const DetectionMatrix m = build_obd_matrix(c, pool, faults);
+  // Fault-simulate the whole pool in 64-test blocks (sharded over
+  // opt.sim.threads workers), then replay the greedy growth over matrix
+  // rows: keep any test that raises a below-target fault's count. (Counts
+  // must reach n, so no fault dropping here.)
+  const DetectionMatrix m = build_obd_matrix(c, pool, faults, opt.sim);
   for (std::size_t t = 0; t < pool.size(); ++t) {
     bool useful = false;
     for (std::size_t i = 0; i < faults.size(); ++i)

@@ -34,6 +34,8 @@ struct NDetectOptions {
   int random_pool = 256;
   std::uint64_t seed = 0xd15ea5e;
   PodemOptions podem;
+  /// Packing / worker-thread options for the pool fault simulation.
+  SimOptions sim;
 };
 
 NDetectResult build_ndetect_set(const Circuit& c,

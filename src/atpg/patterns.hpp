@@ -14,6 +14,8 @@ struct TestVector {
   std::uint64_t bits = 0;
   /// Bits the generator actually cared about; don't-cares were filled.
   std::uint64_t care_mask = 0;
+
+  bool operator==(const TestVector&) const = default;
 };
 
 /// A two-vector (launch/capture) test.
@@ -22,6 +24,40 @@ struct TwoVectorTest {
   std::uint64_t v2 = 0;
 
   bool operator==(const TwoVectorTest&) const = default;
+};
+
+/// A partially-specified two-vector test: per-frame value and care bits.
+/// PODEM emits these (don't-care PIs keep care_mask 0); the X-aware fault
+/// simulator proves detections that hold under *any* fill of the X bits,
+/// which is what lets compaction merge tests by care-bit overlap instead of
+/// exact vector equality.
+struct XTwoVectorTest {
+  TestVector v1;
+  TestVector v2;
+
+  bool operator==(const XTwoVectorTest&) const = default;
+
+  /// No PI is required to be 0 by one test and 1 by the other, in either
+  /// frame — the precondition for merging.
+  bool compatible(const XTwoVectorTest& o) const {
+    return ((v1.bits ^ o.v1.bits) & v1.care_mask & o.v1.care_mask) == 0 &&
+           ((v2.bits ^ o.v2.bits) & v2.care_mask & o.v2.care_mask) == 0;
+  }
+
+  /// Union of the care bits; don't-cares of both fall back to 0. Only
+  /// meaningful when compatible().
+  XTwoVectorTest merged(const XTwoVectorTest& o) const {
+    XTwoVectorTest m;
+    m.v1.care_mask = v1.care_mask | o.v1.care_mask;
+    m.v1.bits = (v1.bits & v1.care_mask) | (o.v1.bits & o.v1.care_mask);
+    m.v2.care_mask = v2.care_mask | o.v2.care_mask;
+    m.v2.bits = (v2.bits & v2.care_mask) | (o.v2.bits & o.v2.care_mask);
+    return m;
+  }
+
+  /// The concrete vector pair actually applied on the tester (X bits as
+  /// filled in `bits`).
+  TwoVectorTest concrete() const { return {v1.bits, v2.bits}; }
 };
 
 /// Every ordered pair (v1, v2) over n_pis inputs. `include_repeats` keeps
@@ -38,5 +74,24 @@ std::vector<TwoVectorTest> random_pairs(int n_pis, int count,
 /// applied in practice when probing dynamic faults.
 std::vector<TwoVectorTest> consecutive_pairs(
     const std::vector<std::uint64_t>& patterns);
+
+/// How a simulation call packs work into 64-bit words. Lives here (not in
+/// faultsim_engine.hpp) so options structs like PodemOptions can name it
+/// without pulling in the engine.
+enum class SimPacking {
+  kAuto,          ///< pick from the (tests, faults) shape per call
+  kPatternMajor,  ///< 64 tests per word, per-fault fanout-cone propagation
+  kFaultMajor,    ///< 64 faults per word, full-circuit injected evaluation
+};
+
+const char* to_string(SimPacking p);
+
+struct SimOptions {
+  /// Worker threads for sharding pattern blocks (and fault-major matrix
+  /// rows); 1 runs inline on the calling thread. Results are bit-identical
+  /// at any count.
+  int threads = 1;
+  SimPacking packing = SimPacking::kAuto;
+};
 
 }  // namespace obd::atpg

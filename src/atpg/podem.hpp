@@ -35,6 +35,9 @@ struct PodemOptions {
   /// and the useful random tests join the returned test set. 0 disables.
   int random_phase = 0;
   std::uint64_t random_phase_seed = 0x0bd5eedull;
+  /// Scheduler configuration for the random-phase fault simulation
+  /// (threads + packing; results are bit-identical for any setting).
+  SimOptions sim;
 };
 
 enum class PodemStatus { kFound, kUntestable, kAborted };

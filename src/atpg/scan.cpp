@@ -2,6 +2,7 @@
 
 #include "atpg/faultsim.hpp"
 #include "core/excitation.hpp"
+#include "util/prng.hpp"
 
 namespace obd::atpg {
 namespace {
@@ -138,12 +139,84 @@ bool verify_scan_obd_test(const SequentialCircuit& seq,
   return forced_outputs_differ(sv, in2, gate.output, old_out);
 }
 
+namespace {
+
+std::uint64_t rand_bits(util::Prng& prng, std::size_t width) {
+  if (width == 0) return 0;
+  const std::uint64_t r = prng.next_u64();
+  return width >= 64 ? r : (r & ((1ull << width) - 1));
+}
+
+}  // namespace
+
+std::vector<ScanObdTest> random_broadside_tests(const SequentialCircuit& seq,
+                                                ScanMode mode, int count,
+                                                std::uint64_t seed) {
+  return random_broadside_tests(seq, seq.scan_view(), mode, count, seed);
+}
+
+std::vector<ScanObdTest> random_broadside_tests(const SequentialCircuit& seq,
+                                                const Circuit& sv,
+                                                ScanMode mode, int count,
+                                                std::uint64_t seed) {
+  const std::size_t n_pi = seq.core().inputs().size();
+  const std::size_t n_ff = seq.flops().size();
+  // step() rebuilds the scan view on every call; derive good-machine
+  // next-states through the prebuilt view instead (its POs are the core
+  // POs followed by the next-state nets).
+  const std::size_t n_po = seq.core().outputs().size();
+  util::Prng prng(seed);
+  std::vector<ScanObdTest> tests;
+  tests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ScanObdTest t;
+    t.pi1 = rand_bits(prng, n_pi);
+    t.state1 = rand_bits(prng, n_ff);
+    t.pi2 = mode == ScanMode::kLaunchOnCaptureHeldPi ? t.pi1
+                                                     : rand_bits(prng, n_pi);
+    t.state2_loaded = mode == ScanMode::kEnhanced;
+    t.state2 = t.state2_loaded
+                   ? rand_bits(prng, n_ff)
+                   : sv.eval_outputs(t.pi1 | (t.state1 << n_pi)) >> n_po;
+    tests.push_back(t);
+  }
+  return tests;
+}
+
+TwoVectorTest scan_view_vectors(const SequentialCircuit& seq,
+                                const ScanObdTest& t) {
+  const std::size_t n_pi = seq.core().inputs().size();
+  return {t.pi1 | (t.state1 << n_pi), t.pi2 | (t.state2 << n_pi)};
+}
+
 ScanCampaign run_scan_obd_atpg(const SequentialCircuit& seq,
                                const std::vector<ObdFaultSite>& faults,
                                ScanMode mode, const PodemOptions& opt) {
   ScanCampaign c;
-  for (const auto& f : faults) {
-    const ScanObdResult r = generate_scan_obd_test(seq, f, mode, opt);
+  std::vector<std::uint8_t> skip(faults.size(), 0);
+  if (opt.random_phase > 0 && !faults.empty()) {
+    // Broadside random-pattern phase over the scan view, with fault
+    // dropping. Fault indices carry over: scan_view preserves gate order.
+    const Circuit sv = seq.scan_view();
+    const std::vector<ScanObdTest> random_tests = random_broadside_tests(
+        seq, sv, mode, opt.random_phase, opt.random_phase_seed);
+    std::vector<TwoVectorTest> vectors;
+    vectors.reserve(random_tests.size());
+    for (const auto& t : random_tests)
+      vectors.push_back(scan_view_vectors(seq, t));
+    FaultSimScheduler sched(sv, opt.sim);
+    const PrepassMarks marks = mark_first_detections(
+        sched.campaign_obd(vectors, faults, /*drop_detected=*/true),
+        random_tests.size());
+    skip = marks.skip;
+    c.found += marks.found;
+    c.random_found += marks.found;
+    for (std::size_t t = 0; t < random_tests.size(); ++t)
+      if (marks.useful[t]) c.tests.push_back(random_tests[t]);
+  }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (skip[i]) continue;
+    const ScanObdResult r = generate_scan_obd_test(seq, faults[i], mode, opt);
     switch (r.status) {
       case PodemStatus::kFound:
         ++c.found;

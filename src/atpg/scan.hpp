@@ -57,14 +57,44 @@ ScanObdResult generate_scan_obd_test(const logic::SequentialCircuit& seq,
 bool verify_scan_obd_test(const logic::SequentialCircuit& seq,
                           const ObdFaultSite& site, const ScanObdTest& test);
 
+/// `count` random broadside (launch/capture) scan tests for `mode`,
+/// deterministic in `seed`: random state1/pi1 (and pi2 unless held); state2
+/// is the machine's own response for the LOC modes and independently random
+/// for enhanced scan. These are exactly the tests the random-pattern
+/// prepass of run_scan_obd_atpg fault-simulates.
+std::vector<ScanObdTest> random_broadside_tests(
+    const logic::SequentialCircuit& seq, ScanMode mode, int count,
+    std::uint64_t seed);
+
+/// As above, reusing a prebuilt seq.scan_view() for the LOC next-state
+/// derivation instead of reconstructing it.
+std::vector<ScanObdTest> random_broadside_tests(
+    const logic::SequentialCircuit& seq, const logic::Circuit& scan_view,
+    ScanMode mode, int count, std::uint64_t seed);
+
+/// The scan-view two-vector image of a scan test: v1 = {pi1, state1},
+/// v2 = {pi2, state2} over the scan view's PI order (PIs, then flops).
+TwoVectorTest scan_view_vectors(const logic::SequentialCircuit& seq,
+                                const ScanObdTest& t);
+
 /// Per-mode campaign over a fault list.
 struct ScanCampaign {
   int found = 0;
   int untestable = 0;
   int aborted = 0;
+  /// Of `found`, how many came from the random-pattern prepass.
+  int random_found = 0;
   std::vector<ScanObdTest> tests;
 };
 
+/// With opt.random_phase > 0, a broadside random-pattern phase runs first:
+/// the faults are block-simulated over the scan view against
+/// random_broadside_tests() with fault dropping (opt.sim workers/packing),
+/// detected faults skip the deterministic search, and each random test that
+/// first-detects some fault joins the campaign's test list. Core fault
+/// indices carry over to the scan view (gate order is preserved), and the
+/// engine's gross-delay semantics on the scan view match
+/// verify_scan_obd_test exactly.
 ScanCampaign run_scan_obd_atpg(const logic::SequentialCircuit& seq,
                                const std::vector<ObdFaultSite>& faults,
                                ScanMode mode, const PodemOptions& opt = {});

@@ -1,5 +1,6 @@
 #include "atpg/twoframe.hpp"
 
+#include "atpg/faultsim.hpp"
 #include "atpg/faultsim_engine.hpp"
 #include "core/excitation.hpp"
 
@@ -47,6 +48,7 @@ TwoFrameResult generate_obd_test(const Circuit& c, const ObdFaultSite& site,
 
     result.status = PodemStatus::kFound;
     result.test = TwoVectorTest{f1.vector.bits, f2.vector.bits};
+    result.x_test = XTwoVectorTest{f1.vector, f2.vector};
     return result;
   }
   result.status = any_aborted ? PodemStatus::kAborted : PodemStatus::kUntestable;
@@ -78,35 +80,38 @@ TwoFrameResult generate_transition_test(const Circuit& c,
   }
   result.status = PodemStatus::kFound;
   result.test = TwoVectorTest{f1.vector.bits, f2.vector.bits};
+  result.x_test = XTwoVectorTest{f1.vector, f2.vector};
   return result;
 }
 
 namespace {
 
-/// Random-pattern phase: block-simulate `tests` with fault dropping; faults
-/// caught there skip the deterministic search, and each random test that is
-/// the *first* detector of some fault joins the run's test set.
-/// `campaign` maps (engine, tests) to a fault-dropping engine campaign.
+/// Random-pattern phase: block-simulate `tests` with fault dropping (sharded
+/// over opt.sim.threads workers); faults caught there skip the deterministic
+/// search, and each random test that is the *first* detector of some fault
+/// joins the run's test set. `campaign` maps (scheduler, tests) to a
+/// fault-dropping campaign.
 template <typename Fault, typename CampaignFn>
 std::vector<std::uint8_t> random_phase_prepass(
     const Circuit& c, const std::vector<Fault>& faults,
-    const std::vector<TwoVectorTest>& tests, AtpgRun& run,
-    CampaignFn campaign) {
-  std::vector<std::uint8_t> skip(faults.size(), 0);
-  if (tests.empty() || faults.empty()) return skip;
-  FaultSimEngine engine(c);
-  const FaultSimEngine::Campaign result = campaign(engine, tests);
-  std::vector<std::uint8_t> useful(tests.size(), 0);
-  for (std::size_t i = 0; i < result.first_test.size(); ++i) {
-    const int t = result.first_test[i];
-    if (t < 0) continue;
-    useful[static_cast<std::size_t>(t)] = 1;
-    skip[i] = 1;
-    ++run.found;
+    const std::vector<TwoVectorTest>& tests, const PodemOptions& opt,
+    AtpgRun& run, CampaignFn campaign) {
+  if (tests.empty() || faults.empty())
+    return std::vector<std::uint8_t>(faults.size(), 0);
+  FaultSimScheduler sched(c, opt.sim);
+  const PrepassMarks marks =
+      mark_first_detections(campaign(sched, tests), tests.size());
+  run.found += marks.found;
+  const std::size_t n_pi = c.inputs().size();
+  const std::uint64_t pi_mask =
+      n_pi >= 64 ? ~0ull : ((1ull << n_pi) - 1);
+  for (std::size_t t = 0; t < tests.size(); ++t) {
+    if (!marks.useful[t]) continue;
+    run.tests.push_back(tests[t]);
+    run.x_tests.push_back(XTwoVectorTest{{tests[t].v1, pi_mask},
+                                         {tests[t].v2, pi_mask}});
   }
-  for (std::size_t t = 0; t < tests.size(); ++t)
-    if (useful[t]) run.tests.push_back(tests[t]);
-  return skip;
+  return marks.skip;
 }
 
 std::vector<TwoVectorTest> random_phase_tests(const Circuit& c,
@@ -128,6 +133,7 @@ AtpgRun run_all(const std::vector<Fault>& faults,
       case PodemStatus::kFound:
         ++run.found;
         run.tests.push_back(r.test);
+        run.x_tests.push_back(r.x_test);
         break;
       case PodemStatus::kUntestable:
         ++run.untestable;
@@ -147,9 +153,9 @@ AtpgRun run_obd_atpg(const Circuit& c, const std::vector<ObdFaultSite>& faults,
                      const PodemOptions& opt) {
   AtpgRun run;
   auto skip = random_phase_prepass(
-      c, faults, random_phase_tests(c, opt), run,
-      [&](FaultSimEngine& e, const std::vector<TwoVectorTest>& tests) {
-        return e.campaign_obd(tests, faults);
+      c, faults, random_phase_tests(c, opt), opt, run,
+      [&](FaultSimScheduler& s, const std::vector<TwoVectorTest>& tests) {
+        return s.campaign_obd(tests, faults);
       });
   return run_all(faults, std::move(skip), std::move(run),
                  [&](const ObdFaultSite& f) {
@@ -162,9 +168,9 @@ AtpgRun run_transition_atpg(const Circuit& c,
                             const PodemOptions& opt) {
   AtpgRun run;
   auto skip = random_phase_prepass(
-      c, faults, random_phase_tests(c, opt), run,
-      [&](FaultSimEngine& e, const std::vector<TwoVectorTest>& tests) {
-        return e.campaign_transition(tests, faults);
+      c, faults, random_phase_tests(c, opt), opt, run,
+      [&](FaultSimScheduler& s, const std::vector<TwoVectorTest>& tests) {
+        return s.campaign_transition(tests, faults);
       });
   return run_all(faults, std::move(skip), std::move(run),
                  [&](const TransitionFault& f) {
@@ -180,11 +186,11 @@ AtpgRun run_stuck_at_atpg(const Circuit& c,
   auto tests = random_phase_tests(c, opt);
   for (auto& t : tests) t.v1 = t.v2;
   auto skip = random_phase_prepass(
-      c, faults, tests, run,
-      [&](FaultSimEngine& e, const std::vector<TwoVectorTest>& ts) {
+      c, faults, tests, opt, run,
+      [&](FaultSimScheduler& s, const std::vector<TwoVectorTest>& ts) {
         std::vector<std::uint64_t> patterns(ts.size());
         for (std::size_t i = 0; i < ts.size(); ++i) patterns[i] = ts[i].v2;
-        return e.campaign_stuck(patterns, faults);
+        return s.campaign_stuck(patterns, faults);
       });
   return run_all(faults, std::move(skip), std::move(run),
                  [&](const StuckFault& f) {
@@ -194,6 +200,7 @@ AtpgRun run_stuck_at_atpg(const Circuit& c,
                    t.backtracks = r.backtracks;
                    t.implications = r.implications;
                    t.test = TwoVectorTest{r.vector.bits, r.vector.bits};
+                   t.x_test = XTwoVectorTest{r.vector, r.vector};
                    return t;
                  });
 }

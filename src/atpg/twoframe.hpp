@@ -23,6 +23,9 @@ namespace obd::atpg {
 struct TwoFrameResult {
   PodemStatus status = PodemStatus::kUntestable;
   TwoVectorTest test;
+  /// The same test with the PODEM care masks preserved (don't-care PIs keep
+  /// care_mask 0) — the input to X-overlap compaction.
+  XTwoVectorTest x_test;
   long backtracks = 0;
   long implications = 0;
 };
@@ -39,6 +42,9 @@ TwoFrameResult generate_transition_test(const Circuit& c,
 /// Whole-fault-list ATPG statistics.
 struct AtpgRun {
   std::vector<TwoVectorTest> tests;
+  /// Care-mask form of `tests`, index-aligned (random-phase tests are fully
+  /// specified). Feeds merge_x_overlap.
+  std::vector<XTwoVectorTest> x_tests;
   int found = 0;
   int untestable = 0;
   int aborted = 0;

@@ -179,7 +179,15 @@ void Circuit::eval_words_into(const std::vector<std::uint64_t>& pi_words,
 std::vector<Words3> Circuit::eval3_words(const std::vector<Words3>& pi_words,
                                          NetId forced_net,
                                          Words3 forced_value) const {
-  std::vector<Words3> values(net_names_.size(), Words3::all_x());
+  std::vector<Words3> values;
+  eval3_words_into(pi_words, values, forced_net, forced_value);
+  return values;
+}
+
+void Circuit::eval3_words_into(const std::vector<Words3>& pi_words,
+                               std::vector<Words3>& values, NetId forced_net,
+                               Words3 forced_value) const {
+  values.assign(net_names_.size(), Words3::all_x());
   for (std::size_t i = 0; i < inputs_.size() && i < pi_words.size(); ++i) {
     const NetId n = inputs_[i];
     values[static_cast<std::size_t>(n)] =
@@ -194,7 +202,17 @@ std::vector<Words3> Circuit::eval3_words(const std::vector<Words3>& pi_words,
         (gate.output == forced_net) ? forced_value
                                     : gate_eval_words3(gate.type, ins);
   }
-  return values;
+}
+
+std::vector<Words3> Circuit::eval3_words(
+    const std::vector<std::uint64_t>& pi_bits,
+    const std::vector<std::uint64_t>& pi_care, NetId forced_net,
+    Words3 forced_value) const {
+  const std::size_t n = std::min(pi_bits.size(), pi_care.size());
+  std::vector<Words3> pi_words(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pi_words[i] = Words3::from_bits_care(pi_bits[i], pi_care[i]);
+  return eval3_words(pi_words, forced_net, forced_value);
 }
 
 

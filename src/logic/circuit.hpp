@@ -107,6 +107,20 @@ class Circuit {
                                   NetId forced_net = kNoNet,
                                   Words3 forced_value = Words3::all_x()) const;
 
+  /// Allocation-reusing form of eval3_words (values resized to num_nets()).
+  void eval3_words_into(const std::vector<Words3>& pi_words,
+                        std::vector<Words3>& values, NetId forced_net = kNoNet,
+                        Words3 forced_value = Words3::all_x()) const;
+
+  /// Care-mask convenience: 64 incompletely-specified vectors given as
+  /// packed (bits, care) PI words — lane k of PI i is X unless bit k of
+  /// `pi_care[i]` is set. This is how TestVector::care_mask patterns enter
+  /// the X-aware fault simulator.
+  std::vector<Words3> eval3_words(const std::vector<std::uint64_t>& pi_bits,
+                                  const std::vector<std::uint64_t>& pi_care,
+                                  NetId forced_net = kNoNet,
+                                  Words3 forced_value = Words3::all_x()) const;
+
 
   /// Gate-local input bits for a gate under a per-net valuation.
   std::uint32_t gate_input_bits(int gate_idx,

@@ -64,6 +64,12 @@ struct Words3 {
 
   static Words3 of(bool v) { return v ? Words3{0, ~0ull} : Words3{~0ull, 0}; }
   static Words3 all_x() { return {~0ull, ~0ull}; }
+  /// Packs 64 partially-specified lanes: care-bit lanes carry `bits`,
+  /// the rest are X. The bridge from (TestVector::bits, care_mask) pairs
+  /// into the dual-rail evaluator.
+  static Words3 from_bits_care(std::uint64_t bits, std::uint64_t care) {
+    return {~bits | ~care, bits | ~care};
+  }
   std::uint64_t known() const { return can0 ^ can1; }
   std::uint64_t x_mask() const { return can0 & can1; }
 };

@@ -1,10 +1,12 @@
 // Bit-parallel fault-sim engine vs the legacy scalar reference: randomized
 // equivalence over zoo circuits, fault dropping, packed detection matrices,
-// and the 3-valued block evaluator.
+// and the 3-valued block evaluator. The cross-mode / cross-thread sweeps
+// live in the shared oracle harness (oracle_common.hpp).
 #include <gtest/gtest.h>
 
 #include "atpg/atpg.hpp"
 #include "logic/zoo.hpp"
+#include "oracle_common.hpp"
 #include "util/prng.hpp"
 
 namespace obd::atpg {
@@ -12,14 +14,17 @@ namespace {
 
 using logic::Circuit;
 
-std::vector<Circuit> zoo_circuits() {
-  std::vector<Circuit> out;
-  out.push_back(logic::full_adder_sum_circuit());
-  out.push_back(logic::c17());
-  out.push_back(logic::ripple_carry_adder(4));
-  out.push_back(logic::mux_tree(2));
-  out.push_back(logic::random_circuit(8, 60, 6, 0xfeed));
-  return out;
+std::vector<Circuit> zoo_circuits() { return oracle::zoo(); }
+
+TEST(FaultSimOracle, EnginePackingsMatchLegacyScalar) {
+  // Single-threaded packings only; the threaded sweep is owned by
+  // test_faultsim_scheduler, so the zoo-wide matrix build runs once per
+  // engine concern rather than twice in full.
+  const std::vector<SimOptions> configs = {{1, SimPacking::kPatternMajor},
+                                           {1, SimPacking::kFaultMajor}};
+  std::uint64_t seed = 0x0bd0007;
+  for (const Circuit& c : zoo_circuits())
+    oracle::sweep_matrices(c, 130, seed++, configs);
 }
 
 std::vector<TwoVectorTest> random_tests(const Circuit& c, int count,

@@ -1,0 +1,158 @@
+// FaultSimScheduler: packing-mode selection, thread sharding, deterministic
+// fault-drop reconciliation, and the X-aware (3-valued) detection path —
+// all pinned to the legacy scalar oracle by the randomized harness.
+#include <gtest/gtest.h>
+
+#include "atpg/atpg.hpp"
+#include "logic/zoo.hpp"
+#include "oracle_common.hpp"
+
+namespace obd::atpg {
+namespace {
+
+using logic::Circuit;
+
+TEST(SchedulerOracle, MatricesBitIdenticalAcrossModesAndThreads) {
+  std::uint64_t seed = 0x5c4ed001;
+  for (const Circuit& c : oracle::zoo())
+    oracle::sweep_matrices(c, 96, seed++);
+}
+
+TEST(SchedulerOracle, DroppingCampaignsMatchSingleThreadedEngine) {
+  std::uint64_t seed = 0x5c4ed002;
+  for (const Circuit& c : oracle::zoo())
+    oracle::sweep_campaigns(c, 150, seed++, /*drop=*/true);
+}
+
+TEST(SchedulerOracle, UndroppedCampaignsMatchSingleThreadedEngine) {
+  const Circuit c = logic::ripple_carry_adder(4);
+  oracle::sweep_campaigns(c, 150, 0x5c4ed003, /*drop=*/false);
+}
+
+TEST(SchedulerOracle, TinyTestListsExerciseFaultMajorPacking) {
+  // 1..8 tests select the fault axis under kAuto; equivalence must hold on
+  // partial trailing fault words too (faults % 64 != 0 everywhere here).
+  std::uint64_t seed = 0x5c4ed004;
+  for (const Circuit& c : oracle::zoo())
+    for (int n_tests : {1, 3, 8}) oracle::sweep_matrices(c, n_tests, seed++);
+}
+
+TEST(Scheduler, AutoPackingFollowsCallShape) {
+  const Circuit c = logic::c17();
+  FaultSimScheduler sched(c);  // defaults: 1 thread, kAuto
+  // Few tests, many faults -> fault-major.
+  EXPECT_EQ(sched.resolve_packing(1, 64), SimPacking::kFaultMajor);
+  EXPECT_EQ(sched.resolve_packing(8, 500), SimPacking::kFaultMajor);
+  // A big test list always rides the pattern blocks.
+  EXPECT_EQ(sched.resolve_packing(9, 500), SimPacking::kPatternMajor);
+  EXPECT_EQ(sched.resolve_packing(512, 500), SimPacking::kPatternMajor);
+  // A tiny fault list is not worth a full-circuit injected eval per test.
+  EXPECT_EQ(sched.resolve_packing(1, 63), SimPacking::kPatternMajor);
+
+  FaultSimScheduler forced(c, {1, SimPacking::kFaultMajor});
+  EXPECT_EQ(forced.resolve_packing(512, 1), SimPacking::kFaultMajor);
+}
+
+TEST(Scheduler, ThreadCountDoesNotChangeDropWorkAccounting) {
+  // fault_block_evals may only grow with threads (round-granular dropping
+  // simulates a dropped fault until its round ends), never shrink below the
+  // single-threaded engine's count, and detection must be unchanged.
+  const Circuit c = logic::ripple_carry_adder(4);
+  const auto faults = enumerate_obd_faults(c);
+  const auto tests = random_pairs(static_cast<int>(c.inputs().size()), 400,
+                                  0x5c4ed005);
+  FaultSimEngine engine(c);
+  const auto ref = engine.campaign_obd(tests, faults, true);
+  for (int threads : {1, 2, 4}) {
+    FaultSimScheduler sched(c, {threads, SimPacking::kPatternMajor});
+    const auto got = sched.campaign_obd(tests, faults, true);
+    EXPECT_EQ(got.first_test, ref.first_test) << threads;
+    EXPECT_EQ(got.detected, ref.detected) << threads;
+    EXPECT_GE(got.fault_block_evals, ref.fault_block_evals) << threads;
+    if (threads == 1)
+      EXPECT_EQ(got.fault_block_evals, ref.fault_block_evals);
+  }
+}
+
+TEST(Scheduler, EmptyShapes) {
+  const Circuit c = logic::c17();
+  const auto faults = enumerate_obd_faults(c);
+  FaultSimScheduler sched(c, {4, SimPacking::kAuto});
+  const DetectionMatrix no_tests = sched.matrix_obd({}, faults);
+  EXPECT_EQ(no_tests.n_tests, 0u);
+  EXPECT_EQ(no_tests.covered_count, 0);
+  const DetectionMatrix no_faults =
+      sched.matrix_obd(random_pairs(5, 10, 1), {});
+  EXPECT_EQ(no_faults.n_faults, 0u);
+  const auto campaign = sched.campaign_obd({}, faults);
+  EXPECT_EQ(campaign.detected, 0);
+  EXPECT_EQ(campaign.first_test,
+            std::vector<int>(faults.size(), -1));
+}
+
+TEST(Scheduler, MoreThreadsThanBlocksIsFine) {
+  const Circuit c = logic::mux_tree(2);
+  const auto faults = enumerate_transition_faults(c);
+  const auto tests =
+      random_pairs(static_cast<int>(c.inputs().size()), 30, 0x5c4ed006);
+  FaultSimEngine engine(c);
+  const auto ref = engine.campaign_transition(tests, faults, true);
+  FaultSimScheduler sched(c, {16, SimPacking::kPatternMajor});
+  const auto got = sched.campaign_transition(tests, faults, true);
+  EXPECT_EQ(got.first_test, ref.first_test);
+}
+
+// --- X-aware (3-valued) detection -------------------------------------------
+
+TEST(DefiniteObd, FullySpecifiedTestMatchesConcreteSimulation) {
+  for (const Circuit& c : oracle::zoo()) {
+    const auto faults = enumerate_obd_faults(c);
+    const std::size_t n_pi = c.inputs().size();
+    const std::uint64_t all = n_pi >= 64 ? ~0ull : ((1ull << n_pi) - 1);
+    FaultSimEngine engine(c);
+    for (const auto& t : random_pairs(static_cast<int>(n_pi), 20, 0xdef1)) {
+      const XTwoVectorTest xt{{t.v1, all}, {t.v2, all}};
+      EXPECT_EQ(engine.definite_obd(xt, faults),
+                legacy::simulate_obd(c, t, faults))
+          << c.name();
+    }
+  }
+}
+
+TEST(DefiniteObd, IsSoundUnderEveryFillOfTheXBits) {
+  // Anything proven definite must be detected by every concretization.
+  const Circuit c = logic::random_circuit(6, 40, 5, 0x50f7);
+  const auto faults = enumerate_obd_faults(c);
+  const std::size_t n_pi = c.inputs().size();
+  FaultSimEngine engine(c);
+  util::Prng prng(0xdef2);
+  for (int trial = 0; trial < 30; ++trial) {
+    XTwoVectorTest xt;
+    xt.v1.care_mask = prng.next_u64() & ((1ull << n_pi) - 1);
+    xt.v2.care_mask = prng.next_u64() & ((1ull << n_pi) - 1);
+    xt.v1.bits = prng.next_u64() & xt.v1.care_mask;
+    xt.v2.bits = prng.next_u64() & xt.v2.care_mask;
+    const std::vector<bool> definite = engine.definite_obd(xt, faults);
+    for (int fill = 0; fill < 8; ++fill) {
+      const std::uint64_t f1 = prng.next_u64() & ~xt.v1.care_mask;
+      const std::uint64_t f2 = prng.next_u64() & ~xt.v2.care_mask;
+      const TwoVectorTest t{(xt.v1.bits | f1) & ((1ull << n_pi) - 1),
+                            (xt.v2.bits | f2) & ((1ull << n_pi) - 1)};
+      const std::vector<bool> got = legacy::simulate_obd(c, t, faults);
+      for (std::size_t i = 0; i < faults.size(); ++i)
+        if (definite[i])
+          EXPECT_TRUE(got[i]) << "fault " << i << " fill " << fill;
+    }
+  }
+}
+
+TEST(DefiniteObd, AllXDetectsNothing) {
+  const Circuit c = logic::c17();
+  const auto faults = enumerate_obd_faults(c);
+  FaultSimEngine engine(c);
+  const std::vector<bool> det = engine.definite_obd({}, faults);
+  for (bool d : det) EXPECT_FALSE(d);
+}
+
+}  // namespace
+}  // namespace obd::atpg

@@ -145,5 +145,65 @@ TEST(ScanAtpg, ToggleMachineSmallEnoughForExhaustiveCheck) {
   }
 }
 
+TEST_P(ScanModeTest, RandomPrepassDropsNoCoverage) {
+  // The broadside random-pattern phase runs with fault dropping; it must
+  // detect exactly what an undropped simulation of the same tests detects,
+  // with identical first-detecting tests.
+  const SequentialCircuit seq = logic::lfsr_like_machine(3);
+  const ScanMode mode = GetParam();
+  const auto faults = core_faults(seq);
+  const logic::Circuit sv = seq.scan_view();
+  const auto random_tests = random_broadside_tests(seq, mode, 256, 0xb10ad);
+  std::vector<TwoVectorTest> vectors;
+  for (const auto& t : random_tests)
+    vectors.push_back(scan_view_vectors(seq, t));
+  FaultSimScheduler sched(sv);
+  const auto dropped = sched.campaign_obd(vectors, faults, true);
+  const auto full = sched.campaign_obd(vectors, faults, false);
+  EXPECT_EQ(dropped.detected, full.detected);
+  EXPECT_EQ(dropped.first_test, full.first_test);
+  EXPECT_LE(dropped.fault_block_evals, full.fault_block_evals);
+}
+
+TEST_P(ScanModeTest, RandomPrepassKeepsAtpgCoverageParity) {
+  const SequentialCircuit seq = logic::lfsr_like_machine(3);
+  const ScanMode mode = GetParam();
+  const auto faults = core_faults(seq);
+  const ScanCampaign base = run_scan_obd_atpg(seq, faults, mode);
+  PodemOptions opt;
+  opt.random_phase = 256;
+  opt.random_phase_seed = 0xb10ad;
+  const ScanCampaign rnd = run_scan_obd_atpg(seq, faults, mode, opt);
+  // The prepass may only replace deterministic work, never lose coverage:
+  // untestable faults still reach (and are proven by) PODEM.
+  EXPECT_EQ(rnd.found + rnd.untestable + rnd.aborted,
+            static_cast<int>(faults.size()));
+  EXPECT_GE(rnd.found, base.found);
+  EXPECT_EQ(rnd.untestable, base.untestable);
+  EXPECT_GT(rnd.random_found, 0) << to_string(mode);
+
+  // Every fault the campaign's random phase claims must be detected by the
+  // recorded test per the cycle-accurate verifier — the engine's broadside
+  // semantics on the scan view and verify_scan_obd_test must agree.
+  const auto random_tests = random_broadside_tests(seq, mode, 256, 0xb10ad);
+  std::vector<TwoVectorTest> vectors;
+  for (const auto& t : random_tests)
+    vectors.push_back(scan_view_vectors(seq, t));
+  const logic::Circuit sv = seq.scan_view();
+  FaultSimScheduler sched(sv);
+  const auto campaign = sched.campaign_obd(vectors, faults, true);
+  int verified = 0;
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    const int t = campaign.first_test[f];
+    if (t < 0) continue;
+    EXPECT_TRUE(verify_scan_obd_test(
+        seq, faults[f], random_tests[static_cast<std::size_t>(t)]))
+        << to_string(mode) << " " << fault_name(seq.core(), faults[f]);
+    ++verified;
+  }
+  EXPECT_EQ(verified, campaign.detected);
+  EXPECT_EQ(campaign.detected, rnd.random_found);
+}
+
 }  // namespace
 }  // namespace obd::atpg
