@@ -14,6 +14,7 @@
 #include <chrono>
 
 #include "atpg/atpg.hpp"
+#include "io/bench.hpp"
 #include "logic/logic.hpp"
 
 namespace {
@@ -46,6 +47,27 @@ struct SimComparison {
   double speedup() const { return legacy_s / block_s; }
   double drop_speedup() const { return legacy_s / drop_s; }
 };
+
+/// Corpus ISCAS circuits (bench/circuits/), lowered to the primitive-gate
+/// netlist the OBD model needs; sequential designs come in as their
+/// full-scan view. These are the "real workload" rows of the perf
+/// trajectory, next to the synthetic zoo.
+std::vector<logic::Circuit> iscas_circuits() {
+  std::vector<logic::Circuit> out;
+  for (const char* f : {"c432.bench", "c880.bench", "c1355.bench",
+                        "s344.bench"}) {
+    const io::BenchParseResult r =
+        io::load_bench_file(std::string(OBD_CORPUS_DIR) + "/" + f);
+    if (!r.ok) {
+      std::fprintf(stderr, "corpus %s: %s\n", f, r.error.c_str());
+      continue;
+    }
+    const logic::Circuit view =
+        r.seq.flops().empty() ? r.circuit() : r.seq.scan_view();
+    out.push_back(logic::decompose_composites(view));
+  }
+  return out;
+}
 
 /// Times legacy scalar vs block engine (with and without fault dropping)
 /// over the same OBD fault list and test set.
@@ -147,6 +169,7 @@ std::vector<SchedRow> reproduce_scheduler_scale() {
   std::vector<logic::Circuit> circuits;
   circuits.push_back(logic::array_multiplier(4));
   circuits.push_back(logic::array_multiplier(6));
+  for (auto& c : iscas_circuits()) circuits.push_back(std::move(c));
 
   struct Config {
     const char* mode;
@@ -217,6 +240,10 @@ void reproduce_faultsim_scale() {
   rows.push_back(compare_obd_sim(logic::ripple_carry_adder(16), 256));
   rows.push_back(compare_obd_sim(logic::parity_tree(16), 256));
   rows.push_back(compare_obd_sim(logic::array_multiplier(4), 256));
+  // ISCAS corpus rows: the legacy baseline pays a full-circuit evaluation
+  // per (fault, test), so the test budget is smaller on these.
+  for (const auto& c : iscas_circuits())
+    rows.push_back(compare_obd_sim(c, 128));
 
   util::AsciiTable t("OBD fault-sim throughput (fault x patterns / sec)");
   t.set_header({"circuit", "gates", "faults", "tests", "cov ok", "legacy",

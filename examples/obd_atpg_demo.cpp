@@ -2,6 +2,10 @@
 //
 // Usage:
 //   obd_atpg_demo               # runs on the built-in circuit zoo
+//   obd_atpg_demo file.bench    # runs on an ISCAS .bench netlist (DFF
+//                               # designs are analyzed in the full-scan
+//                               # view); see tools/obd_atpg.cpp for the
+//                               # full campaign driver
 //   obd_atpg_demo netlist.txt   # runs on a circuit in the text format:
 //                               #   .model name
 //                               #   .inputs a b ...
@@ -17,6 +21,7 @@
 #include <sstream>
 
 #include "atpg/atpg.hpp"
+#include "io/bench.hpp"
 #include "logic/logic.hpp"
 #include "util/table.hpp"
 
@@ -80,6 +85,16 @@ void analyze(const logic::Circuit& raw) {
 
 int main(int argc, char** argv) {
   if (argc > 1) {
+    const std::string path = argv[1];
+    if (path.size() > 6 && path.rfind(".bench") == path.size() - 6) {
+      const io::BenchParseResult pr = io::load_bench_file(path);
+      if (!pr.ok) {
+        std::fprintf(stderr, "parse error: %s\n", pr.error.c_str());
+        return 1;
+      }
+      analyze(pr.seq.flops().empty() ? pr.circuit() : pr.seq.scan_view());
+      return 0;
+    }
     std::ifstream f(argv[1]);
     if (!f) {
       std::fprintf(stderr, "cannot open %s\n", argv[1]);

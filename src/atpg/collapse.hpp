@@ -41,4 +41,30 @@ CollapsedFaults collapse_obd_faults(const Circuit& c,
 bool gate_equivalent(const Circuit& c, const ObdFaultSite& a,
                      const ObdFaultSite& b);
 
+/// Classical structural stuck-at equivalence collapsing. A fanout-free
+/// gate-input net stuck at the gate's controlling value is equivalent to
+/// the output stuck at the forced value (AND: in-0 = out-0, NAND: in-0 =
+/// out-1, OR: in-1 = out-1, NOR: in-1 = out-0; INV/BUF collapse both
+/// polarities); classes are the transitive closure along such chains. Only
+/// equivalences are merged (no dominance), so per-class detection — and
+/// hence collapsed coverage — is exact: every member of a class is
+/// detected by exactly the tests that detect its representative.
+struct CollapsedStuck {
+  /// One representative per equivalence class (first member in input order).
+  std::vector<StuckFault> representatives;
+  /// Class id of each input fault (index into `representatives`).
+  std::vector<std::size_t> class_of;
+  std::size_t original_count = 0;
+
+  double reduction() const {
+    return original_count == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(representatives.size()) /
+                           static_cast<double>(original_count);
+  }
+};
+
+CollapsedStuck collapse_stuck_faults(const Circuit& c,
+                                     const std::vector<StuckFault>& faults);
+
 }  // namespace obd::atpg

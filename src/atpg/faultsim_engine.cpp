@@ -48,10 +48,12 @@ std::vector<PatternBlock> PatternBlock::pack(
   return blocks;
 }
 
-FaultSimEngine::FaultSimEngine(const Circuit& c)
+FaultSimEngine::FaultSimEngine(const Circuit& c, EngineOptions opt)
     : c_(c),
+      opt_(opt),
       topo_pos_(c.num_gates(), 0),
       cones_(c.num_nets()),
+      lru_pos_(c.num_nets()),
       bad_(c.num_nets(), 0),
       inj_set0_(c.num_nets(), 0),
       inj_set1_(c.num_nets(), 0) {
@@ -62,7 +64,12 @@ FaultSimEngine::FaultSimEngine(const Circuit& c)
 
 const FaultSimEngine::Cone& FaultSimEngine::cone_of(NetId n) {
   auto& slot = cones_[static_cast<std::size_t>(n)];
-  if (slot) return *slot;
+  if (slot) {
+    // Refresh recency: move to the front of the LRU list.
+    if (opt_.cone_cache_bytes)
+      lru_.splice(lru_.begin(), lru_, lru_pos_[static_cast<std::size_t>(n)]);
+    return *slot;
+  }
   slot = std::make_unique<Cone>();
   Cone& cone = *slot;
   cone.member.assign(c_.num_nets(), 0);
@@ -95,6 +102,25 @@ const FaultSimEngine::Cone& FaultSimEngine::cone_of(NetId n) {
   std::sort(cone.po_nets.begin(), cone.po_nets.end());
   cone.po_nets.erase(std::unique(cone.po_nets.begin(), cone.po_nets.end()),
                      cone.po_nets.end());
+
+  if (opt_.cone_cache_bytes) {
+    // The membership mask dominates: num_nets bytes per resident cone.
+    cone_bytes_ += cone.member.size() + cone.gates.size() * sizeof(int) +
+                   cone.po_nets.size() * sizeof(NetId) + sizeof(Cone);
+    lru_.push_front(n);
+    lru_pos_[static_cast<std::size_t>(n)] = lru_.begin();
+    // Evict least-recently-used cones past the cap; the cone just built is
+    // at the front, so it survives even when it alone exceeds the cap.
+    while (cone_bytes_ > opt_.cone_cache_bytes && lru_.size() > 1) {
+      const NetId victim = lru_.back();
+      lru_.pop_back();
+      auto& vslot = cones_[static_cast<std::size_t>(victim)];
+      cone_bytes_ -= vslot->member.size() + vslot->gates.size() * sizeof(int) +
+                     vslot->po_nets.size() * sizeof(NetId) + sizeof(Cone);
+      vslot.reset();
+      ++cone_evictions_;
+    }
+  }
   return cone;
 }
 
@@ -501,7 +527,8 @@ FaultSimScheduler::FaultSimScheduler(const Circuit& c, SimOptions opt)
   // shared Circuit is strictly read-only once workers run.
   engines_.reserve(static_cast<std::size_t>(opt_.threads));
   for (int w = 0; w < opt_.threads; ++w)
-    engines_.push_back(std::make_unique<FaultSimEngine>(c_));
+    engines_.push_back(std::make_unique<FaultSimEngine>(
+        c_, EngineOptions{opt_.cone_cache_bytes}));
 }
 
 FaultSimScheduler::~FaultSimScheduler() = default;

@@ -36,6 +36,7 @@
 
 #include <array>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -44,6 +45,17 @@
 #include "atpg/patterns.hpp"
 
 namespace obd::atpg {
+
+/// Per-engine knobs (the scheduler forwards SimOptions fields here).
+struct EngineOptions {
+  /// Upper bound on resident fanout-cone cache memory, in bytes; least-
+  /// recently-used cones are evicted past it (the most recent cone is
+  /// always kept, so a single huge cone still simulates). 0 = unlimited —
+  /// fine for the zoo, but a multi-thousand-net ISCAS circuit holds a
+  /// num_nets-byte membership mask per cached net, i.e. O(nets^2) bytes
+  /// when every fault site stays resident.
+  std::size_t cone_cache_bytes = 0;
+};
 
 /// Up to 64 two-vector tests packed lane-per-test (stuck-at tests use only
 /// the second frame, with v1 == v2).
@@ -107,9 +119,17 @@ struct DetectionMatrix {
 
 class FaultSimEngine {
  public:
-  explicit FaultSimEngine(const Circuit& c);
+  explicit FaultSimEngine(const Circuit& c, EngineOptions opt = {});
 
   const Circuit& circuit() const { return c_; }
+
+  // --- Cone-cache introspection ----------------------------------------
+  /// Bytes currently held by cached fanout cones.
+  std::size_t cone_cache_bytes() const { return cone_bytes_; }
+  /// Cones evicted so far (0 when the cache is uncapped).
+  long long cone_evictions() const { return cone_evictions_; }
+  /// Cones currently resident (tracked only when the cache is capped).
+  std::size_t cone_resident() const { return lru_.size(); }
 
   // --- Block primitives (pattern-major) --------------------------------
   // Each fills `detect` (resized to faults.size()) with one word per fault;
@@ -218,8 +238,15 @@ class FaultSimEngine {
   std::uint64_t injected_diff();
 
   const Circuit& c_;
+  EngineOptions opt_;
   std::vector<int> topo_pos_;                    // gate -> topo rank
   std::vector<std::unique_ptr<Cone>> cones_;     // per net, lazy
+  // LRU bookkeeping for the cone cache: recency list (front = most recent)
+  // and each resident net's position in it.
+  std::list<NetId> lru_;
+  std::vector<std::list<NetId>::iterator> lru_pos_;
+  std::size_t cone_bytes_ = 0;
+  long long cone_evictions_ = 0;
   std::map<std::tuple<int, bool, int>, std::array<std::uint16_t, 16>>
       obd_tables_;
   std::vector<std::uint64_t> good1_, good2_, bad_;  // per-net scratch words

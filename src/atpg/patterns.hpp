@@ -92,6 +92,10 @@ struct SimOptions {
   /// at any count.
   int threads = 1;
   SimPacking packing = SimPacking::kAuto;
+  /// Per-engine cap on the resident fanout-cone cache (LRU eviction past
+  /// it; see EngineOptions::cone_cache_bytes). 0 = unlimited. Purely a
+  /// memory/speed trade: detections are unaffected.
+  std::size_t cone_cache_bytes = 0;
 };
 
 }  // namespace obd::atpg

@@ -1,0 +1,389 @@
+#include "flow/campaign.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "util/table.hpp"
+
+namespace obd::flow {
+namespace {
+
+using namespace obd::atpg;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_matrix(const DetectionMatrix& m) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, m.n_tests);
+  h = fnv1a(h, m.n_faults);
+  for (std::uint64_t w : m.rows) h = fnv1a(h, w);
+  return h;
+}
+
+/// The per-model plumbing behind run_campaign: fault type, collapse,
+/// prepass campaign, deterministic generator, matrix builder.
+template <typename Fault>
+struct ModelOps {
+  std::vector<Fault> faults;                 // full list
+  std::vector<Fault> reps;                   // collapsed representatives
+  std::function<FaultSimEngine::Campaign(FaultSimScheduler&,
+                                         const std::vector<TwoVectorTest>&)>
+      prepass;
+  std::function<TwoFrameResult(const Fault&)> generate;
+  std::function<DetectionMatrix(FaultSimScheduler&,
+                                const std::vector<TwoVectorTest>&)>
+      matrix;
+};
+
+/// Shared campaign skeleton over the model-specific hooks.
+template <typename Fault>
+void drive(const logic::Circuit& c, const CampaignOptions& opt,
+           ModelOps<Fault>& ops, CampaignReport& r) {
+  const auto t_total = Clock::now();
+  r.faults_total = ops.faults.size();
+  r.faults_collapsed = ops.reps.size();
+  if (ops.reps.empty()) {
+    r.coverage = 1.0;
+    r.time.total_s = seconds_since(t_total);
+    return;
+  }
+
+  FaultSimScheduler sched(c, opt.sim);
+  std::vector<TwoVectorTest> tests;
+  std::vector<std::uint8_t> skip(ops.reps.size(), 0);
+
+  // Random-pattern fault-dropping prepass: detected faults skip the
+  // deterministic search; each first-detecting pattern joins the set.
+  if (opt.random_patterns > 0) {
+    const auto t0 = Clock::now();
+    std::vector<TwoVectorTest> pool = random_pairs(
+        static_cast<int>(c.inputs().size()), opt.random_patterns, opt.seed);
+    if (r.model == FaultModel::kStuck)
+      for (auto& t : pool) t.v1 = t.v2;  // single-vector application
+    const FaultSimEngine::Campaign campaign = ops.prepass(sched, pool);
+    r.fault_block_evals = campaign.fault_block_evals;
+    const PrepassMarks marks = mark_first_detections(campaign, pool.size());
+    skip = marks.skip;
+    for (std::size_t t = 0; t < pool.size(); ++t)
+      if (marks.useful[t]) tests.push_back(pool[t]);
+    r.tests_random = static_cast<int>(tests.size());
+    r.time.random_s = seconds_since(t0);
+  }
+
+  // Deterministic top-off over the surviving representatives.
+  {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < ops.reps.size(); ++i) {
+      if (skip[i]) continue;
+      const TwoFrameResult res = ops.generate(ops.reps[i]);
+      switch (res.status) {
+        case PodemStatus::kFound:
+          tests.push_back(res.test);
+          ++r.tests_deterministic;
+          break;
+        case PodemStatus::kUntestable: ++r.untestable; break;
+        case PodemStatus::kAborted: ++r.aborted; break;
+      }
+    }
+    r.time.atpg_s = seconds_since(t0);
+  }
+
+  // Detection matrix over the final set: recounts every detection (the
+  // prepass only tracked first hits) and is the cross-thread witness.
+  {
+    const auto t0 = Clock::now();
+    const DetectionMatrix m = ops.matrix(sched, tests);
+    r.detected = m.covered_count;
+    r.matrix_hash = hash_matrix(m);
+    r.time.matrix_s = seconds_since(t0);
+    r.tests_final = static_cast<int>(tests.size());
+    if (opt.compact && !tests.empty()) {
+      const auto t1 = Clock::now();
+      r.tests_final = static_cast<int>(greedy_cover(m).size());
+      r.time.compact_s = seconds_since(t1);
+    }
+  }
+  r.coverage = static_cast<double>(r.detected) /
+               static_cast<double>(ops.reps.size());
+  r.time.total_s = seconds_since(t_total);
+}
+
+}  // namespace
+
+const char* to_string(FaultModel m) {
+  switch (m) {
+    case FaultModel::kStuck: return "stuck";
+    case FaultModel::kTransition: return "transition";
+    case FaultModel::kObd: return "obd";
+  }
+  return "?";
+}
+
+bool fault_model_from_string(const std::string& s, FaultModel& out) {
+  if (s == "stuck") out = FaultModel::kStuck;
+  else if (s == "transition") out = FaultModel::kTransition;
+  else if (s == "obd") out = FaultModel::kObd;
+  else return false;
+  return true;
+}
+
+CampaignReport run_campaign(const logic::SequentialCircuit& seq,
+                            const CampaignOptions& opt) {
+  CampaignReport r;
+  r.model = opt.model;
+  r.threads = opt.sim.threads;
+  r.packing = to_string(opt.sim.packing);
+  r.scan = !seq.flops().empty();
+  r.flops = seq.flops().size();
+
+  // Full-scan application: flops become pseudo-PIs/POs and every test is a
+  // plain (two-)vector on the view.
+  logic::Circuit view = r.scan ? seq.scan_view() : seq.core();
+  r.circuit = seq.core().name();
+  if (opt.model == FaultModel::kObd) view = logic::decompose_composites(view);
+  r.gates = view.num_gates();
+  r.nets = view.num_nets();
+  r.pis = view.inputs().size();
+  r.pos = view.outputs().size();
+  r.depth = view.depth();
+
+  if (view.inputs().size() > 64) {
+    r.error = "circuit has " + std::to_string(view.inputs().size()) +
+              " inputs (PIs + scan flops); the 64-bit vector engine "
+              "supports at most 64";
+    return r;
+  }
+  const std::string diag = view.validate();
+  if (!diag.empty()) {
+    r.error = diag;
+    return r;
+  }
+
+  PodemOptions popt;
+  popt.max_backtracks = opt.max_backtracks;
+  popt.sim = opt.sim;
+
+  if (opt.model == FaultModel::kStuck) {
+    ModelOps<StuckFault> ops;
+    const auto t0 = Clock::now();
+    ops.faults = enumerate_stuck_faults(view);
+    const CollapsedStuck collapsed = collapse_stuck_faults(view, ops.faults);
+    ops.reps = collapsed.representatives;
+    r.time.collapse_s = seconds_since(t0);
+    auto patterns_of = [](const std::vector<TwoVectorTest>& ts) {
+      std::vector<std::uint64_t> p(ts.size());
+      for (std::size_t i = 0; i < ts.size(); ++i) p[i] = ts[i].v2;
+      return p;
+    };
+    ops.prepass = [&](FaultSimScheduler& s,
+                      const std::vector<TwoVectorTest>& ts) {
+      return s.campaign_stuck(patterns_of(ts), ops.reps);
+    };
+    ops.generate = [&](const StuckFault& f) {
+      const PodemResult pr = podem_stuck_at(view, f, popt);
+      TwoFrameResult t;
+      t.status = pr.status;
+      t.test = TwoVectorTest{pr.vector.bits, pr.vector.bits};
+      return t;
+    };
+    ops.matrix = [&](FaultSimScheduler& s,
+                     const std::vector<TwoVectorTest>& ts) {
+      return s.matrix_stuck(patterns_of(ts), ops.reps);
+    };
+    drive(view, opt, ops, r);
+  } else if (opt.model == FaultModel::kTransition) {
+    ModelOps<TransitionFault> ops;
+    ops.faults = enumerate_transition_faults(view);
+    ops.reps = ops.faults;  // no structural collapse for transition faults
+    ops.prepass = [&](FaultSimScheduler& s,
+                      const std::vector<TwoVectorTest>& ts) {
+      return s.campaign_transition(ts, ops.reps);
+    };
+    ops.generate = [&](const TransitionFault& f) {
+      return generate_transition_test(view, f, popt);
+    };
+    ops.matrix = [&](FaultSimScheduler& s,
+                     const std::vector<TwoVectorTest>& ts) {
+      return s.matrix_transition(ts, ops.reps);
+    };
+    drive(view, opt, ops, r);
+  } else {
+    ModelOps<ObdFaultSite> ops;
+    const auto t0 = Clock::now();
+    ops.faults = enumerate_obd_faults(view);
+    const CollapsedFaults collapsed = collapse_obd_faults(view, ops.faults);
+    ops.reps = collapsed.representatives;
+    r.time.collapse_s = seconds_since(t0);
+    ops.prepass = [&](FaultSimScheduler& s,
+                      const std::vector<TwoVectorTest>& ts) {
+      return s.campaign_obd(ts, ops.reps);
+    };
+    ops.generate = [&](const ObdFaultSite& f) {
+      return generate_obd_test(view, f, popt);
+    };
+    ops.matrix = [&](FaultSimScheduler& s,
+                     const std::vector<TwoVectorTest>& ts) {
+      return s.matrix_obd(ts, ops.reps);
+    };
+    drive(view, opt, ops, r);
+    if (opt.ndetect > 0 && !ops.reps.empty()) {
+      const auto t1 = Clock::now();
+      NDetectOptions nopt;
+      nopt.n = opt.ndetect;
+      nopt.random_pool = opt.ndetect_random_pool;
+      nopt.seed = opt.seed;
+      nopt.podem = popt;
+      nopt.sim = opt.sim;
+      const NDetectResult nd = build_ndetect_set(view, ops.reps, nopt);
+      r.ndetect_tests = static_cast<int>(nd.tests.size());
+      r.ndetect_satisfied = nd.satisfied;
+      r.time.ndetect_s = seconds_since(t1);
+      r.time.total_s += r.time.ndetect_s;
+    }
+  }
+  // drive() only spans random..compact; fold in the enumerate+collapse
+  // phase so total == sum of the reported phases.
+  r.time.total_s += r.time.collapse_s;
+  return r;
+}
+
+CampaignReport run_campaign(const logic::Circuit& c,
+                            const CampaignOptions& opt) {
+  return run_campaign(logic::SequentialCircuit(c), opt);
+}
+
+namespace {
+
+std::string json_num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// JSON string escaping: circuit names and error diagnostics may carry
+/// quotes, backslashes, or control characters (net names are barely
+/// restricted by the .bench grammar).
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string report_json(const CampaignReport& r) {
+  std::string j = "{\n";
+  j += "  \"tool\": \"obd_atpg\",\n";
+  if (!r.ok()) j += "  \"error\": " + json_str(r.error) + ",\n";
+  j += "  \"circuit\": " + json_str(r.circuit) + ",\n";
+  j += "  \"model\": \"" + std::string(to_string(r.model)) + "\",\n";
+  j += "  \"structure\": {\"gates\": " + std::to_string(r.gates) +
+       ", \"nets\": " + std::to_string(r.nets) +
+       ", \"pis\": " + std::to_string(r.pis) +
+       ", \"pos\": " + std::to_string(r.pos) +
+       ", \"flops\": " + std::to_string(r.flops) +
+       ", \"depth\": " + std::to_string(r.depth) +
+       ", \"scan\": " + (r.scan ? "true" : "false") + "},\n";
+  j += "  \"faults\": {\"total\": " + std::to_string(r.faults_total) +
+       ", \"collapsed\": " + std::to_string(r.faults_collapsed) +
+       ", \"detected\": " + std::to_string(r.detected) +
+       ", \"untestable\": " + std::to_string(r.untestable) +
+       ", \"aborted\": " + std::to_string(r.aborted) +
+       ", \"coverage\": " + json_num(r.coverage) + "},\n";
+  j += "  \"tests\": {\"random\": " + std::to_string(r.tests_random) +
+       ", \"deterministic\": " + std::to_string(r.tests_deterministic) +
+       ", \"final\": " + std::to_string(r.tests_final) +
+       ", \"ndetect\": " + std::to_string(r.ndetect_tests) +
+       ", \"ndetect_satisfied\": " + std::to_string(r.ndetect_satisfied) +
+       "},\n";
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "0x%016llx",
+                static_cast<unsigned long long>(r.matrix_hash));
+  j += "  \"sim\": {\"threads\": " + std::to_string(r.threads) +
+       ", \"packing\": \"" + r.packing + "\", \"fault_block_evals\": " +
+       std::to_string(r.fault_block_evals) + ", \"matrix_hash\": \"" + hash +
+       "\"},\n";
+  j += "  \"time_s\": {\"collapse\": " + json_num(r.time.collapse_s) +
+       ", \"random\": " + json_num(r.time.random_s) +
+       ", \"atpg\": " + json_num(r.time.atpg_s) +
+       ", \"matrix\": " + json_num(r.time.matrix_s) +
+       ", \"compact\": " + json_num(r.time.compact_s) +
+       ", \"ndetect\": " + json_num(r.time.ndetect_s) +
+       ", \"total\": " + json_num(r.time.total_s) + "}\n";
+  j += "}\n";
+  return j;
+}
+
+void print_report(const CampaignReport& r) {
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.error.c_str());
+    return;
+  }
+  util::AsciiTable t(r.circuit + " · " + to_string(r.model) + " campaign");
+  t.set_header({"metric", "value"});
+  t.add_row({"gates / nets / depth", std::to_string(r.gates) + " / " +
+                                         std::to_string(r.nets) + " / " +
+                                         std::to_string(r.depth)});
+  t.add_row({"PIs / POs / flops", std::to_string(r.pis) + " / " +
+                                      std::to_string(r.pos) + " / " +
+                                      std::to_string(r.flops) +
+                                      (r.scan ? " (full scan)" : "")});
+  t.add_row({"faults (total -> collapsed)", std::to_string(r.faults_total) +
+                                                " -> " +
+                                                std::to_string(r.faults_collapsed)});
+  t.add_row({"detected / untestable / aborted",
+             std::to_string(r.detected) + " / " + std::to_string(r.untestable) +
+                 " / " + std::to_string(r.aborted)});
+  t.add_row({"coverage (collapsed)",
+             util::format_g(100.0 * r.coverage, 4) + "%"});
+  t.add_row({"tests random / determ / final",
+             std::to_string(r.tests_random) + " / " +
+                 std::to_string(r.tests_deterministic) + " / " +
+                 std::to_string(r.tests_final)});
+  if (r.ndetect_tests > 0)
+    t.add_row({"n-detect tests / satisfied",
+               std::to_string(r.ndetect_tests) + " / " +
+                   std::to_string(r.ndetect_satisfied)});
+  char hash[32];
+  std::snprintf(hash, sizeof hash, "0x%016llx",
+                static_cast<unsigned long long>(r.matrix_hash));
+  t.add_row({"matrix hash", hash});
+  t.add_row({"threads / packing",
+             std::to_string(r.threads) + " / " + r.packing});
+  t.add_row({"wall clock", util::format_g(r.time.total_s, 3) + " s  (random " +
+                               util::format_g(r.time.random_s, 3) + ", atpg " +
+                               util::format_g(r.time.atpg_s, 3) + ", sim " +
+                               util::format_g(r.time.matrix_s, 3) + ")"});
+  t.print();
+}
+
+}  // namespace obd::flow

@@ -1,0 +1,115 @@
+// End-to-end ATPG campaign driver: the layer that turns the library into a
+// tool. One call chains everything the lower layers provide:
+//
+//   fault-list extraction -> structural collapse -> random-pattern
+//   fault-dropping prepass (FaultSimScheduler, threads/packing from
+//   SimOptions) -> deterministic PODEM / two-frame top-off for the
+//   survivors -> detection-matrix build -> greedy compaction -> optional
+//   n-detect growth -> a machine-readable report.
+//
+// Sequential circuits (ISCAS-89 style, via io::parse_bench) are handled in
+// the full-scan view: flops become pseudo-PIs/POs and the stuck-at or
+// two-vector machinery runs unchanged (enhanced-scan application).
+//
+// Determinism: everything is seeded, and the fault-simulation layer is
+// bit-identical across thread counts and packings, so two runs that differ
+// only in `sim.threads` produce byte-identical reports up to the wall-clock
+// fields — `matrix_hash` is the cheap cross-run witness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "atpg/atpg.hpp"
+#include "logic/sequential.hpp"
+
+namespace obd::flow {
+
+enum class FaultModel { kStuck, kTransition, kObd };
+
+const char* to_string(FaultModel m);
+/// Parses "stuck" / "transition" / "obd"; false on anything else.
+bool fault_model_from_string(const std::string& s, FaultModel& out);
+
+struct CampaignOptions {
+  FaultModel model = FaultModel::kStuck;
+  /// Threads / packing / cone-cache cap for every fault-sim call.
+  atpg::SimOptions sim;
+  /// Random patterns (or two-vector pairs) in the fault-dropping prepass;
+  /// 0 goes straight to the deterministic search.
+  int random_patterns = 2048;
+  std::uint64_t seed = 0x0bd5eedull;
+  /// PODEM backtrack budget for the deterministic top-off.
+  long max_backtracks = 100000;
+  /// Greedy set-cover compaction of the final test set.
+  bool compact = true;
+  /// Grow an n-detect set on top (OBD model only); 0 = off.
+  int ndetect = 0;
+  int ndetect_random_pool = 256;
+};
+
+struct PhaseTimes {
+  double collapse_s = 0.0;
+  double random_s = 0.0;
+  double atpg_s = 0.0;
+  double matrix_s = 0.0;
+  double compact_s = 0.0;
+  double ndetect_s = 0.0;
+  double total_s = 0.0;
+};
+
+struct CampaignReport {
+  /// Empty when the campaign ran; else the reason it could not.
+  std::string error;
+
+  std::string circuit;
+  FaultModel model = FaultModel::kStuck;
+  std::size_t gates = 0, nets = 0, pis = 0, pos = 0, flops = 0;
+  int depth = 0;
+  bool scan = false;
+
+  std::size_t faults_total = 0;
+  std::size_t faults_collapsed = 0;
+  int detected = 0;
+  int untestable = 0;
+  int aborted = 0;
+  /// Detected / collapsed representatives (1.0 when the list is empty).
+  double coverage = 0.0;
+
+  /// Prepass tests that first-detected some fault (the ones kept).
+  int tests_random = 0;
+  int tests_deterministic = 0;
+  /// After compaction (== random + deterministic when compaction is off).
+  int tests_final = 0;
+  int ndetect_tests = 0;
+  int ndetect_satisfied = 0;
+
+  /// FNV-1a over the packed detection matrix (dims + row words): equal
+  /// hashes across runs <=> bit-identical detection matrices.
+  std::uint64_t matrix_hash = 0;
+  /// Scheduler work metric of the prepass (see Campaign::fault_block_evals).
+  long long fault_block_evals = 0;
+
+  PhaseTimes time;
+  int threads = 1;
+  std::string packing;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Runs a campaign on a (possibly sequential) circuit. Sequential designs
+/// use the full-scan view; combinational ones run as-is. The OBD model
+/// lowers composite gates to primitives first (fault sites live on
+/// transistors of primitive CMOS gates).
+CampaignReport run_campaign(const logic::SequentialCircuit& seq,
+                            const CampaignOptions& opt = {});
+CampaignReport run_campaign(const logic::Circuit& c,
+                            const CampaignOptions& opt = {});
+
+/// Serializes a report as a self-contained JSON object.
+std::string report_json(const CampaignReport& r);
+
+/// Human-readable summary table on stdout.
+void print_report(const CampaignReport& r);
+
+}  // namespace obd::flow

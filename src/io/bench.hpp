@@ -1,0 +1,69 @@
+// ISCAS-85/89 `.bench` netlist frontend.
+//
+// The classic benchmark interchange format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G8 = DFF(G5)              <- ISCAS-89 state element
+//   G10 = NAND(G1, G3)
+//   G11 = NOT(G6)
+//
+// Accepted gate functions: AND, NAND, OR, NOR, NOT, BUFF (also BUF),
+// XOR, XNOR, and DFF. Gate names are case-insensitive; net names are
+// case-sensitive and may contain any non-delimiter characters.
+//
+// Mapping onto obd::logic:
+//  - combinational functions land on logic::GateType primitives. NAND/NOR
+//    up to 4 inputs map 1:1 onto NAND2/3/4 / NOR2/3/4; wider fan-in (and
+//    multi-input AND/OR/XOR/XNOR) is decomposed into balanced trees of
+//    2-input gates whose *root* keeps the statement's function (a 2-input
+//    primitive), so the net the netlist names is still driven by a gate of
+//    that function and carries OBD fault sites after
+//    decompose_composites(). Helper nets are named "<out>_bN" (made unique
+//    against the netlist's own names).
+//  - DFFs become logic::SequentialCircuit flops (q = left-hand side,
+//    d = the argument); a pure combinational netlist parses to a
+//    SequentialCircuit with no flops.
+//
+// Diagnostics carry 1-based line numbers: unknown gate functions, arity
+// violations, duplicate drivers, nets used but never defined, redefined
+// inputs, and combinational cycles are all rejected with the offending
+// line (cycles report the line of a gate on the cycle).
+//
+// write_bench() serializes back to `.bench`; AOI/OAI cells (which the
+// format cannot name) are emitted as equivalent AND/OR + NOR/NAND helper
+// lines, so every Circuit round-trips functionally.
+#pragma once
+
+#include <string>
+
+#include "logic/sequential.hpp"
+
+namespace obd::io {
+
+struct BenchParseResult {
+  bool ok = false;
+  std::string error;  ///< "line N: ..." diagnostic when !ok.
+  logic::SequentialCircuit seq{logic::Circuit{}};
+
+  /// Convenience for combinational netlists (no flops): the core circuit.
+  const logic::Circuit& circuit() const { return seq.core(); }
+};
+
+/// Parses `.bench` text. `name` becomes the circuit name (the format has
+/// no name directive; callers typically pass the file stem).
+BenchParseResult parse_bench(const std::string& text,
+                             const std::string& name = "bench");
+
+/// Reads and parses a `.bench` file; the circuit is named after the file
+/// stem. I/O failures are reported like parse errors (ok = false).
+BenchParseResult load_bench_file(const std::string& path);
+
+/// Serializes to `.bench` (INPUT/OUTPUT lines, DFF lines, then gates in
+/// gate order). Round-trips through parse_bench preserve PI/PO/flop order
+/// and function; AOI/OAI gates are lowered to helper lines.
+std::string write_bench(const logic::SequentialCircuit& seq);
+std::string write_bench(const logic::Circuit& c);
+
+}  // namespace obd::io

@@ -1,5 +1,6 @@
 #include "logic/netfmt.hpp"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 
@@ -66,7 +67,17 @@ ParseResult parse_netlist(const std::string& text) {
       std::vector<NetId> ins;
       for (int k = 0; k < arity; ++k)
         ins.push_back(c.net(tokens[static_cast<std::size_t>(3 + k)]));
-      c.add_gate(t, tokens[2], ins, c.net(tokens[2]));
+      const NetId out = c.net(tokens[2]);
+      // Catch double drives here, with the offending line, instead of
+      // letting add_gate silently overwrite the driver and validate()
+      // report it without location after the fact.
+      if (c.driver_of(out) >= 0)
+        return fail("net '" + tokens[2] + "' already driven by gate '" +
+                    c.gate(c.driver_of(out)).name + "'");
+      if (std::find(c.inputs().begin(), c.inputs().end(), out) !=
+          c.inputs().end())
+        return fail("net '" + tokens[2] + "' is a declared input");
+      c.add_gate(t, tokens[2], ins, out);
     } else if (kw == ".end") {
       break;
     } else {

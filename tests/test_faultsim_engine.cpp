@@ -216,6 +216,33 @@ TEST(FaultSimEngine, CoverageFunctionsMatchMatrices) {
                    static_cast<double>(mo.covered_count) / of.size());
 }
 
+TEST(FaultSimEngine, ConeCacheLruCapKeepsResultsIdentical) {
+  // A capped cone cache is purely a memory/speed trade: campaign results
+  // must be bit-identical to the uncapped engine while evictions occur and
+  // residency stays bounded.
+  const Circuit c = logic::array_multiplier(4);
+  const auto faults = enumerate_obd_faults(c);
+  const auto tests = random_tests(c, 256, 0xcac4e);
+
+  FaultSimEngine uncapped(c);
+  const auto base = uncapped.campaign_obd(tests, faults, true);
+  EXPECT_EQ(uncapped.cone_evictions(), 0);
+
+  // ~8 cones' worth for a num_nets-byte membership mask each.
+  const std::size_t cap = c.num_nets() * 8;
+  FaultSimEngine capped(c, EngineOptions{cap});
+  const auto got = capped.campaign_obd(tests, faults, true);
+  EXPECT_EQ(got.first_test, base.first_test);
+  EXPECT_EQ(got.detected, base.detected);
+  EXPECT_GT(capped.cone_evictions(), 0);
+  EXPECT_TRUE(capped.cone_cache_bytes() <= cap || capped.cone_resident() == 1);
+
+  // Scheduler plumbing: the cap arrives through SimOptions.
+  FaultSimScheduler sched(c, SimOptions{2, SimPacking::kPatternMajor, cap});
+  const auto sched_got = sched.campaign_obd(tests, faults, true);
+  EXPECT_EQ(sched_got.first_test, base.first_test);
+}
+
 TEST(ForcedOutputsDiffer, MatchesStuckDetection) {
   const Circuit c = logic::c17();
   const auto faults = enumerate_stuck_faults(c);

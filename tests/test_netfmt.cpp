@@ -85,6 +85,26 @@ TEST(NetFmt, ErrorUnknownDirective) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST(NetFmt, ErrorDuplicateGateOutput) {
+  // Regression: a second .gate driving the same net used to silently
+  // overwrite the first driver; now it is rejected with the offending line.
+  const ParseResult r = parse_netlist(
+      ".model t\n.inputs a b\n.outputs o\n"
+      ".gate NAND2 o a b\n.gate NOR2 o a b\n.end\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 5"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("'o'"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("already driven"), std::string::npos) << r.error;
+}
+
+TEST(NetFmt, ErrorGateDrivesDeclaredInput) {
+  const ParseResult r = parse_netlist(
+      ".model t\n.inputs a b\n.outputs b\n.gate INV b a\n.end\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 4"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("input"), std::string::npos) << r.error;
+}
+
 TEST(NetFmt, ErrorCycleReported) {
   const ParseResult r = parse_netlist(
       ".model t\n.inputs a\n.outputs x\n.gate NAND2 x a y\n.gate INV y x\n.end\n");

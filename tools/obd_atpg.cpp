@@ -1,0 +1,172 @@
+// obd_atpg — end-to-end ATPG campaign driver for ISCAS `.bench` (and
+// BLIF-flavoured `.netlist`) circuits.
+//
+// Usage:
+//   obd_atpg <circuit.bench> [options]
+//
+// Options:
+//   --model stuck|transition|obd   fault model (default stuck)
+//   --threads N                    fault-sim worker threads (default 1)
+//   --packing auto|pattern|fault   word-packing axis (default auto)
+//   --cone-cache BYTES             LRU cap on the per-engine fanout-cone
+//                                  cache (default 0 = unlimited)
+//   --random N                     random prepass patterns (default 2048)
+//   --seed S                       PRNG seed (default 0x0bd5eed)
+//   --backtracks N                 PODEM backtrack budget (default 100000)
+//   --ndetect N                    grow an n-detect set (obd model only)
+//   --no-compact                   skip greedy set-cover compaction
+//   --report FILE.json             write the JSON report
+//   --min-coverage F               exit 2 unless coverage >= F (CI gate)
+//   --write-bench FILE             re-emit the parsed netlist as .bench
+//   --quiet                        suppress the summary table
+//
+// Results are bit-identical across --threads and --packing settings; the
+// report's matrix_hash field is the witness.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "flow/campaign.hpp"
+#include "io/bench.hpp"
+
+namespace {
+
+using namespace obd;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <circuit.bench> [--model stuck|transition|obd] "
+               "[--threads N] [--packing auto|pattern|fault]\n"
+               "       [--cone-cache BYTES] [--random N] [--seed S] "
+               "[--backtracks N] [--ndetect N] [--no-compact]\n"
+               "       [--report FILE.json] [--min-coverage F] "
+               "[--write-bench FILE] [--quiet]\n",
+               argv0);
+  return 1;
+}
+
+bool parse_long(const char* s, long long& out) {
+  char* end = nullptr;
+  out = std::strtoll(s, &end, 0);
+  return end && *end == '\0';
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end && end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path, report_path, write_bench_path;
+  flow::CampaignOptions opt;
+  double min_coverage = -1.0;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    long long n = 0;
+    if (a == "--model") {
+      if (!flow::fault_model_from_string(value("--model"), opt.model)) {
+        std::fprintf(stderr, "unknown model '%s'\n", argv[i]);
+        return 1;
+      }
+    } else if (a == "--threads") {
+      if (!parse_long(value("--threads"), n) || n < 1) return usage(argv[0]);
+      opt.sim.threads = static_cast<int>(n);
+    } else if (a == "--packing") {
+      const std::string p = value("--packing");
+      if (p == "auto") opt.sim.packing = atpg::SimPacking::kAuto;
+      else if (p == "pattern") opt.sim.packing = atpg::SimPacking::kPatternMajor;
+      else if (p == "fault") opt.sim.packing = atpg::SimPacking::kFaultMajor;
+      else {
+        std::fprintf(stderr, "unknown packing '%s'\n", p.c_str());
+        return 1;
+      }
+    } else if (a == "--cone-cache") {
+      if (!parse_long(value("--cone-cache"), n) || n < 0) return usage(argv[0]);
+      opt.sim.cone_cache_bytes = static_cast<std::size_t>(n);
+    } else if (a == "--random") {
+      if (!parse_long(value("--random"), n) || n < 0) return usage(argv[0]);
+      opt.random_patterns = static_cast<int>(n);
+    } else if (a == "--seed") {
+      if (!parse_long(value("--seed"), n)) return usage(argv[0]);
+      opt.seed = static_cast<std::uint64_t>(n);
+    } else if (a == "--backtracks") {
+      if (!parse_long(value("--backtracks"), n) || n < 0) return usage(argv[0]);
+      opt.max_backtracks = static_cast<long>(n);
+    } else if (a == "--ndetect") {
+      if (!parse_long(value("--ndetect"), n) || n < 0) return usage(argv[0]);
+      opt.ndetect = static_cast<int>(n);
+    } else if (a == "--no-compact") {
+      opt.compact = false;
+    } else if (a == "--report") {
+      report_path = value("--report");
+    } else if (a == "--min-coverage") {
+      // Strict parse: a typo here must not silently disable a CI gate.
+      if (!parse_double(value("--min-coverage"), min_coverage) ||
+          min_coverage < 0.0 || min_coverage > 1.0) {
+        std::fprintf(stderr, "--min-coverage needs a fraction in [0, 1]\n");
+        return 1;
+      }
+    } else if (a == "--write-bench") {
+      write_bench_path = value("--write-bench");
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  const io::BenchParseResult parsed = io::load_bench_file(path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error.c_str());
+    return 1;
+  }
+  if (!write_bench_path.empty()) {
+    std::ofstream out(write_bench_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", write_bench_path.c_str());
+      return 1;
+    }
+    out << io::write_bench(parsed.seq);
+  }
+
+  const flow::CampaignReport report = flow::run_campaign(parsed.seq, opt);
+  if (!quiet) flow::print_report(report);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+      return 1;
+    }
+    out << flow::report_json(report);
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.error.c_str());
+    return 1;
+  }
+  if (min_coverage >= 0.0 && report.coverage < min_coverage) {
+    std::fprintf(stderr, "coverage %.4f below --min-coverage %.4f\n",
+                 report.coverage, min_coverage);
+    return 2;
+  }
+  return 0;
+}
