@@ -52,10 +52,15 @@ struct SimComparison {
 /// netlist the OBD model needs; sequential designs come in as their
 /// full-scan view. These are the "real workload" rows of the perf
 /// trajectory, next to the synthetic zoo.
-std::vector<logic::Circuit> iscas_circuits() {
+std::vector<logic::Circuit> iscas_circuits(bool wide = false) {
   std::vector<logic::Circuit> out;
-  for (const char* f : {"c432.bench", "c880.bench", "c1355.bench",
-                        "s344.bench"}) {
+  const std::vector<const char*> narrow = {"c432.bench", "c880.bench",
+                                           "c1355.bench", "s344.bench"};
+  // The wide tier exceeds 64 PIs (233/207 PIs, a 74-flop scan chain) and
+  // exercises the multi-word InputVec vector path.
+  const std::vector<const char*> widef = {"c2670.bench", "c7552.bench",
+                                          "s1423.bench"};
+  for (const char* f : wide ? widef : narrow) {
     const io::BenchParseResult r =
         io::load_bench_file(std::string(OBD_CORPUS_DIR) + "/" + f);
     if (!r.ok) {
@@ -170,6 +175,7 @@ std::vector<SchedRow> reproduce_scheduler_scale() {
   circuits.push_back(logic::array_multiplier(4));
   circuits.push_back(logic::array_multiplier(6));
   for (auto& c : iscas_circuits()) circuits.push_back(std::move(c));
+  for (auto& c : iscas_circuits(/*wide=*/true)) circuits.push_back(std::move(c));
 
   struct Config {
     const char* mode;
@@ -187,8 +193,11 @@ std::vector<SchedRow> reproduce_scheduler_scale() {
                 "speedup", "identical"});
   for (const auto& c : circuits) {
     const auto faults = enumerate_obd_faults(c);
+    // The wide tier carries several-x larger fault lists; trim the pattern
+    // budget so the full threads x packing sweep stays a bench, not a soak.
+    const int n_tests = c.inputs().size() > 64 ? 256 : 1024;
     const auto tests =
-        random_pairs(static_cast<int>(c.inputs().size()), 1024, 0xca11ab1e);
+        random_pairs(static_cast<int>(c.inputs().size()), n_tests, 0xca11ab1e);
     const double work = static_cast<double>(faults.size() * tests.size());
     DetectionMatrix baseline;
     double baseline_s = 0.0;
@@ -241,9 +250,13 @@ void reproduce_faultsim_scale() {
   rows.push_back(compare_obd_sim(logic::parity_tree(16), 256));
   rows.push_back(compare_obd_sim(logic::array_multiplier(4), 256));
   // ISCAS corpus rows: the legacy baseline pays a full-circuit evaluation
-  // per (fault, test), so the test budget is smaller on these.
+  // per (fault, test), so the test budget is smaller on these — and smaller
+  // still on the wide (>64 PI) tier, whose fault lists are several times
+  // larger.
   for (const auto& c : iscas_circuits())
     rows.push_back(compare_obd_sim(c, 128));
+  for (const auto& c : iscas_circuits(/*wide=*/true))
+    rows.push_back(compare_obd_sim(c, 32));
 
   util::AsciiTable t("OBD fault-sim throughput (fault x patterns / sec)");
   t.set_header({"circuit", "gates", "faults", "tests", "cov ok", "legacy",

@@ -51,8 +51,8 @@ SArrival run_case(const logic::Circuit& c, const cells::Technology& tech,
   out.wave = *s;
   out.wave.set_name(trace_name);
   // Direction of the expected S edge from the logic model.
-  const bool s1 = c.eval_outputs(v1) & 1u;
-  const bool s2 = c.eval_outputs(v2) & 1u;
+  const bool s1 = (c.eval_outputs(v1) & 1u).any();
+  const bool s2 = (c.eval_outputs(v2) & 1u).any();
   if (s1 != s2) {
     util::DelayOptions dopt;
     dopt.vdd = tech.vdd;
@@ -111,14 +111,16 @@ void reproduce() {
     const std::string label =
         std::string(tr.pmos ? "P" : "N") + std::to_string(tr.input);
     const std::string test_str = cells::format_bits(
-        static_cast<cells::InputBits>(gen.test.v1), 3) +
-        "->" + cells::format_bits(static_cast<cells::InputBits>(gen.test.v2), 3);
+        static_cast<cells::InputBits>(gen.test.v1.u64()), 3) +
+        "->" +
+        cells::format_bits(static_cast<cells::InputBits>(gen.test.v2.u64()), 3);
 
-    const SArrival ff = run_case(c, tech, std::nullopt, stage, gen.test.v1,
-                                 gen.test.v2, "S_ff_" + label);
+    const SArrival ff = run_case(c, tech, std::nullopt, stage,
+                                 gen.test.v1.u64(), gen.test.v2.u64(),
+                                 "S_ff_" + label);
     const SArrival fy =
-        run_case(c, tech, std::make_pair(mid, tr), stage, gen.test.v1,
-                 gen.test.v2, "S_" + label);
+        run_case(c, tech, std::make_pair(mid, tr), stage, gen.test.v1.u64(),
+                 gen.test.v2.u64(), "S_" + label);
     std::string added = "-";
     if (ff.t_edge && fy.t_edge)
       added = util::format_time_eng(*fy.t_edge - *ff.t_edge);

@@ -46,8 +46,12 @@ void reproduce() {
   for (std::size_t i = 0; i < exact.size(); ++i) {
     const auto& tv = pairs[exact[i]];
     std::printf("(%s,%s) ",
-                cells::format_bits(static_cast<cells::InputBits>(tv.v1), 3).c_str(),
-                cells::format_bits(static_cast<cells::InputBits>(tv.v2), 3).c_str());
+                cells::format_bits(static_cast<cells::InputBits>(tv.v1.u64()),
+                                   3)
+                    .c_str(),
+                cells::format_bits(static_cast<cells::InputBits>(tv.v2.u64()),
+                                   3)
+                    .c_str());
     if (i % 6 == 5) std::printf("\n  ");
   }
   std::printf("\n\nuntestable faults (all in or masked by the redundant branch):\n  ");

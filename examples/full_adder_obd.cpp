@@ -51,8 +51,12 @@ int main() {
     }
   }
   std::printf("ATPG test (A,B,C): %s -> %s\n",
-              cells::format_bits(static_cast<cells::InputBits>(test.v1), 3).c_str(),
-              cells::format_bits(static_cast<cells::InputBits>(test.v2), 3).c_str());
+              cells::format_bits(static_cast<cells::InputBits>(test.v1.u64()),
+                                 3)
+                  .c_str(),
+              cells::format_bits(static_cast<cells::InputBits>(test.v2.u64()),
+                                 3)
+                  .c_str());
 
   // --- 3. Analog runs -------------------------------------------------------
   const cells::Technology tech = cells::Technology::default_350nm();

@@ -49,7 +49,7 @@ void analyze(const logic::Circuit& raw) {
 
   // Classical baselines.
   const AtpgRun sa = run_stuck_at_atpg(c, enumerate_stuck_faults(c));
-  std::vector<std::uint64_t> flat;
+  std::vector<InputVec> flat;
   for (const auto& t : sa.tests) flat.push_back(t.v2);
   const double sa_cov = obd_coverage(c, consecutive_pairs(flat), faults);
   const AtpgRun tr = run_transition_atpg(c, enumerate_transition_faults(c));

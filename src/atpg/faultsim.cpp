@@ -7,13 +7,6 @@
 namespace obd::atpg {
 namespace {
 
-std::uint64_t outputs_of(const Circuit& c, const std::vector<bool>& values) {
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < c.outputs().size(); ++i)
-    if (values[static_cast<std::size_t>(c.outputs()[i])]) out |= (1ull << i);
-  return out;
-}
-
 std::vector<bool> row0_bools(const DetectionMatrix& m) {
   std::vector<bool> out(m.n_faults, false);
   for (std::size_t f = 0; f < m.n_faults; ++f) out[f] = m.detects(0, f);
@@ -27,7 +20,7 @@ std::vector<bool> row0_bools(const DetectionMatrix& m) {
 // ceil(faults/64) full-circuit evaluations instead of one cone pass per
 // fault — and every existing caller exercises that kernel.
 
-std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
+std::vector<bool> simulate_stuck_at(const Circuit& c, const InputVec& pattern,
                                     const std::vector<StuckFault>& faults) {
   FaultSimScheduler sched(c);
   return row0_bools(sched.matrix_stuck({pattern}, faults));
@@ -52,12 +45,12 @@ std::vector<bool> simulate_obd_x(const Circuit& c, const XTwoVectorTest& test,
   return engine.definite_obd(test, faults);
 }
 
-bool forced_outputs_differ(const Circuit& c, std::uint64_t pattern, NetId net,
-                           bool value) {
+bool forced_outputs_differ(const Circuit& c, const InputVec& pattern,
+                           NetId net, bool value) {
   // Lightweight single-lane path (no engine / cone cache): callers such as
   // scan-test verification invoke this once per fault on a fresh circuit.
   std::vector<std::uint64_t> pi(c.inputs().size());
-  for (std::size_t i = 0; i < pi.size(); ++i) pi[i] = (pattern >> i) & 1u;
+  for (std::size_t i = 0; i < pi.size(); ++i) pi[i] = pattern.bit(i) ? 1u : 0u;
   const auto good = c.eval_words(pi);
   const auto bad = c.eval_words(pi, net, value ? 1ull : 0ull);
   for (NetId po : c.outputs()) {
@@ -86,7 +79,7 @@ bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
 // --- Detection matrices ------------------------------------------------------
 
 DetectionMatrix build_stuck_matrix(const Circuit& c,
-                                   const std::vector<std::uint64_t>& patterns,
+                                   const std::vector<InputVec>& patterns,
                                    const std::vector<StuckFault>& faults,
                                    const SimOptions& sim) {
   return FaultSimScheduler(c, sim).matrix_stuck(patterns, faults);
@@ -132,7 +125,7 @@ double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
 }
 
 double stuck_coverage(const Circuit& c,
-                      const std::vector<std::uint64_t>& patterns,
+                      const std::vector<InputVec>& patterns,
                       const std::vector<StuckFault>& faults,
                       const SimOptions& sim) {
   if (faults.empty()) return 1.0;
@@ -161,27 +154,26 @@ namespace {
 /// Frame-2 PO word with one net frozen: the original per-pattern path. The
 /// pattern is broadcast to every lane and lane 0 read back — exactly the
 /// 1/64 utilization the block engine eliminates.
-std::uint64_t outputs_with_forced(const Circuit& c, std::uint64_t pattern,
-                                  NetId forced, bool forced_value) {
+InputVec outputs_with_forced(const Circuit& c, const InputVec& pattern,
+                             NetId forced, bool forced_value) {
   std::vector<std::uint64_t> pi(c.inputs().size());
   for (std::size_t i = 0; i < pi.size(); ++i)
-    pi[i] = ((pattern >> i) & 1u) ? ~0ull : 0ull;
+    pi[i] = pattern.bit(i) ? ~0ull : 0ull;
   const auto words = c.eval_words(pi, forced, forced_value ? ~0ull : 0ull);
-  std::uint64_t out = 0;
+  InputVec out;
   for (std::size_t i = 0; i < c.outputs().size(); ++i)
-    if (words[static_cast<std::size_t>(c.outputs()[i])] & 1ull)
-      out |= (1ull << i);
+    if (words[static_cast<std::size_t>(c.outputs()[i])] & 1ull) out.set_bit(i);
   return out;
 }
 
 }  // namespace
 
-std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
+std::vector<bool> simulate_stuck_at(const Circuit& c, const InputVec& pattern,
                                     const std::vector<StuckFault>& faults) {
-  const std::uint64_t good = c.eval_outputs(pattern);
+  const InputVec good = c.eval_outputs(pattern);
   std::vector<bool> detected(faults.size(), false);
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    const std::uint64_t bad =
+    const InputVec bad =
         outputs_with_forced(c, pattern, faults[i].net, faults[i].value);
     detected[i] = bad != good;
   }
@@ -192,7 +184,7 @@ std::vector<bool> simulate_obd(const Circuit& c, const TwoVectorTest& test,
                                const std::vector<ObdFaultSite>& faults) {
   const std::vector<bool> v1_values = c.eval(test.v1);
   const std::vector<bool> v2_values = c.eval(test.v2);
-  const std::uint64_t good2 = outputs_of(c, v2_values);
+  const InputVec good2 = c.pack_outputs(v2_values);
   std::vector<bool> detected(faults.size(), false);
 
   for (std::size_t i = 0; i < faults.size(); ++i) {
@@ -207,8 +199,7 @@ std::vector<bool> simulate_obd(const Circuit& c, const TwoVectorTest& test,
       continue;
     // Gross-delay: the excited gate's output stays at its frame-1 value.
     const bool old_out = topo->output(lv1);
-    const std::uint64_t bad2 =
-        outputs_with_forced(c, test.v2, g.output, old_out);
+    const InputVec bad2 = outputs_with_forced(c, test.v2, g.output, old_out);
     detected[i] = bad2 != good2;
   }
   return detected;
@@ -219,7 +210,7 @@ std::vector<bool> simulate_transition(
     const std::vector<TransitionFault>& faults) {
   const std::vector<bool> v1_values = c.eval(test.v1);
   const std::vector<bool> v2_values = c.eval(test.v2);
-  const std::uint64_t good2 = outputs_of(c, v2_values);
+  const InputVec good2 = c.pack_outputs(v2_values);
   std::vector<bool> detected(faults.size(), false);
   for (std::size_t i = 0; i < faults.size(); ++i) {
     const TransitionFault& f = faults[i];
@@ -227,7 +218,7 @@ std::vector<bool> simulate_transition(
     const bool o2 = v2_values[static_cast<std::size_t>(f.net)];
     const bool excited = f.slow_to_rise ? (!o1 && o2) : (o1 && !o2);
     if (!excited) continue;
-    const std::uint64_t bad2 = outputs_with_forced(c, test.v2, f.net, o1);
+    const InputVec bad2 = outputs_with_forced(c, test.v2, f.net, o1);
     detected[i] = bad2 != good2;
   }
   return detected;

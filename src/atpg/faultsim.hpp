@@ -27,7 +27,7 @@
 namespace obd::atpg {
 
 /// Per-fault detection flags for one single-vector test.
-std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
+std::vector<bool> simulate_stuck_at(const Circuit& c, const InputVec& pattern,
                                     const std::vector<StuckFault>& faults);
 
 /// Per-fault detection flags for one two-vector test against OBD faults.
@@ -47,8 +47,8 @@ std::vector<bool> simulate_obd_x(const Circuit& c, const XTwoVectorTest& test,
 
 /// Does forcing `net` to `value` under `pattern` change any PO? The
 /// single-pattern building block shared with scan-test verification.
-bool forced_outputs_differ(const Circuit& c, std::uint64_t pattern, NetId net,
-                           bool value);
+bool forced_outputs_differ(const Circuit& c, const InputVec& pattern,
+                           NetId net, bool value);
 
 /// Timing-aware OBD detection of a single fault: event-driven run with
 /// `extra_delay` added to excited transitions (or a stall when `stuck`),
@@ -63,7 +63,7 @@ bool simulate_obd_timing(const Circuit& c, const TwoVectorTest& test,
 // it); the builders below pick packing and threads from `sim`.
 
 DetectionMatrix build_stuck_matrix(const Circuit& c,
-                                   const std::vector<std::uint64_t>& patterns,
+                                   const std::vector<InputVec>& patterns,
                                    const std::vector<StuckFault>& faults,
                                    const SimOptions& sim = {});
 
@@ -94,7 +94,7 @@ double obd_coverage(const Circuit& c, const std::vector<TwoVectorTest>& tests,
                     const std::vector<ObdFaultSite>& faults,
                     const SimOptions& sim = {});
 double stuck_coverage(const Circuit& c,
-                      const std::vector<std::uint64_t>& patterns,
+                      const std::vector<InputVec>& patterns,
                       const std::vector<StuckFault>& faults,
                       const SimOptions& sim = {});
 double transition_coverage(const Circuit& c,
@@ -107,7 +107,7 @@ namespace legacy {
 /// Reference one-fault-one-pattern simulators (full-circuit re-evaluation
 /// per fault per test). Kept as the equivalence oracle for the block engine
 /// and as the baseline in the old-vs-new benchmarks.
-std::vector<bool> simulate_stuck_at(const Circuit& c, std::uint64_t pattern,
+std::vector<bool> simulate_stuck_at(const Circuit& c, const InputVec& pattern,
                                     const std::vector<StuckFault>& faults);
 std::vector<bool> simulate_obd(const Circuit& c, const TwoVectorTest& test,
                                const std::vector<ObdFaultSite>& faults);

@@ -30,10 +30,9 @@ void PatternBlock::clear() {
 void PatternBlock::push(const TwoVectorTest& t) {
   assert(size_ < kLanes);
   const std::uint64_t lane = 1ull << size_;
-  for (std::size_t i = 0; i < pi1_.size(); ++i) {
-    if ((t.v1 >> i) & 1u) pi1_[i] |= lane;
-    if ((t.v2 >> i) & 1u) pi2_[i] |= lane;
-  }
+  const std::size_t n_pi = pi1_.size();
+  logic::for_each_set_bit(t.v1, n_pi, [&](std::size_t pi) { pi1_[pi] |= lane; });
+  logic::for_each_set_bit(t.v2, n_pi, [&](std::size_t pi) { pi2_[pi] |= lane; });
   tests_.push_back(t);
   ++size_;
 }
@@ -279,11 +278,11 @@ FaultSimEngine::Campaign FaultSimEngine::run_campaign(
 }
 
 FaultSimEngine::Campaign FaultSimEngine::campaign_stuck(
-    const std::vector<std::uint64_t>& patterns,
+    const std::vector<InputVec>& patterns,
     const std::vector<StuckFault>& faults, bool drop_detected) {
   std::vector<TwoVectorTest> tests;
   tests.reserve(patterns.size());
-  for (std::uint64_t p : patterns) tests.push_back({p, p});
+  for (const InputVec& p : patterns) tests.push_back({p, p});
   return run_campaign(tests, faults, drop_detected,
                       [this](const PatternBlock& b, const auto& fl, auto& det,
                              const auto* act) { block_stuck(b, fl, det, act); });
@@ -311,14 +310,18 @@ FaultSimEngine::Campaign FaultSimEngine::campaign_obd(
 
 void FaultSimEngine::load_broadcast_goods(const TwoVectorTest& t,
                                           bool need_frame1) {
-  pi_bcast_.assign(c_.inputs().size(), 0);
+  const std::size_t n_pi = c_.inputs().size();
+  // Broadcast each vector bit across all 64 lanes of its PI word.
+  const auto bcast = [&](const InputVec& v) {
+    pi_bcast_.assign(n_pi, 0);
+    logic::for_each_set_bit(v, n_pi,
+                            [&](std::size_t pi) { pi_bcast_[pi] = ~0ull; });
+  };
   if (need_frame1) {
-    for (std::size_t i = 0; i < pi_bcast_.size(); ++i)
-      pi_bcast_[i] = ((t.v1 >> i) & 1u) ? ~0ull : 0ull;
+    bcast(t.v1);
     c_.eval_words_into(pi_bcast_, good1_);
   }
-  for (std::size_t i = 0; i < pi_bcast_.size(); ++i)
-    pi_bcast_[i] = ((t.v2 >> i) & 1u) ? ~0ull : 0ull;
+  bcast(t.v2);
   c_.eval_words_into(pi_bcast_, good2_);
 }
 
@@ -367,7 +370,7 @@ std::uint64_t FaultSimEngine::injected_diff() {
   return diff;
 }
 
-void FaultSimEngine::test_stuck(std::uint64_t pattern,
+void FaultSimEngine::test_stuck(const InputVec& pattern,
                                 const std::vector<StuckFault>& faults,
                                 const std::vector<int>& idx,
                                 std::vector<std::uint64_t>& detect) {
@@ -457,13 +460,13 @@ std::vector<bool> FaultSimEngine::definite_obd(
   const std::size_t n_pi = c_.inputs().size();
   std::vector<std::uint64_t> bits(n_pi), care(n_pi);
   for (std::size_t i = 0; i < n_pi; ++i) {
-    bits[i] = ((t.v1.bits >> i) & 1u) ? ~0ull : 0ull;
-    care[i] = ((t.v1.care_mask >> i) & 1u) ? ~0ull : 0ull;
+    bits[i] = t.v1.bits.bit(i) ? ~0ull : 0ull;
+    care[i] = t.v1.care_mask.bit(i) ? ~0ull : 0ull;
   }
   const std::vector<Words3> good1 = c_.eval3_words(bits, care);
   for (std::size_t i = 0; i < n_pi; ++i) {
-    bits[i] = ((t.v2.bits >> i) & 1u) ? ~0ull : 0ull;
-    care[i] = ((t.v2.care_mask >> i) & 1u) ? ~0ull : 0ull;
+    bits[i] = t.v2.bits.bit(i) ? ~0ull : 0ull;
+    care[i] = t.v2.care_mask.bit(i) ? ~0ull : 0ull;
   }
   const std::vector<Words3> pi2 = [&] {
     std::vector<Words3> w(n_pi);
@@ -738,11 +741,11 @@ FaultSimEngine::Campaign FaultSimScheduler::run_campaign(
 }
 
 DetectionMatrix FaultSimScheduler::matrix_stuck(
-    const std::vector<std::uint64_t>& patterns,
+    const std::vector<InputVec>& patterns,
     const std::vector<StuckFault>& faults) {
   std::vector<TwoVectorTest> tests;
   tests.reserve(patterns.size());
-  for (std::uint64_t p : patterns) tests.push_back({p, p});
+  for (const InputVec& p : patterns) tests.push_back({p, p});
   return build_matrix(
       tests, faults,
       [](FaultSimEngine& e, const PatternBlock& b, const auto& fl, auto& det) {
@@ -777,11 +780,11 @@ DetectionMatrix FaultSimScheduler::matrix_obd(
 }
 
 FaultSimEngine::Campaign FaultSimScheduler::campaign_stuck(
-    const std::vector<std::uint64_t>& patterns,
+    const std::vector<InputVec>& patterns,
     const std::vector<StuckFault>& faults, bool drop_detected) {
   std::vector<TwoVectorTest> tests;
   tests.reserve(patterns.size());
-  for (std::uint64_t p : patterns) tests.push_back({p, p});
+  for (const InputVec& p : patterns) tests.push_back({p, p});
   return run_campaign(
       tests, faults, drop_detected,
       [](FaultSimEngine& e, const PatternBlock& b, const auto& fl, auto& det,

@@ -154,7 +154,8 @@ class FaultSimEngine {
   // evaluation with per-lane fault injection, independent of how many
   // lanes are live — the complementary axis to the pattern blocks.
 
-  void test_stuck(std::uint64_t pattern, const std::vector<StuckFault>& faults,
+  void test_stuck(const InputVec& pattern,
+                  const std::vector<StuckFault>& faults,
                   const std::vector<int>& idx,
                   std::vector<std::uint64_t>& detect);
   void test_transition(const TwoVectorTest& t,
@@ -191,7 +192,7 @@ class FaultSimEngine {
     long long fault_block_evals = 0;
   };
 
-  Campaign campaign_stuck(const std::vector<std::uint64_t>& patterns,
+  Campaign campaign_stuck(const std::vector<InputVec>& patterns,
                           const std::vector<StuckFault>& faults,
                           bool drop_detected = true);
   Campaign campaign_transition(const std::vector<TwoVectorTest>& tests,
@@ -284,7 +285,7 @@ class FaultSimScheduler {
   SimPacking resolve_packing(std::size_t n_tests, std::size_t n_faults) const;
 
   // --- Detection matrices ----------------------------------------------
-  DetectionMatrix matrix_stuck(const std::vector<std::uint64_t>& patterns,
+  DetectionMatrix matrix_stuck(const std::vector<InputVec>& patterns,
                                const std::vector<StuckFault>& faults);
   DetectionMatrix matrix_transition(const std::vector<TwoVectorTest>& tests,
                                     const std::vector<TransitionFault>& faults);
@@ -293,7 +294,7 @@ class FaultSimScheduler {
 
   // --- Campaigns (deterministic fault-drop reconciliation) -------------
   FaultSimEngine::Campaign campaign_stuck(
-      const std::vector<std::uint64_t>& patterns,
+      const std::vector<InputVec>& patterns,
       const std::vector<StuckFault>& faults, bool drop_detected = true);
   FaultSimEngine::Campaign campaign_transition(
       const std::vector<TwoVectorTest>& tests,

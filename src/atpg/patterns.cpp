@@ -1,8 +1,16 @@
 #include "atpg/patterns.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace obd::atpg {
 
 std::vector<TwoVectorTest> all_ordered_pairs(int n_pis, bool include_repeats) {
+  if (n_pis < 0 || n_pis > 16)
+    throw std::invalid_argument(
+        "all_ordered_pairs: n_pis = " + std::to_string(n_pis) +
+        " out of range [0, 16] (4^n_pis pairs would be enumerated; use "
+        "random_pairs for wide circuits)");
   std::vector<TwoVectorTest> out;
   const std::uint64_t limit = 1ull << n_pis;
   for (std::uint64_t v1 = 0; v1 < limit; ++v1)
@@ -15,18 +23,23 @@ std::vector<TwoVectorTest> all_ordered_pairs(int n_pis, bool include_repeats) {
 
 std::vector<TwoVectorTest> random_pairs(int n_pis, int count,
                                         std::uint64_t seed) {
+  if (n_pis < 0)
+    throw std::invalid_argument("random_pairs: negative n_pis = " +
+                                std::to_string(n_pis));
   util::Prng prng(seed);
-  const std::uint64_t mask =
-      n_pis >= 64 ? ~0ull : ((1ull << n_pis) - 1);
+  const auto width = static_cast<std::size_t>(n_pis);
   std::vector<TwoVectorTest> out;
   out.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i)
-    out.push_back({prng.next_u64() & mask, prng.next_u64() & mask});
+  for (int i = 0; i < count; ++i) {
+    InputVec v1 = InputVec::random(width, prng);
+    InputVec v2 = InputVec::random(width, prng);
+    out.push_back({std::move(v1), std::move(v2)});
+  }
   return out;
 }
 
 std::vector<TwoVectorTest> consecutive_pairs(
-    const std::vector<std::uint64_t>& patterns) {
+    const std::vector<InputVec>& patterns) {
   std::vector<TwoVectorTest> out;
   for (std::size_t i = 0; i + 1 < patterns.size(); ++i)
     out.push_back({patterns[i], patterns[i + 1]});

@@ -5,23 +5,26 @@
 #include <vector>
 
 #include "logic/circuit.hpp"
+#include "logic/inputvec.hpp"
 #include "util/prng.hpp"
 
 namespace obd::atpg {
 
-/// A single input vector (bit i = PI i).
+using logic::InputVec;
+
+/// A single input vector (bit i = PI i), any width.
 struct TestVector {
-  std::uint64_t bits = 0;
+  InputVec bits;
   /// Bits the generator actually cared about; don't-cares were filled.
-  std::uint64_t care_mask = 0;
+  InputVec care_mask;
 
   bool operator==(const TestVector&) const = default;
 };
 
 /// A two-vector (launch/capture) test.
 struct TwoVectorTest {
-  std::uint64_t v1 = 0;
-  std::uint64_t v2 = 0;
+  InputVec v1;
+  InputVec v2;
 
   bool operator==(const TwoVectorTest&) const = default;
 };
@@ -40,8 +43,10 @@ struct XTwoVectorTest {
   /// No PI is required to be 0 by one test and 1 by the other, in either
   /// frame — the precondition for merging.
   bool compatible(const XTwoVectorTest& o) const {
-    return ((v1.bits ^ o.v1.bits) & v1.care_mask & o.v1.care_mask) == 0 &&
-           ((v2.bits ^ o.v2.bits) & v2.care_mask & o.v2.care_mask) == 0;
+    return InputVec::compatible(v1.bits, v1.care_mask, o.v1.bits,
+                                o.v1.care_mask) &&
+           InputVec::compatible(v2.bits, v2.care_mask, o.v2.bits,
+                                o.v2.care_mask);
   }
 
   /// Union of the care bits; don't-cares of both fall back to 0. Only
@@ -49,9 +54,11 @@ struct XTwoVectorTest {
   XTwoVectorTest merged(const XTwoVectorTest& o) const {
     XTwoVectorTest m;
     m.v1.care_mask = v1.care_mask | o.v1.care_mask;
-    m.v1.bits = (v1.bits & v1.care_mask) | (o.v1.bits & o.v1.care_mask);
+    m.v1.bits = InputVec::merge(v1.bits, v1.care_mask, o.v1.bits,
+                                o.v1.care_mask);
     m.v2.care_mask = v2.care_mask | o.v2.care_mask;
-    m.v2.bits = (v2.bits & v2.care_mask) | (o.v2.bits & o.v2.care_mask);
+    m.v2.bits = InputVec::merge(v2.bits, v2.care_mask, o.v2.bits,
+                                o.v2.care_mask);
     return m;
   }
 
@@ -61,11 +68,14 @@ struct XTwoVectorTest {
 };
 
 /// Every ordered pair (v1, v2) over n_pis inputs. `include_repeats` keeps
-/// v1 == v2 pairs (which can never excite a transition). n_pis <= 16.
+/// v1 == v2 pairs (which can never excite a transition). Exhaustive
+/// enumeration is 4^n_pis pairs, so n_pis is capped at 16; larger requests
+/// throw std::invalid_argument (use random_pairs for wide circuits).
 std::vector<TwoVectorTest> all_ordered_pairs(int n_pis,
                                              bool include_repeats = false);
 
-/// `count` random pairs, deterministic in `seed`.
+/// `count` random pairs, deterministic in `seed`. Any width: vectors wider
+/// than 64 PIs consume one PRNG draw per 64-bit word.
 std::vector<TwoVectorTest> random_pairs(int n_pis, int count,
                                         std::uint64_t seed);
 
@@ -73,7 +83,7 @@ std::vector<TwoVectorTest> random_pairs(int n_pis, int count,
 /// (p0,p1), (p1,p2), ... — how single-vector (stuck-at) test sets are
 /// applied in practice when probing dynamic faults.
 std::vector<TwoVectorTest> consecutive_pairs(
-    const std::vector<std::uint64_t>& patterns);
+    const std::vector<InputVec>& patterns);
 
 /// How a simulation call packs work into 64-bit words. Lives here (not in
 /// faultsim_engine.hpp) so options structs like PodemOptions can name it

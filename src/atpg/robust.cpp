@@ -3,20 +3,9 @@
 #include "core/excitation.hpp"
 
 namespace obd::atpg {
-namespace {
-
-std::uint64_t outputs_of(const Circuit& c, const std::vector<bool>& values) {
-  std::uint64_t out = 0;
-  for (std::size_t i = 0; i < c.outputs().size(); ++i)
-    if (values[static_cast<std::size_t>(c.outputs()[i])]) out |= (1ull << i);
-  return out;
-}
-
-}  // namespace
 
 bool is_single_input_change(const TwoVectorTest& t) {
-  const std::uint64_t diff = t.v1 ^ t.v2;
-  return diff != 0 && (diff & (diff - 1)) == 0;
+  return (t.v1 ^ t.v2).popcount() == 1;
 }
 
 namespace {
@@ -46,7 +35,7 @@ bool robust_given_detected(const Circuit& c, const TwoVectorTest& test,
     // do a manual topological pass.
     std::vector<bool> values(c.num_nets(), false);
     for (std::size_t i = 0; i < c.inputs().size(); ++i)
-      values[static_cast<std::size_t>(c.inputs()[i])] = (test.v2 >> i) & 1u;
+      values[static_cast<std::size_t>(c.inputs()[i])] = test.v2.bit(i);
     for (int gi : c.topo_order()) {
       const auto& gate = c.gate(gi);
       bool val;
@@ -59,8 +48,8 @@ bool robust_given_detected(const Circuit& c, const TwoVectorTest& test,
       }
       values[static_cast<std::size_t>(gate.output)] = val;
     }
-    const std::uint64_t good2 = outputs_of(c, v2_values);
-    if (outputs_of(c, values) == good2) return false;  // masked
+    const InputVec good2 = c.pack_outputs(v2_values);
+    if (c.pack_outputs(values) == good2) return false;  // masked
   }
   return true;
 }

@@ -1,5 +1,7 @@
 #include "atpg/scan.hpp"
 
+#include <chrono>
+
 #include "atpg/faultsim.hpp"
 #include "core/excitation.hpp"
 #include "util/prng.hpp"
@@ -19,10 +21,6 @@ std::vector<NetConstraint> pin_gate_inputs(const Circuit& c, int gate_idx,
   return out;
 }
 
-std::uint64_t field(std::uint64_t bits, std::size_t offset, std::size_t width) {
-  return (bits >> offset) & ((width >= 64) ? ~0ull : ((1ull << width) - 1));
-}
-
 ScanObdResult generate_enhanced(const SequentialCircuit& seq,
                                 const ObdFaultSite& site,
                                 const PodemOptions& opt) {
@@ -35,10 +33,10 @@ ScanObdResult generate_enhanced(const SequentialCircuit& seq,
   if (r.status != PodemStatus::kFound) return result;
   const std::size_t n_pi = seq.core().inputs().size();
   const std::size_t n_ff = seq.flops().size();
-  result.test.pi1 = field(r.test.v1, 0, n_pi);
-  result.test.state1 = field(r.test.v1, n_pi, n_ff);
-  result.test.pi2 = field(r.test.v2, 0, n_pi);
-  result.test.state2 = field(r.test.v2, n_pi, n_ff);
+  result.test.pi1 = r.test.v1.slice(0, n_pi);
+  result.test.state1 = r.test.v1.slice(n_pi, n_ff);
+  result.test.pi2 = r.test.v2.slice(0, n_pi);
+  result.test.state2 = r.test.v2.slice(n_pi, n_ff);
   result.test.state2_loaded = true;
   return result;
 }
@@ -68,12 +66,25 @@ ScanObdResult generate_loc(const SequentialCircuit& seq,
 
     const std::size_t n_pi = seq.core().inputs().size();
     const std::size_t n_ff = seq.flops().size();
-    result.test.pi1 = field(r.vector.bits, 0, n_pi);
-    result.test.state1 = field(r.vector.bits, n_pi, n_ff);
+    result.test.pi1 = r.vector.bits.slice(0, n_pi);
+    result.test.state1 = r.vector.bits.slice(n_pi, n_ff);
     result.test.pi2 = held_pi ? result.test.pi1
-                              : field(r.vector.bits, n_pi + n_ff, n_pi);
-    result.test.state2 =
-        seq.step(result.test.pi1, result.test.state1).next_state;
+                              : r.vector.bits.slice(n_pi + n_ff, n_pi);
+    // Frame-2 present state = the machine's own launch response; read it
+    // off the unrolled circuit's frame-1 next-state nets instead of
+    // rebuilding a scan view (seq.step constructs one per call).
+    const std::vector<bool> uvals = u.eval(r.vector.bits);
+    for (std::size_t j = 0; j < n_ff; ++j) {
+      const std::string& d_name = seq.core().net_name(seq.flops()[j].d);
+      logic::NetId d1 = u.find_net(d_name + "@1");
+      // A flop fed directly by a PI carries the shared "@12" suffix when
+      // the frames share inputs.
+      if (d1 == logic::kNoNet) d1 = u.find_net(d_name + "@12");
+      // Both lookups missing is unreachable for a circuit unroll just
+      // built, but an undriven-net 0 beats an out-of-bounds read.
+      if (d1 == logic::kNoNet) continue;
+      result.test.state2.set_bit(j, uvals[static_cast<std::size_t>(d1)]);
+    }
     result.test.state2_loaded = false;
     result.status = PodemStatus::kFound;
     return result;
@@ -114,14 +125,14 @@ bool verify_scan_obd_test(const SequentialCircuit& seq,
   const std::size_t n_pi = seq.core().inputs().size();
 
   // Frame-1 (launch) settled values.
-  const std::uint64_t in1 = test.pi1 | (test.state1 << n_pi);
+  const InputVec in1 = test.pi1 | (test.state1 << n_pi);
   const std::vector<bool> vals1 = sv.eval(in1);
 
   // Frame-2 present state: loaded (enhanced) or the machine's own response.
-  const std::uint64_t state2 =
+  const InputVec state2 =
       test.state2_loaded ? test.state2
                          : seq.step(test.pi1, test.state1).next_state;
-  const std::uint64_t in2 = test.pi2 | (state2 << n_pi);
+  const InputVec in2 = test.pi2 | (state2 << n_pi);
   const std::vector<bool> vals2 = sv.eval(in2);
 
   // Gate-local excitation across the launch->capture boundary.
@@ -138,16 +149,6 @@ bool verify_scan_obd_test(const SequentialCircuit& seq,
   const bool old_out = topo->output(lv1);
   return forced_outputs_differ(sv, in2, gate.output, old_out);
 }
-
-namespace {
-
-std::uint64_t rand_bits(util::Prng& prng, std::size_t width) {
-  if (width == 0) return 0;
-  const std::uint64_t r = prng.next_u64();
-  return width >= 64 ? r : (r & ((1ull << width) - 1));
-}
-
-}  // namespace
 
 std::vector<ScanObdTest> random_broadside_tests(const SequentialCircuit& seq,
                                                 ScanMode mode, int count,
@@ -170,13 +171,14 @@ std::vector<ScanObdTest> random_broadside_tests(const SequentialCircuit& seq,
   tests.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     ScanObdTest t;
-    t.pi1 = rand_bits(prng, n_pi);
-    t.state1 = rand_bits(prng, n_ff);
-    t.pi2 = mode == ScanMode::kLaunchOnCaptureHeldPi ? t.pi1
-                                                     : rand_bits(prng, n_pi);
+    t.pi1 = InputVec::random(n_pi, prng);
+    t.state1 = InputVec::random(n_ff, prng);
+    t.pi2 = mode == ScanMode::kLaunchOnCaptureHeldPi
+                ? t.pi1
+                : InputVec::random(n_pi, prng);
     t.state2_loaded = mode == ScanMode::kEnhanced;
     t.state2 = t.state2_loaded
-                   ? rand_bits(prng, n_ff)
+                   ? InputVec::random(n_ff, prng)
                    : sv.eval_outputs(t.pi1 | (t.state1 << n_pi)) >> n_po;
     tests.push_back(t);
   }
@@ -197,6 +199,7 @@ ScanCampaign run_scan_obd_atpg(const SequentialCircuit& seq,
   if (opt.random_phase > 0 && !faults.empty()) {
     // Broadside random-pattern phase over the scan view, with fault
     // dropping. Fault indices carry over: scan_view preserves gate order.
+    const auto t0 = std::chrono::steady_clock::now();
     const Circuit sv = seq.scan_view();
     const std::vector<ScanObdTest> random_tests = random_broadside_tests(
         seq, sv, mode, opt.random_phase, opt.random_phase_seed);
@@ -205,14 +208,20 @@ ScanCampaign run_scan_obd_atpg(const SequentialCircuit& seq,
     for (const auto& t : random_tests)
       vectors.push_back(scan_view_vectors(seq, t));
     FaultSimScheduler sched(sv, opt.sim);
-    const PrepassMarks marks = mark_first_detections(
-        sched.campaign_obd(vectors, faults, /*drop_detected=*/true),
-        random_tests.size());
+    const FaultSimEngine::Campaign campaign =
+        sched.campaign_obd(vectors, faults, /*drop_detected=*/true);
+    c.fault_block_evals = campaign.fault_block_evals;
+    const PrepassMarks marks =
+        mark_first_detections(campaign, random_tests.size());
     skip = marks.skip;
     c.found += marks.found;
     c.random_found += marks.found;
     for (std::size_t t = 0; t < random_tests.size(); ++t)
       if (marks.useful[t]) c.tests.push_back(random_tests[t]);
+    c.random_tests = static_cast<int>(c.tests.size());
+    c.random_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
   }
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (skip[i]) continue;

@@ -26,15 +26,16 @@ enum class ScanMode {
 
 const char* to_string(ScanMode m);
 
-/// A scan test: state to scan in, PI vectors for the two cycles.
+/// A scan test: state to scan in, PI vectors for the two cycles. All fields
+/// are wide InputVecs, so scan chains longer than 64 flops apply unchanged.
 struct ScanObdTest {
-  std::uint64_t state1 = 0;
-  std::uint64_t pi1 = 0;
-  std::uint64_t pi2 = 0;
+  InputVec state1;
+  InputVec pi1;
+  InputVec pi2;
   /// Frame-2 state. For enhanced scan this is independently loaded; for the
   /// LOC modes it is derived (the machine's own next state) and recorded
   /// here for reporting only.
-  std::uint64_t state2 = 0;
+  InputVec state2;
   /// True when state2 was independently loaded (enhanced scan).
   bool state2_loaded = false;
 };
@@ -84,6 +85,14 @@ struct ScanCampaign {
   int aborted = 0;
   /// Of `found`, how many came from the random-pattern prepass.
   int random_found = 0;
+  /// Prepass tests kept because they first-detected some fault (they are
+  /// the first `random_tests` entries of `tests`).
+  int random_tests = 0;
+  /// Scheduler work metric of the prepass (Campaign::fault_block_evals).
+  long long fault_block_evals = 0;
+  /// Wall-clock seconds spent in the random prepass (generation + fault
+  /// simulation); campaign drivers report it separately from PODEM time.
+  double random_seconds = 0.0;
   std::vector<ScanObdTest> tests;
 };
 

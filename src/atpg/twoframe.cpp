@@ -102,9 +102,7 @@ std::vector<std::uint8_t> random_phase_prepass(
   const PrepassMarks marks =
       mark_first_detections(campaign(sched, tests), tests.size());
   run.found += marks.found;
-  const std::size_t n_pi = c.inputs().size();
-  const std::uint64_t pi_mask =
-      n_pi >= 64 ? ~0ull : ((1ull << n_pi) - 1);
+  const InputVec pi_mask = InputVec::mask(c.inputs().size());
   for (std::size_t t = 0; t < tests.size(); ++t) {
     if (!marks.useful[t]) continue;
     run.tests.push_back(tests[t]);
@@ -188,7 +186,7 @@ AtpgRun run_stuck_at_atpg(const Circuit& c,
   auto skip = random_phase_prepass(
       c, faults, tests, opt, run,
       [&](FaultSimScheduler& s, const std::vector<TwoVectorTest>& ts) {
-        std::vector<std::uint64_t> patterns(ts.size());
+        std::vector<InputVec> patterns(ts.size());
         for (std::size_t i = 0; i < ts.size(); ++i) patterns[i] = ts[i].v2;
         return s.campaign_stuck(patterns, faults);
       });

@@ -47,6 +47,93 @@ struct ModelOps {
       matrix;
 };
 
+/// Structure stats shared by every campaign path.
+void fill_structure(const logic::Circuit& view, CampaignReport& r) {
+  r.gates = view.num_gates();
+  r.nets = view.num_nets();
+  r.pis = view.inputs().size();
+  r.pos = view.outputs().size();
+  r.depth = view.depth();
+}
+
+/// Shared campaign tail: detection matrix over the final test set (the
+/// cross-thread witness), greedy compaction, and the derived report fields.
+template <typename MatrixFn>
+void matrix_and_compact(const CampaignOptions& opt, std::size_t n_tests,
+                        MatrixFn build_matrix, CampaignReport& r) {
+  const auto t0 = Clock::now();
+  const DetectionMatrix m = build_matrix();
+  r.detected = m.covered_count;
+  r.matrix_hash = hash_matrix(m);
+  r.time.matrix_s = seconds_since(t0);
+  r.tests_final = static_cast<int>(n_tests);
+  if (opt.compact && n_tests > 0) {
+    const auto t1 = Clock::now();
+    r.tests_final = static_cast<int>(greedy_cover(m).size());
+    r.time.compact_s = seconds_since(t1);
+  }
+}
+
+/// Launch-on-capture scan campaign (OBD model): the two-frame scan ATPG
+/// generates machine-consistent (state, PI) tests, whose scan-view images
+/// then feed the same matrix/compaction tail as the enhanced path. The
+/// gross-delay semantics of matrix_obd on the scan view match
+/// verify_scan_obd_test exactly because the LOC state coupling is already
+/// baked into each test's frame-2 state.
+void drive_loc_scan(const logic::SequentialCircuit& seq,
+                    const CampaignOptions& opt, CampaignReport& r) {
+  const auto t_total = Clock::now();
+  const logic::SequentialCircuit prim = logic::decompose_composites(seq);
+  const logic::Circuit view = prim.scan_view();
+  fill_structure(view, r);
+  const std::string diag = prim.validate();
+  if (!diag.empty()) {
+    r.error = diag;
+    return;
+  }
+
+  const auto t0 = Clock::now();
+  auto faults = enumerate_obd_faults(prim.core());
+  r.faults_total = faults.size();
+  const CollapsedFaults collapsed = collapse_obd_faults(prim.core(), faults);
+  const std::vector<ObdFaultSite>& reps = collapsed.representatives;
+  r.faults_collapsed = reps.size();
+  r.time.collapse_s = seconds_since(t0);
+  if (reps.empty()) {
+    r.coverage = 1.0;
+    r.time.total_s = seconds_since(t_total);
+    return;
+  }
+
+  PodemOptions popt;
+  popt.max_backtracks = opt.max_backtracks;
+  popt.sim = opt.sim;
+  popt.random_phase = opt.random_patterns;
+  popt.random_phase_seed = opt.seed;
+
+  const auto t1 = Clock::now();
+  const ScanCampaign sc = run_scan_obd_atpg(prim, reps, opt.scan_style, popt);
+  r.tests_random = sc.random_tests;
+  r.tests_deterministic = sc.found - sc.random_found;
+  r.untestable = sc.untestable;
+  r.aborted = sc.aborted;
+  r.fault_block_evals = sc.fault_block_evals;
+  r.time.random_s = sc.random_seconds;
+  r.time.atpg_s = seconds_since(t1) - sc.random_seconds;
+
+  // Matrix + compaction over the scan-view images of the LOC tests.
+  std::vector<TwoVectorTest> vectors;
+  vectors.reserve(sc.tests.size());
+  for (const ScanObdTest& t : sc.tests)
+    vectors.push_back(scan_view_vectors(prim, t));
+  FaultSimScheduler sched(view, opt.sim);
+  matrix_and_compact(opt, vectors.size(),
+                     [&] { return sched.matrix_obd(vectors, reps); }, r);
+  r.coverage =
+      static_cast<double>(r.detected) / static_cast<double>(reps.size());
+  r.time.total_s = seconds_since(t_total);
+}
+
 /// Shared campaign skeleton over the model-specific hooks.
 template <typename Fault>
 void drive(const logic::Circuit& c, const CampaignOptions& opt,
@@ -102,19 +189,8 @@ void drive(const logic::Circuit& c, const CampaignOptions& opt,
 
   // Detection matrix over the final set: recounts every detection (the
   // prepass only tracked first hits) and is the cross-thread witness.
-  {
-    const auto t0 = Clock::now();
-    const DetectionMatrix m = ops.matrix(sched, tests);
-    r.detected = m.covered_count;
-    r.matrix_hash = hash_matrix(m);
-    r.time.matrix_s = seconds_since(t0);
-    r.tests_final = static_cast<int>(tests.size());
-    if (opt.compact && !tests.empty()) {
-      const auto t1 = Clock::now();
-      r.tests_final = static_cast<int>(greedy_cover(m).size());
-      r.time.compact_s = seconds_since(t1);
-    }
-  }
+  matrix_and_compact(opt, tests.size(),
+                     [&] { return ops.matrix(sched, tests); }, r);
   r.coverage = static_cast<double>(r.detected) /
                static_cast<double>(ops.reps.size());
   r.time.total_s = seconds_since(t_total);
@@ -139,6 +215,14 @@ bool fault_model_from_string(const std::string& s, FaultModel& out) {
   return true;
 }
 
+bool scan_style_from_string(const std::string& s, atpg::ScanMode& out) {
+  if (s == "enhanced") out = ScanMode::kEnhanced;
+  else if (s == "loc") out = ScanMode::kLaunchOnCapture;
+  else if (s == "loc-held") out = ScanMode::kLaunchOnCaptureHeldPi;
+  else return false;
+  return true;
+}
+
 CampaignReport run_campaign(const logic::SequentialCircuit& seq,
                             const CampaignOptions& opt) {
   CampaignReport r;
@@ -147,24 +231,37 @@ CampaignReport run_campaign(const logic::SequentialCircuit& seq,
   r.packing = to_string(opt.sim.packing);
   r.scan = !seq.flops().empty();
   r.flops = seq.flops().size();
-
-  // Full-scan application: flops become pseudo-PIs/POs and every test is a
-  // plain (two-)vector on the view.
-  logic::Circuit view = r.scan ? seq.scan_view() : seq.core();
   r.circuit = seq.core().name();
-  if (opt.model == FaultModel::kObd) view = logic::decompose_composites(view);
-  r.gates = view.num_gates();
-  r.nets = view.num_nets();
-  r.pis = view.inputs().size();
-  r.pos = view.outputs().size();
-  r.depth = view.depth();
 
-  if (view.inputs().size() > 64) {
-    r.error = "circuit has " + std::to_string(view.inputs().size()) +
-              " inputs (PIs + scan flops); the 64-bit vector engine "
-              "supports at most 64";
+  // Launch-on-capture scan styles run the two-frame scan ATPG instead of
+  // the enhanced-scan (any-pair) skeleton below.
+  if (r.scan && opt.scan_style != ScanMode::kEnhanced) {
+    r.scan_style = to_string(opt.scan_style);
+    const std::string style =
+        opt.scan_style == ScanMode::kLaunchOnCapture ? "loc" : "loc-held";
+    if (opt.model != FaultModel::kObd) {
+      r.error = "--scan-style " + style + " requires the obd fault model";
+      return r;
+    }
+    if (opt.ndetect > 0) {
+      // n-detect growth builds unconstrained combinational tests, which
+      // would violate the LOC state coupling — reject rather than silently
+      // dropping the option.
+      r.error = "--ndetect is not supported with --scan-style " + style;
+      return r;
+    }
+    drive_loc_scan(seq, opt, r);
     return r;
   }
+  if (r.scan) r.scan_style = to_string(ScanMode::kEnhanced);
+
+  // Full-scan application: flops become pseudo-PIs/POs and every test is a
+  // plain (two-)vector on the view. InputVec test vectors carry any width,
+  // so wide netlists and long scan chains need no special casing.
+  logic::Circuit view = r.scan ? seq.scan_view() : seq.core();
+  if (opt.model == FaultModel::kObd) view = logic::decompose_composites(view);
+  fill_structure(view, r);
+
   const std::string diag = view.validate();
   if (!diag.empty()) {
     r.error = diag;
@@ -183,7 +280,7 @@ CampaignReport run_campaign(const logic::SequentialCircuit& seq,
     ops.reps = collapsed.representatives;
     r.time.collapse_s = seconds_since(t0);
     auto patterns_of = [](const std::vector<TwoVectorTest>& ts) {
-      std::vector<std::uint64_t> p(ts.size());
+      std::vector<InputVec> p(ts.size());
       for (std::size_t i = 0; i < ts.size(); ++i) p[i] = ts[i].v2;
       return p;
     };
@@ -312,7 +409,8 @@ std::string report_json(const CampaignReport& r) {
        ", \"pos\": " + std::to_string(r.pos) +
        ", \"flops\": " + std::to_string(r.flops) +
        ", \"depth\": " + std::to_string(r.depth) +
-       ", \"scan\": " + (r.scan ? "true" : "false") + "},\n";
+       ", \"scan\": " + (r.scan ? "true" : "false") +
+       ", \"scan_style\": " + json_str(r.scan_style) + "},\n";
   j += "  \"faults\": {\"total\": " + std::to_string(r.faults_total) +
        ", \"collapsed\": " + std::to_string(r.faults_collapsed) +
        ", \"detected\": " + std::to_string(r.detected) +
@@ -356,7 +454,8 @@ void print_report(const CampaignReport& r) {
   t.add_row({"PIs / POs / flops", std::to_string(r.pis) + " / " +
                                       std::to_string(r.pos) + " / " +
                                       std::to_string(r.flops) +
-                                      (r.scan ? " (full scan)" : "")});
+                                      (r.scan ? " (" + r.scan_style + ")"
+                                              : "")});
   t.add_row({"faults (total -> collapsed)", std::to_string(r.faults_total) +
                                                 " -> " +
                                                 std::to_string(r.faults_collapsed)});

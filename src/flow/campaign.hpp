@@ -30,9 +30,18 @@ enum class FaultModel { kStuck, kTransition, kObd };
 const char* to_string(FaultModel m);
 /// Parses "stuck" / "transition" / "obd"; false on anything else.
 bool fault_model_from_string(const std::string& s, FaultModel& out);
+/// Parses "enhanced" / "loc" / "loc-held"; false on anything else.
+bool scan_style_from_string(const std::string& s, atpg::ScanMode& out);
 
 struct CampaignOptions {
   FaultModel model = FaultModel::kStuck;
+  /// Scan application style for sequential designs. kEnhanced (default)
+  /// applies any (V1, V2) pair through the full-scan view — works with
+  /// every fault model. The launch-on-capture styles constrain frame 2's
+  /// state to the machine's own next-state response (held-PI additionally
+  /// pins PI2 == PI1) and run the two-frame scan ATPG — OBD model only.
+  /// Ignored for purely combinational designs.
+  atpg::ScanMode scan_style = atpg::ScanMode::kEnhanced;
   /// Threads / packing / cone-cache cap for every fault-sim call.
   atpg::SimOptions sim;
   /// Random patterns (or two-vector pairs) in the fault-dropping prepass;
@@ -67,6 +76,9 @@ struct CampaignReport {
   std::size_t gates = 0, nets = 0, pis = 0, pos = 0, flops = 0;
   int depth = 0;
   bool scan = false;
+  /// Scan application style actually used (to_string(ScanMode)); empty for
+  /// combinational designs.
+  std::string scan_style;
 
   std::size_t faults_total = 0;
   std::size_t faults_collapsed = 0;

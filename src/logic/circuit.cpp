@@ -112,10 +112,10 @@ std::string Circuit::validate() const {
   return "";
 }
 
-std::vector<bool> Circuit::eval(std::uint64_t pi_values) const {
+std::vector<bool> Circuit::eval(const InputVec& pi_values) const {
   std::vector<bool> values(net_names_.size(), false);
   for (std::size_t i = 0; i < inputs_.size(); ++i)
-    values[static_cast<std::size_t>(inputs_[i])] = (pi_values >> i) & 1u;
+    values[static_cast<std::size_t>(inputs_[i])] = pi_values.bit(i);
   for (int g : topo_order()) {
     const Gate& gate = gates_[static_cast<std::size_t>(g)];
     values[static_cast<std::size_t>(gate.output)] =
@@ -124,11 +124,14 @@ std::vector<bool> Circuit::eval(std::uint64_t pi_values) const {
   return values;
 }
 
-std::uint64_t Circuit::eval_outputs(std::uint64_t pi_values) const {
-  const std::vector<bool> values = eval(pi_values);
-  std::uint64_t out = 0;
+InputVec Circuit::eval_outputs(const InputVec& pi_values) const {
+  return pack_outputs(eval(pi_values));
+}
+
+InputVec Circuit::pack_outputs(const std::vector<bool>& net_values) const {
+  InputVec out;
   for (std::size_t i = 0; i < outputs_.size(); ++i)
-    if (values[static_cast<std::size_t>(outputs_[i])]) out |= (1ull << i);
+    if (net_values[static_cast<std::size_t>(outputs_[i])]) out.set_bit(i);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "logic/gate.hpp"
+#include "logic/inputvec.hpp"
 
 namespace obd::logic {
 
@@ -75,10 +76,15 @@ class Circuit {
 
   // --- Simulation ----------------------------------------------------------
   /// Two-valued evaluation: bit i of `pi_values` is the value of PI i (in
-  /// the order they were declared). Returns per-net values.
-  std::vector<bool> eval(std::uint64_t pi_values) const;
-  /// PO values only, packed (bit i = output i).
-  std::uint64_t eval_outputs(std::uint64_t pi_values) const;
+  /// the order they were declared; any width — InputVec converts implicitly
+  /// from a uint64_t for circuits of up to 64 PIs). Returns per-net values.
+  std::vector<bool> eval(const InputVec& pi_values) const;
+  /// PO values only, packed (bit i = output i), any PO count.
+  InputVec eval_outputs(const InputVec& pi_values) const;
+  /// Packs an existing per-net valuation into the PO vector (bit i =
+  /// output i) — the shared tail of eval_outputs and the simulators that
+  /// compute per-net values themselves.
+  InputVec pack_outputs(const std::vector<bool>& net_values) const;
   /// Three-valued evaluation from explicit per-PI values.
   std::vector<Tri> eval3(const std::vector<Tri>& pi_values) const;
 

@@ -46,11 +46,11 @@ std::string Elaboration::transistor_name(int gate_idx,
   return g.name + (t.pmos ? ".MP" : ".MN") + std::to_string(t.input);
 }
 
-void Elaboration::set_two_vector(std::uint64_t v1, std::uint64_t v2,
+void Elaboration::set_two_vector(const InputVec& v1, const InputVec& v2,
                                  double t_switch, double t_slew) {
   for (std::size_t i = 0; i < pi_sources_.size(); ++i) {
-    const double lvl1 = ((v1 >> i) & 1u) ? tech_.vdd : 0.0;
-    const double lvl2 = ((v2 >> i) & 1u) ? tech_.vdd : 0.0;
+    const double lvl1 = v1.bit(i) ? tech_.vdd : 0.0;
+    const double lvl2 = v2.bit(i) ? tech_.vdd : 0.0;
     pi_sources_[i]->set_wave(spice::SourceWave::make_pwl(
         {{0.0, lvl1}, {t_switch, lvl1}, {t_switch + t_slew, lvl2}}));
   }

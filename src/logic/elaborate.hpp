@@ -37,8 +37,8 @@ class Elaboration {
                               const cells::TransistorRef& t) const;
 
   /// Programs the PI sources with a two-vector transition (bit i of v = PI
-  /// i). V1 holds until t_switch, then ramps over t_slew.
-  void set_two_vector(std::uint64_t v1, std::uint64_t v2, double t_switch,
+  /// i; any width). V1 holds until t_switch, then ramps over t_slew.
+  void set_two_vector(const InputVec& v1, const InputVec& v2, double t_switch,
                       double t_slew = 50e-12);
 
   /// Node names of primary inputs (post-buffer, as seen by the logic) and

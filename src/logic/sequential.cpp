@@ -24,17 +24,16 @@ std::string SequentialCircuit::validate() const {
 }
 
 SequentialCircuit::CycleResult SequentialCircuit::step(
-    std::uint64_t pi, std::uint64_t state) const {
+    const InputVec& pi, const InputVec& state) const {
   // Present-state nets are undriven in the core; eval() treats undriven
   // non-PI nets as 0, so we evaluate through the scan view instead, where
   // they are genuine PIs.
   const Circuit sv = scan_view();
-  const std::uint64_t packed =
-      pi | (state << core_.inputs().size());
-  const std::uint64_t out = sv.eval_outputs(packed);
+  const InputVec packed = pi | (state << core_.inputs().size());
+  const InputVec out = sv.eval_outputs(packed);
   CycleResult r;
-  const std::uint64_t po_count = core_.outputs().size();
-  r.outputs = out & ((1ull << po_count) - 1);
+  const std::size_t po_count = core_.outputs().size();
+  r.outputs = out.slice(0, po_count);
   r.next_state = out >> po_count;
   return r;
 }
@@ -85,8 +84,11 @@ Circuit SequentialCircuit::unroll_two_frames(bool share_pis) const {
   copy_frame("@1");
   // Frame-2 present state = frame-1 next state: connect with buffers so the
   // "@2" q nets exist as driven nets (two inverters keep gates primitive).
+  // frame_net (not a raw "@1" lookup) matters for a flop fed directly by a
+  // PI: under share_pis that input lives on the shared "@12" net, and a
+  // bare "@1" name would be a fresh undriven net stuck at 0.
   for (const auto& f : flops_) {
-    const NetId d1 = u.net(core_.net_name(f.d) + "@1");
+    const NetId d1 = frame_net(f.d, "@1");
     const NetId mid = u.net(core_.net_name(f.q) + "@ff");
     const NetId q2 = u.net(core_.net_name(f.q) + "@2");
     u.add_gate(GateType::kInv, f.name + "@ffa", {d1}, mid);
@@ -96,6 +98,18 @@ Circuit SequentialCircuit::unroll_two_frames(bool share_pis) const {
   for (NetId n : core_.outputs()) u.mark_output(u.net(core_.net_name(n) + "@2"));
   for (const auto& f : flops_) u.mark_output(u.net(core_.net_name(f.d) + "@2"));
   return u;
+}
+
+SequentialCircuit decompose_composites(const SequentialCircuit& seq) {
+  SequentialCircuit out(decompose_composites(seq.core()));
+  for (const Flop& f : seq.flops()) {
+    // Net names are preserved by the combinational lowering; net() re-creates
+    // a q net in the rare case no decomposed gate reads it.
+    const NetId q = out.core().net(seq.core().net_name(f.q));
+    const NetId d = out.core().net(seq.core().net_name(f.d));
+    out.add_flop(f.name, q, d);
+  }
+  return out;
 }
 
 SequentialCircuit lfsr_like_machine(int bits) {

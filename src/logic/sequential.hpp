@@ -50,11 +50,12 @@ class SequentialCircuit {
 
   /// Next-state + output computation for one clock cycle.
   /// `pi` bit i = primary input i; `state` bit j = flop j's present state.
+  /// Any width (InputVec converts implicitly from uint64_t when narrow).
   struct CycleResult {
-    std::uint64_t outputs = 0;
-    std::uint64_t next_state = 0;
+    InputVec outputs;
+    InputVec next_state;
   };
-  CycleResult step(std::uint64_t pi, std::uint64_t state) const;
+  CycleResult step(const InputVec& pi, const InputVec& state) const;
 
   /// Full-scan combinational view: every flop's q becomes an extra PI and
   /// every flop's d an extra PO. PI order: original PIs, then flops (in
@@ -93,5 +94,11 @@ class SequentialCircuit {
 /// next state is state XOR (state >> 1) XOR input pattern, built from
 /// NAND2/INV. Exercises deep state-justification paths.
 SequentialCircuit lfsr_like_machine(int bits);
+
+/// Lowers the combinational core to primitive CMOS gates (see the Circuit
+/// overload) while keeping the flops attached: q/d nets survive by name, so
+/// scan-mode OBD campaigns can enumerate transistor fault sites on a
+/// sequential design without flattening it to the scan view first.
+SequentialCircuit decompose_composites(const SequentialCircuit& seq);
 
 }  // namespace obd::logic

@@ -29,7 +29,8 @@ void TimingSimulator::set_fault(const std::optional<ObdFaultSite>& site,
   effect_ = effect;
 }
 
-TimingRun TimingSimulator::run_two_vector(std::uint64_t v1, std::uint64_t v2,
+TimingRun TimingSimulator::run_two_vector(const InputVec& v1,
+                                          const InputVec& v2,
                                           double capture_time) const {
   TimingRun run;
   // Settled state under V1.
@@ -46,7 +47,7 @@ TimingRun TimingSimulator::run_two_vector(std::uint64_t v1, std::uint64_t v2,
 
   // Launch V2 on the PIs at t = 0.
   for (std::size_t i = 0; i < circuit_.inputs().size(); ++i) {
-    const bool nv = (v2 >> i) & 1u;
+    const bool nv = v2.bit(i);
     const NetId n = circuit_.inputs()[i];
     if (nv != value[static_cast<std::size_t>(n)]) {
       queue.push(Event{0.0, n, nv, seq++});

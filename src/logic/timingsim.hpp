@@ -79,7 +79,8 @@ class TimingSimulator {
 
   /// Applies V1, lets the circuit settle, switches to V2 at t=0, and
   /// simulates until quiescence. `capture_time` is when POs are sampled.
-  TimingRun run_two_vector(std::uint64_t v1, std::uint64_t v2,
+  /// Vectors are any-width InputVecs (implicitly convertible from uint64_t).
+  TimingRun run_two_vector(const InputVec& v1, const InputVec& v2,
                            double capture_time) const;
 
   const Circuit& circuit() const { return circuit_; }

@@ -90,7 +90,7 @@ inline void sweep_matrices(const logic::Circuit& c, int n_tests,
                                sweep_configs()) {
   const auto tests =
       random_pairs(static_cast<int>(c.inputs().size()), n_tests, seed);
-  std::vector<std::uint64_t> patterns;
+  std::vector<InputVec> patterns;
   for (const auto& t : tests) patterns.push_back(t.v2);
   const auto sf = enumerate_stuck_faults(c);
   const auto tf = enumerate_transition_faults(c);
@@ -128,7 +128,7 @@ inline void sweep_campaigns(const logic::Circuit& c, int n_tests,
                             std::uint64_t seed, bool drop) {
   const auto tests =
       random_pairs(static_cast<int>(c.inputs().size()), n_tests, seed);
-  std::vector<std::uint64_t> patterns;
+  std::vector<InputVec> patterns;
   for (const auto& t : tests) patterns.push_back(t.v2);
   const auto sf = enumerate_stuck_faults(c);
   const auto tf = enumerate_transition_faults(c);

@@ -73,7 +73,7 @@ TEST(BenchIo, MultiInputGatesDecompose) {
   EXPECT_EQ(c.gate(c.driver_of(c.find_net("x3"))).type, GateType::kXor2);
   for (std::uint64_t v = 0; v < 32; ++v) {
     const bool a = v & 1, b = v & 2, cc = v & 4, d = v & 8, e = v & 16;
-    const std::uint64_t out = c.eval_outputs(v);
+    const std::uint64_t out = c.eval_outputs(v).u64();
     EXPECT_EQ((out >> 0) & 1, !(a && b && cc && d && e)) << v;
     EXPECT_EQ((out >> 1) & 1, a || b || cc) << v;
     EXPECT_EQ((out >> 2) & 1, a ^ b ^ cc) << v;

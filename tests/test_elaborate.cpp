@@ -30,7 +30,7 @@ TEST(Elaborate, C17DcMatchesLogicOnAllVectors) {
     const spice::DcResult r =
         spice::dc_operating_point(el.netlist(), spice::SolverOptions{});
     ASSERT_EQ(r.status, spice::SolveStatus::kOk) << "v=" << v;
-    const std::uint64_t expect = c.eval_outputs(v);
+    const std::uint64_t expect = c.eval_outputs(v).u64();
     for (std::size_t o = 0; o < el.po_nodes().size(); ++o) {
       const spice::NodeId node = el.netlist().find_node(el.po_nodes()[o]);
       ASSERT_NE(node, spice::kInvalidNode);

@@ -37,7 +37,7 @@ TEST(FaultSimEngine, StuckEquivalentToLegacy) {
   for (const Circuit& c : zoo_circuits()) {
     const auto faults = enumerate_stuck_faults(c);
     const auto tests = random_tests(c, 150, 0x5eed0);
-    std::vector<std::uint64_t> patterns;
+    std::vector<InputVec> patterns;
     for (const auto& t : tests) patterns.push_back(t.v2);
     const DetectionMatrix m = build_stuck_matrix(c, patterns, faults);
     for (std::size_t t = 0; t < patterns.size(); ++t) {
@@ -197,7 +197,7 @@ TEST(RandomPhase, AtpgWithPrepassKeepsCoverage) {
 TEST(FaultSimEngine, CoverageFunctionsMatchMatrices) {
   const Circuit c = logic::mux_tree(2);
   const auto tests = random_tests(c, 100, 0x5eed7);
-  std::vector<std::uint64_t> patterns;
+  std::vector<InputVec> patterns;
   for (const auto& t : tests) patterns.push_back(t.v2);
 
   const auto sf = enumerate_stuck_faults(c);

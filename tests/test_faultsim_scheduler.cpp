@@ -134,8 +134,8 @@ TEST(DefiniteObd, IsSoundUnderEveryFillOfTheXBits) {
     xt.v2.bits = prng.next_u64() & xt.v2.care_mask;
     const std::vector<bool> definite = engine.definite_obd(xt, faults);
     for (int fill = 0; fill < 8; ++fill) {
-      const std::uint64_t f1 = prng.next_u64() & ~xt.v1.care_mask;
-      const std::uint64_t f2 = prng.next_u64() & ~xt.v2.care_mask;
+      const InputVec f1 = and_not(prng.next_u64(), xt.v1.care_mask);
+      const InputVec f2 = and_not(prng.next_u64(), xt.v2.care_mask);
       const TwoVectorTest t{(xt.v1.bits | f1) & ((1ull << n_pi) - 1),
                             (xt.v2.bits | f2) & ((1ull << n_pi) - 1)};
       const std::vector<bool> got = legacy::simulate_obd(c, t, faults);

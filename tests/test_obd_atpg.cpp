@@ -126,7 +126,7 @@ TEST(StuckAtAtpg, CompleteSetMissesObdFaults) {
   const auto sf = enumerate_stuck_faults(c);
   const AtpgRun srun = run_stuck_at_atpg(c, sf);
   ASSERT_GT(srun.found, 0);
-  std::vector<std::uint64_t> flat;
+  std::vector<InputVec> flat;
   for (const auto& t : srun.tests) flat.push_back(t.v2);
   const auto pairs = consecutive_pairs(flat);
 

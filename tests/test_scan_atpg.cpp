@@ -102,9 +102,8 @@ TEST(ScanAtpg, LocTestRespectsUnrolledSemantics) {
     const logic::Circuit u = seq.unroll_two_frames();
     const std::size_t n_pi = seq.core().inputs().size();
     const std::size_t n_ff = seq.flops().size();
-    const std::uint64_t v =
-        r.test.pi1 | (r.test.state1 << n_pi) |
-        (r.test.pi2 << (n_pi + n_ff));
+    const InputVec v = r.test.pi1 | (r.test.state1 << n_pi) |
+                       (r.test.pi2 << (n_pi + n_ff));
     const ObdFaultSite f2{seq.frame2_gate_index(f.gate_index), f.transistor};
     // Frame-1 gate inputs already settled: the local two-vector is encoded
     // by a single unrolled assignment, so compare against the simulator's
@@ -142,6 +141,32 @@ TEST(ScanAtpg, ToggleMachineSmallEnoughForExhaustiveCheck) {
         }
     EXPECT_EQ(r.status == PodemStatus::kFound, any)
         << fault_name(seq.core(), f);
+  }
+}
+
+TEST(ScanAtpg, PiFedFlopStateIsMachineResponseUnderHeldPi) {
+  // A flop whose d net IS a primary input: under held-PI unrolling the
+  // frame-1 next state must read the shared PI net, not a fresh undriven
+  // "@1" net (which silently evaluates to 0).
+  logic::Circuit c("pifed");
+  const logic::NetId x = c.add_input("x");
+  const logic::NetId q = c.net("q");
+  const logic::NetId o = c.net("o");
+  c.add_gate(logic::GateType::kNand2, "o", {x, q}, o);
+  c.mark_output(o);
+  logic::SequentialCircuit seq(std::move(c));
+  seq.add_flop("ff", q, x);  // d = x (a PI)
+  ASSERT_TRUE(seq.validate().empty());
+  for (const auto mode :
+       {ScanMode::kLaunchOnCapture, ScanMode::kLaunchOnCaptureHeldPi}) {
+    for (const auto& f : core_faults(seq)) {
+      const ScanObdResult r = generate_scan_obd_test(seq, f, mode);
+      if (r.status != PodemStatus::kFound) continue;
+      EXPECT_EQ(r.test.state2,
+                seq.step(r.test.pi1, r.test.state1).next_state)
+          << to_string(mode) << " " << fault_name(seq.core(), f);
+      EXPECT_TRUE(verify_scan_obd_test(seq, f, r.test)) << to_string(mode);
+    }
   }
 }
 

@@ -69,7 +69,7 @@ TEST(Sequential, ScanViewExposesStateAsPiPo) {
   for (std::uint64_t x = 0; x < 2; ++x)
     for (std::uint64_t q = 0; q < 2; ++q) {
       const std::uint64_t packed = x | (q << 1);
-      const std::uint64_t out = sv.eval_outputs(packed);
+      const std::uint64_t out = sv.eval_outputs(packed).u64();
       const auto r = seq.step(x, q);
       EXPECT_EQ(out & 1u, r.outputs);
       EXPECT_EQ((out >> 1) & 1u, r.next_state);
@@ -88,7 +88,7 @@ TEST(Sequential, UnrollConnectsFrames) {
     for (std::uint64_t q1 = 0; q1 < 2; ++q1)
       for (std::uint64_t x2 = 0; x2 < 2; ++x2) {
         const std::uint64_t packed = x1 | (q1 << 1) | (x2 << 2);
-        const std::uint64_t out = u.eval_outputs(packed);
+        const std::uint64_t out = u.eval_outputs(packed).u64();
         const auto r1 = seq.step(x1, q1);
         const auto r2 = seq.step(x2, r1.next_state);
         EXPECT_EQ(out & 1u, r2.outputs) << x1 << q1 << x2;
@@ -104,7 +104,7 @@ TEST(Sequential, UnrollSharedPiForcesEquality) {
   for (std::uint64_t x = 0; x < 2; ++x)
     for (std::uint64_t q1 = 0; q1 < 2; ++q1) {
       const std::uint64_t packed = x | (q1 << 1);
-      const std::uint64_t out = u.eval_outputs(packed);
+      const std::uint64_t out = u.eval_outputs(packed).u64();
       const auto r1 = seq.step(x, q1);
       const auto r2 = seq.step(x, r1.next_state);
       EXPECT_EQ(out & 1u, r2.outputs);

@@ -17,7 +17,7 @@ TEST_P(DecoderTest, OneHotOutputs) {
   ASSERT_TRUE(c.validate().empty());
   const int n_out = 1 << n;
   for (std::uint64_t sel = 0; sel < static_cast<std::uint64_t>(n_out); ++sel) {
-    const std::uint64_t out = c.eval_outputs(sel);
+    const std::uint64_t out = c.eval_outputs(sel).u64();
     EXPECT_EQ(out, 1ull << sel) << "sel=" << sel;
   }
 }
@@ -83,7 +83,7 @@ TEST_P(CrossLayerTest, SpiceDcMatchesLogicEval) {
         spice::dc_operating_point(el.netlist(), spice::SolverOptions{});
     ASSERT_EQ(r.status, spice::SolveStatus::kOk) << "seed=" << seed
                                                  << " v=" << v;
-    const std::uint64_t expect = c.eval_outputs(v);
+    const std::uint64_t expect = c.eval_outputs(v).u64();
     for (std::size_t o = 0; o < el.po_nodes().size(); ++o) {
       const spice::NodeId node = el.netlist().find_node(el.po_nodes()[o]);
       const double vo = r.voltage(node);

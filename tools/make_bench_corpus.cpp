@@ -8,6 +8,11 @@
 // controller for s344 — because the original netlists are not
 // redistributed in this repository. See bench/circuits/README.md.
 //
+// The wide tier (c2670 / c7552 / s1423 stand-ins) matches the classic
+// interfaces that exceed 64 primary inputs (233/207 PIs, a 74-flop scan
+// chain) and exists to exercise the multi-word InputVec test-vector path
+// at benchmark scale.
+//
 // Usage: make_bench_corpus [outdir]   (default bench/circuits)
 #include <cstdio>
 #include <fstream>
@@ -271,6 +276,207 @@ logic::SequentialCircuit make_s344() {
   return seq;
 }
 
+/// c2670 stand-in: 233 PI, 140 PO — adder + wide mux + segment comparator +
+/// window parities + priority encoder (the real c2670 is an ALU/controller
+/// with comparator and parity logic). First corpus circuit past the old
+/// 64-PI ceiling: every test vector spans four words.
+Circuit make_c2670() {
+  Circuit c("c2670");
+  std::vector<NetId> A, B, C, D, S;
+  for (int i = 0; i < 64; ++i) A.push_back(c.add_input(nn("A", i)));
+  for (int i = 0; i < 64; ++i) B.push_back(c.add_input(nn("B", i)));
+  for (int i = 0; i < 64; ++i) C.push_back(c.add_input(nn("C", i)));
+  for (int i = 0; i < 32; ++i) D.push_back(c.add_input(nn("D", i)));
+  for (int i = 0; i < 8; ++i) S.push_back(c.add_input(nn("S", i)));
+  const NetId en = c.add_input("EN");
+
+  // 64-bit adder: SUM[0..63] + COUT.
+  std::vector<NetId> sum;
+  NetId cout = logic::kNoNet;
+  rca(c, "ADD", A, B, sum, cout);
+  for (int i = 0; i < 64; ++i) c.mark_output(sum[static_cast<std::size_t>(i)]);
+  c.mark_output(cout);
+
+  // Y[0..31]: S0-selected mux between C-high and D ^ A-low.
+  const NetId ns0 = g(c, GateType::kInv, "NS0", {S[0]});
+  for (int i = 0; i < 32; ++i) {
+    const NetId m = g(c, GateType::kXor2, nn("YM", i),
+                      {D[static_cast<std::size_t>(i)],
+                       A[static_cast<std::size_t>(i)]});
+    c.mark_output(mux(c, nn("Y", i), S[0], ns0,
+                      C[static_cast<std::size_t>(i + 32)], m));
+  }
+
+  // EQ[0..15]: 4-bit segment equality of A vs C.
+  for (int j = 0; j < 16; ++j) {
+    NetId eq = logic::kNoNet;
+    for (int k = 0; k < 4; ++k) {
+      const int i = 4 * j + k;
+      const NetId x = g(c, GateType::kXnor2, nn("EX", i),
+                        {A[static_cast<std::size_t>(i)],
+                         C[static_cast<std::size_t>(i)]});
+      eq = k == 0 ? x : g(c, GateType::kAnd2, nn("EA", i), {eq, x});
+    }
+    c.mark_output(eq);
+  }
+
+  // PAR[0..7]: parity of the 8-bit windows of C.
+  for (int j = 0; j < 8; ++j) {
+    NetId p = C[static_cast<std::size_t>(8 * j)];
+    for (int k = 1; k < 8; ++k)
+      p = g(c, GateType::kXor2, nn("PC", 8 * j + k),
+            {p, C[static_cast<std::size_t>(8 * j + k)]});
+    c.mark_output(p);
+  }
+
+  // PRI[0..15]: EN-gated priority encode over D[16..31].
+  NetId none_above = en;
+  for (int i = 0; i < 16; ++i) {
+    c.mark_output(g(c, GateType::kAnd2, nn("PRI", i),
+                    {D[static_cast<std::size_t>(16 + i)], none_above}));
+    if (i + 1 < 16) {
+      const NetId nd = g(c, GateType::kInv, nn("PN", i),
+                         {D[static_cast<std::size_t>(16 + i)]});
+      none_above = g(c, GateType::kAnd2, nn("PK", i), {none_above, nd});
+    }
+  }
+
+  // MISC[0..2]: control parities and a B-byte OR rail.
+  NetId sp = S[0];
+  for (int i = 1; i < 8; ++i)
+    sp = g(c, GateType::kXor2, nn("SP", i), {sp, S[static_cast<std::size_t>(i)]});
+  c.mark_output(sp);
+  c.mark_output(g(c, GateType::kAnd2, "M1", {en, S[7]}));
+  NetId orb = B[0];
+  for (int i = 1; i < 8; ++i)
+    orb = g(c, GateType::kOr2, nn("OB", i), {orb, B[static_cast<std::size_t>(i)]});
+  c.mark_output(orb);
+  return c;
+}
+
+/// c7552 stand-in: 207 PI, 108 PO — two chained 64-bit adders feeding an
+/// XOR-mix stage keyed by K (the real c7552 is a 34-bit adder/comparator
+/// with parity). The deepest and widest combinational corpus entry.
+Circuit make_c7552() {
+  Circuit c("c7552");
+  std::vector<NetId> A, B, C, K;
+  for (int i = 0; i < 64; ++i) A.push_back(c.add_input(nn("A", i)));
+  for (int i = 0; i < 64; ++i) B.push_back(c.add_input(nn("B", i)));
+  for (int i = 0; i < 64; ++i) C.push_back(c.add_input(nn("C", i)));
+  for (int i = 0; i < 15; ++i) K.push_back(c.add_input(nn("K", i)));
+
+  // T = A + B, U = T + C: S[0..63] = U, plus both carries later.
+  std::vector<NetId> T, U;
+  NetId cT = logic::kNoNet, cU = logic::kNoNet;
+  rca(c, "T", A, B, T, cT);
+  rca(c, "U", T, C, U, cU);
+  for (int i = 0; i < 64; ++i) c.mark_output(U[static_cast<std::size_t>(i)]);
+
+  // X[0..31]: 4-bit window parity of U, keyed by K and the A/B mix.
+  for (int j = 0; j < 32; ++j) {
+    NetId p = U[static_cast<std::size_t>(2 * j)];
+    for (int k = 1; k < 4; ++k)
+      p = g(c, GateType::kXor2, nn("XW", 4 * j + k),
+            {p, U[static_cast<std::size_t>((2 * j + k) % 64)]});
+    const NetId kk = g(c, GateType::kXor2, nn("XK", j),
+                       {K[static_cast<std::size_t>(j % 15)],
+                        B[static_cast<std::size_t>(63 - j)]});
+    c.mark_output(g(c, GateType::kXor2, nn("X", j), {p, kk}));
+  }
+
+  // MISC[0..11]: carries, 8 equality segments of A vs C, 2 parities of K.
+  c.mark_output(cT);
+  c.mark_output(cU);
+  for (int j = 0; j < 8; ++j) {
+    NetId eq = logic::kNoNet;
+    for (int k = 0; k < 8; ++k) {
+      const int i = 8 * j + k;
+      const NetId x = g(c, GateType::kXnor2, nn("QX", i),
+                        {A[static_cast<std::size_t>(i)],
+                         C[static_cast<std::size_t>(i)]});
+      eq = k == 0 ? x : g(c, GateType::kAnd2, nn("QA", i), {eq, x});
+    }
+    c.mark_output(eq);
+  }
+  NetId kp0 = K[0], kp1 = K[1];
+  for (int i = 2; i < 15; i += 2)
+    kp0 = g(c, GateType::kXor2, nn("KP", i), {kp0, K[static_cast<std::size_t>(i)]});
+  for (int i = 3; i < 15; i += 2)
+    kp1 = g(c, GateType::kXor2, nn("KQ", i), {kp1, K[static_cast<std::size_t>(i)]});
+  c.mark_output(kp0);
+  c.mark_output(kp1);
+  return c;
+}
+
+/// s1423 stand-in: 17 PI, 5 PO, 74 DFF — a 64-bit rotate-XOR datapath
+/// register + 8-bit counter + 2 control flops (the real s1423 is a similar
+/// register-dominated controller). Its full-scan view has 91 inputs — the
+/// corpus witness that scan chains longer than 64 flops work end to end.
+logic::SequentialCircuit make_s1423() {
+  Circuit c("s1423");
+  std::vector<NetId> D;
+  for (int i = 0; i < 16; ++i) D.push_back(c.add_input(nn("D", i)));
+  const NetId en = c.add_input("EN");
+
+  std::vector<NetId> R, CNT;
+  for (int i = 0; i < 64; ++i) R.push_back(c.net(nn("R", i)));
+  for (int i = 0; i < 8; ++i) CNT.push_back(c.net(nn("CNT", i)));
+  const NetId run = c.net("RUN");
+  const NetId ph = c.net("PH");
+
+  // RUN latches EN; PH toggles while running.
+  const NetId run_d = g(c, GateType::kOr2, "RUND", {run, en});
+  const NetId ph_d = g(c, GateType::kXor2, "PHD", {ph, run});
+
+  // Datapath: R' = rot1(R) ^ (D replicated & run-gated) with a tap feedback.
+  std::vector<NetId> R_d(64);
+  for (int i = 0; i < 64; ++i) {
+    const NetId rot = R[static_cast<std::size_t>((i + 63) % 64)];
+    const NetId din = g(c, GateType::kAnd2, nn("RG", i),
+                        {D[static_cast<std::size_t>(i % 16)], run});
+    const NetId mixed = g(c, GateType::kXor2, nn("RX", i), {rot, din});
+    R_d[static_cast<std::size_t>(i)] =
+        (i % 16 == 5)
+            ? g(c, GateType::kXor2, nn("RF", i),
+                {mixed, R[static_cast<std::size_t>((i + 13) % 64)]})
+            : mixed;
+  }
+
+  // 8-bit ripple counter, enabled by RUN.
+  std::vector<NetId> CNT_d(8);
+  NetId carry = run;
+  for (int i = 0; i < 8; ++i) {
+    CNT_d[static_cast<std::size_t>(i)] =
+        g(c, GateType::kXor2, nn("CX", i),
+          {CNT[static_cast<std::size_t>(i)], carry});
+    if (i + 1 < 8)
+      carry = g(c, GateType::kAnd2, nn("CA", i),
+                {carry, CNT[static_cast<std::size_t>(i)]});
+  }
+
+  // POs: parity of R[0..15], R[63], CNT[7], RUN, PH.
+  NetId par = R[0];
+  for (int i = 1; i < 16; ++i)
+    par = g(c, GateType::kXor2, nn("OP", i), {par, R[static_cast<std::size_t>(i)]});
+  c.mark_output(par);
+  c.mark_output(R[63]);
+  c.mark_output(CNT[7]);
+  c.mark_output(run);
+  c.mark_output(ph);
+
+  logic::SequentialCircuit seq(std::move(c));
+  Circuit& core = seq.core();
+  for (int i = 0; i < 64; ++i)
+    seq.add_flop(nn("R", i), core.net(nn("R", i)),
+                 R_d[static_cast<std::size_t>(i)]);
+  for (int i = 0; i < 8; ++i)
+    seq.add_flop(nn("CNT", i), core.net(nn("CNT", i)),
+                 CNT_d[static_cast<std::size_t>(i)]);
+  seq.add_flop("RUN", core.net("RUN"), run_d);
+  seq.add_flop("PH", core.net("PH"), ph_d);
+  return seq;
+}
+
 bool emit(const std::string& dir, const std::string& file,
           const logic::SequentialCircuit& seq) {
   const std::string diag = seq.validate();
@@ -300,5 +506,8 @@ int main(int argc, char** argv) {
   ok &= emit(dir, "c880.bench", logic::SequentialCircuit(make_c880()));
   ok &= emit(dir, "c1355.bench", logic::SequentialCircuit(make_c1355()));
   ok &= emit(dir, "s344.bench", make_s344());
+  ok &= emit(dir, "c2670.bench", logic::SequentialCircuit(make_c2670()));
+  ok &= emit(dir, "c7552.bench", logic::SequentialCircuit(make_c7552()));
+  ok &= emit(dir, "s1423.bench", make_s1423());
   return ok ? 0 : 1;
 }

@@ -6,6 +6,10 @@
 //
 // Options:
 //   --model stuck|transition|obd   fault model (default stuck)
+//   --scan-style enhanced|loc|loc-held
+//                                  scan application style for sequential
+//                                  designs (default enhanced; the LOC
+//                                  styles need --model obd)
 //   --threads N                    fault-sim worker threads (default 1)
 //   --packing auto|pattern|fault   word-packing axis (default auto)
 //   --cone-cache BYTES             LRU cap on the per-engine fanout-cone
@@ -38,7 +42,8 @@ using namespace obd;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <circuit.bench> [--model stuck|transition|obd] "
-               "[--threads N] [--packing auto|pattern|fault]\n"
+               "[--scan-style enhanced|loc|loc-held]\n"
+               "       [--threads N] [--packing auto|pattern|fault]\n"
                "       [--cone-cache BYTES] [--random N] [--seed S] "
                "[--backtracks N] [--ndetect N] [--no-compact]\n"
                "       [--report FILE.json] [--min-coverage F] "
@@ -80,6 +85,12 @@ int main(int argc, char** argv) {
     if (a == "--model") {
       if (!flow::fault_model_from_string(value("--model"), opt.model)) {
         std::fprintf(stderr, "unknown model '%s'\n", argv[i]);
+        return 1;
+      }
+    } else if (a == "--scan-style") {
+      if (!flow::scan_style_from_string(value("--scan-style"),
+                                        opt.scan_style)) {
+        std::fprintf(stderr, "unknown scan style '%s'\n", argv[i]);
         return 1;
       }
     } else if (a == "--threads") {
