@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "core/excitation.hpp"
+#include "logic/laneblock.hpp"
 
 namespace obd::atpg {
 
@@ -28,20 +29,26 @@ void PatternBlock::clear() {
 }
 
 void PatternBlock::push(const TwoVectorTest& t) {
-  assert(size_ < kLanes);
-  const std::uint64_t lane = 1ull << size_;
-  const std::size_t n_pi = pi1_.size();
-  logic::for_each_set_bit(t.v1, n_pi, [&](std::size_t pi) { pi1_[pi] |= lane; });
-  logic::for_each_set_bit(t.v2, n_pi, [&](std::size_t pi) { pi2_[pi] |= lane; });
+  assert(size_ < capacity());
+  const auto W = static_cast<std::size_t>(lane_words_);
+  const auto word = static_cast<std::size_t>(size_) >> 6;
+  const std::uint64_t lane = 1ull << (size_ & 63);
+  const std::size_t n_pi = pi1_.size() / W;
+  logic::for_each_set_bit(
+      t.v1, n_pi, [&](std::size_t pi) { pi1_[pi * W + word] |= lane; });
+  logic::for_each_set_bit(
+      t.v2, n_pi, [&](std::size_t pi) { pi2_[pi * W + word] |= lane; });
   tests_.push_back(t);
   ++size_;
 }
 
 std::vector<PatternBlock> PatternBlock::pack(
-    const Circuit& c, const std::vector<TwoVectorTest>& tests) {
+    const Circuit& c, const std::vector<TwoVectorTest>& tests,
+    int lane_words) {
   std::vector<PatternBlock> blocks;
   for (const auto& t : tests) {
-    if (blocks.empty() || blocks.back().full()) blocks.emplace_back(c);
+    if (blocks.empty() || blocks.back().full())
+      blocks.emplace_back(c, lane_words);
     blocks.back().push(t);
   }
   return blocks;
@@ -51,15 +58,41 @@ FaultSimEngine::FaultSimEngine(const Circuit& c, EngineOptions opt)
     : c_(c),
       opt_(opt),
       topo_pos_(c.num_gates(), 0),
+      gate_level_(c.gate_levels()),
+      net_fence_(c.num_nets(), 0),
+      po_mask_(c.num_nets(), 0),
       cones_(c.num_nets()),
       lru_pos_(c.num_nets()),
-      bad_(c.num_nets(), 0),
+      changed_(c.num_nets(), 0),
       inj_set0_(c.num_nets(), 0),
       inj_set1_(c.num_nets(), 0) {
+  if (opt_.lane_words < 1) opt_.lane_words = 1;
+  const auto W = static_cast<std::size_t>(opt_.lane_words);
+  bad_.assign(c.num_nets() * W, 0);
+  eval_tmp_.assign(W, 0);
+  force_.assign(W, 0);
+  diff_.assign(W, 0);
+  exc_.assign(W, 0);
+  masks_.assign(W, 0);
   const auto& order = c.topo_order();
   for (std::size_t rank = 0; rank < order.size(); ++rank)
     topo_pos_[static_cast<std::size_t>(order[rank])] = static_cast<int>(rank);
+  for (std::size_t n = 0; n < c.num_nets(); ++n)
+    for (int g : c.fanout_of(static_cast<NetId>(n)))
+      net_fence_[n] = std::max(net_fence_[n],
+                               gate_level_[static_cast<std::size_t>(g)]);
+  for (NetId po : c.outputs()) po_mask_[static_cast<std::size_t>(po)] = 1;
 }
+
+namespace {
+
+/// Resident-cache cost of one cone. sizeof(Cone) is private to the engine,
+/// so charge the vector payload plus a fixed per-cone overhead.
+std::size_t cone_cost(std::size_t n_gates) {
+  return n_gates * sizeof(int) + 48;
+}
+
+}  // namespace
 
 const FaultSimEngine::Cone& FaultSimEngine::cone_of(NetId n) {
   auto& slot = cones_[static_cast<std::size_t>(n)];
@@ -71,11 +104,13 @@ const FaultSimEngine::Cone& FaultSimEngine::cone_of(NetId n) {
   }
   slot = std::make_unique<Cone>();
   Cone& cone = *slot;
-  cone.member.assign(c_.num_nets(), 0);
-  cone.member[static_cast<std::size_t>(n)] = 1;
 
-  // BFS over fanout; gates collected once, then sorted by topo rank.
+  // BFS over fanout, then levelize: (level, topo rank) order is a valid
+  // topological order (a level-L gate's inputs all have level < L) and is
+  // what makes the frontier fence an exact early-exit test.
   std::vector<std::uint8_t> gate_seen(c_.num_gates(), 0);
+  std::vector<std::uint8_t> net_seen(c_.num_nets(), 0);
+  net_seen[static_cast<std::size_t>(n)] = 1;
   std::vector<NetId> frontier{n};
   while (!frontier.empty()) {
     const NetId net = frontier.back();
@@ -85,27 +120,25 @@ const FaultSimEngine::Cone& FaultSimEngine::cone_of(NetId n) {
       gate_seen[static_cast<std::size_t>(g)] = 1;
       cone.gates.push_back(g);
       const NetId out = c_.gate(g).output;
-      if (!cone.member[static_cast<std::size_t>(out)]) {
-        cone.member[static_cast<std::size_t>(out)] = 1;
+      if (!net_seen[static_cast<std::size_t>(out)]) {
+        net_seen[static_cast<std::size_t>(out)] = 1;
         frontier.push_back(out);
       }
     }
   }
   std::sort(cone.gates.begin(), cone.gates.end(), [this](int a, int b) {
-    return topo_pos_[static_cast<std::size_t>(a)] <
-           topo_pos_[static_cast<std::size_t>(b)];
+    const auto sa = static_cast<std::size_t>(a);
+    const auto sb = static_cast<std::size_t>(b);
+    if (gate_level_[sa] != gate_level_[sb])
+      return gate_level_[sa] < gate_level_[sb];
+    return topo_pos_[sa] < topo_pos_[sb];
   });
+  cone.gates.shrink_to_fit();
 
-  for (NetId po : c_.outputs())
-    if (cone.member[static_cast<std::size_t>(po)]) cone.po_nets.push_back(po);
-  std::sort(cone.po_nets.begin(), cone.po_nets.end());
-  cone.po_nets.erase(std::unique(cone.po_nets.begin(), cone.po_nets.end()),
-                     cone.po_nets.end());
-
+  cone_bytes_ += cone_cost(cone.gates.size());
+  cone_peak_bytes_ = std::max(cone_peak_bytes_, cone_bytes_);
+  ++cones_resident_;
   if (opt_.cone_cache_bytes) {
-    // The membership mask dominates: num_nets bytes per resident cone.
-    cone_bytes_ += cone.member.size() + cone.gates.size() * sizeof(int) +
-                   cone.po_nets.size() * sizeof(NetId) + sizeof(Cone);
     lru_.push_front(n);
     lru_pos_[static_cast<std::size_t>(n)] = lru_.begin();
     // Evict least-recently-used cones past the cap; the cone just built is
@@ -114,35 +147,85 @@ const FaultSimEngine::Cone& FaultSimEngine::cone_of(NetId n) {
       const NetId victim = lru_.back();
       lru_.pop_back();
       auto& vslot = cones_[static_cast<std::size_t>(victim)];
-      cone_bytes_ -= vslot->member.size() + vslot->gates.size() * sizeof(int) +
-                     vslot->po_nets.size() * sizeof(NetId) + sizeof(Cone);
+      cone_bytes_ -= cone_cost(vslot->gates.size());
       vslot.reset();
+      --cones_resident_;
       ++cone_evictions_;
     }
   }
   return cone;
 }
 
+void FaultSimEngine::propagate(const std::uint64_t* good, std::size_t n_words,
+                               NetId forced,
+                               const std::uint64_t* forced_words,
+                               std::uint64_t* diff) {
+  const std::size_t W = n_words;
+  for (std::size_t w = 0; w < W; ++w) diff[w] = 0;
+  const auto fs = static_cast<std::size_t>(forced);
+  {
+    std::uint64_t seed = 0;
+    for (std::size_t w = 0; w < W; ++w)
+      seed |= forced_words[w] ^ good[fs * W + w];
+    if (!seed) return;  // the forced value is the good value everywhere
+  }
+  ++propagations_;
+  ++frontier_events_;
+  const Cone& cone = cone_of(forced);
+  std::uint64_t* bad = bad_.data();
+  for (std::size_t w = 0; w < W; ++w) bad[fs * W + w] = forced_words[w];
+  changed_[fs] = 1;
+  touched_.push_back(forced);
+  if (po_mask_[fs])
+    for (std::size_t w = 0; w < W; ++w)
+      diff[w] |= forced_words[w] ^ good[fs * W + w];
+  int fence = net_fence_[fs];
+
+  const std::uint64_t* ins[8];
+  std::uint64_t* const tmp = eval_tmp_.data();
+  bool early = false;
+  for (int gi : cone.gates) {
+    if (gate_level_[static_cast<std::size_t>(gi)] > fence) {
+      // Every changed net's fanout lies behind the walk: nothing ahead can
+      // see a change, so the remaining cone is untouched by this fault.
+      early = true;
+      break;
+    }
+    const auto& gate = c_.gate(gi);
+    const std::size_t arity = gate.inputs.size();
+    std::uint8_t any = 0;
+    for (std::size_t k = 0; k < arity; ++k)
+      any |= changed_[static_cast<std::size_t>(gate.inputs[k])];
+    if (!any) continue;
+    ++frontier_gate_evals_;
+    for (std::size_t k = 0; k < arity; ++k) {
+      const auto in = static_cast<std::size_t>(gate.inputs[k]);
+      ins[k] = (changed_[in] ? bad : good) + in * W;
+    }
+    logic::gate_eval_lanes(gate.type, ins, tmp, W);
+    const auto on = static_cast<std::size_t>(gate.output);
+    std::uint64_t d = 0;
+    for (std::size_t w = 0; w < W; ++w) d |= tmp[w] ^ good[on * W + w];
+    if (!d) continue;  // the change dies at this gate
+    for (std::size_t w = 0; w < W; ++w) bad[on * W + w] = tmp[w];
+    changed_[on] = 1;
+    touched_.push_back(gate.output);
+    ++frontier_events_;
+    if (net_fence_[on] > fence) fence = net_fence_[on];
+    if (po_mask_[on])
+      for (std::size_t w = 0; w < W; ++w)
+        diff[w] |= tmp[w] ^ good[on * W + w];
+  }
+  if (early) ++frontier_early_exits_;
+  for (NetId t : touched_) changed_[static_cast<std::size_t>(t)] = 0;
+  touched_.clear();
+}
+
 std::uint64_t FaultSimEngine::forced_diff(
     const std::vector<std::uint64_t>& good, NetId forced,
     std::uint64_t forced_word) {
-  const Cone& cone = cone_of(forced);
-  bad_[static_cast<std::size_t>(forced)] = forced_word;
-  std::uint64_t ins[8];
-  for (int gi : cone.gates) {
-    const auto& gate = c_.gate(gi);
-    for (std::size_t k = 0; k < gate.inputs.size(); ++k) {
-      const auto n = static_cast<std::size_t>(gate.inputs[k]);
-      ins[k] = cone.member[n] ? bad_[n] : good[n];
-    }
-    bad_[static_cast<std::size_t>(gate.output)] =
-        logic::gate_eval_words(gate.type, ins);
-  }
   std::uint64_t diff = 0;
-  for (NetId po : cone.po_nets) {
-    const auto n = static_cast<std::size_t>(po);
-    diff |= bad_[n] ^ good[n];
-  }
+  propagate(good.data(), 1, forced, &forced_word, &diff);
   return diff;
 }
 
@@ -150,18 +233,28 @@ void FaultSimEngine::block_stuck(const PatternBlock& b,
                                  const std::vector<StuckFault>& faults,
                                  std::vector<std::uint64_t>& detect,
                                  const std::vector<std::uint8_t>* active) {
-  detect.assign(faults.size(), 0);
-  c_.eval_words_into(b.pi2(), good2_);
-  const std::uint64_t lanes = b.lane_mask();
+  assert(b.lane_words() == opt_.lane_words);
+  const auto W = static_cast<std::size_t>(opt_.lane_words);
+  detect.assign(faults.size() * W, 0);
+  c_.eval_wide_into(b.pi2(), W, good2_);
+  for (std::size_t w = 0; w < W; ++w)
+    masks_[w] = b.lane_mask(static_cast<int>(w));
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (active && !(*active)[i]) continue;
     const StuckFault& f = faults[i];
     const std::uint64_t value_word = f.value ? ~0ull : 0ull;
     // Lanes where the fault does not even change its own net are unaffected
     // (lane-independent logic), so an all-equal block needs no cone pass.
-    if (((good2_[static_cast<std::size_t>(f.net)] ^ value_word) & lanes) == 0)
-      continue;
-    detect[i] = forced_diff(good2_, f.net, value_word) & lanes;
+    const auto net = static_cast<std::size_t>(f.net);
+    std::uint64_t excitable = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      force_[w] = value_word;
+      excitable |= (good2_[net * W + w] ^ value_word) & masks_[w];
+    }
+    if (!excitable) continue;
+    propagate(good2_.data(), W, f.net, force_.data(), diff_.data());
+    for (std::size_t w = 0; w < W; ++w)
+      detect[i * W + w] = diff_[w] & masks_[w];
   }
 }
 
@@ -169,20 +262,28 @@ void FaultSimEngine::block_transition(const PatternBlock& b,
                                       const std::vector<TransitionFault>& faults,
                                       std::vector<std::uint64_t>& detect,
                                       const std::vector<std::uint8_t>* active) {
-  detect.assign(faults.size(), 0);
-  c_.eval_words_into(b.pi1(), good1_);
-  c_.eval_words_into(b.pi2(), good2_);
-  const std::uint64_t lanes = b.lane_mask();
+  assert(b.lane_words() == opt_.lane_words);
+  const auto W = static_cast<std::size_t>(opt_.lane_words);
+  detect.assign(faults.size() * W, 0);
+  c_.eval_wide_into(b.pi1(), W, good1_);
+  c_.eval_wide_into(b.pi2(), W, good2_);
+  for (std::size_t w = 0; w < W; ++w)
+    masks_[w] = b.lane_mask(static_cast<int>(w));
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (active && !(*active)[i]) continue;
     const TransitionFault& f = faults[i];
-    const std::uint64_t o1 = good1_[static_cast<std::size_t>(f.net)];
-    const std::uint64_t o2 = good2_[static_cast<std::size_t>(f.net)];
-    const std::uint64_t excited =
-        (f.slow_to_rise ? (~o1 & o2) : (o1 & ~o2)) & lanes;
-    if (!excited) continue;
-    // The slow output holds its per-lane frame-1 value during capture.
-    detect[i] = forced_diff(good2_, f.net, o1) & excited;
+    const auto net = static_cast<std::size_t>(f.net);
+    std::uint64_t any = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      const std::uint64_t o1 = good1_[net * W + w];
+      const std::uint64_t o2 = good2_[net * W + w];
+      exc_[w] = (f.slow_to_rise ? (~o1 & o2) : (o1 & ~o2)) & masks_[w];
+      any |= exc_[w];
+    }
+    if (!any) continue;
+    // The slow output holds its per-lane frame-1 values during capture.
+    propagate(good2_.data(), W, f.net, good1_.data() + net * W, diff_.data());
+    for (std::size_t w = 0; w < W; ++w) detect[i * W + w] = diff_[w] & exc_[w];
   }
 }
 
@@ -210,10 +311,13 @@ void FaultSimEngine::block_obd(const PatternBlock& b,
                                const std::vector<ObdFaultSite>& faults,
                                std::vector<std::uint64_t>& detect,
                                const std::vector<std::uint8_t>* active) {
-  detect.assign(faults.size(), 0);
-  c_.eval_words_into(b.pi1(), good1_);
-  c_.eval_words_into(b.pi2(), good2_);
-  const std::uint64_t lanes = b.lane_mask();
+  assert(b.lane_words() == opt_.lane_words);
+  const auto W = static_cast<std::size_t>(opt_.lane_words);
+  detect.assign(faults.size() * W, 0);
+  c_.eval_wide_into(b.pi1(), W, good1_);
+  c_.eval_wide_into(b.pi2(), W, good2_);
+  for (std::size_t w = 0; w < W; ++w)
+    masks_[w] = b.lane_mask(static_cast<int>(w));
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (active && !(*active)[i]) continue;
     const ObdFaultSite& f = faults[i];
@@ -223,24 +327,35 @@ void FaultSimEngine::block_obd(const PatternBlock& b,
 
     // Per-lane local two-vectors at the gate, probed against the table.
     const std::size_t n_in = g.inputs.size();
-    std::uint64_t in1[4], in2[4];
+    const std::uint64_t* in1[4];
+    const std::uint64_t* in2[4];
     for (std::size_t k = 0; k < n_in; ++k) {
-      in1[k] = good1_[static_cast<std::size_t>(g.inputs[k])];
-      in2[k] = good2_[static_cast<std::size_t>(g.inputs[k])];
+      in1[k] = good1_.data() + static_cast<std::size_t>(g.inputs[k]) * W;
+      in2[k] = good2_.data() + static_cast<std::size_t>(g.inputs[k]) * W;
     }
-    std::uint64_t excited = 0;
+    std::uint64_t any = 0;
+    for (std::size_t w = 0; w < W; ++w) exc_[w] = 0;
     for (int lane = 0; lane < b.size(); ++lane) {
+      const auto word = static_cast<std::size_t>(lane) >> 6;
+      const int bit = lane & 63;
       std::uint32_t lv1 = 0, lv2 = 0;
       for (std::size_t k = 0; k < n_in; ++k) {
-        lv1 |= static_cast<std::uint32_t>((in1[k] >> lane) & 1u) << k;
-        lv2 |= static_cast<std::uint32_t>((in2[k] >> lane) & 1u) << k;
+        lv1 |= static_cast<std::uint32_t>((in1[k][word] >> bit) & 1u) << k;
+        lv2 |= static_cast<std::uint32_t>((in2[k][word] >> bit) & 1u) << k;
       }
-      if ((table[lv1] >> lv2) & 1u) excited |= 1ull << lane;
+      if ((table[lv1] >> lv2) & 1u) {
+        exc_[word] |= 1ull << bit;
+        any = 1;
+      }
     }
-    if (!excited) continue;
-    // Gross-delay: the excited gate output keeps its per-lane frame-1 value.
-    const std::uint64_t old_out = good1_[static_cast<std::size_t>(g.output)];
-    detect[i] = forced_diff(good2_, g.output, old_out) & excited & lanes;
+    if (!any) continue;
+    // Gross-delay: the excited gate output keeps its per-lane frame-1
+    // values.
+    const auto out = static_cast<std::size_t>(g.output);
+    propagate(good2_.data(), W, g.output, good1_.data() + out * W,
+              diff_.data());
+    for (std::size_t w = 0; w < W; ++w)
+      detect[i * W + w] = diff_[w] & exc_[w] & masks_[w];
   }
 }
 
@@ -252,7 +367,8 @@ FaultSimEngine::Campaign FaultSimEngine::run_campaign(
   result.first_test.assign(faults.size(), -1);
   std::vector<std::uint8_t> active(faults.size(), 1);
   std::vector<std::uint64_t> detect;
-  PatternBlock block(c_);
+  const auto W = static_cast<std::size_t>(opt_.lane_words);
+  PatternBlock block(c_, opt_.lane_words);
   int base = 0;
   for (std::size_t t = 0; t <= tests.size(); ++t) {
     if (t < tests.size()) {
@@ -263,13 +379,21 @@ FaultSimEngine::Campaign FaultSimEngine::run_campaign(
     for (std::uint8_t a : active) result.fault_block_evals += a;
     block_fn(block, faults, detect, &active);
     for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (!detect[i]) continue;
-      if (result.first_test[i] < 0) {
-        result.first_test[i] =
-            base + std::countr_zero(detect[i]);
-        ++result.detected;
+      bool hit = false;
+      for (std::size_t w = 0; w < W; ++w) {
+        const std::uint64_t word = detect[i * W + w];
+        if (!word) continue;
+        hit = true;
+        // Words ascend in lane (= test) order, so the first nonzero word's
+        // lowest bit is the true first detection in the block.
+        if (result.first_test[i] < 0) {
+          result.first_test[i] = base + static_cast<int>(w) * 64 +
+                                 std::countr_zero(word);
+          ++result.detected;
+        }
+        break;
       }
-      if (drop_detected) active[i] = 0;
+      if (hit && drop_detected) active[i] = 0;
     }
     base += block.size();
     block.clear();
@@ -525,16 +649,33 @@ const char* to_string(SimPacking p) {
 FaultSimScheduler::FaultSimScheduler(const Circuit& c, SimOptions opt)
     : c_(c), opt_(opt) {
   if (opt_.threads < 1) opt_.threads = 1;
+  if (opt_.lane_words < 1) opt_.lane_words = 1;
+  if (opt_.block_batch < 0) opt_.block_batch = 0;
   // All workers are created up front, on the caller's thread: the first
   // engine construction warms the circuit's lazy topo-order cache, so the
   // shared Circuit is strictly read-only once workers run.
   engines_.reserve(static_cast<std::size_t>(opt_.threads));
   for (int w = 0; w < opt_.threads; ++w)
     engines_.push_back(std::make_unique<FaultSimEngine>(
-        c_, EngineOptions{opt_.cone_cache_bytes}));
+        c_, EngineOptions{opt_.cone_cache_bytes, opt_.lane_words}));
 }
 
 FaultSimScheduler::~FaultSimScheduler() = default;
+
+SimStats FaultSimScheduler::stats() const {
+  SimStats s;
+  for (const auto& e : engines_) {
+    s.cone_evictions += e->cone_evictions();
+    s.cone_resident += e->cone_resident();
+    s.cone_bytes += e->cone_cache_bytes();
+    s.cone_peak_bytes += e->cone_peak_bytes();
+    s.propagations += e->propagations();
+    s.frontier_events += e->frontier_events();
+    s.frontier_gate_evals += e->frontier_gate_evals();
+    s.frontier_early_exits += e->frontier_early_exits();
+  }
+  return s;
+}
 
 SimPacking FaultSimScheduler::resolve_packing(std::size_t n_tests,
                                               std::size_t n_faults) const {
@@ -548,6 +689,38 @@ SimPacking FaultSimScheduler::resolve_packing(std::size_t n_tests,
 int FaultSimScheduler::workers_for(std::size_t jobs) const {
   return static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(opt_.threads), jobs));
+}
+
+namespace {
+
+/// Below this many gates x blocks x lane_words, thread spawn + round
+/// barriers cost more than the parallel win (measured on the bench corpus:
+/// mul4x4/mul6x6-class shapes regressed to ~0.9x at 2 threads, c880-class
+/// and up still profit).
+constexpr std::size_t kSerialGateBlockThreshold = 8192;
+
+}  // namespace
+
+int FaultSimScheduler::pattern_workers(std::size_t n_blocks) const {
+  const int w = workers_for(n_blocks);
+  if (w > 1 && c_.num_gates() * n_blocks *
+                       static_cast<std::size_t>(opt_.lane_words) <
+                   kSerialGateBlockThreshold)
+    return 1;
+  return w;
+}
+
+std::size_t FaultSimScheduler::resolve_batch(std::size_t n_blocks,
+                                             int workers) const {
+  if (opt_.block_batch > 0)
+    return static_cast<std::size_t>(opt_.block_batch);
+  if (workers <= 1) return 1;
+  // Amortize the round barrier over a few blocks per worker, but keep at
+  // least ~4 reconciliation rounds so fault dropping still prunes the tail.
+  const std::size_t per_worker =
+      (n_blocks + static_cast<std::size_t>(workers) - 1) /
+      static_cast<std::size_t>(workers);
+  return std::max<std::size_t>(1, std::min<std::size_t>(4, per_worker / 4));
 }
 
 namespace {
@@ -596,25 +769,32 @@ DetectionMatrix FaultSimScheduler::build_matrix(
       }
     });
   } else {
-    // Shard whole blocks: block b owns rows [64b, 64b + size).
-    const std::vector<PatternBlock> blocks = PatternBlock::pack(c_, tests);
+    // Shard whole blocks: block b owns rows [capacity * b, + size).
+    const std::vector<PatternBlock> blocks =
+        PatternBlock::pack(c_, tests, opt_.lane_words);
+    const auto W = static_cast<std::size_t>(opt_.lane_words);
+    const std::size_t capacity = W * 64;
     std::atomic<std::size_t> next{0};
-    run_workers(workers_for(blocks.size()), [&](int w) {
+    run_workers(pattern_workers(blocks.size()), [&](int w) {
       FaultSimEngine& e = engine(w);
       std::vector<std::uint64_t> detect;
       for (std::size_t b = next.fetch_add(1); b < blocks.size();
            b = next.fetch_add(1)) {
         block_fn(e, blocks[b], faults, detect);
-        const std::size_t base = b * PatternBlock::kLanes;
+        const std::size_t base = b * capacity;
         for (std::size_t f = 0; f < faults.size(); ++f) {
-          std::uint64_t word = detect[f];
-          if (!word) continue;
           const std::size_t fw = f >> 6;
           const std::uint64_t fbit = 1ull << (f & 63);
-          while (word) {
-            const auto lane = static_cast<std::size_t>(std::countr_zero(word));
-            word &= word - 1;
-            m.rows[(base + lane) * m.words_per_row + fw] |= fbit;
+          for (std::size_t dw = 0; dw < W; ++dw) {
+            std::uint64_t word = detect[f * W + dw];
+            if (!word) continue;
+            const std::size_t wbase = base + dw * 64;
+            while (word) {
+              const auto lane =
+                  static_cast<std::size_t>(std::countr_zero(word));
+              word &= word - 1;
+              m.rows[(wbase + lane) * m.words_per_row + fw] |= fbit;
+            }
           }
         }
       }
@@ -684,36 +864,48 @@ FaultSimEngine::Campaign FaultSimScheduler::run_campaign(
     return r;
   }
 
-  // Pattern-major: rounds of `threads` blocks against a frozen active list,
-  // reconciled in block order — bit-identical to the single-threaded drop
-  // campaign (first_test is the true first detection either way). Workers
-  // are spawned once for the whole campaign; the barrier's completion step
-  // (one thread, all workers parked) reconciles each round and re-freezes
-  // the active list, so no shared state is touched while blocks simulate.
-  const std::vector<PatternBlock> blocks = PatternBlock::pack(c_, tests);
+  // Pattern-major: rounds of `workers * batch` blocks against a frozen
+  // active list, reconciled in block order — bit-identical to the
+  // single-threaded drop campaign (first_test is the true first detection
+  // either way). Worker w owns the round's contiguous slots
+  // [w * batch, (w + 1) * batch); batching amortizes the round barrier on
+  // small blocks. Workers are spawned once for the whole campaign; the
+  // barrier's completion step (one thread, all workers parked) reconciles
+  // each round and re-freezes the active list, so no shared state is
+  // touched while blocks simulate.
+  const std::vector<PatternBlock> blocks =
+      PatternBlock::pack(c_, tests, opt_.lane_words);
+  const auto W = static_cast<std::size_t>(opt_.lane_words);
   std::vector<std::uint8_t> active(faults.size(), 1);
   long long n_active = static_cast<long long>(faults.size());
-  const int workers = workers_for(blocks.size());
-  std::vector<std::vector<std::uint64_t>> detect(
-      static_cast<std::size_t>(workers));
+  const int workers = pattern_workers(blocks.size());
+  const std::size_t batch = resolve_batch(blocks.size(), workers);
+  const std::size_t round_cap = static_cast<std::size_t>(workers) * batch;
+  std::vector<std::vector<std::vector<std::uint64_t>>> detect(
+      static_cast<std::size_t>(workers),
+      std::vector<std::vector<std::uint64_t>>(batch));
   std::size_t start = 0;
   bool stop = false;
   const auto round_blocks = [&] {
-    return static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(workers), blocks.size() - start));
+    return std::min<std::size_t>(round_cap, blocks.size() - start);
   };
-  r.fault_block_evals += n_active * round_blocks();
+  r.fault_block_evals += n_active * static_cast<long long>(round_blocks());
   std::barrier sync(workers, [&]() noexcept {
-    const int n = round_blocks();
-    for (int b = 0; b < n; ++b) {
-      const int base =
-          static_cast<int>((start + static_cast<std::size_t>(b)) *
-                           PatternBlock::kLanes);
-      const auto& det = detect[static_cast<std::size_t>(b)];
+    const std::size_t n = round_blocks();
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::size_t b = start + s;
+      const int base = static_cast<int>(b * W * 64);
+      const auto& det = detect[s / batch][s % batch];
       for (std::size_t f = 0; f < faults.size(); ++f) {
-        if (!det[f] || r.first_test[f] >= 0) continue;
-        r.first_test[f] = base + std::countr_zero(det[f]);
-        ++r.detected;
+        if (r.first_test[f] >= 0) continue;
+        for (std::size_t dw = 0; dw < W; ++dw) {
+          const std::uint64_t word = det[f * W + dw];
+          if (!word) continue;
+          r.first_test[f] =
+              base + static_cast<int>(dw) * 64 + std::countr_zero(word);
+          ++r.detected;
+          break;
+        }
       }
     }
     if (drop_detected) {
@@ -724,16 +916,20 @@ FaultSimEngine::Campaign FaultSimScheduler::run_campaign(
         }
       }
     }
-    start += static_cast<std::size_t>(n);
+    start += n;
     stop = start >= blocks.size() || (drop_detected && n_active == 0);
-    if (!stop) r.fault_block_evals += n_active * round_blocks();
+    if (!stop)
+      r.fault_block_evals += n_active * static_cast<long long>(round_blocks());
   });
   run_workers(workers, [&](int w) {
+    auto& mine = detect[static_cast<std::size_t>(w)];
     while (!stop) {
-      const std::size_t b = start + static_cast<std::size_t>(w);
-      if (b < blocks.size())
-        block_fn(engine(w), blocks[b], faults,
-                 detect[static_cast<std::size_t>(w)], &active);
+      for (std::size_t j = 0; j < batch; ++j) {
+        const std::size_t b =
+            start + static_cast<std::size_t>(w) * batch + j;
+        if (b < blocks.size())
+          block_fn(engine(w), blocks[b], faults, mine[j], &active);
+      }
       sync.arrive_and_wait();
     }
   });

@@ -5,11 +5,15 @@
 // bit — wasting 63/64 of every word. This engine restores the classical
 // parallel-pattern single-fault-propagation structure:
 //
-//   - a PatternBlock packs up to 64 (two-vector) tests, one per word lane;
+//   - a PatternBlock packs up to 64 * lane_words (two-vector) tests, one
+//     per word-lane bit, with the multi-word LaneBlock SIMD kernels
+//     (logic/laneblock.hpp) fusing all words of a bundle per gate;
 //   - the good circuit is evaluated once per block (per frame);
 //   - each fault is simulated against the whole block at once: its net is
-//     forced to a per-lane word and only the fault's fanout cone is
-//     re-evaluated (cones are cached per net);
+//     forced to per-lane words and the change is propagated event-driven
+//     through the fault's levelized fanout cone (cones are cached per
+//     net) — only gates with a changed input are evaluated, and the walk
+//     short-circuits when the frontier empties before reaching a PO;
 //   - OBD excitation is decided per lane from a per-(gate type, transistor)
 //     lookup table over local two-vectors, so input-specific conditions
 //     cost a table probe instead of a topology walk;
@@ -50,45 +54,66 @@ namespace obd::atpg {
 struct EngineOptions {
   /// Upper bound on resident fanout-cone cache memory, in bytes; least-
   /// recently-used cones are evicted past it (the most recent cone is
-  /// always kept, so a single huge cone still simulates). 0 = unlimited —
-  /// fine for the zoo, but a multi-thousand-net ISCAS circuit holds a
-  /// num_nets-byte membership mask per cached net, i.e. O(nets^2) bytes
-  /// when every fault site stays resident.
+  /// always kept, so a single huge cone still simulates). 0 = unlimited.
+  /// Cones are now a level-sorted gate list only (~4 bytes per cone gate —
+  /// the old per-cone num_nets membership mask, O(nets^2) total on ISCAS
+  /// circuits, is gone), so even c7552 fits comfortably uncapped.
   std::size_t cone_cache_bytes = 0;
+  /// Words per pattern lane bundle: blocks carry 64 * lane_words tests and
+  /// every per-net value is lane_words words wide (the LaneBlock SIMD
+  /// kernels in logic/laneblock.hpp fuse them). Detection results are
+  /// bit-identical at any width.
+  int lane_words = 1;
 };
 
-/// Up to 64 two-vector tests packed lane-per-test (stuck-at tests use only
-/// the second frame, with v1 == v2).
+/// Up to 64 * lane_words two-vector tests packed lane-per-test (stuck-at
+/// tests use only the second frame, with v1 == v2). Lane L lives at bit
+/// (L & 63) of word (L >> 6); a one-word block is bit-for-bit the engine's
+/// historical 64-lane block.
 class PatternBlock {
  public:
+  /// Lanes per 64-bit word (the historical whole-block size).
   static constexpr int kLanes = 64;
 
-  explicit PatternBlock(const Circuit& c)
-      : pi1_(c.inputs().size(), 0), pi2_(c.inputs().size(), 0) {}
+  explicit PatternBlock(const Circuit& c, int lane_words = 1)
+      : lane_words_(lane_words < 1 ? 1 : lane_words),
+        pi1_(c.inputs().size() * static_cast<std::size_t>(lane_words_), 0),
+        pi2_(c.inputs().size() * static_cast<std::size_t>(lane_words_), 0) {}
 
+  int lane_words() const { return lane_words_; }
+  /// Total lanes: 64 * lane_words.
+  int capacity() const { return kLanes * lane_words_; }
   int size() const { return size_; }
-  bool full() const { return size_ == kLanes; }
-  /// Low `size()` bits set: lanes that carry real tests.
-  std::uint64_t lane_mask() const {
-    return size_ == kLanes ? ~0ull : ((1ull << size_) - 1);
+  bool full() const { return size_ == capacity(); }
+  /// Live-lane mask of one word: bits of `word` whose lanes carry real
+  /// tests. lane_mask() is the historical whole-block mask for one-word
+  /// blocks.
+  std::uint64_t lane_mask(int word = 0) const {
+    const int live = size_ - word * kLanes;
+    if (live >= kLanes) return ~0ull;
+    if (live <= 0) return 0;
+    return (1ull << live) - 1;
   }
 
   void clear();
   void push(const TwoVectorTest& t);
 
+  /// Lane-strided PI words: PI i's words at [i * lane_words, +lane_words).
   const std::vector<std::uint64_t>& pi1() const { return pi1_; }
   const std::vector<std::uint64_t>& pi2() const { return pi2_; }
   const TwoVectorTest& test(int lane) const {
     return tests_[static_cast<std::size_t>(lane)];
   }
 
-  /// Packs a test list into ceil(n/64) blocks, preserving order.
+  /// Packs a test list into ceil(n / capacity) blocks, preserving order.
   static std::vector<PatternBlock> pack(const Circuit& c,
-                                        const std::vector<TwoVectorTest>& tests);
+                                        const std::vector<TwoVectorTest>& tests,
+                                        int lane_words = 1);
 
  private:
+  int lane_words_ = 1;
   int size_ = 0;
-  std::vector<std::uint64_t> pi1_, pi2_;  // [pi] -> lane words
+  std::vector<std::uint64_t> pi1_, pi2_;  // [pi * lane_words + word]
   std::vector<TwoVectorTest> tests_;
 };
 
@@ -123,18 +148,33 @@ class FaultSimEngine {
 
   const Circuit& circuit() const { return c_; }
 
-  // --- Cone-cache introspection ----------------------------------------
+  // --- Cone-cache / frontier introspection -----------------------------
   /// Bytes currently held by cached fanout cones.
   std::size_t cone_cache_bytes() const { return cone_bytes_; }
+  /// High-water mark of cone_cache_bytes over the engine's lifetime.
+  std::size_t cone_peak_bytes() const { return cone_peak_bytes_; }
   /// Cones evicted so far (0 when the cache is uncapped).
   long long cone_evictions() const { return cone_evictions_; }
-  /// Cones currently resident (tracked only when the cache is capped).
-  std::size_t cone_resident() const { return lru_.size(); }
+  /// Cones currently resident.
+  std::size_t cone_resident() const { return cones_resident_; }
+  /// Fault-injected cone propagations run (one per excited fault x block).
+  long long propagations() const { return propagations_; }
+  /// Nets whose wide value actually changed during propagation (frontier
+  /// membership events, fault sites included).
+  long long frontier_events() const { return frontier_events_; }
+  /// Cone gates evaluated (gates with no changed input are skipped; the
+  /// old engine paid one evaluation per cone gate per fault).
+  long long frontier_gate_evals() const { return frontier_gate_evals_; }
+  /// Propagations that short-circuited before exhausting the cone because
+  /// the frontier emptied below the remaining gates' levels.
+  long long frontier_early_exits() const { return frontier_early_exits_; }
 
   // --- Block primitives (pattern-major) --------------------------------
-  // Each fills `detect` (resized to faults.size()) with one word per fault;
-  // bit k set = lane k of the block detects the fault. When `active` is
-  // non-null, faults with active[i] == 0 are skipped (their word is 0).
+  // Each fills `detect` (resized to faults.size() * lane_words) with
+  // lane_words words per fault at [i * lane_words, +lane_words); bit k of
+  // word w set = lane 64w + k of the block detects the fault. The block's
+  // lane_words must equal the engine's. When `active` is non-null, faults
+  // with active[i] == 0 are skipped (their words are 0).
 
   void block_stuck(const PatternBlock& b, const std::vector<StuckFault>& faults,
                    std::vector<std::uint64_t>& detect,
@@ -202,20 +242,33 @@ class FaultSimEngine {
                         const std::vector<ObdFaultSite>& faults,
                         bool drop_detected = true);
 
-  /// PO difference word between the good block valuation `good` and the
-  /// same block with `forced` pinned to `forced_word`, re-evaluating only
-  /// the forced net's fanout cone.
+  /// PO difference word between the good block valuation `good` (one word
+  /// per net) and the same block with `forced` pinned to `forced_word`,
+  /// propagating only through the forced net's fanout cone. The one-word
+  /// convenience form of the wide frontier propagation.
   std::uint64_t forced_diff(const std::vector<std::uint64_t>& good,
                             NetId forced, std::uint64_t forced_word);
 
  private:
+  /// A fanout cone, levelized once: gate indices sorted by (logic level,
+  /// topo rank). Membership masks and PO lists are gone — change flags
+  /// replace the former and the engine-wide PO mask the latter — so a cone
+  /// costs ~4 bytes per gate instead of num_nets bytes.
   struct Cone {
-    std::vector<int> gates;          // topo order
-    std::vector<NetId> po_nets;      // PO nets inside the cone (dedup'd)
-    std::vector<std::uint8_t> member;  // per-net: 1 = value comes from bad_
+    std::vector<int> gates;
   };
 
   const Cone& cone_of(NetId n);
+
+  /// Event-driven frontier propagation, the engine's hot loop: pins
+  /// `forced` to `forced_words` (W words) against the lane-strided good
+  /// valuation `good`, walks the forced net's cone in level order
+  /// evaluating only gates with a changed input, marks a net changed only
+  /// when its W-word value really differs from good, and stops as soon as
+  /// every changed net's fanout level is behind the walk (the frontier
+  /// fence). `diff` (W words) gets the OR over POs of (faulty ^ good).
+  void propagate(const std::uint64_t* good, std::size_t n_words, NetId forced,
+                 const std::uint64_t* forced_words, std::uint64_t* diff);
   /// 2^n x 2^n excitation table for (gate type, transistor): row bit v2 of
   /// entry v1 set when (v1 -> v2) excites the OBD defect.
   const std::array<std::uint16_t, 16>& obd_table(logic::GateType t,
@@ -241,16 +294,37 @@ class FaultSimEngine {
   const Circuit& c_;
   EngineOptions opt_;
   std::vector<int> topo_pos_;                    // gate -> topo rank
+  std::vector<int> gate_level_;                  // gate -> logic level
+  // Frontier fence input: per net, the maximum logic level of any gate
+  // reading it (0 = no fanout). While the walk's level exceeds every
+  // changed net's entry here, no remaining cone gate can see a change.
+  std::vector<int> net_fence_;
+  std::vector<std::uint8_t> po_mask_;            // per net: 1 = primary output
   std::vector<std::unique_ptr<Cone>> cones_;     // per net, lazy
   // LRU bookkeeping for the cone cache: recency list (front = most recent)
-  // and each resident net's position in it.
+  // and each resident net's position in it (maintained only when capped).
   std::list<NetId> lru_;
   std::vector<std::list<NetId>::iterator> lru_pos_;
   std::size_t cone_bytes_ = 0;
+  std::size_t cone_peak_bytes_ = 0;
+  std::size_t cones_resident_ = 0;
   long long cone_evictions_ = 0;
+  long long propagations_ = 0;
+  long long frontier_events_ = 0;
+  long long frontier_gate_evals_ = 0;
+  long long frontier_early_exits_ = 0;
   std::map<std::tuple<int, bool, int>, std::array<std::uint16_t, 16>>
       obd_tables_;
-  std::vector<std::uint64_t> good1_, good2_, bad_;  // per-net scratch words
+  // Lane-strided per-net scratch (lane_words words per net for the block
+  // kernels; the fault-major kernels use the same buffers one word per
+  // net).
+  std::vector<std::uint64_t> good1_, good2_, bad_;
+  // Propagation scratch: per-net changed flags with their reset list, the
+  // gate-output staging words, and per-block masks / per-fault excitation
+  // and diff words.
+  std::vector<std::uint8_t> changed_;
+  std::vector<NetId> touched_;
+  std::vector<std::uint64_t> eval_tmp_, force_, diff_, exc_, masks_;
   // Fault-major injection scratch: per-net forced-to-{0,1} lane masks, the
   // touched-net reset list, and the faulty valuation buffer.
   std::vector<std::uint64_t> inj_set0_, inj_set1_;
@@ -258,17 +332,36 @@ class FaultSimEngine {
   std::vector<std::uint64_t> pi_bcast_, ibad_;
 };
 
+/// Aggregated per-engine counters (summed over the scheduler's workers;
+/// cone_bytes/cone_resident are sums of per-engine residency, peak bytes
+/// the sum of per-engine peaks). Surfaced in the campaign JSON report so
+/// cache pressure and frontier behaviour are observable without rerunning
+/// the bench.
+struct SimStats {
+  long long cone_evictions = 0;
+  std::size_t cone_resident = 0;
+  std::size_t cone_bytes = 0;
+  std::size_t cone_peak_bytes = 0;
+  long long propagations = 0;
+  long long frontier_events = 0;
+  long long frontier_gate_evals = 0;
+  long long frontier_early_exits = 0;
+};
+
 /// Schedules fault-simulation calls over packing modes and a worker pool.
 /// (SimPacking/SimOptions live in patterns.hpp.)
 ///
 /// Determinism contract: matrices and campaigns are bit-identical across
-/// packings and thread counts (the randomized oracle harness in
-/// tests/oracle_common.hpp enforces this against the legacy scalar
+/// packings, thread counts, and lane widths (the randomized oracle harness
+/// in tests/oracle_common.hpp enforces this against the legacy scalar
 /// simulators). Threads shard whole pattern blocks (matrix rows are
 /// disjoint per block) or whole tests (fault-major rows are disjoint per
-/// test); fault-dropping campaigns run rounds of `threads` blocks against
-/// a frozen active list and reconcile detections in block order between
-/// rounds, trading a little redundant tail work for exact equivalence.
+/// test); fault-dropping campaigns run rounds of `threads * block_batch`
+/// blocks against a frozen active list and reconcile detections in block
+/// order between rounds, trading a little redundant tail work for exact
+/// equivalence. Small shapes (gates x blocks x lane_words below a measured
+/// threshold) run single-threaded regardless of `threads` — the barrier
+/// tax exceeds the parallel win there.
 class FaultSimScheduler {
  public:
   explicit FaultSimScheduler(const Circuit& c, SimOptions opt = {});
@@ -277,12 +370,25 @@ class FaultSimScheduler {
   const Circuit& circuit() const { return c_; }
   const SimOptions& options() const { return opt_; }
 
+  /// Counter sums over all worker engines.
+  SimStats stats() const;
+
   /// kAuto resolution for a call shape. Fault-major pays one full-circuit
   /// evaluation per 64 faults per test; pattern-major one cone evaluation
   /// per fault per 64 tests plus a good evaluation per block — so the
   /// fault axis wins only when the test list is a small fraction of one
   /// block and the fault list spans words.
   SimPacking resolve_packing(std::size_t n_tests, std::size_t n_faults) const;
+
+  /// Workers a pattern-major call with this many blocks actually uses:
+  /// min(threads, blocks), gated to 1 when gates x blocks x lane_words
+  /// falls below a measured threshold — there the thread-spawn and round-
+  /// barrier tax exceeds any parallel win, so the call runs inline.
+  int pattern_workers(std::size_t n_blocks) const;
+  /// Blocks per worker per campaign round (block_batch, or an auto pick
+  /// that amortizes the round barrier without coarsening fault dropping
+  /// too much).
+  std::size_t resolve_batch(std::size_t n_blocks, int workers) const;
 
   // --- Detection matrices ----------------------------------------------
   DetectionMatrix matrix_stuck(const std::vector<InputVec>& patterns,

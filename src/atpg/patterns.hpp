@@ -106,6 +106,16 @@ struct SimOptions {
   /// it; see EngineOptions::cone_cache_bytes). 0 = unlimited. Purely a
   /// memory/speed trade: detections are unaffected.
   std::size_t cone_cache_bytes = 0;
+  /// Words per pattern-block lane bundle: 1 = the classic 64-lane blocks,
+  /// 4 = 256 lanes, 8 = 512 (the CLI's --lanes divided by 64). Wide
+  /// bundles run through the LaneBlock SIMD kernels; detection matrices,
+  /// campaigns, and matrix_hash are bit-identical at every width.
+  int lane_words = 1;
+  /// Pattern blocks per worker per fault-dropping campaign round; 0 picks
+  /// automatically. Larger batches amortize the round barrier at the cost
+  /// of coarser fault-drop reconciliation (results stay bit-identical —
+  /// only the redundant-work metric moves).
+  int block_batch = 0;
 };
 
 }  // namespace obd::atpg

@@ -56,6 +56,20 @@ void fill_structure(const logic::Circuit& view, CampaignReport& r) {
   r.depth = view.depth();
 }
 
+/// Copies the scheduler's aggregated cone/frontier counters into the
+/// report (taken after the last fault-sim call so prepass + matrix work is
+/// included).
+void fill_sim_stats(const FaultSimScheduler& sched, CampaignReport& r) {
+  const atpg::SimStats s = sched.stats();
+  r.cone_evictions = s.cone_evictions;
+  r.cone_resident = s.cone_resident;
+  r.cone_peak_bytes = s.cone_peak_bytes;
+  r.propagations = s.propagations;
+  r.frontier_events = s.frontier_events;
+  r.frontier_gate_evals = s.frontier_gate_evals;
+  r.frontier_early_exits = s.frontier_early_exits;
+}
+
 /// Shared campaign tail: detection matrix over the final test set (the
 /// cross-thread witness), greedy compaction, and the derived report fields.
 template <typename MatrixFn>
@@ -129,6 +143,7 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
   FaultSimScheduler sched(view, opt.sim);
   matrix_and_compact(opt, vectors.size(),
                      [&] { return sched.matrix_obd(vectors, reps); }, r);
+  fill_sim_stats(sched, r);
   r.coverage =
       static_cast<double>(r.detected) / static_cast<double>(reps.size());
   r.time.total_s = seconds_since(t_total);
@@ -191,6 +206,7 @@ void drive(const logic::Circuit& c, const CampaignOptions& opt,
   // prepass only tracked first hits) and is the cross-thread witness.
   matrix_and_compact(opt, tests.size(),
                      [&] { return ops.matrix(sched, tests); }, r);
+  fill_sim_stats(sched, r);
   r.coverage = static_cast<double>(r.detected) /
                static_cast<double>(ops.reps.size());
   r.time.total_s = seconds_since(t_total);
@@ -228,6 +244,7 @@ CampaignReport run_campaign(const logic::SequentialCircuit& seq,
   CampaignReport r;
   r.model = opt.model;
   r.threads = opt.sim.threads;
+  r.lanes = 64 * std::max(1, opt.sim.lane_words);
   r.packing = to_string(opt.sim.packing);
   r.scan = !seq.flops().empty();
   r.flops = seq.flops().size();
@@ -427,9 +444,17 @@ std::string report_json(const CampaignReport& r) {
   std::snprintf(hash, sizeof hash, "0x%016llx",
                 static_cast<unsigned long long>(r.matrix_hash));
   j += "  \"sim\": {\"threads\": " + std::to_string(r.threads) +
+       ", \"lanes\": " + std::to_string(r.lanes) +
        ", \"packing\": \"" + r.packing + "\", \"fault_block_evals\": " +
        std::to_string(r.fault_block_evals) + ", \"matrix_hash\": \"" + hash +
-       "\"},\n";
+       "\",\n          \"cone_evictions\": " + std::to_string(r.cone_evictions) +
+       ", \"cone_resident\": " + std::to_string(r.cone_resident) +
+       ", \"cone_peak_bytes\": " + std::to_string(r.cone_peak_bytes) +
+       ",\n          \"propagations\": " + std::to_string(r.propagations) +
+       ", \"frontier_events\": " + std::to_string(r.frontier_events) +
+       ", \"frontier_gate_evals\": " + std::to_string(r.frontier_gate_evals) +
+       ", \"frontier_early_exits\": " +
+       std::to_string(r.frontier_early_exits) + "},\n";
   j += "  \"time_s\": {\"collapse\": " + json_num(r.time.collapse_s) +
        ", \"random\": " + json_num(r.time.random_s) +
        ", \"atpg\": " + json_num(r.time.atpg_s) +
@@ -476,8 +501,17 @@ void print_report(const CampaignReport& r) {
   std::snprintf(hash, sizeof hash, "0x%016llx",
                 static_cast<unsigned long long>(r.matrix_hash));
   t.add_row({"matrix hash", hash});
-  t.add_row({"threads / packing",
-             std::to_string(r.threads) + " / " + r.packing});
+  t.add_row({"threads / lanes / packing",
+             std::to_string(r.threads) + " / " + std::to_string(r.lanes) +
+                 " / " + r.packing});
+  if (r.propagations > 0)
+    t.add_row({"frontier evals / early exits",
+               std::to_string(r.frontier_gate_evals) + " / " +
+                   std::to_string(r.frontier_early_exits) +
+                   (r.cone_evictions > 0
+                        ? "  (evictions " + std::to_string(r.cone_evictions) +
+                              ")"
+                        : "")});
   t.add_row({"wall clock", util::format_g(r.time.total_s, 3) + " s  (random " +
                                util::format_g(r.time.random_s, 3) + ", atpg " +
                                util::format_g(r.time.atpg_s, 3) + ", sim " +

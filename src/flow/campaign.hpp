@@ -102,8 +102,21 @@ struct CampaignReport {
   /// Scheduler work metric of the prepass (see Campaign::fault_block_evals).
   long long fault_block_evals = 0;
 
+  /// Cone-cache pressure and frontier-propagation counters, summed over the
+  /// campaign scheduler's worker engines (atpg::SimStats): the c7552-class
+  /// memory/speed cliff is observable here without rerunning the bench.
+  long long cone_evictions = 0;
+  std::size_t cone_resident = 0;
+  std::size_t cone_peak_bytes = 0;
+  long long propagations = 0;
+  long long frontier_events = 0;
+  long long frontier_gate_evals = 0;
+  long long frontier_early_exits = 0;
+
   PhaseTimes time;
   int threads = 1;
+  /// Pattern lanes per block (64 * SimOptions::lane_words).
+  int lanes = 64;
   std::string packing;
 
   bool ok() const { return error.empty(); }

@@ -179,6 +179,37 @@ void Circuit::eval_words_into(const std::vector<std::uint64_t>& pi_words,
   }
 }
 
+void Circuit::eval_wide_into(const std::vector<std::uint64_t>& pi_words,
+                             std::size_t lane_words,
+                             std::vector<std::uint64_t>& values,
+                             NetId forced_net,
+                             const std::uint64_t* forced_words) const {
+  const std::size_t W = lane_words;
+  values.assign(net_names_.size() * W, 0);
+  for (std::size_t i = 0; i < inputs_.size() && i * W < pi_words.size(); ++i) {
+    const NetId n = inputs_[i];
+    std::uint64_t* dst = values.data() + static_cast<std::size_t>(n) * W;
+    if (n == forced_net && forced_words) {
+      for (std::size_t w = 0; w < W; ++w) dst[w] = forced_words[w];
+    } else {
+      for (std::size_t w = 0; w < W; ++w) dst[w] = pi_words[i * W + w];
+    }
+  }
+  const std::uint64_t* ins[8];
+  for (int g : topo_order()) {
+    const Gate& gate = gates_[static_cast<std::size_t>(g)];
+    for (std::size_t k = 0; k < gate.inputs.size(); ++k)
+      ins[k] = values.data() + static_cast<std::size_t>(gate.inputs[k]) * W;
+    std::uint64_t* out =
+        values.data() + static_cast<std::size_t>(gate.output) * W;
+    if (gate.output == forced_net && forced_words) {
+      for (std::size_t w = 0; w < W; ++w) out[w] = forced_words[w];
+    } else {
+      gate_eval_words_n(gate.type, ins, out, W);
+    }
+  }
+}
+
 std::vector<Words3> Circuit::eval3_words(const std::vector<Words3>& pi_words,
                                          NetId forced_net,
                                          Words3 forced_value) const {

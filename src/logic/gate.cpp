@@ -1,5 +1,7 @@
 #include "logic/gate.hpp"
 
+#include "logic/laneblock.hpp"
+
 namespace obd::logic {
 
 int gate_arity(GateType t) {
@@ -135,6 +137,11 @@ std::uint64_t gate_eval_words(GateType t, const std::uint64_t* in) {
     case GateType::kOai21: return ~((in[0] | in[1]) & in[2]);
   }
   return 0;
+}
+
+void gate_eval_words_n(GateType t, const std::uint64_t* const* inputs,
+                       std::uint64_t* out, std::size_t n_words) {
+  gate_eval_lanes(t, inputs, out, n_words);
 }
 
 Words3 gate_eval_words3(GateType t, const Words3* in) {

@@ -8,6 +8,7 @@
 //    OBD fault analysis.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -54,6 +55,15 @@ Tri gate_eval3(GateType t, const Tri* inputs);
 
 /// Bit-parallel gate evaluation: each word carries 64 independent patterns.
 std::uint64_t gate_eval_words(GateType t, const std::uint64_t* inputs);
+
+/// Multi-word gate evaluation: input k is `inputs[k][0..n_words)`, the
+/// result lands in `out[0..n_words)` — 64*n_words independent patterns per
+/// call. Dispatches to the SIMD/unrolled LaneBlock kernels of
+/// laneblock.hpp for the supported widths (1/2/4/8 words); other widths run
+/// word-by-word. Word w of the output equals gate_eval_words over word w of
+/// each input, which is what makes wide and narrow simulation bit-identical.
+void gate_eval_words_n(GateType t, const std::uint64_t* const* inputs,
+                       std::uint64_t* out, std::size_t n_words);
 
 /// Dual-rail encoding of 64 three-valued lanes: bit k of `can0`/`can1` says
 /// the lane-k value can resolve to 0/1. Exactly one bit set = known value,

@@ -17,11 +17,13 @@ using logic::Circuit;
 std::vector<Circuit> zoo_circuits() { return oracle::zoo(); }
 
 TEST(FaultSimOracle, EnginePackingsMatchLegacyScalar) {
-  // Single-threaded packings only; the threaded sweep is owned by
+  // Single-threaded packings only (the threaded sweep is owned by
   // test_faultsim_scheduler, so the zoo-wide matrix build runs once per
-  // engine concern rather than twice in full.
-  const std::vector<SimOptions> configs = {{1, SimPacking::kPatternMajor},
-                                           {1, SimPacking::kFaultMajor}};
+  // engine concern rather than twice in full), at every LaneBlock width.
+  const std::vector<SimOptions> configs = {
+      {1, SimPacking::kPatternMajor},       {1, SimPacking::kFaultMajor},
+      {1, SimPacking::kPatternMajor, 0, 2}, {1, SimPacking::kPatternMajor, 0, 4},
+      {1, SimPacking::kPatternMajor, 0, 8}};
   std::uint64_t seed = 0x0bd0007;
   for (const Circuit& c : zoo_circuits())
     oracle::sweep_matrices(c, 130, seed++, configs);
@@ -120,6 +122,79 @@ TEST(FaultSimEngine, CampaignFirstTestMatchesMatrix) {
     for (std::size_t t = 0; t < tests.size() && first < 0; ++t)
       if (m.detects(t, f)) first = static_cast<int>(t);
     EXPECT_EQ(campaign.first_test[f], first) << "fault " << f;
+  }
+}
+
+TEST(PatternBlockTest, WideBlocksStrideLanesAcrossWords) {
+  // 4-word blocks carry 256 tests; lane L of PI i lives at bit (L & 63) of
+  // word (i * lane_words + (L >> 6)) — word-major, so word 0 is bit-for-bit
+  // the classic 64-lane block.
+  const Circuit c = logic::c17();
+  const auto tests = random_tests(c, 300, 0x5eed8);
+  const auto blocks = PatternBlock::pack(c, tests, 4);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].capacity(), 256);
+  EXPECT_EQ(blocks[0].size(), 256);
+  EXPECT_EQ(blocks[1].size(), 44);
+  EXPECT_EQ(blocks[1].lane_mask(0), (1ull << 44) - 1);
+  EXPECT_EQ(blocks[1].lane_mask(1), 0u);
+  EXPECT_EQ(blocks[0].lane_mask(3), ~0ull);
+  for (std::size_t t = 0; t < tests.size(); ++t) {
+    const PatternBlock& b = blocks[t / 256];
+    const int lane = static_cast<int>(t % 256);
+    EXPECT_EQ(b.test(lane), tests[t]);
+    const std::size_t word = static_cast<std::size_t>(lane) >> 6;
+    const int bit = lane & 63;
+    for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+      EXPECT_EQ((b.pi1()[i * 4 + word] >> bit) & 1u, (tests[t].v1 >> i) & 1u);
+      EXPECT_EQ((b.pi2()[i * 4 + word] >> bit) & 1u, (tests[t].v2 >> i) & 1u);
+    }
+  }
+}
+
+TEST(FrontierPropagation, ExitsEarlyWhenTheFrontierDies) {
+  // x stuck-at-1 under x=y=0: the fault flips x but AND(1, 0) still
+  // evaluates to 0, so the frontier dies at the AND gate and the inverter
+  // chain behind it is never evaluated.
+  Circuit c("chain");
+  const logic::NetId x = c.add_input("x");
+  const logic::NetId y = c.add_input("y");
+  const logic::NetId g = c.net("g");
+  c.add_gate(logic::GateType::kAnd2, "g", {x, y}, g);
+  logic::NetId prev = g;
+  for (int i = 0; i < 4; ++i) {
+    const logic::NetId n = c.net("n" + std::to_string(i));
+    c.add_gate(logic::GateType::kInv, "inv" + std::to_string(i), {prev}, n);
+    prev = n;
+  }
+  c.mark_output(prev);
+
+  const std::vector<StuckFault> faults = {{x, true}};
+  std::vector<std::uint64_t> detect;
+  {
+    FaultSimEngine engine(c);
+    PatternBlock b(c);
+    b.push({0b00, 0b00});  // x=0, y=0
+    engine.block_stuck(b, faults, detect);
+    EXPECT_EQ(detect[0], 0u);
+    EXPECT_EQ(engine.propagations(), 1);
+    EXPECT_EQ(engine.frontier_gate_evals(), 1);  // the AND gate only
+    EXPECT_EQ(engine.frontier_early_exits(), 1);
+    EXPECT_EQ(engine.frontier_events(), 1);  // the forced net itself
+  }
+  {
+    // Add a lane with y=1: now the AND output flips, the frontier survives
+    // the full chain, and the detection lands in that lane only.
+    FaultSimEngine engine(c);
+    PatternBlock b(c);
+    b.push({0b00, 0b00});
+    b.push({0b10, 0b10});  // x=0, y=1
+    engine.block_stuck(b, faults, detect);
+    EXPECT_EQ(detect[0], 0b10u);
+    EXPECT_EQ(engine.propagations(), 1);
+    EXPECT_EQ(engine.frontier_gate_evals(), 5);  // AND + 4 inverters
+    EXPECT_EQ(engine.frontier_early_exits(), 0);
+    EXPECT_EQ(engine.frontier_events(), 6);  // x, g, n0..n3
   }
 }
 
@@ -228,7 +303,8 @@ TEST(FaultSimEngine, ConeCacheLruCapKeepsResultsIdentical) {
   const auto base = uncapped.campaign_obd(tests, faults, true);
   EXPECT_EQ(uncapped.cone_evictions(), 0);
 
-  // ~8 cones' worth for a num_nets-byte membership mask each.
+  // A few cones' worth (cones are level-sorted gate lists, ~4 bytes per
+  // cone gate): tight enough that the LRU must evict constantly.
   const std::size_t cap = c.num_nets() * 8;
   FaultSimEngine capped(c, EngineOptions{cap});
   const auto got = capped.campaign_obd(tests, faults, true);

@@ -74,6 +74,68 @@ TEST(Scheduler, ThreadCountDoesNotChangeDropWorkAccounting) {
   }
 }
 
+TEST(Scheduler, SmallShapesAutoSerialize) {
+  // Below the gates x blocks x lane_words granularity threshold the
+  // scheduler runs inline regardless of the thread knob; past it the
+  // requested workers engage (capped by the block count).
+  const Circuit c = logic::c17();  // 6 gates: always sub-threshold
+  FaultSimScheduler sched(c, {4, SimPacking::kPatternMajor});
+  EXPECT_EQ(sched.pattern_workers(4), 1);
+  EXPECT_EQ(sched.pattern_workers(100), 1);
+
+  const Circuit big = logic::array_multiplier(6);  // 444 gates
+  FaultSimScheduler bsched(big, {4, SimPacking::kPatternMajor});
+  EXPECT_EQ(bsched.pattern_workers(64), 4);  // big shape: all 4 engage
+  EXPECT_EQ(bsched.pattern_workers(8), 1);   // 444 x 8 < threshold: inline
+
+  // Wide lanes raise the per-block work, so fewer blocks cross the gate —
+  // and the block count still caps the workers past it.
+  FaultSimScheduler wsched(big, {4, SimPacking::kPatternMajor, 0, 8});
+  EXPECT_EQ(wsched.pattern_workers(8), 4);
+  EXPECT_EQ(wsched.pattern_workers(3), 3);
+  EXPECT_EQ(wsched.pattern_workers(2), 1);  // 444 x 2 x 8 is sub-threshold
+
+  // Serial calls take one block per round; an explicit block_batch wins
+  // over the auto pick everywhere.
+  EXPECT_EQ(sched.resolve_batch(100, 1), 1u);
+  EXPECT_GE(bsched.resolve_batch(64, 4), 1u);
+  FaultSimScheduler esched(big, {4, SimPacking::kPatternMajor, 0, 1, 3});
+  EXPECT_EQ(esched.resolve_batch(64, 4), 3u);
+}
+
+TEST(Scheduler, BatchedRoundsMatchEngineAboveSerialThreshold) {
+  // mul4x4 with 3200 tests = 50 blocks puts gates x blocks past the
+  // auto-serial gate, so these campaigns really run threaded rounds of
+  // workers x batch blocks; every batching must reproduce the
+  // single-threaded engine exactly, paying at most extra redundant work.
+  const Circuit c = logic::array_multiplier(4);
+  const auto faults = enumerate_obd_faults(c);
+  const auto tests = random_pairs(static_cast<int>(c.inputs().size()), 3200,
+                                  0x5c4ed007);
+  FaultSimEngine engine(c);
+  const auto ref = engine.campaign_obd(tests, faults, true);
+  for (const SimOptions& o : std::vector<SimOptions>{
+           {2, SimPacking::kPatternMajor, 0, 1, 1},
+           {2, SimPacking::kPatternMajor, 0, 1, 2},
+           {4, SimPacking::kPatternMajor, 0, 1, 4},
+           {4, SimPacking::kPatternMajor},  // auto batch
+           {2, SimPacking::kPatternMajor, 0, 4, 2},  // wide lanes x batch
+       }) {
+    FaultSimScheduler sched(c, o);
+    ASSERT_GT(sched.pattern_workers(
+                  (tests.size() + static_cast<std::size_t>(
+                                      64 * std::max(1, o.lane_words)) - 1) /
+                  static_cast<std::size_t>(64 * std::max(1, o.lane_words))),
+              1)
+        << oracle::config_name(o);
+    const auto got = sched.campaign_obd(tests, faults, true);
+    EXPECT_EQ(got.first_test, ref.first_test) << oracle::config_name(o);
+    EXPECT_EQ(got.detected, ref.detected) << oracle::config_name(o);
+    EXPECT_GE(got.fault_block_evals, ref.fault_block_evals)
+        << oracle::config_name(o);
+  }
+}
+
 TEST(Scheduler, EmptyShapes) {
   const Circuit c = logic::c17();
   const auto faults = enumerate_obd_faults(c);

@@ -12,6 +12,9 @@
 //                                  styles need --model obd)
 //   --threads N                    fault-sim worker threads (default 1)
 //   --packing auto|pattern|fault   word-packing axis (default auto)
+//   --lanes 64|128|256|512         pattern lanes per simulation block
+//                                  (default 64; wider blocks run the SIMD
+//                                  LaneBlock kernels, results identical)
 //   --cone-cache BYTES             LRU cap on the per-engine fanout-cone
 //                                  cache (default 0 = unlimited)
 //   --random N                     random prepass patterns (default 2048)
@@ -43,7 +46,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <circuit.bench> [--model stuck|transition|obd] "
                "[--scan-style enhanced|loc|loc-held]\n"
-               "       [--threads N] [--packing auto|pattern|fault]\n"
+               "       [--threads N] [--packing auto|pattern|fault] "
+               "[--lanes 64|128|256|512]\n"
                "       [--cone-cache BYTES] [--random N] [--seed S] "
                "[--backtracks N] [--ndetect N] [--no-compact]\n"
                "       [--report FILE.json] [--min-coverage F] "
@@ -105,6 +109,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown packing '%s'\n", p.c_str());
         return 1;
       }
+    } else if (a == "--lanes") {
+      if (!parse_long(value("--lanes"), n) ||
+          (n != 64 && n != 128 && n != 256 && n != 512)) {
+        std::fprintf(stderr, "--lanes must be 64, 128, 256, or 512\n");
+        return 1;
+      }
+      opt.sim.lane_words = static_cast<int>(n / 64);
     } else if (a == "--cone-cache") {
       if (!parse_long(value("--cone-cache"), n) || n < 0) return usage(argv[0]);
       opt.sim.cone_cache_bytes = static_cast<std::size_t>(n);
