@@ -16,10 +16,13 @@
 #include "bench_common.hpp"
 #include <algorithm>
 #include <chrono>
+#include <cstdarg>
 
 #include "atpg/atpg.hpp"
 #include "io/bench.hpp"
 #include "logic/logic.hpp"
+#include "util/crc32c.hpp"
+#include "util/io.hpp"
 
 namespace {
 
@@ -160,14 +163,26 @@ struct SchedRow {
   bool identical = false;
 };
 
-void emit_json_to(std::FILE* f, const std::vector<SimComparison>& rows,
-                  const std::vector<SchedRow>& sched) {
-  std::fprintf(f, "{\n  \"bench\": \"atpg_scale_faultsim\",\n"
-               "  \"unit\": \"fault_patterns_per_sec\",\n  \"circuits\": [\n");
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// The measurement rows as JSON text — the byte string the embedded
+/// CRC-32C covers, so a truncated or hand-edited trajectory file is
+/// detectable (verify: crc32c of everything from `  "circuits"` to the
+/// closing `  ]` of "sched", inclusive of the trailing newline).
+std::string rows_json(const std::vector<SimComparison>& rows,
+                      const std::vector<SchedRow>& sched) {
+  std::string out = "  \"circuits\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SimComparison& r = rows[i];
-    std::fprintf(
-        f,
+    appendf(
+        out,
         "    {\"name\": \"%s\", \"gates\": %zu, \"obd_faults\": %zu, "
         "\"patterns\": %zu, \"detected\": %d, \"coverage_match\": %s, "
         "\"legacy_fps\": %.4g, \"block_fps\": %.4g, \"block256_fps\": %.4g, "
@@ -178,11 +193,11 @@ void emit_json_to(std::FILE* f, const std::vector<SimComparison>& rows,
         r.speedup(), r.wide_speedup(), r.drop_speedup(),
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"sched\": [\n");
+  out += "  ],\n  \"sched\": [\n";
   for (std::size_t i = 0; i < sched.size(); ++i) {
     const SchedRow& r = sched[i];
-    std::fprintf(
-        f,
+    appendf(
+        out,
         "    {\"name\": \"%s\", \"mode\": \"%s\", \"threads\": %d, "
         "\"lanes\": %d, \"obd_faults\": %zu, \"patterns\": %zu, "
         "\"fps\": %.4g, \"speedup_vs_1t\": %.4g, \"identical\": %s}%s\n",
@@ -190,22 +205,31 @@ void emit_json_to(std::FILE* f, const std::vector<SimComparison>& rows,
         r.patterns, r.fps, r.speedup, r.identical ? "true" : "false",
         i + 1 < sched.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  out += "  ]\n";
+  return out;
 }
 
-/// Writes the trajectory JSON to the working directory and (when built
-/// in-tree) to the repo root, where BENCH_atpg_scale.json is checked in.
+/// Writes the trajectory JSON (atomically — a killed bench run must not
+/// leave a torn half-file where a checked-in trajectory used to be) to the
+/// working directory and, when built in-tree, to the repo root where
+/// BENCH_atpg_scale.json lives.
 void emit_json(const std::vector<SimComparison>& rows,
                const std::vector<SchedRow>& sched) {
+  const std::string body = rows_json(rows, sched);
+  std::string doc = "{\n  \"bench\": \"atpg_scale_faultsim\",\n"
+                    "  \"unit\": \"fault_patterns_per_sec\",\n";
+  appendf(doc, "  \"rows_crc32c\": \"%08x\",\n", obd::util::crc32c(body));
+  doc += body;
+  doc += "}\n";
+
   std::vector<std::string> paths = {"BENCH_atpg_scale.json"};
 #ifdef OBD_REPO_ROOT
   paths.push_back(std::string(OBD_REPO_ROOT) + "/BENCH_atpg_scale.json");
 #endif
   for (const std::string& p : paths) {
-    std::FILE* f = std::fopen(p.c_str(), "w");
-    if (!f) continue;
-    emit_json_to(f, rows, sched);
-    std::fclose(f);
+    std::string err;
+    if (!obd::util::write_file_atomic(p, doc, &err))
+      std::fprintf(stderr, "%s: %s\n", p.c_str(), err.c_str());
   }
 }
 

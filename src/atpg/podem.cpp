@@ -1,6 +1,7 @@
 #include "atpg/podem.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace obd::atpg {
 namespace {
@@ -40,7 +41,12 @@ class Engine {
         fault_(fault),
         require_propagation_(require_propagation),
         opt_(opt),
-        pi_(c.inputs().size(), Tri::kX) {}
+        pi_(c.inputs().size(), Tri::kX) {
+    if (opt_.time_budget_s > 0.0)
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(opt_.time_budget_s));
+  }
 
   PodemResult run() {
     PodemResult result;
@@ -82,6 +88,7 @@ class Engine {
       pi_[pi_choice->first] = logic::tri_of(pi_choice->second);
       imply();
     }
+    if (result.status == PodemStatus::kAborted) result.reason = reason_;
     result.backtracks = backtracks_;
     result.implications = implications_;
     return result;
@@ -273,6 +280,14 @@ class Engine {
         ++backtracks_;
         if (backtracks_ > opt_.max_backtracks) {
           aborted_ = true;
+          reason_ = AbortReason::kBacktracks;
+          return false;
+        }
+        // One clock read per backtrack is noise next to the full 3-valued
+        // re-evaluation each backtrack already pays in imply().
+        if (deadline_ && std::chrono::steady_clock::now() > *deadline_) {
+          aborted_ = true;
+          reason_ = AbortReason::kTime;
           return false;
         }
         pi_[d.pi] = logic::tri_of(!d.value);
@@ -311,6 +326,8 @@ class Engine {
   long backtracks_ = 0;
   long implications_ = 0;
   bool aborted_ = false;
+  AbortReason reason_ = AbortReason::kNone;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
 };
 
 }  // namespace

@@ -27,6 +27,13 @@ namespace obd::atpg {
 struct PodemOptions {
   /// Maximum number of backtracks before giving up.
   long max_backtracks = 100000;
+  /// Wall-clock budget for one search; 0 disables. Exceeding it aborts
+  /// with AbortReason::kTime. Unlike the backtrack limit this makes the
+  /// found/aborted split machine-speed dependent, so campaign results are
+  /// only reproducible across runs when the budget is off (the default) —
+  /// resumable campaigns use the reason split to re-attempt exactly the
+  /// time-budget aborts.
+  double time_budget_s = 0.0;
   /// Value used to fill don't-care PIs in the returned vector.
   bool fill_value = false;
   /// Random-pattern prepass for the whole-list drivers (run_*_atpg): this
@@ -42,8 +49,14 @@ struct PodemOptions {
 
 enum class PodemStatus { kFound, kUntestable, kAborted };
 
+/// Why a kAborted search gave up. Backtrack-limit aborts are deterministic
+/// (the same circuit/fault/options always abort); time-budget aborts are a
+/// property of the run, so resumed campaigns re-attempt only those.
+enum class AbortReason : std::uint8_t { kNone = 0, kBacktracks, kTime };
+
 struct PodemResult {
   PodemStatus status = PodemStatus::kUntestable;
+  AbortReason reason = AbortReason::kNone;  ///< set when status == kAborted
   TestVector vector;
   long backtracks = 0;
   long implications = 0;

@@ -27,6 +27,12 @@ TwoFrameResult generate_obd_test(const Circuit& c, const ObdFaultSite& site,
   if (!topo.has_value()) return result;  // composite gate: no OBD site
 
   bool any_aborted = false;
+  AbortReason abort_reason = AbortReason::kNone;
+  auto note_abort = [&](const PodemResult& r) {
+    if (r.status != PodemStatus::kAborted) return;
+    any_aborted = true;
+    if (abort_reason != AbortReason::kTime) abort_reason = r.reason;
+  };
   for (const auto& tv : core::obd_excitations(*topo, site.transistor)) {
     // Frame 2: pin the gate inputs to the excitation's final vector; the
     // faulty circuit sees the gate output frozen at its frame-1 value.
@@ -35,7 +41,7 @@ TwoFrameResult generate_obd_test(const Circuit& c, const ObdFaultSite& site,
         c, pin_gate_inputs(c, site.gate_index, tv.v2), g.output, old_out, opt);
     result.backtracks += f2.backtracks;
     result.implications += f2.implications;
-    if (f2.status == PodemStatus::kAborted) any_aborted = true;
+    note_abort(f2);
     if (f2.status != PodemStatus::kFound) continue;
 
     // Frame 1: justify the excitation's initial vector.
@@ -43,7 +49,7 @@ TwoFrameResult generate_obd_test(const Circuit& c, const ObdFaultSite& site,
         podem_justify(c, pin_gate_inputs(c, site.gate_index, tv.v1), opt);
     result.backtracks += f1.backtracks;
     result.implications += f1.implications;
-    if (f1.status == PodemStatus::kAborted) any_aborted = true;
+    note_abort(f1);
     if (f1.status != PodemStatus::kFound) continue;
 
     result.status = PodemStatus::kFound;
@@ -52,6 +58,7 @@ TwoFrameResult generate_obd_test(const Circuit& c, const ObdFaultSite& site,
     return result;
   }
   result.status = any_aborted ? PodemStatus::kAborted : PodemStatus::kUntestable;
+  if (result.status == PodemStatus::kAborted) result.reason = abort_reason;
   return result;
 }
 
@@ -69,6 +76,7 @@ TwoFrameResult generate_transition_test(const Circuit& c,
   result.implications += f2.implications;
   if (f2.status != PodemStatus::kFound) {
     result.status = f2.status;
+    result.reason = f2.reason;
     return result;
   }
   PodemResult f1 = podem_justify(c, {{fault.net, !final_value}}, opt);
@@ -76,6 +84,7 @@ TwoFrameResult generate_transition_test(const Circuit& c,
   result.implications += f1.implications;
   if (f1.status != PodemStatus::kFound) {
     result.status = f1.status;
+    result.reason = f1.reason;
     return result;
   }
   result.status = PodemStatus::kFound;
@@ -195,6 +204,7 @@ AtpgRun run_stuck_at_atpg(const Circuit& c,
                    const PodemResult r = podem_stuck_at(c, f, opt);
                    TwoFrameResult t;
                    t.status = r.status;
+                   t.reason = r.reason;
                    t.backtracks = r.backtracks;
                    t.implications = r.implications;
                    t.test = TwoVectorTest{r.vector.bits, r.vector.bits};

@@ -22,6 +22,10 @@ namespace obd::atpg {
 
 struct TwoFrameResult {
   PodemStatus status = PodemStatus::kUntestable;
+  /// Set when status == kAborted. A time abort anywhere dominates (it
+  /// marks the fault as worth re-attempting on resume); backtrack-limit
+  /// aborts are deterministic and final for the given options.
+  AbortReason reason = AbortReason::kNone;
   TwoVectorTest test;
   /// The same test with the PODEM care masks preserved (don't-care PIs keep
   /// care_mask 0) — the input to X-overlap compaction.

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 
+#include "flow/campaign_detail.hpp"
 #include "util/table.hpp"
 
 namespace obd::flow {
@@ -24,68 +26,15 @@ std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
-std::uint64_t hash_matrix(const DetectionMatrix& m) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  h = fnv1a(h, m.n_tests);
-  h = fnv1a(h, m.n_faults);
-  for (std::uint64_t w : m.rows) h = fnv1a(h, w);
-  return h;
-}
-
-/// The per-model plumbing behind run_campaign: fault type, collapse,
-/// prepass campaign, deterministic generator, matrix builder.
+/// Materializes a representative subset; empty subset = the full list.
 template <typename Fault>
-struct ModelOps {
-  std::vector<Fault> faults;                 // full list
-  std::vector<Fault> reps;                   // collapsed representatives
-  std::function<FaultSimEngine::Campaign(FaultSimScheduler&,
-                                         const std::vector<TwoVectorTest>&)>
-      prepass;
-  std::function<TwoFrameResult(const Fault&)> generate;
-  std::function<DetectionMatrix(FaultSimScheduler&,
-                                const std::vector<TwoVectorTest>&)>
-      matrix;
-};
-
-/// Structure stats shared by every campaign path.
-void fill_structure(const logic::Circuit& view, CampaignReport& r) {
-  r.gates = view.num_gates();
-  r.nets = view.num_nets();
-  r.pis = view.inputs().size();
-  r.pos = view.outputs().size();
-  r.depth = view.depth();
-}
-
-/// Copies the scheduler's aggregated cone/frontier counters into the
-/// report (taken after the last fault-sim call so prepass + matrix work is
-/// included).
-void fill_sim_stats(const FaultSimScheduler& sched, CampaignReport& r) {
-  const atpg::SimStats s = sched.stats();
-  r.cone_evictions = s.cone_evictions;
-  r.cone_resident = s.cone_resident;
-  r.cone_peak_bytes = s.cone_peak_bytes;
-  r.propagations = s.propagations;
-  r.frontier_events = s.frontier_events;
-  r.frontier_gate_evals = s.frontier_gate_evals;
-  r.frontier_early_exits = s.frontier_early_exits;
-}
-
-/// Shared campaign tail: detection matrix over the final test set (the
-/// cross-thread witness), greedy compaction, and the derived report fields.
-template <typename MatrixFn>
-void matrix_and_compact(const CampaignOptions& opt, std::size_t n_tests,
-                        MatrixFn build_matrix, CampaignReport& r) {
-  const auto t0 = Clock::now();
-  const DetectionMatrix m = build_matrix();
-  r.detected = m.covered_count;
-  r.matrix_hash = hash_matrix(m);
-  r.time.matrix_s = seconds_since(t0);
-  r.tests_final = static_cast<int>(n_tests);
-  if (opt.compact && n_tests > 0) {
-    const auto t1 = Clock::now();
-    r.tests_final = static_cast<int>(greedy_cover(m).size());
-    r.time.compact_s = seconds_since(t1);
-  }
+std::vector<Fault> select_reps(const std::vector<Fault>& reps,
+                               const detail::RepSubset& subset) {
+  if (subset.empty()) return reps;
+  std::vector<Fault> out;
+  out.reserve(subset.size());
+  for (const std::uint32_t i : subset) out.push_back(reps[i]);
+  return out;
 }
 
 /// Launch-on-capture scan campaign (OBD model): the two-frame scan ATPG
@@ -99,7 +48,7 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
   const auto t_total = Clock::now();
   const logic::SequentialCircuit prim = logic::decompose_composites(seq);
   const logic::Circuit view = prim.scan_view();
-  fill_structure(view, r);
+  detail::fill_structure(view, r);
   const std::string diag = prim.validate();
   if (!diag.empty()) {
     r.error = diag;
@@ -121,6 +70,7 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
 
   PodemOptions popt;
   popt.max_backtracks = opt.max_backtracks;
+  popt.time_budget_s = opt.podem_time_budget_s;
   popt.sim = opt.sim;
   popt.random_phase = opt.random_patterns;
   popt.random_phase_seed = opt.seed;
@@ -141,40 +91,40 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
   for (const ScanObdTest& t : sc.tests)
     vectors.push_back(scan_view_vectors(prim, t));
   FaultSimScheduler sched(view, opt.sim);
-  matrix_and_compact(opt, vectors.size(),
-                     [&] { return sched.matrix_obd(vectors, reps); }, r);
-  fill_sim_stats(sched, r);
+  detail::matrix_and_compact(opt, vectors.size(),
+                             [&] { return sched.matrix_obd(vectors, reps); },
+                             r);
+  detail::fill_sim_stats(sched, r);
   r.coverage =
       static_cast<double>(r.detected) / static_cast<double>(reps.size());
   r.time.total_s = seconds_since(t_total);
 }
 
-/// Shared campaign skeleton over the model-specific hooks.
-template <typename Fault>
-void drive(const logic::Circuit& c, const CampaignOptions& opt,
-           ModelOps<Fault>& ops, CampaignReport& r) {
+/// Shared campaign skeleton over the model context: prepass, deterministic
+/// top-off, matrix, compaction. The one-shot counterpart of the shard
+/// executor — both call the same ctx hooks, so a sharded merge reproducing
+/// this path bit-for-bit is structural, not coincidental.
+void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
+               CampaignReport& r) {
   const auto t_total = Clock::now();
-  r.faults_total = ops.faults.size();
-  r.faults_collapsed = ops.reps.size();
-  if (ops.reps.empty()) {
+  r.faults_total = ctx.faults_total;
+  r.faults_collapsed = ctx.n_reps;
+  if (ctx.n_reps == 0) {
     r.coverage = 1.0;
     r.time.total_s = seconds_since(t_total);
     return;
   }
 
-  FaultSimScheduler sched(c, opt.sim);
+  FaultSimScheduler sched(ctx.view, opt.sim);
   std::vector<TwoVectorTest> tests;
-  std::vector<std::uint8_t> skip(ops.reps.size(), 0);
+  std::vector<std::uint8_t> skip(ctx.n_reps, 0);
 
   // Random-pattern fault-dropping prepass: detected faults skip the
   // deterministic search; each first-detecting pattern joins the set.
   if (opt.random_patterns > 0) {
     const auto t0 = Clock::now();
-    std::vector<TwoVectorTest> pool = random_pairs(
-        static_cast<int>(c.inputs().size()), opt.random_patterns, opt.seed);
-    if (r.model == FaultModel::kStuck)
-      for (auto& t : pool) t.v1 = t.v2;  // single-vector application
-    const FaultSimEngine::Campaign campaign = ops.prepass(sched, pool);
+    const std::vector<TwoVectorTest> pool = detail::random_pool(ctx.view, opt);
+    const FaultSimEngine::Campaign campaign = ctx.prepass(sched, pool, {});
     r.fault_block_evals = campaign.fault_block_evals;
     const PrepassMarks marks = mark_first_detections(campaign, pool.size());
     skip = marks.skip;
@@ -187,16 +137,20 @@ void drive(const logic::Circuit& c, const CampaignOptions& opt,
   // Deterministic top-off over the surviving representatives.
   {
     const auto t0 = Clock::now();
-    for (std::size_t i = 0; i < ops.reps.size(); ++i) {
+    for (std::uint32_t i = 0; i < ctx.n_reps; ++i) {
       if (skip[i]) continue;
-      const TwoFrameResult res = ops.generate(ops.reps[i]);
+      const TwoFrameResult res = ctx.generate(i);
       switch (res.status) {
         case PodemStatus::kFound:
           tests.push_back(res.test);
           ++r.tests_deterministic;
           break;
         case PodemStatus::kUntestable: ++r.untestable; break;
-        case PodemStatus::kAborted: ++r.aborted; break;
+        case PodemStatus::kAborted:
+          ++r.aborted;
+          if (res.reason == AbortReason::kTime) ++r.aborted_time;
+          else ++r.aborted_backtracks;
+          break;
       }
     }
     r.time.atpg_s = seconds_since(t0);
@@ -204,15 +158,219 @@ void drive(const logic::Circuit& c, const CampaignOptions& opt,
 
   // Detection matrix over the final set: recounts every detection (the
   // prepass only tracked first hits) and is the cross-thread witness.
-  matrix_and_compact(opt, tests.size(),
-                     [&] { return ops.matrix(sched, tests); }, r);
-  fill_sim_stats(sched, r);
+  detail::matrix_and_compact(opt, tests.size(),
+                             [&] { return ctx.matrix(sched, tests, {}); }, r);
+  detail::fill_sim_stats(sched, r);
   r.coverage = static_cast<double>(r.detected) /
-               static_cast<double>(ops.reps.size());
+               static_cast<double>(ctx.n_reps);
   r.time.total_s = seconds_since(t_total);
 }
 
 }  // namespace
+
+namespace detail {
+
+std::uint64_t hash_matrix(const DetectionMatrix& m) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, m.n_tests);
+  h = fnv1a(h, m.n_faults);
+  for (std::uint64_t w : m.rows) h = fnv1a(h, w);
+  return h;
+}
+
+void fill_structure(const logic::Circuit& view, CampaignReport& r) {
+  r.gates = view.num_gates();
+  r.nets = view.num_nets();
+  r.pis = view.inputs().size();
+  r.pos = view.outputs().size();
+  r.depth = view.depth();
+}
+
+void fill_sim_stats(const FaultSimScheduler& sched, CampaignReport& r) {
+  const atpg::SimStats s = sched.stats();
+  r.cone_evictions = s.cone_evictions;
+  r.cone_resident = s.cone_resident;
+  r.cone_peak_bytes = s.cone_peak_bytes;
+  r.propagations = s.propagations;
+  r.frontier_events = s.frontier_events;
+  r.frontier_gate_evals = s.frontier_gate_evals;
+  r.frontier_early_exits = s.frontier_early_exits;
+}
+
+void matrix_and_compact(const CampaignOptions& opt, std::size_t n_tests,
+                        const std::function<DetectionMatrix()>& build,
+                        CampaignReport& r) {
+  const auto t0 = Clock::now();
+  const DetectionMatrix m = build();
+  r.detected = m.covered_count;
+  r.matrix_hash = hash_matrix(m);
+  r.time.matrix_s = seconds_since(t0);
+  r.tests_final = static_cast<int>(n_tests);
+  if (opt.compact && n_tests > 0) {
+    const auto t1 = Clock::now();
+    r.tests_final = static_cast<int>(greedy_cover(m).size());
+    r.time.compact_s = seconds_since(t1);
+  }
+}
+
+std::vector<TwoVectorTest> random_pool(const logic::Circuit& view,
+                                       const CampaignOptions& opt) {
+  if (opt.random_patterns <= 0) return {};
+  std::vector<TwoVectorTest> pool = random_pairs(
+      static_cast<int>(view.inputs().size()), opt.random_patterns, opt.seed);
+  if (opt.model == FaultModel::kStuck)
+    for (auto& t : pool) t.v1 = t.v2;  // single-vector application
+  return pool;
+}
+
+void init_report(const logic::SequentialCircuit& seq,
+                 const CampaignOptions& opt, CampaignReport& r) {
+  r.model = opt.model;
+  r.threads = opt.sim.threads;
+  r.lanes = 64 * std::max(1, opt.sim.lane_words);
+  r.packing = to_string(opt.sim.packing);
+  r.scan = !seq.flops().empty();
+  r.flops = seq.flops().size();
+  r.circuit = seq.core().name();
+}
+
+namespace {
+
+/// Typed per-model state referenced by the context closures. shared_ptr
+/// capture keeps a context copyable and self-contained.
+template <typename Fault>
+struct ModelData {
+  logic::Circuit view;
+  std::vector<Fault> reps;
+  PodemOptions popt;
+};
+
+}  // namespace
+
+CampaignContext make_context(const logic::SequentialCircuit& seq,
+                             const CampaignOptions& opt) {
+  CampaignContext ctx;
+  const bool scan = !seq.flops().empty();
+  if (scan && opt.scan_style != ScanMode::kEnhanced) {
+    ctx.error = "launch-on-capture scan styles use the dedicated scan "
+                "driver, not the shared campaign context";
+    return ctx;
+  }
+
+  // Full-scan application: flops become pseudo-PIs/POs and every test is a
+  // plain (two-)vector on the view. InputVec test vectors carry any width,
+  // so wide netlists and long scan chains need no special casing.
+  ctx.view = scan ? seq.scan_view() : seq.core();
+  if (opt.model == FaultModel::kObd)
+    ctx.view = logic::decompose_composites(ctx.view);
+
+  const std::string diag = ctx.view.validate();
+  if (!diag.empty()) {
+    ctx.error = diag;
+    return ctx;
+  }
+
+  ctx.popt.max_backtracks = opt.max_backtracks;
+  ctx.popt.time_budget_s = opt.podem_time_budget_s;
+  ctx.popt.sim = opt.sim;
+
+  if (opt.model == FaultModel::kStuck) {
+    auto data = std::make_shared<ModelData<StuckFault>>();
+    data->view = ctx.view;
+    data->popt = ctx.popt;
+    const auto t0 = Clock::now();
+    const auto faults = enumerate_stuck_faults(data->view);
+    ctx.faults_total = faults.size();
+    data->reps = collapse_stuck_faults(data->view, faults).representatives;
+    ctx.collapse_s = seconds_since(t0);
+    ctx.n_reps = data->reps.size();
+    auto patterns_of = [](const std::vector<TwoVectorTest>& ts) {
+      std::vector<logic::InputVec> p(ts.size());
+      for (std::size_t i = 0; i < ts.size(); ++i) p[i] = ts[i].v2;
+      return p;
+    };
+    ctx.prepass = [data, patterns_of](FaultSimScheduler& s,
+                                      const std::vector<TwoVectorTest>& ts,
+                                      const RepSubset& subset) {
+      return s.campaign_stuck(patterns_of(ts), select_reps(data->reps, subset));
+    };
+    ctx.generate = [data](std::uint32_t i) {
+      const PodemResult pr = podem_stuck_at(data->view, data->reps[i],
+                                            data->popt);
+      TwoFrameResult t;
+      t.status = pr.status;
+      t.reason = pr.reason;
+      t.test = TwoVectorTest{pr.vector.bits, pr.vector.bits};
+      return t;
+    };
+    ctx.matrix = [data, patterns_of](FaultSimScheduler& s,
+                                     const std::vector<TwoVectorTest>& ts,
+                                     const RepSubset& subset) {
+      return s.matrix_stuck(patterns_of(ts), select_reps(data->reps, subset));
+    };
+  } else if (opt.model == FaultModel::kTransition) {
+    auto data = std::make_shared<ModelData<TransitionFault>>();
+    data->view = ctx.view;
+    data->popt = ctx.popt;
+    data->reps = enumerate_transition_faults(data->view);
+    ctx.faults_total = data->reps.size();  // no structural collapse
+    ctx.n_reps = data->reps.size();
+    ctx.prepass = [data](FaultSimScheduler& s,
+                         const std::vector<TwoVectorTest>& ts,
+                         const RepSubset& subset) {
+      return s.campaign_transition(ts, select_reps(data->reps, subset));
+    };
+    ctx.generate = [data](std::uint32_t i) {
+      return generate_transition_test(data->view, data->reps[i], data->popt);
+    };
+    ctx.matrix = [data](FaultSimScheduler& s,
+                        const std::vector<TwoVectorTest>& ts,
+                        const RepSubset& subset) {
+      return s.matrix_transition(ts, select_reps(data->reps, subset));
+    };
+  } else {
+    auto data = std::make_shared<ModelData<ObdFaultSite>>();
+    data->view = ctx.view;
+    data->popt = ctx.popt;
+    const auto t0 = Clock::now();
+    const auto faults = enumerate_obd_faults(data->view);
+    ctx.faults_total = faults.size();
+    data->reps = collapse_obd_faults(data->view, faults).representatives;
+    ctx.collapse_s = seconds_since(t0);
+    ctx.n_reps = data->reps.size();
+    ctx.prepass = [data](FaultSimScheduler& s,
+                         const std::vector<TwoVectorTest>& ts,
+                         const RepSubset& subset) {
+      return s.campaign_obd(ts, select_reps(data->reps, subset));
+    };
+    ctx.generate = [data](std::uint32_t i) {
+      return generate_obd_test(data->view, data->reps[i], data->popt);
+    };
+    ctx.matrix = [data](FaultSimScheduler& s,
+                        const std::vector<TwoVectorTest>& ts,
+                        const RepSubset& subset) {
+      return s.matrix_obd(ts, select_reps(data->reps, subset));
+    };
+    ctx.ndetect = [data](const CampaignOptions& o, CampaignReport& r) {
+      if (data->reps.empty()) return;
+      const auto t1 = Clock::now();
+      NDetectOptions nopt;
+      nopt.n = o.ndetect;
+      nopt.random_pool = o.ndetect_random_pool;
+      nopt.seed = o.seed;
+      nopt.podem = data->popt;
+      nopt.sim = o.sim;
+      const NDetectResult nd = build_ndetect_set(data->view, data->reps, nopt);
+      r.ndetect_tests = static_cast<int>(nd.tests.size());
+      r.ndetect_satisfied = nd.satisfied;
+      r.time.ndetect_s = seconds_since(t1);
+      r.time.total_s += r.time.ndetect_s;
+    };
+  }
+  return ctx;
+}
+
+}  // namespace detail
 
 const char* to_string(FaultModel m) {
   switch (m) {
@@ -242,13 +400,7 @@ bool scan_style_from_string(const std::string& s, atpg::ScanMode& out) {
 CampaignReport run_campaign(const logic::SequentialCircuit& seq,
                             const CampaignOptions& opt) {
   CampaignReport r;
-  r.model = opt.model;
-  r.threads = opt.sim.threads;
-  r.lanes = 64 * std::max(1, opt.sim.lane_words);
-  r.packing = to_string(opt.sim.packing);
-  r.scan = !seq.flops().empty();
-  r.flops = seq.flops().size();
-  r.circuit = seq.core().name();
+  detail::init_report(seq, opt, r);
 
   // Launch-on-capture scan styles run the two-frame scan ATPG instead of
   // the enhanced-scan (any-pair) skeleton below.
@@ -272,102 +424,16 @@ CampaignReport run_campaign(const logic::SequentialCircuit& seq,
   }
   if (r.scan) r.scan_style = to_string(ScanMode::kEnhanced);
 
-  // Full-scan application: flops become pseudo-PIs/POs and every test is a
-  // plain (two-)vector on the view. InputVec test vectors carry any width,
-  // so wide netlists and long scan chains need no special casing.
-  logic::Circuit view = r.scan ? seq.scan_view() : seq.core();
-  if (opt.model == FaultModel::kObd) view = logic::decompose_composites(view);
-  fill_structure(view, r);
-
-  const std::string diag = view.validate();
-  if (!diag.empty()) {
-    r.error = diag;
+  const detail::CampaignContext ctx = detail::make_context(seq, opt);
+  detail::fill_structure(ctx.view, r);
+  if (!ctx.error.empty()) {
+    r.error = ctx.error;
     return r;
   }
-
-  PodemOptions popt;
-  popt.max_backtracks = opt.max_backtracks;
-  popt.sim = opt.sim;
-
-  if (opt.model == FaultModel::kStuck) {
-    ModelOps<StuckFault> ops;
-    const auto t0 = Clock::now();
-    ops.faults = enumerate_stuck_faults(view);
-    const CollapsedStuck collapsed = collapse_stuck_faults(view, ops.faults);
-    ops.reps = collapsed.representatives;
-    r.time.collapse_s = seconds_since(t0);
-    auto patterns_of = [](const std::vector<TwoVectorTest>& ts) {
-      std::vector<InputVec> p(ts.size());
-      for (std::size_t i = 0; i < ts.size(); ++i) p[i] = ts[i].v2;
-      return p;
-    };
-    ops.prepass = [&](FaultSimScheduler& s,
-                      const std::vector<TwoVectorTest>& ts) {
-      return s.campaign_stuck(patterns_of(ts), ops.reps);
-    };
-    ops.generate = [&](const StuckFault& f) {
-      const PodemResult pr = podem_stuck_at(view, f, popt);
-      TwoFrameResult t;
-      t.status = pr.status;
-      t.test = TwoVectorTest{pr.vector.bits, pr.vector.bits};
-      return t;
-    };
-    ops.matrix = [&](FaultSimScheduler& s,
-                     const std::vector<TwoVectorTest>& ts) {
-      return s.matrix_stuck(patterns_of(ts), ops.reps);
-    };
-    drive(view, opt, ops, r);
-  } else if (opt.model == FaultModel::kTransition) {
-    ModelOps<TransitionFault> ops;
-    ops.faults = enumerate_transition_faults(view);
-    ops.reps = ops.faults;  // no structural collapse for transition faults
-    ops.prepass = [&](FaultSimScheduler& s,
-                      const std::vector<TwoVectorTest>& ts) {
-      return s.campaign_transition(ts, ops.reps);
-    };
-    ops.generate = [&](const TransitionFault& f) {
-      return generate_transition_test(view, f, popt);
-    };
-    ops.matrix = [&](FaultSimScheduler& s,
-                     const std::vector<TwoVectorTest>& ts) {
-      return s.matrix_transition(ts, ops.reps);
-    };
-    drive(view, opt, ops, r);
-  } else {
-    ModelOps<ObdFaultSite> ops;
-    const auto t0 = Clock::now();
-    ops.faults = enumerate_obd_faults(view);
-    const CollapsedFaults collapsed = collapse_obd_faults(view, ops.faults);
-    ops.reps = collapsed.representatives;
-    r.time.collapse_s = seconds_since(t0);
-    ops.prepass = [&](FaultSimScheduler& s,
-                      const std::vector<TwoVectorTest>& ts) {
-      return s.campaign_obd(ts, ops.reps);
-    };
-    ops.generate = [&](const ObdFaultSite& f) {
-      return generate_obd_test(view, f, popt);
-    };
-    ops.matrix = [&](FaultSimScheduler& s,
-                     const std::vector<TwoVectorTest>& ts) {
-      return s.matrix_obd(ts, ops.reps);
-    };
-    drive(view, opt, ops, r);
-    if (opt.ndetect > 0 && !ops.reps.empty()) {
-      const auto t1 = Clock::now();
-      NDetectOptions nopt;
-      nopt.n = opt.ndetect;
-      nopt.random_pool = opt.ndetect_random_pool;
-      nopt.seed = opt.seed;
-      nopt.podem = popt;
-      nopt.sim = opt.sim;
-      const NDetectResult nd = build_ndetect_set(view, ops.reps, nopt);
-      r.ndetect_tests = static_cast<int>(nd.tests.size());
-      r.ndetect_satisfied = nd.satisfied;
-      r.time.ndetect_s = seconds_since(t1);
-      r.time.total_s += r.time.ndetect_s;
-    }
-  }
-  // drive() only spans random..compact; fold in the enumerate+collapse
+  r.time.collapse_s = ctx.collapse_s;
+  drive_ctx(ctx, opt, r);
+  if (opt.ndetect > 0 && ctx.ndetect) ctx.ndetect(opt, r);
+  // drive_ctx only spans random..compact; fold in the enumerate+collapse
   // phase so total == sum of the reported phases.
   r.time.total_s += r.time.collapse_s;
   return r;
@@ -433,6 +499,8 @@ std::string report_json(const CampaignReport& r) {
        ", \"detected\": " + std::to_string(r.detected) +
        ", \"untestable\": " + std::to_string(r.untestable) +
        ", \"aborted\": " + std::to_string(r.aborted) +
+       ", \"aborted_backtracks\": " + std::to_string(r.aborted_backtracks) +
+       ", \"aborted_time\": " + std::to_string(r.aborted_time) +
        ", \"coverage\": " + json_num(r.coverage) + "},\n";
   j += "  \"tests\": {\"random\": " + std::to_string(r.tests_random) +
        ", \"deterministic\": " + std::to_string(r.tests_deterministic) +
@@ -440,6 +508,17 @@ std::string report_json(const CampaignReport& r) {
        ", \"ndetect\": " + std::to_string(r.ndetect_tests) +
        ", \"ndetect_satisfied\": " + std::to_string(r.ndetect_satisfied) +
        "},\n";
+  if (r.shards > 0) {
+    j += "  \"shards\": {\"count\": " + std::to_string(r.shards) +
+         ", \"retries\": " + std::to_string(r.shard_retries) +
+         ", \"partial\": " + (r.partial ? "true" : "false") +
+         ", \"quarantined\": [";
+    for (std::size_t i = 0; i < r.quarantined_shards.size(); ++i) {
+      if (i > 0) j += ", ";
+      j += std::to_string(r.quarantined_shards[i]);
+    }
+    j += "]},\n";
+  }
   char hash[32];
   std::snprintf(hash, sizeof hash, "0x%016llx",
                 static_cast<unsigned long long>(r.matrix_hash));
@@ -471,7 +550,8 @@ void print_report(const CampaignReport& r) {
     std::printf("error: %s\n", r.error.c_str());
     return;
   }
-  util::AsciiTable t(r.circuit + " · " + to_string(r.model) + " campaign");
+  util::AsciiTable t(r.circuit + " · " + to_string(r.model) + " campaign" +
+                     (r.partial ? " (PARTIAL)" : ""));
   t.set_header({"metric", "value"});
   t.add_row({"gates / nets / depth", std::to_string(r.gates) + " / " +
                                          std::to_string(r.nets) + " / " +
@@ -486,7 +566,11 @@ void print_report(const CampaignReport& r) {
                                                 std::to_string(r.faults_collapsed)});
   t.add_row({"detected / untestable / aborted",
              std::to_string(r.detected) + " / " + std::to_string(r.untestable) +
-                 " / " + std::to_string(r.aborted)});
+                 " / " + std::to_string(r.aborted) +
+                 (r.aborted > 0
+                      ? "  (backtracks " + std::to_string(r.aborted_backtracks) +
+                            ", time " + std::to_string(r.aborted_time) + ")"
+                      : "")});
   t.add_row({"coverage (collapsed)",
              util::format_g(100.0 * r.coverage, 4) + "%"});
   t.add_row({"tests random / determ / final",
@@ -497,6 +581,15 @@ void print_report(const CampaignReport& r) {
     t.add_row({"n-detect tests / satisfied",
                std::to_string(r.ndetect_tests) + " / " +
                    std::to_string(r.ndetect_satisfied)});
+  if (r.shards > 0) {
+    std::string q;
+    for (const int s : r.quarantined_shards)
+      q += (q.empty() ? "" : ", ") + std::to_string(s);
+    t.add_row({"shards / retries",
+               std::to_string(r.shards) + " / " +
+                   std::to_string(r.shard_retries) +
+                   (q.empty() ? "" : "  (quarantined: " + q + ")")});
+  }
   char hash[32];
   std::snprintf(hash, sizeof hash, "0x%016llx",
                 static_cast<unsigned long long>(r.matrix_hash));

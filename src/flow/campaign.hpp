@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "atpg/atpg.hpp"
 #include "logic/sequential.hpp"
@@ -50,6 +51,11 @@ struct CampaignOptions {
   std::uint64_t seed = 0x0bd5eedull;
   /// PODEM backtrack budget for the deterministic top-off.
   long max_backtracks = 100000;
+  /// Wall-clock budget per deterministic fault search, seconds; 0 = off.
+  /// A nonzero budget makes abort decisions load-dependent, which forfeits
+  /// the cross-run determinism guarantee — time-budget aborts are recorded
+  /// separately (FaultStatus::kAbortedTime) and re-attempted on resume.
+  double podem_time_budget_s = 0.0;
   /// Greedy set-cover compaction of the final test set.
   bool compact = true;
   /// Grow an n-detect set on top (OBD model only); 0 = off.
@@ -85,6 +91,10 @@ struct CampaignReport {
   int detected = 0;
   int untestable = 0;
   int aborted = 0;
+  /// Abort breakdown: backtrack-limit aborts are deterministic and final;
+  /// time-budget aborts are re-attempted when a sharded campaign resumes.
+  int aborted_backtracks = 0;
+  int aborted_time = 0;
   /// Detected / collapsed representatives (1.0 when the list is empty).
   double coverage = 0.0;
 
@@ -112,6 +122,15 @@ struct CampaignReport {
   long long frontier_events = 0;
   long long frontier_gate_evals = 0;
   long long frontier_early_exits = 0;
+
+  /// Sharded-campaign provenance (set by the shard supervisor; a plain
+  /// run_campaign leaves shards == 0). `partial` means one or more shards
+  /// were quarantined after exhausting retries and their faults are
+  /// reported undetected — the report names them in quarantined_shards.
+  int shards = 0;
+  int shard_retries = 0;
+  std::vector<int> quarantined_shards;
+  bool partial = false;
 
   PhaseTimes time;
   int threads = 1;

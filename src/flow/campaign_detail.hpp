@@ -1,0 +1,100 @@
+// Campaign internals shared between the one-shot driver (run_campaign),
+// the per-shard executor (run_campaign_shard), and the supervisor's merge.
+//
+// The crash-tolerance layer's central correctness claim — a sharded run,
+// even one interrupted and resumed, merges to a detection matrix
+// bit-identical to the one-shot campaign — holds because all three paths
+// run through the *same* model hooks below. A CampaignContext packages the
+// model-specific machinery (collapsed representatives, prepass campaign,
+// deterministic generator, matrix builder) behind fault-subset-aware
+// closures: the one-shot path passes the full representative list, a shard
+// passes its strided partition, and the merge rebuilds the matrix over the
+// union of tests against the full list. The fault-sim scheduler's
+// determinism contract (first detections independent of which other faults
+// are co-simulated) does the rest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "atpg/atpg.hpp"
+#include "flow/campaign.hpp"
+#include "logic/sequential.hpp"
+
+namespace obd::flow::detail {
+
+/// Global representative indices a closure should operate on. Empty means
+/// "all representatives" (the one-shot fast path, no subset copy).
+using RepSubset = std::vector<std::uint32_t>;
+
+/// Model-specific campaign machinery over a fixed circuit view. The typed
+/// fault vectors live inside the closures (shared_ptr-captured), so a
+/// context is freely copyable and outlives make_context's locals.
+struct CampaignContext {
+  /// Non-empty when the preamble failed (validation error, unsupported
+  /// model/style combination); every other field is then unspecified.
+  std::string error;
+
+  logic::Circuit view;  ///< full-scan or combinational view, model-lowered
+  std::size_t faults_total = 0;  ///< before structural collapse
+  std::size_t n_reps = 0;        ///< collapsed representatives
+  double collapse_s = 0.0;       ///< enumerate+collapse wall clock
+  atpg::PodemOptions popt;       ///< budgets for the deterministic search
+
+  /// Fault-dropping prepass over the subset's representatives. The
+  /// returned Campaign's first_test is indexed by subset position.
+  std::function<atpg::FaultSimEngine::Campaign(
+      atpg::FaultSimScheduler&, const std::vector<atpg::TwoVectorTest>&,
+      const RepSubset&)>
+      prepass;
+  /// Deterministic search for one representative (global index).
+  std::function<atpg::TwoFrameResult(std::uint32_t rep_index)> generate;
+  /// Detection matrix of `tests` against the subset's representatives.
+  std::function<atpg::DetectionMatrix(
+      atpg::FaultSimScheduler&, const std::vector<atpg::TwoVectorTest>&,
+      const RepSubset&)>
+      matrix;
+  /// n-detect growth tail (OBD model only; null otherwise).
+  std::function<void(const CampaignOptions&, CampaignReport&)> ndetect;
+};
+
+/// Builds the model context for the enhanced-scan / combinational paths:
+/// view construction (+ composite lowering for OBD), validation, fault
+/// enumeration and collapse, and the model hooks. Launch-on-capture scan
+/// styles use a separate driver and are rejected here.
+CampaignContext make_context(const logic::SequentialCircuit& seq,
+                             const CampaignOptions& opt);
+
+/// The seeded random-prepass pool, with the model's application fixup
+/// (stuck-at collapses each pair to a single vector). Regenerating the
+/// pool from CampaignOptions::seed is what lets checkpoints store pool
+/// *indices* instead of vectors.
+std::vector<atpg::TwoVectorTest> random_pool(const logic::Circuit& view,
+                                             const CampaignOptions& opt);
+
+/// FNV-1a over the packed matrix (dims + row words) — the cross-run,
+/// cross-shard, cross-resume witness.
+std::uint64_t hash_matrix(const atpg::DetectionMatrix& m);
+
+/// Structure stats shared by every campaign path.
+void fill_structure(const logic::Circuit& view, CampaignReport& r);
+
+/// Copies the scheduler's aggregated cone/frontier counters into the
+/// report (taken after the last fault-sim call so prepass + matrix work is
+/// included).
+void fill_sim_stats(const atpg::FaultSimScheduler& sched, CampaignReport& r);
+
+/// Shared campaign tail: detection matrix over the final test set, greedy
+/// compaction, and the derived report fields.
+void matrix_and_compact(const CampaignOptions& opt, std::size_t n_tests,
+                        const std::function<atpg::DetectionMatrix()>& build,
+                        CampaignReport& r);
+
+/// Report preamble common to run_campaign and the supervisor's merge:
+/// circuit identity, model, sim configuration, scan detection.
+void init_report(const logic::SequentialCircuit& seq,
+                 const CampaignOptions& opt, CampaignReport& r);
+
+}  // namespace obd::flow::detail

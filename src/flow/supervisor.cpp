@@ -1,0 +1,504 @@
+#include "flow/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "flow/campaign_detail.hpp"
+#include "flow/checkpoint.hpp"
+#include "flow/inject.hpp"
+#include "flow/shard.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OBD_POSIX_SPAWN 1
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace obd::flow {
+namespace {
+
+using namespace obd::atpg;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double backoff_seconds(const SupervisorOptions& sup, int retry) {
+  double d = sup.backoff_base_s;
+  for (int k = 1; k < retry; ++k) d *= 2.0;
+  return std::min(d, sup.backoff_cap_s);
+}
+
+void remove_checkpoint(const std::string& dir, int shard) {
+  std::error_code ec;
+  const std::string p = checkpoint_path(dir, shard);
+  std::filesystem::remove(p, ec);
+  std::filesystem::remove(p + ".tmp", ec);
+}
+
+/// Deterministic merge: the union of shard useful-test marks reproduces
+/// the one-shot prepass test list (first detections are independent of the
+/// fault partition), the deterministic tests interleave back into global
+/// representative order, and the matrix is rebuilt over the merged tests
+/// against ALL representatives — bit-identical to the one-shot campaign
+/// when every shard completed.
+void merge_states(const detail::CampaignContext& ctx,
+                  const CampaignOptions& opt,
+                  const std::vector<TwoVectorTest>& pool,
+                  const std::vector<const ShardState*>& states,
+                  std::uint32_t shard_count, CampaignReport& r) {
+  const auto t_total = Clock::now();
+  r.faults_total = ctx.faults_total;
+  r.faults_collapsed = ctx.n_reps;
+  r.time.collapse_s = ctx.collapse_s;
+  if (ctx.n_reps == 0) {
+    r.coverage = 1.0;
+    r.time.total_s = seconds_since(t_total) + ctx.collapse_s;
+    return;
+  }
+
+  // Pool tests that first-detected a fault in any shard, in pool order.
+  std::vector<std::uint32_t> useful;
+  for (const ShardState* s : states)
+    useful.insert(useful.end(), s->useful_pool.begin(), s->useful_pool.end());
+  std::sort(useful.begin(), useful.end());
+  useful.erase(std::unique(useful.begin(), useful.end()), useful.end());
+
+  // Deterministic tests back in global representative order.
+  struct DetEntry {
+    std::uint64_t global;
+    TwoVectorTest test;
+  };
+  std::vector<DetEntry> det;
+  for (const ShardState* s : states)
+    for (const ShardDetTest& d : s->det_tests)
+      det.push_back({s->shard_index +
+                         static_cast<std::uint64_t>(d.local_index) *
+                             shard_count,
+                     d.test});
+  std::sort(det.begin(), det.end(),
+            [](const DetEntry& a, const DetEntry& b) {
+              return a.global < b.global;
+            });
+
+  std::vector<TwoVectorTest> tests;
+  tests.reserve(useful.size() + det.size());
+  for (const std::uint32_t t : useful) tests.push_back(pool[t]);
+  for (const DetEntry& d : det) tests.push_back(d.test);
+  r.tests_random = static_cast<int>(useful.size());
+  r.tests_deterministic = static_cast<int>(det.size());
+
+  for (const ShardState* s : states) {
+    r.fault_block_evals += s->fault_block_evals;
+    for (const FaultStatus st : s->status) {
+      switch (st) {
+        case FaultStatus::kUntestable: ++r.untestable; break;
+        case FaultStatus::kAbortedBacktracks:
+          ++r.aborted;
+          ++r.aborted_backtracks;
+          break;
+        case FaultStatus::kAbortedTime:
+          ++r.aborted;
+          ++r.aborted_time;
+          break;
+        default: break;
+      }
+    }
+  }
+
+  FaultSimScheduler sched(ctx.view, opt.sim);
+  detail::matrix_and_compact(opt, tests.size(),
+                             [&] { return ctx.matrix(sched, tests, {}); }, r);
+  detail::fill_sim_stats(sched, r);
+  r.coverage = static_cast<double>(r.detected) /
+               static_cast<double>(ctx.n_reps);
+  r.time.total_s = seconds_since(t_total) + ctx.collapse_s;
+}
+
+#ifdef OBD_POSIX_SPAWN
+
+/// Forks + execs one shard attempt. The injection spec and attempt number
+/// travel via environment so no argv quoting is needed.
+pid_t spawn_shard(const SupervisorOptions& sup, const CampaignOptions& opt,
+                  int shard, int attempt) {
+  std::vector<std::string> args = {
+      sup.child_exe,
+      sup.circuit_path,
+      "--quiet",
+      "--shard",
+      std::to_string(shard) + "/" + std::to_string(sup.shards),
+      "--checkpoint-dir",
+      sup.checkpoint_dir,
+      "--resume",
+      "--model",
+      to_string(opt.model),
+      "--random",
+      std::to_string(opt.random_patterns),
+      "--seed",
+      std::to_string(opt.seed),
+      "--backtracks",
+      std::to_string(opt.max_backtracks),
+      "--threads",
+      std::to_string(opt.sim.threads),
+  };
+  if (opt.podem_time_budget_s > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", opt.podem_time_budget_s);
+    args.push_back("--podem-time");
+    args.push_back(buf);
+  }
+
+  const pid_t pid = fork();
+  if (pid != 0) return pid;  // parent (or fork failure, pid < 0)
+
+  if (!sup.inject_spec.empty())
+    setenv("FLOW_FAULT_INJECT", sup.inject_spec.c_str(), 1);
+  setenv("FLOW_SHARD_ATTEMPT", std::to_string(attempt).c_str(), 1);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  execv(sup.child_exe.c_str(), argv.data());
+  std::_Exit(127);  // exec failed
+}
+
+#endif  // OBD_POSIX_SPAWN
+
+}  // namespace
+
+const char* to_string(ShardOutcome o) {
+  switch (o) {
+    case ShardOutcome::kClean: return "clean";
+    case ShardOutcome::kCrash: return "crash";
+    case ShardOutcome::kTimeout: return "timeout";
+    case ShardOutcome::kCorrupt: return "corrupt-output";
+    case ShardOutcome::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
+
+SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
+                                         const CampaignOptions& opt,
+                                         const SupervisorOptions& sup) {
+  SupervisorResult res;
+  CampaignReport& r = res.report;
+  detail::init_report(seq, opt, r);
+  if (r.scan) r.scan_style = to_string(ScanMode::kEnhanced);
+
+  if (sup.shards < 1) {
+    r.error = "--shards needs a positive shard count";
+    return res;
+  }
+  if (sup.checkpoint_dir.empty()) {
+    r.error = "sharded campaigns need --checkpoint-dir";
+    return res;
+  }
+  if (opt.ndetect > 0) {
+    r.error = "--ndetect is not supported with sharded campaigns";
+    return res;
+  }
+  if (r.scan && opt.scan_style != ScanMode::kEnhanced) {
+    r.error = "launch-on-capture scan styles cannot be sharded";
+    return res;
+  }
+  if (!sup.in_process) {
+#ifndef OBD_POSIX_SPAWN
+    r.error = "subprocess shard supervision needs a POSIX platform "
+              "(use in_process mode)";
+    return res;
+#else
+    if (sup.child_exe.empty() || sup.circuit_path.empty()) {
+      r.error = "subprocess shard supervision needs child_exe + circuit_path";
+      return res;
+    }
+#endif
+  }
+
+  const detail::CampaignContext ctx = detail::make_context(seq, opt);
+  detail::fill_structure(ctx.view, r);
+  if (!ctx.error.empty()) {
+    r.error = ctx.error;
+    return res;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(sup.checkpoint_dir, ec);
+  if (ec) {
+    r.error = "cannot create checkpoint dir '" + sup.checkpoint_dir +
+              "': " + ec.message();
+    return res;
+  }
+  if (!sup.resume)
+    for (int i = 0; i < sup.shards; ++i) remove_checkpoint(sup.checkpoint_dir, i);
+
+  const std::string circuit = seq.core().name();
+  const std::vector<TwoVectorTest> pool = detail::random_pool(ctx.view, opt);
+  const auto shard_count = static_cast<std::uint32_t>(sup.shards);
+
+  std::vector<ShardState> states(sup.shards);
+  std::vector<char> clean(sup.shards, 0);
+
+  /// Exit-0 is not success until the committed checkpoint survives full
+  /// validation and is a completed shard — the corrupt-output gate.
+  auto validate_shard = [&](int shard, std::string* why) {
+    const std::string p = checkpoint_path(sup.checkpoint_dir, shard);
+    ShardState s;
+    if (!load_checkpoint(p, &s, why)) return false;
+    if (!checkpoint_matches(s, opt, circuit, static_cast<std::uint32_t>(shard),
+                            shard_count, ctx.n_reps, pool.size(), why))
+      return false;
+    if (s.phase != ShardPhase::kDone || !s.has_matrix) {
+      *why = "checkpoint is not a completed shard";
+      return false;
+    }
+    states[shard] = std::move(s);
+    return true;
+  };
+
+  bool stopping = false;
+
+  if (sup.in_process) {
+    FaultInjector& inj = FaultInjector::instance();
+    std::string ierr;
+    if (!inj.configure(sup.inject_spec, &ierr)) {
+      r.error = "bad fault-injection spec: " + ierr;
+      return res;
+    }
+    inj.set_in_process(true);
+
+    for (int shard = 0; shard < sup.shards && !res.interrupted; ++shard) {
+      for (int attempt = 0;; ++attempt) {
+        if (sup.stop && *sup.stop) {
+          res.interrupted = true;
+          break;
+        }
+        inj.set_context(shard, attempt);
+        ShardRunOptions so;
+        so.checkpoint_dir = sup.checkpoint_dir;
+        so.shard_index = static_cast<std::uint32_t>(shard);
+        so.shard_count = shard_count;
+        so.resume = true;  // continue from any committed progress
+        so.stop = sup.stop;
+
+        ShardOutcome outcome = ShardOutcome::kCrash;
+        std::string what;
+        const auto t0 = Clock::now();
+        try {
+          const ShardRunResult rr = run_campaign_shard(seq, opt, so);
+          if (sup.shard_timeout_s > 0.0 &&
+              seconds_since(t0) > sup.shard_timeout_s) {
+            outcome = ShardOutcome::kTimeout;
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "ran %.3fs past the %.3fs deadline",
+                          seconds_since(t0), sup.shard_timeout_s);
+            what = buf;
+          } else if (rr.status == ShardRunStatus::kDone) {
+            outcome = validate_shard(shard, &what) ? ShardOutcome::kClean
+                                                   : ShardOutcome::kCorrupt;
+          } else if (rr.status == ShardRunStatus::kInterrupted) {
+            outcome = ShardOutcome::kInterrupted;
+            what = rr.error;
+          } else if (rr.status == ShardRunStatus::kBadCheckpoint) {
+            outcome = ShardOutcome::kCorrupt;
+            what = rr.error;
+          } else {
+            outcome = ShardOutcome::kCrash;
+            what = rr.error;
+          }
+        } catch (const InjectedCrash& c) {
+          outcome = ShardOutcome::kCrash;
+          what = std::string("injected ") + c.mode + " at " +
+                 to_string(c.point);
+        }
+        res.attempts.push_back({shard, attempt, outcome, what});
+
+        if (outcome == ShardOutcome::kClean) {
+          clean[shard] = 1;
+          break;
+        }
+        if (outcome == ShardOutcome::kInterrupted) {
+          res.interrupted = true;
+          break;
+        }
+        if (outcome == ShardOutcome::kCorrupt)
+          remove_checkpoint(sup.checkpoint_dir, shard);
+        if (attempt >= sup.max_retries) {
+          res.quarantined.push_back(shard);
+          break;
+        }
+        ++res.retries;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            backoff_seconds(sup, attempt + 1)));
+      }
+    }
+    inj.reset();
+  } else {
+#ifdef OBD_POSIX_SPAWN
+    struct Pending {
+      int shard;
+      int attempt;
+      Clock::time_point eligible;
+    };
+    struct Running {
+      pid_t pid;
+      int shard;
+      int attempt;
+      Clock::time_point deadline;
+      bool has_deadline;
+      bool watchdog_killed;
+    };
+    std::vector<Pending> pending;
+    std::vector<Running> running;
+    for (int i = 0; i < sup.shards; ++i)
+      pending.push_back({i, 0, Clock::now()});
+    const std::size_t jobs =
+        static_cast<std::size_t>(sup.jobs > 0 ? sup.jobs : sup.shards);
+
+    auto handle_failure = [&](int shard, int attempt, ShardOutcome outcome,
+                              std::string what) {
+      res.attempts.push_back({shard, attempt, outcome, std::move(what)});
+      if (outcome == ShardOutcome::kCorrupt)
+        remove_checkpoint(sup.checkpoint_dir, shard);
+      if (stopping) return;
+      if (attempt >= sup.max_retries) {
+        res.quarantined.push_back(shard);
+        return;
+      }
+      ++res.retries;
+      pending.push_back(
+          {shard, attempt + 1,
+           Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  backoff_seconds(sup, attempt + 1)))});
+    };
+
+    while (!pending.empty() || !running.empty()) {
+      if (!stopping && sup.stop && *sup.stop) {
+        // Graceful stop: children checkpoint on SIGTERM and exit 75. A
+        // 10 s grace deadline escalates to SIGKILL — no hangs.
+        stopping = true;
+        res.interrupted = true;
+        pending.clear();
+        for (Running& c : running) {
+          kill(c.pid, SIGTERM);
+          c.deadline = Clock::now() + std::chrono::seconds(10);
+          c.has_deadline = true;
+        }
+      }
+
+      if (!stopping) {
+        const auto now = Clock::now();
+        for (auto it = pending.begin();
+             it != pending.end() && running.size() < jobs;) {
+          if (it->eligible > now) {
+            ++it;
+            continue;
+          }
+          const pid_t pid = spawn_shard(sup, opt, it->shard, it->attempt);
+          if (pid < 0) {
+            const int shard = it->shard, attempt = it->attempt;
+            it = pending.erase(it);
+            handle_failure(shard, attempt, ShardOutcome::kCrash,
+                           "fork failed");
+            continue;
+          }
+          Running c;
+          c.pid = pid;
+          c.shard = it->shard;
+          c.attempt = it->attempt;
+          c.has_deadline = sup.shard_timeout_s > 0.0;
+          c.watchdog_killed = false;
+          if (c.has_deadline)
+            c.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       sup.shard_timeout_s));
+          running.push_back(c);
+          it = pending.erase(it);
+        }
+      }
+
+      for (auto it = running.begin(); it != running.end();) {
+        if (it->has_deadline && !it->watchdog_killed &&
+            Clock::now() > it->deadline) {
+          kill(it->pid, SIGKILL);
+          it->watchdog_killed = true;
+        }
+        int st = 0;
+        const pid_t w = waitpid(it->pid, &st, WNOHANG);
+        if (w != it->pid) {
+          ++it;
+          continue;
+        }
+        const int shard = it->shard;
+        const int attempt = it->attempt;
+        const bool timed_out = it->watchdog_killed && !stopping;
+        it = running.erase(it);
+
+        if (WIFEXITED(st)) {
+          const int code = WEXITSTATUS(st);
+          if (code == 0) {
+            std::string why;
+            if (validate_shard(shard, &why)) {
+              res.attempts.push_back(
+                  {shard, attempt, ShardOutcome::kClean, ""});
+              clean[shard] = 1;
+            } else {
+              handle_failure(shard, attempt, ShardOutcome::kCorrupt, why);
+            }
+          } else if (code == 75) {
+            // EX_TEMPFAIL: the child checkpointed and stopped on a
+            // signal. Retryable unless we are the ones stopping it.
+            if (stopping)
+              res.attempts.push_back({shard, attempt,
+                                      ShardOutcome::kInterrupted, ""});
+            else
+              handle_failure(shard, attempt, ShardOutcome::kInterrupted,
+                             "child interrupted");
+          } else if (code == 71) {
+            handle_failure(shard, attempt, ShardOutcome::kCorrupt,
+                           "child rejected its resume checkpoint");
+          } else {
+            handle_failure(shard, attempt, ShardOutcome::kCrash,
+                           "exit code " + std::to_string(code));
+          }
+        } else if (WIFSIGNALED(st)) {
+          const int sig = WTERMSIG(st);
+          handle_failure(shard, attempt,
+                         timed_out ? ShardOutcome::kTimeout
+                                   : ShardOutcome::kCrash,
+                         "signal " + std::to_string(sig));
+        }
+      }
+
+      if (pending.empty() && running.empty()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+#endif  // OBD_POSIX_SPAWN
+  }
+
+  if (res.interrupted) {
+    r.error = "campaign interrupted; shard checkpoints preserved in '" +
+              sup.checkpoint_dir + "' — rerun with --resume";
+    return res;
+  }
+
+  std::sort(res.quarantined.begin(), res.quarantined.end());
+  r.shards = sup.shards;
+  r.shard_retries = res.retries;
+  r.quarantined_shards = res.quarantined;
+  r.partial = !res.quarantined.empty();
+
+  std::vector<const ShardState*> done;
+  for (int i = 0; i < sup.shards; ++i)
+    if (clean[i]) done.push_back(&states[i]);
+  merge_states(ctx, opt, pool, done, shard_count, r);
+  return res;
+}
+
+}  // namespace obd::flow

@@ -1,0 +1,39 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace obd::util {
+namespace {
+
+/// 256-entry table for the reflected Castagnoli polynomial, built once at
+/// static-init time (constexpr, so it lands in .rodata).
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32c::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < len; ++i)
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len) {
+  Crc32c c;
+  c.update(data, len);
+  return c.value();
+}
+
+}  // namespace obd::util

@@ -5,6 +5,7 @@
 // standard-library implementations.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace obd::util {
@@ -61,6 +62,15 @@ class Prng {
 
   /// Fair coin.
   bool next_bool() { return (next_u64() & 1ull) != 0; }
+
+  /// Raw 4-word xoshiro state, for checkpointing a generator mid-stream.
+  /// set_state(state()) resumes the exact sequence.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

@@ -20,15 +20,43 @@
 //   --random N                     random prepass patterns (default 2048)
 //   --seed S                       PRNG seed (default 0x0bd5eed)
 //   --backtracks N                 PODEM backtrack budget (default 100000)
+//   --podem-time S                 wall-clock budget per fault search,
+//                                  seconds (default 0 = off; nonzero
+//                                  forfeits cross-run determinism — time
+//                                  aborts are re-attempted on --resume)
 //   --ndetect N                    grow an n-detect set (obd model only)
 //   --no-compact                   skip greedy set-cover compaction
-//   --report FILE.json             write the JSON report
+//   --report FILE.json             write the JSON report (atomically:
+//                                  temp + fsync + rename)
 //   --min-coverage F               exit 2 unless coverage >= F (CI gate)
 //   --write-bench FILE             re-emit the parsed netlist as .bench
 //   --quiet                        suppress the summary table
 //
+// Crash-tolerant sharded campaigns:
+//   --shards N                     supervise N shard child processes and
+//                                  merge their checkpoints (bit-identical
+//                                  to the one-shot run; exit 3 when shards
+//                                  were quarantined and the report is
+//                                  partial)
+//   --shard I/N                    run as shard I of N (normally spawned
+//                                  by --shards, not by hand)
+//   --checkpoint-dir DIR           shard checkpoint directory (required
+//                                  for --shards / --shard)
+//   --resume                       continue from committed checkpoints
+//   --shard-timeout S              per-attempt watchdog deadline, seconds
+//   --max-retries N                retries before quarantining a shard
+//                                  (default 2)
+//   --shard-jobs N                 concurrent shard processes (default N)
+//   --inject SPEC                  deterministic fault injection (see
+//                                  src/flow/inject.hpp; FLOW_FAULT_INJECT
+//                                  env is the fallback)
+//
+// SIGINT/SIGTERM checkpoint in-flight shards and exit 75 (EX_TEMPFAIL);
+// rerunning with --resume continues where the campaign stopped.
+//
 // Results are bit-identical across --threads and --packing settings; the
 // report's matrix_hash field is the witness.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,11 +64,23 @@
 #include <string>
 
 #include "flow/campaign.hpp"
+#include "flow/inject.hpp"
+#include "flow/shard.hpp"
+#include "flow/supervisor.hpp"
 #include "io/bench.hpp"
+#include "util/io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace {
 
 using namespace obd;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_stop_signal(int) { g_stop = 1; }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
@@ -49,9 +89,12 @@ int usage(const char* argv0) {
                "       [--threads N] [--packing auto|pattern|fault] "
                "[--lanes 64|128|256|512]\n"
                "       [--cone-cache BYTES] [--random N] [--seed S] "
-               "[--backtracks N] [--ndetect N] [--no-compact]\n"
-               "       [--report FILE.json] [--min-coverage F] "
-               "[--write-bench FILE] [--quiet]\n",
+               "[--backtracks N] [--podem-time S] [--ndetect N]\n"
+               "       [--no-compact] [--report FILE.json] "
+               "[--min-coverage F] [--write-bench FILE] [--quiet]\n"
+               "       [--shards N | --shard I/N] [--checkpoint-dir DIR] "
+               "[--resume] [--shard-timeout S]\n"
+               "       [--max-retries N] [--shard-jobs N] [--inject SPEC]\n",
                argv0);
   return 1;
 }
@@ -68,13 +111,53 @@ bool parse_double(const char* s, double& out) {
   return end && end != s && *end == '\0';
 }
 
+/// "I/N" for --shard.
+bool parse_shard_spec(const char* s, int& index, int& count) {
+  long long i = 0, n = 0;
+  const char* slash = std::strchr(s, '/');
+  if (!slash) return false;
+  const std::string left(s, slash - s);
+  if (!parse_long(left.c_str(), i) || !parse_long(slash + 1, n)) return false;
+  if (n < 1 || i < 0 || i >= n) return false;
+  index = static_cast<int>(i);
+  count = static_cast<int>(n);
+  return true;
+}
+
+/// Path of this executable, for spawning shard children.
+std::string self_exe(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+#endif
+  return argv0;
+}
+
+bool write_report(const std::string& path, const flow::CampaignReport& r) {
+  std::string err;
+  if (!util::write_file_atomic(path, flow::report_json(r), &err)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path, report_path, write_bench_path;
   flow::CampaignOptions opt;
+  flow::SupervisorOptions sup;
   double min_coverage = -1.0;
   bool quiet = false;
+  bool resume = false;
+  int shard_index = -1, shard_count = 0;  // --shard I/N
+  int shards = 0;                         // --shards N (supervisor)
+  std::string checkpoint_dir, inject_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -128,6 +211,12 @@ int main(int argc, char** argv) {
     } else if (a == "--backtracks") {
       if (!parse_long(value("--backtracks"), n) || n < 0) return usage(argv[0]);
       opt.max_backtracks = static_cast<long>(n);
+    } else if (a == "--podem-time") {
+      if (!parse_double(value("--podem-time"), opt.podem_time_budget_s) ||
+          opt.podem_time_budget_s < 0.0) {
+        std::fprintf(stderr, "--podem-time needs a non-negative seconds value\n");
+        return 1;
+      }
     } else if (a == "--ndetect") {
       if (!parse_long(value("--ndetect"), n) || n < 0) return usage(argv[0]);
       opt.ndetect = static_cast<int>(n);
@@ -146,6 +235,32 @@ int main(int argc, char** argv) {
       write_bench_path = value("--write-bench");
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--shard") {
+      if (!parse_shard_spec(value("--shard"), shard_index, shard_count)) {
+        std::fprintf(stderr, "--shard needs I/N with 0 <= I < N\n");
+        return 1;
+      }
+    } else if (a == "--shards") {
+      if (!parse_long(value("--shards"), n) || n < 1) return usage(argv[0]);
+      shards = static_cast<int>(n);
+    } else if (a == "--checkpoint-dir") {
+      checkpoint_dir = value("--checkpoint-dir");
+    } else if (a == "--resume") {
+      resume = true;
+    } else if (a == "--shard-timeout") {
+      if (!parse_double(value("--shard-timeout"), sup.shard_timeout_s) ||
+          sup.shard_timeout_s < 0.0) {
+        std::fprintf(stderr, "--shard-timeout needs non-negative seconds\n");
+        return 1;
+      }
+    } else if (a == "--max-retries") {
+      if (!parse_long(value("--max-retries"), n) || n < 0) return usage(argv[0]);
+      sup.max_retries = static_cast<int>(n);
+    } else if (a == "--shard-jobs") {
+      if (!parse_long(value("--shard-jobs"), n) || n < 1) return usage(argv[0]);
+      sup.jobs = static_cast<int>(n);
+    } else if (a == "--inject") {
+      inject_spec = value("--inject");
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
       return usage(argv[0]);
@@ -156,6 +271,12 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage(argv[0]);
+  if (shards > 0 && shard_index >= 0) {
+    std::fprintf(stderr, "--shards and --shard are mutually exclusive\n");
+    return 1;
+  }
+  if (inject_spec.empty())
+    if (const char* env = std::getenv("FLOW_FAULT_INJECT")) inject_spec = env;
 
   const io::BenchParseResult parsed = io::load_bench_file(path);
   if (!parsed.ok) {
@@ -171,16 +292,98 @@ int main(int argc, char** argv) {
     out << io::write_bench(parsed.seq);
   }
 
-  const flow::CampaignReport report = flow::run_campaign(parsed.seq, opt);
-  if (!quiet) flow::print_report(report);
-  if (!report_path.empty()) {
-    std::ofstream out(report_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", report_path.c_str());
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+
+  // --- Shard child mode: run one fault partition, checkpointed ----------
+  if (shard_index >= 0) {
+    flow::FaultInjector& inj = flow::FaultInjector::instance();
+    std::string ierr;
+    if (!inj.configure(inject_spec, &ierr)) {
+      std::fprintf(stderr, "%s\n", ierr.c_str());
       return 1;
     }
-    out << flow::report_json(report);
+    long long attempt = 0;
+    if (const char* env = std::getenv("FLOW_SHARD_ATTEMPT"))
+      parse_long(env, attempt);
+    inj.set_context(shard_index, static_cast<int>(attempt));
+
+    flow::ShardRunOptions so;
+    so.checkpoint_dir = checkpoint_dir;
+    so.shard_index = static_cast<std::uint32_t>(shard_index);
+    so.shard_count = static_cast<std::uint32_t>(shard_count);
+    so.resume = resume;
+    so.stop = &g_stop;
+    const flow::ShardRunResult rr =
+        flow::run_campaign_shard(parsed.seq, opt, so);
+    switch (rr.status) {
+      case flow::ShardRunStatus::kDone:
+        if (!quiet)
+          std::printf("shard %d/%d done: %zu faults, %zu tests\n",
+                      shard_index, shard_count, rr.state.status.size(),
+                      rr.state.useful_pool.size() + rr.state.det_tests.size());
+        return 0;
+      case flow::ShardRunStatus::kInterrupted:
+        std::fprintf(stderr, "shard %d/%d: %s\n", shard_index, shard_count,
+                     rr.error.c_str());
+        return 75;  // EX_TEMPFAIL: resume to continue
+      case flow::ShardRunStatus::kBadCheckpoint:
+        std::fprintf(stderr, "shard %d/%d: %s\n", shard_index, shard_count,
+                     rr.error.c_str());
+        return 71;  // supervisor deletes the checkpoint and retries fresh
+      case flow::ShardRunStatus::kError:
+        std::fprintf(stderr, "shard %d/%d: %s\n", shard_index, shard_count,
+                     rr.error.c_str());
+        return 1;
+    }
+    return 1;
   }
+
+  // --- Supervisor mode: sharded campaign with retry + merge -------------
+  if (shards > 0) {
+    sup.shards = shards;
+    sup.checkpoint_dir = checkpoint_dir;
+    sup.resume = resume;
+    sup.inject_spec = inject_spec;
+    sup.child_exe = self_exe(argv[0]);
+    sup.circuit_path = path;
+    sup.stop = &g_stop;
+    const flow::SupervisorResult sr =
+        flow::run_supervised_campaign(parsed.seq, opt, sup);
+    for (const flow::ShardAttempt& at : sr.attempts)
+      if (at.outcome != flow::ShardOutcome::kClean)
+        std::fprintf(stderr, "shard %d attempt %d: %s%s%s\n", at.shard,
+                     at.attempt, to_string(at.outcome),
+                     at.detail.empty() ? "" : " — ", at.detail.c_str());
+    if (!quiet) flow::print_report(sr.report);
+    if (!report_path.empty() && !write_report(report_path, sr.report))
+      return 1;
+    if (sr.interrupted) return 75;
+    if (!sr.report.ok()) {
+      std::fprintf(stderr, "%s\n", sr.report.error.c_str());
+      return 1;
+    }
+    if (sr.report.partial) {
+      std::string q;
+      for (const int s : sr.report.quarantined_shards)
+        q += (q.empty() ? "" : ", ") + std::to_string(s);
+      std::fprintf(stderr,
+                   "partial result: shard(s) %s quarantined after retries\n",
+                   q.c_str());
+      return 3;
+    }
+    if (min_coverage >= 0.0 && sr.report.coverage < min_coverage) {
+      std::fprintf(stderr, "coverage %.4f below --min-coverage %.4f\n",
+                   sr.report.coverage, min_coverage);
+      return 2;
+    }
+    return 0;
+  }
+
+  // --- One-shot campaign ------------------------------------------------
+  const flow::CampaignReport report = flow::run_campaign(parsed.seq, opt);
+  if (!quiet) flow::print_report(report);
+  if (!report_path.empty() && !write_report(report_path, report)) return 1;
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.error.c_str());
     return 1;
