@@ -1,0 +1,67 @@
+// CNF encoding of good/faulty circuit pairs for the SAT ATPG backend.
+//
+// The encoding mirrors the PODEM engine's semantics exactly (podem.cpp's
+// eval3_forced): the faulty circuit is the good circuit with one net
+// replaced wholesale by a constant, so the faulty copy only needs fresh
+// variables for that net's transitive fanout cone — every other net shares
+// the good copy's variable. A one-sided miter then asserts that some
+// primary output inside the cone differs between the copies.
+//
+// Gate consistency clauses use the hand-minimized standard forms for the
+// simple cells (the classic Tseitin shapes) and a truth-table expansion
+// against logic::gate_eval for the complex AOI/OAI cells — at most 16
+// clauses for a 4-input gate, and correct by construction against the
+// simulator (tests/test_sat_atpg.cpp checks every gate type exhaustively).
+#pragma once
+
+#include <vector>
+
+#include "atpg/sat/solver.hpp"
+#include "logic/circuit.hpp"
+
+namespace obd::atpg::sat {
+
+/// One circuit copy's net -> solver-variable map (kNoSatVar where the copy
+/// has no variable of its own — for a faulty copy, nets outside the cone).
+inline constexpr Var kNoSatVar = -1;
+
+struct NetVars {
+  std::vector<Var> var;  // indexed by NetId
+
+  Var of(logic::NetId n) const { return var[static_cast<std::size_t>(n)]; }
+};
+
+class CnfEncoder {
+ public:
+  CnfEncoder(const logic::Circuit& c, Solver& s) : c_(c), s_(s) {}
+
+  /// Fresh variables for every net plus consistency clauses for every
+  /// gate: one fault-free circuit copy (one scan frame).
+  NetVars encode_good();
+
+  /// The faulty companion of `good`: fresh variables only for `forced` and
+  /// its transitive fanout, with the forced variable unit-pinned to
+  /// `forced_value` (the driver's clauses are intentionally absent — the
+  /// net is replaced, not overridden). Cone gates read good variables for
+  /// their side inputs.
+  NetVars encode_faulty(const NetVars& good, logic::NetId forced,
+                        bool forced_value);
+
+  /// One-sided miter over the primary outputs the faulty cone reaches:
+  /// asserts at least one differs between the copies. Returns false when
+  /// the cone reaches no PO — the difference is structurally unobservable
+  /// and the instance is untestable without solving.
+  bool assert_po_difference(const NetVars& good, const NetVars& faulty);
+
+  /// Unit-pins net `n` of a copy to `value`.
+  void pin(const NetVars& nv, logic::NetId n, bool value);
+
+  /// Consistency clauses for one gate over solver variables.
+  void encode_gate(logic::GateType t, Var out, const Var* ins);
+
+ private:
+  const logic::Circuit& c_;
+  Solver& s_;
+};
+
+}  // namespace obd::atpg::sat

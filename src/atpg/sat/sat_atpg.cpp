@@ -1,0 +1,234 @@
+#include "atpg/sat/sat_atpg.hpp"
+
+#include <optional>
+
+#include "atpg/podem.hpp"
+#include "atpg/sat/cnf.hpp"
+#include "core/excitation.hpp"
+#include "logic/gate.hpp"
+
+namespace obd::atpg::sat {
+namespace {
+
+using logic::Circuit;
+using logic::NetId;
+using logic::Tri;
+
+/// 3-valued evaluation with one net optionally forced — the exact faulty-
+/// circuit semantics of podem.cpp's eval3_forced, reproduced here so cube
+/// validation judges the SAT model by the same rules PODEM plays by.
+void eval3_forced(const Circuit& c, const std::vector<Tri>& pi,
+                  NetId forced_net, Tri forced_value,
+                  std::vector<Tri>* values) {
+  values->assign(c.num_nets(), Tri::kX);
+  for (std::size_t i = 0; i < c.inputs().size(); ++i) {
+    const NetId n = c.inputs()[i];
+    (*values)[static_cast<std::size_t>(n)] =
+        (n == forced_net) ? forced_value : pi[i];
+  }
+  Tri ins[8];
+  for (int g : c.topo_order()) {
+    const logic::Gate& gate = c.gate(g);
+    for (std::size_t k = 0; k < gate.inputs.size(); ++k)
+      ins[k] = (*values)[static_cast<std::size_t>(gate.inputs[k])];
+    (*values)[static_cast<std::size_t>(gate.output)] =
+        (gate.output == forced_net) ? forced_value
+                                    : logic::gate_eval3(gate.type, ins);
+  }
+}
+
+/// One scan frame's obligations: net constraints on the good circuit and,
+/// for the fault frame, activation of the forced net plus a definite PO
+/// difference against the faulty circuit.
+struct FrameGoal {
+  std::vector<NetConstraint> constraints;
+  std::optional<StuckFault> fault;  // forced net + value (fault frame only)
+};
+
+/// Does the partially-specified PI assignment *definitely* meet the goal
+/// under 3-valued evaluation? Kleene conservatism makes a true answer a
+/// guarantee over every completion of the X bits — the property that lets
+/// don't-care bits be lifted out of a SAT model safely.
+bool frame_definitely_met(const Circuit& c, const std::vector<Tri>& pi,
+                          const FrameGoal& goal) {
+  std::vector<Tri> good;
+  eval3_forced(c, pi, logic::kNoNet, Tri::kX, &good);
+  for (const NetConstraint& k : goal.constraints)
+    if (good[static_cast<std::size_t>(k.net)] != logic::tri_of(k.value))
+      return false;
+  if (!goal.fault) return true;
+  const Tri gf = good[static_cast<std::size_t>(goal.fault->net)];
+  if (gf == Tri::kX || gf == logic::tri_of(goal.fault->value)) return false;
+  std::vector<Tri> faulty;
+  eval3_forced(c, pi, goal.fault->net, logic::tri_of(goal.fault->value),
+               &faulty);
+  for (const NetId po : c.outputs()) {
+    const Tri g = good[static_cast<std::size_t>(po)];
+    const Tri f = faulty[static_cast<std::size_t>(po)];
+    if (g != Tri::kX && f != Tri::kX && g != f) return true;
+  }
+  return false;
+}
+
+/// Greedy don't-care maximization: X out PIs in ascending index order,
+/// keeping each X only if the frame goal stays definitely met.
+void lift_cares(const Circuit& c, const FrameGoal& goal,
+                std::vector<Tri>* pi) {
+  for (std::size_t i = 0; i < pi->size(); ++i) {
+    const Tri saved = (*pi)[i];
+    if (saved == Tri::kX) continue;
+    (*pi)[i] = Tri::kX;
+    if (!frame_definitely_met(c, *pi, goal)) (*pi)[i] = saved;
+  }
+}
+
+TestVector to_test_vector(const std::vector<Tri>& pi) {
+  TestVector v;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (pi[i] == Tri::kX) continue;
+    v.care_mask.set_bit(i);
+    if (pi[i] == Tri::k1) v.bits.set_bit(i);
+  }
+  return v;
+}
+
+enum class PairStatus { kCube, kRefuted, kUnknown };
+
+/// Encodes and solves one (fault frame, justify frame) pair. The justify
+/// frame is absent for single-frame (stuck-at) instances. On SAT, the
+/// model is lifted to a maximal-don't-care cube and re-validated by
+/// 3-valued simulation; a model that fails validation (an encoder bug, by
+/// construction impossible) degrades to kUnknown rather than emitting an
+/// unsound cube.
+PairStatus solve_pair(const Circuit& c, const FrameGoal& fault_frame,
+                      const std::optional<FrameGoal>& justify_frame,
+                      const SatAtpgOptions& opt, XTwoVectorTest* cube,
+                      long long* conflicts) {
+  Solver s;
+  CnfEncoder enc(c, s);
+  const NetVars g2 = enc.encode_good();
+  const NetVars fa =
+      enc.encode_faulty(g2, fault_frame.fault->net, fault_frame.fault->value);
+  if (!enc.assert_po_difference(g2, fa)) return PairStatus::kRefuted;
+  enc.pin(g2, fault_frame.fault->net, !fault_frame.fault->value);
+  for (const NetConstraint& k : fault_frame.constraints)
+    enc.pin(g2, k.net, k.value);
+  NetVars g1;
+  if (justify_frame) {
+    g1 = enc.encode_good();
+    for (const NetConstraint& k : justify_frame->constraints)
+      enc.pin(g1, k.net, k.value);
+  }
+
+  const SolveStatus st = s.solve(opt.conflict_budget);
+  *conflicts += s.stats().conflicts;
+  if (st == SolveStatus::kUnsat) return PairStatus::kRefuted;
+  if (st == SolveStatus::kUnknown) return PairStatus::kUnknown;
+
+  std::vector<Tri> pi2(c.inputs().size());
+  for (std::size_t i = 0; i < c.inputs().size(); ++i)
+    pi2[i] = logic::tri_of(s.value(g2.of(c.inputs()[i])));
+  if (!frame_definitely_met(c, pi2, fault_frame)) return PairStatus::kUnknown;
+  lift_cares(c, fault_frame, &pi2);
+
+  std::vector<Tri> pi1;
+  if (justify_frame) {
+    pi1.resize(c.inputs().size());
+    for (std::size_t i = 0; i < c.inputs().size(); ++i)
+      pi1[i] = logic::tri_of(s.value(g1.of(c.inputs()[i])));
+    if (!frame_definitely_met(c, pi1, *justify_frame))
+      return PairStatus::kUnknown;
+    lift_cares(c, *justify_frame, &pi1);
+  } else {
+    pi1 = pi2;  // single-frame: the campaign's v1 == v2 convention
+  }
+
+  cube->v1 = to_test_vector(pi1);
+  cube->v2 = to_test_vector(pi2);
+  return PairStatus::kCube;
+}
+
+std::vector<NetConstraint> pin_gate_inputs(const Circuit& c, int gate_idx,
+                                           std::uint32_t bits) {
+  const auto& g = c.gate(gate_idx);
+  std::vector<NetConstraint> out;
+  out.reserve(g.inputs.size());
+  for (std::size_t k = 0; k < g.inputs.size(); ++k)
+    out.push_back({g.inputs[k], ((bits >> k) & 1u) != 0});
+  return out;
+}
+
+}  // namespace
+
+SatAtpgResult sat_generate_obd_test(const Circuit& c, const ObdFaultSite& site,
+                                    const SatAtpgOptions& opt) {
+  SatAtpgResult r;
+  const auto& g = c.gate(site.gate_index);
+  const auto topo = logic::gate_topology(g.type);
+  if (!topo.has_value()) {
+    // Composite gate: no OBD site (generate_obd_test's convention).
+    r.verdict = SatVerdict::kUntestable;
+    return r;
+  }
+  bool any_unknown = false;
+  for (const auto& tv : core::obd_excitations(*topo, site.transistor)) {
+    const bool old_out = topo->output(tv.v1);
+    FrameGoal frame2{pin_gate_inputs(c, site.gate_index, tv.v2),
+                     StuckFault{g.output, old_out}};
+    FrameGoal frame1{pin_gate_inputs(c, site.gate_index, tv.v1), std::nullopt};
+    switch (solve_pair(c, frame2, frame1, opt, &r.cube, &r.conflicts)) {
+      case PairStatus::kCube:
+        r.verdict = SatVerdict::kCube;
+        return r;
+      case PairStatus::kRefuted:
+        break;
+      case PairStatus::kUnknown:
+        any_unknown = true;
+        break;
+    }
+  }
+  r.verdict = any_unknown ? SatVerdict::kUnknown : SatVerdict::kUntestable;
+  return r;
+}
+
+SatAtpgResult sat_generate_transition_test(const Circuit& c,
+                                           const TransitionFault& fault,
+                                           const SatAtpgOptions& opt) {
+  SatAtpgResult r;
+  const bool final_value = fault.slow_to_rise;
+  FrameGoal frame2{{{fault.net, final_value}},
+                   StuckFault{fault.net, !final_value}};
+  FrameGoal frame1{{{fault.net, !final_value}}, std::nullopt};
+  switch (solve_pair(c, frame2, frame1, opt, &r.cube, &r.conflicts)) {
+    case PairStatus::kCube:
+      r.verdict = SatVerdict::kCube;
+      break;
+    case PairStatus::kRefuted:
+      r.verdict = SatVerdict::kUntestable;
+      break;
+    case PairStatus::kUnknown:
+      r.verdict = SatVerdict::kUnknown;
+      break;
+  }
+  return r;
+}
+
+SatAtpgResult sat_generate_stuck_test(const Circuit& c, const StuckFault& fault,
+                                      const SatAtpgOptions& opt) {
+  SatAtpgResult r;
+  FrameGoal frame{{}, fault};
+  switch (solve_pair(c, frame, std::nullopt, opt, &r.cube, &r.conflicts)) {
+    case PairStatus::kCube:
+      r.verdict = SatVerdict::kCube;
+      break;
+    case PairStatus::kRefuted:
+      r.verdict = SatVerdict::kUntestable;
+      break;
+    case PairStatus::kUnknown:
+      r.verdict = SatVerdict::kUnknown;
+      break;
+  }
+  return r;
+}
+
+}  // namespace obd::atpg::sat

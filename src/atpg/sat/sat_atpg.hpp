@@ -1,0 +1,62 @@
+// SAT-based ATPG: the provable-coverage backend beside PODEM.
+//
+// Each entry point mirrors the corresponding PODEM driver's semantics
+// exactly (twoframe.cpp / podem.cpp), but answers with certainty: the
+// good/faulty circuit pair is CNF-encoded (cnf.hpp) and handed to the
+// embedded CDCL core (solver.hpp), returning either
+//   - a *validated* maximal-don't-care test cube (every don't-care bit is
+//     re-verified by 3-valued simulation before it is declared X, so the
+//     cube feeds the X-fill/compaction machinery safely), or
+//   - a proven-untestable verdict (for OBD faults: every excitation pair's
+//     two-frame CNF is UNSAT — the completeness basis obd_excitations
+//     enumerates the full (2^n)^2 transition space), or
+//   - kUnknown when the conflict budget ran out before a verdict.
+//
+// Everything is deterministic, so campaign escalation preserves the
+// matrix-hash contract across threads, lanes, and shards.
+#pragma once
+
+#include "atpg/faults.hpp"
+#include "atpg/patterns.hpp"
+#include "logic/circuit.hpp"
+
+namespace obd::atpg::sat {
+
+enum class SatVerdict {
+  kCube,        ///< validated test cube in SatAtpgResult::cube
+  kUntestable,  ///< proven: no input pair tests this fault
+  kUnknown,     ///< conflict budget exhausted before a verdict
+};
+
+struct SatAtpgOptions {
+  /// CDCL conflict budget per solver call (one call per excitation pair);
+  /// <= 0 = unlimited.
+  long long conflict_budget = 100000;
+};
+
+struct SatAtpgResult {
+  SatVerdict verdict = SatVerdict::kUnknown;
+  /// Maximal-don't-care two-frame cube (kCube only). Stuck-at cubes have
+  /// v1 == v2, matching the campaign's single-vector convention.
+  XTwoVectorTest cube;
+  /// CDCL conflicts spent on this fault (all solver calls summed).
+  long long conflicts = 0;
+};
+
+/// OBD fault at a primitive gate's transistor: one two-frame CNF per
+/// exciting transition, in obd_excitations order (like generate_obd_test).
+SatAtpgResult sat_generate_obd_test(const logic::Circuit& c,
+                                    const ObdFaultSite& site,
+                                    const SatAtpgOptions& opt = {});
+
+/// Classical two-frame transition fault (mirrors generate_transition_test).
+SatAtpgResult sat_generate_transition_test(const logic::Circuit& c,
+                                           const TransitionFault& fault,
+                                           const SatAtpgOptions& opt = {});
+
+/// Single-frame stuck-at fault (mirrors podem_stuck_at).
+SatAtpgResult sat_generate_stuck_test(const logic::Circuit& c,
+                                      const StuckFault& fault,
+                                      const SatAtpgOptions& opt = {});
+
+}  // namespace obd::atpg::sat

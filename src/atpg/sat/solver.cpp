@@ -1,0 +1,344 @@
+#include "atpg/sat/solver.hpp"
+
+#include <algorithm>
+
+namespace obd::atpg::sat {
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+long long luby(long long i) {
+  long long k = 1;
+  while ((1ll << (k + 1)) - 1 <= i + 1) ++k;
+  while ((1ll << k) - 1 != i + 1) {
+    i -= (1ll << k) - 1;
+    k = 1;
+    while ((1ll << (k + 1)) - 1 <= i + 1) ++k;
+  }
+  return 1ll << (k - 1);
+}
+
+constexpr long long kRestartUnit = 64;
+constexpr double kActivityRescale = 1e100;
+
+}  // namespace
+
+Var Solver::new_var() {
+  const Var v = num_vars();
+  assign_.push_back(-1);
+  level_.push_back(0);
+  reason_.push_back(-1);
+  polarity_.push_back(false);
+  activity_.push_back(0.0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  seen_.push_back(0);
+  heap_pos_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+bool Solver::add_clause(const std::vector<Lit>& lits) {
+  if (!ok_) return false;
+  backtrack_to(0);  // adding a clause invalidates any current model
+  // Level-0 simplify: sort, dedup, drop tautologies and false literals.
+  std::vector<Lit> c(lits);
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  std::vector<Lit> kept;
+  kept.reserve(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i + 1 < c.size() && c[i + 1] == negate(c[i])) return true;  // taut
+    const std::int8_t a = assign_[static_cast<std::size_t>(var_of(c[i]))];
+    if (a < 0) {
+      kept.push_back(c[i]);
+      continue;
+    }
+    const bool lit_true = (a == 1) != sign_of(c[i]);
+    if (lit_true && level_of(var_of(c[i])) == 0) return true;  // satisfied
+    if (!lit_true && level_of(var_of(c[i])) == 0) continue;    // dead lit
+    kept.push_back(c[i]);
+  }
+  if (kept.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (kept.size() == 1) {
+    if (!enqueue(kept[0], -1)) ok_ = false;
+    if (ok_ && propagate() >= 0) ok_ = false;
+    return ok_;
+  }
+  clauses_.push_back(Clause{std::move(kept)});
+  attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach(std::uint32_t ci) {
+  const Clause& c = clauses_[ci];
+  watches_[static_cast<std::size_t>(negate(c.lits[0]))].push_back(
+      Watcher{ci, c.lits[1]});
+  watches_[static_cast<std::size_t>(negate(c.lits[1]))].push_back(
+      Watcher{ci, c.lits[0]});
+}
+
+bool Solver::enqueue(Lit l, int reason) {
+  const Var v = var_of(l);
+  const std::int8_t a = assign_[static_cast<std::size_t>(v)];
+  if (a >= 0) return (a == 1) != sign_of(l);
+  assign_[static_cast<std::size_t>(v)] =
+      static_cast<std::int8_t>(sign_of(l) ? 0 : 1);
+  level_[static_cast<std::size_t>(v)] = decision_level();
+  reason_[static_cast<std::size_t>(v)] = reason;
+  polarity_[static_cast<std::size_t>(v)] = !sign_of(l);
+  trail_.push_back(l);
+  return true;
+}
+
+int Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p became true; visit watchers of ~?
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[static_cast<std::size_t>(p)];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      // Blocker already true: clause satisfied, watcher stays.
+      const Var bv = var_of(w.blocker);
+      if (assign_[static_cast<std::size_t>(bv)] >= 0 &&
+          (assign_[static_cast<std::size_t>(bv)] == 1) != sign_of(w.blocker)) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      // Normalize: the false literal (~p) into slot 1.
+      const Lit false_lit = negate(p);
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      const Lit first = c.lits[0];
+      const Var fv = var_of(first);
+      if (assign_[static_cast<std::size_t>(fv)] >= 0 &&
+          (assign_[static_cast<std::size_t>(fv)] == 1) != sign_of(first)) {
+        ws[keep++] = Watcher{w.clause, first};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        const Lit l = c.lits[k];
+        const std::int8_t a = assign_[static_cast<std::size_t>(var_of(l))];
+        const bool is_false = a >= 0 && (a == 1) == sign_of(l);
+        if (is_false) continue;
+        std::swap(c.lits[1], c.lits[k]);
+        watches_[static_cast<std::size_t>(negate(l))].push_back(
+            Watcher{w.clause, first});
+        moved = true;
+        break;
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[keep++] = Watcher{w.clause, first};
+      if (!enqueue(first, static_cast<int>(w.clause))) {
+        // Conflict: keep remaining watchers, report.
+        for (std::size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return static_cast<int>(w.clause);
+      }
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::analyze(int confl, std::vector<Lit>* learned, int* out_level) {
+  learned->clear();
+  learned->push_back(-1);  // slot for the asserting literal
+  int counter = 0;
+  Lit p = -1;
+  std::size_t index = trail_.size();
+  int ci = confl;
+  for (;;) {
+    const Clause& c = clauses_[static_cast<std::size_t>(ci)];
+    for (std::size_t k = (p == -1 ? 0 : 1); k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const Var v = var_of(q);
+      if (seen_[static_cast<std::size_t>(v)] || level_of(v) == 0) continue;
+      seen_[static_cast<std::size_t>(v)] = 1;
+      bump(v);
+      if (level_of(v) == decision_level())
+        ++counter;
+      else
+        learned->push_back(q);
+    }
+    // Next literal on the trail that contributed to the conflict.
+    do {
+      p = trail_[--index];
+    } while (!seen_[static_cast<std::size_t>(var_of(p))]);
+    seen_[static_cast<std::size_t>(var_of(p))] = 0;
+    if (--counter == 0) break;
+    ci = reason_[static_cast<std::size_t>(var_of(p))];
+  }
+  (*learned)[0] = negate(p);
+  for (std::size_t k = 1; k < learned->size(); ++k)
+    seen_[static_cast<std::size_t>(var_of((*learned)[k]))] = 0;
+
+  // Backjump to the second-highest level in the learned clause, moving its
+  // literal into the second watch slot.
+  int bl = 0;
+  std::size_t best = 1;
+  for (std::size_t k = 1; k < learned->size(); ++k)
+    if (level_of(var_of((*learned)[k])) > bl) {
+      bl = level_of(var_of((*learned)[k]));
+      best = k;
+    }
+  if (learned->size() > 1) std::swap((*learned)[1], (*learned)[best]);
+  *out_level = learned->size() == 1 ? 0 : bl;
+}
+
+void Solver::backtrack_to(int level) {
+  if (decision_level() <= level) return;
+  const std::size_t bound =
+      static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(level)]);
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const Var v = var_of(trail_[i]);
+    assign_[static_cast<std::size_t>(v)] = -1;
+    reason_[static_cast<std::size_t>(v)] = -1;
+    if (heap_pos_[static_cast<std::size_t>(v)] < 0) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = trail_.size();
+}
+
+void Solver::bump(Var v) {
+  activity_[static_cast<std::size_t>(v)] += var_inc_;
+  if (activity_[static_cast<std::size_t>(v)] > kActivityRescale) {
+    for (double& a : activity_) a *= 1.0 / kActivityRescale;
+    var_inc_ *= 1.0 / kActivityRescale;
+  }
+  if (heap_pos_[static_cast<std::size_t>(v)] >= 0)
+    heap_sift_up(heap_pos_[static_cast<std::size_t>(v)]);
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (assign_[static_cast<std::size_t>(v)] < 0)
+      return mk_lit(v, !polarity_[static_cast<std::size_t>(v)]);
+  }
+  return -1;
+}
+
+SolveStatus Solver::solve(long long conflict_budget) {
+  if (!ok_) return SolveStatus::kUnsat;
+  if (propagate() >= 0) {
+    ok_ = false;
+    return SolveStatus::kUnsat;
+  }
+  long long conflicts_here = 0;
+  long long restart_limit = kRestartUnit * luby(stats_.restarts);
+  long long conflicts_since_restart = 0;
+  std::vector<Lit> learned;
+  for (;;) {
+    const int confl = propagate();
+    if (confl >= 0) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      ++conflicts_since_restart;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return SolveStatus::kUnsat;
+      }
+      int bl = 0;
+      analyze(confl, &learned, &bl);
+      backtrack_to(bl);
+      if (learned.size() == 1) {
+        enqueue(learned[0], -1);
+      } else {
+        clauses_.push_back(Clause{learned});
+        ++stats_.learned;
+        attach(static_cast<std::uint32_t>(clauses_.size() - 1));
+        enqueue(learned[0], static_cast<int>(clauses_.size() - 1));
+      }
+      decay();
+      if (conflict_budget > 0 && conflicts_here >= conflict_budget) {
+        backtrack_to(0);
+        return SolveStatus::kUnknown;
+      }
+      if (conflicts_since_restart >= restart_limit) {
+        ++stats_.restarts;
+        conflicts_since_restart = 0;
+        restart_limit = kRestartUnit * luby(stats_.restarts);
+        backtrack_to(0);
+      }
+      continue;
+    }
+    const Lit next = pick_branch();
+    if (next == -1) return SolveStatus::kSat;
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(next, -1);
+  }
+}
+
+// --- Indexed binary max-heap (activity, ties to the smaller var) ---------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void Solver::heap_sift_up(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const double a = activity_[static_cast<std::size_t>(v)];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    const Var pv = heap_[static_cast<std::size_t>(parent)];
+    const double pa = activity_[static_cast<std::size_t>(pv)];
+    if (pa > a || (pa == a && pv < v)) break;
+    heap_[static_cast<std::size_t>(i)] = pv;
+    heap_pos_[static_cast<std::size_t>(pv)] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+void Solver::heap_sift_down(int i) {
+  const int n = static_cast<int>(heap_.size());
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const double a = activity_[static_cast<std::size_t>(v)];
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n) {
+      const Var l = heap_[static_cast<std::size_t>(child)];
+      const Var r = heap_[static_cast<std::size_t>(child + 1)];
+      const double la = activity_[static_cast<std::size_t>(l)];
+      const double ra = activity_[static_cast<std::size_t>(r)];
+      if (ra > la || (ra == la && r < l)) ++child;
+    }
+    const Var cv = heap_[static_cast<std::size_t>(child)];
+    const double ca = activity_[static_cast<std::size_t>(cv)];
+    if (a > ca || (a == ca && v < cv)) break;
+    heap_[static_cast<std::size_t>(i)] = cv;
+    heap_pos_[static_cast<std::size_t>(cv)] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = i;
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  const Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    heap_pos_[static_cast<std::size_t>(last)] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+}  // namespace obd::atpg::sat

@@ -64,6 +64,7 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
   r.time.collapse_s = seconds_since(t0);
   if (reps.empty()) {
     r.coverage = 1.0;
+    r.provable_coverage = 1.0;
     r.time.total_s = seconds_since(t_total);
     return;
   }
@@ -97,6 +98,12 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
   detail::fill_sim_stats(sched, r);
   r.coverage =
       static_cast<double>(r.detected) / static_cast<double>(reps.size());
+  const std::size_t provable =
+      reps.size() - static_cast<std::size_t>(r.untestable);
+  r.provable_coverage =
+      provable == 0 ? 1.0
+                    : static_cast<double>(r.detected) /
+                          static_cast<double>(provable);
   r.time.total_s = seconds_since(t_total);
 }
 
@@ -111,6 +118,7 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
   r.faults_collapsed = ctx.n_reps;
   if (ctx.n_reps == 0) {
     r.coverage = 1.0;
+    r.provable_coverage = 1.0;
     r.time.total_s = seconds_since(t_total);
     return;
   }
@@ -134,9 +142,18 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
     r.time.random_s = seconds_since(t0);
   }
 
-  // Deterministic top-off over the surviving representatives.
+  // Deterministic top-off over the surviving representatives. Backtrack
+  // aborts optionally escalate inline to the SAT backend — the cube (or
+  // proof) lands at the same position a PODEM test would have, so
+  // escalation preserves the cross-thread/shard determinism contract.
   {
     const auto t0 = Clock::now();
+    const auto record_abort = [&](std::uint32_t i, bool timed) {
+      ++r.aborted;
+      if (timed) ++r.aborted_time;
+      else ++r.aborted_backtracks;
+      if (ctx.rep_name) r.aborted_faults.push_back(ctx.rep_name(i));
+    };
     for (std::uint32_t i = 0; i < ctx.n_reps; ++i) {
       if (skip[i]) continue;
       const TwoFrameResult res = ctx.generate(i);
@@ -146,11 +163,27 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
           ++r.tests_deterministic;
           break;
         case PodemStatus::kUntestable: ++r.untestable; break;
-        case PodemStatus::kAborted:
-          ++r.aborted;
-          if (res.reason == AbortReason::kTime) ++r.aborted_time;
-          else ++r.aborted_backtracks;
+        case PodemStatus::kAborted: {
+          const bool timed = res.reason == AbortReason::kTime;
+          if (timed || !opt.sat_escalate || !ctx.escalate) {
+            record_abort(i, timed);
+            break;
+          }
+          const sat::SatAtpgResult sr = ctx.escalate(i);
+          r.sat_conflicts += sr.conflicts;
+          switch (sr.verdict) {
+            case sat::SatVerdict::kCube:
+              tests.push_back(sr.cube.concrete());
+              ++r.sat_detected;
+              break;
+            case sat::SatVerdict::kUntestable: ++r.sat_untestable; break;
+            case sat::SatVerdict::kUnknown:
+              ++r.sat_unknown;
+              record_abort(i, false);
+              break;
+          }
           break;
+        }
       }
     }
     r.time.atpg_s = seconds_since(t0);
@@ -163,6 +196,12 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
   detail::fill_sim_stats(sched, r);
   r.coverage = static_cast<double>(r.detected) /
                static_cast<double>(ctx.n_reps);
+  const std::size_t provable =
+      ctx.n_reps - static_cast<std::size_t>(r.untestable + r.sat_untestable);
+  r.provable_coverage =
+      provable == 0 ? 1.0
+                    : static_cast<double>(r.detected) /
+                          static_cast<double>(provable);
   r.time.total_s = seconds_since(t_total);
 }
 
@@ -274,6 +313,9 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
   ctx.popt.time_budget_s = opt.podem_time_budget_s;
   ctx.popt.sim = opt.sim;
 
+  sat::SatAtpgOptions satopt;
+  satopt.conflict_budget = opt.sat_conflict_budget;
+
   if (opt.model == FaultModel::kStuck) {
     auto data = std::make_shared<ModelData<StuckFault>>();
     data->view = ctx.view;
@@ -308,6 +350,12 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
                                      const RepSubset& subset) {
       return s.matrix_stuck(patterns_of(ts), select_reps(data->reps, subset));
     };
+    ctx.escalate = [data, satopt](std::uint32_t i) {
+      return sat::sat_generate_stuck_test(data->view, data->reps[i], satopt);
+    };
+    ctx.rep_name = [data](std::uint32_t i) {
+      return fault_name(data->view, data->reps[i]);
+    };
   } else if (opt.model == FaultModel::kTransition) {
     auto data = std::make_shared<ModelData<TransitionFault>>();
     data->view = ctx.view;
@@ -327,6 +375,13 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
                         const std::vector<TwoVectorTest>& ts,
                         const RepSubset& subset) {
       return s.matrix_transition(ts, select_reps(data->reps, subset));
+    };
+    ctx.escalate = [data, satopt](std::uint32_t i) {
+      return sat::sat_generate_transition_test(data->view, data->reps[i],
+                                               satopt);
+    };
+    ctx.rep_name = [data](std::uint32_t i) {
+      return fault_name(data->view, data->reps[i]);
     };
   } else {
     auto data = std::make_shared<ModelData<ObdFaultSite>>();
@@ -350,6 +405,12 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
                         const std::vector<TwoVectorTest>& ts,
                         const RepSubset& subset) {
       return s.matrix_obd(ts, select_reps(data->reps, subset));
+    };
+    ctx.escalate = [data, satopt](std::uint32_t i) {
+      return sat::sat_generate_obd_test(data->view, data->reps[i], satopt);
+    };
+    ctx.rep_name = [data](std::uint32_t i) {
+      return fault_name(data->view, data->reps[i]);
     };
     ctx.ndetect = [data](const CampaignOptions& o, CampaignReport& r) {
       if (data->reps.empty()) return;
@@ -417,6 +478,13 @@ CampaignReport run_campaign(const logic::SequentialCircuit& seq,
       // would violate the LOC state coupling — reject rather than silently
       // dropping the option.
       r.error = "--ndetect is not supported with --scan-style " + style;
+      return r;
+    }
+    if (opt.sat_escalate) {
+      // The SAT backend encodes unconstrained two-frame instances; it does
+      // not model the LOC state coupling. Reject rather than emit cubes the
+      // scan machinery cannot apply.
+      r.error = "--sat-escalate is not supported with --scan-style " + style;
       return r;
     }
     drive_loc_scan(seq, opt, r);
@@ -501,7 +569,20 @@ std::string report_json(const CampaignReport& r) {
        ", \"aborted\": " + std::to_string(r.aborted) +
        ", \"aborted_backtracks\": " + std::to_string(r.aborted_backtracks) +
        ", \"aborted_time\": " + std::to_string(r.aborted_time) +
-       ", \"coverage\": " + json_num(r.coverage) + "},\n";
+       ", \"coverage\": " + json_num(r.coverage) +
+       ",\n             \"sat_detected\": " + std::to_string(r.sat_detected) +
+       ", \"sat_untestable\": " + std::to_string(r.sat_untestable) +
+       ", \"sat_unknown\": " + std::to_string(r.sat_unknown) +
+       ", \"sat_conflicts\": " + std::to_string(r.sat_conflicts) +
+       ", \"proven_untestable\": " +
+       std::to_string(r.untestable + r.sat_untestable) +
+       ", \"provable_coverage\": " + json_num(r.provable_coverage) + "},\n";
+  j += "  \"aborted_faults\": [";
+  for (std::size_t i = 0; i < r.aborted_faults.size(); ++i) {
+    if (i > 0) j += ", ";
+    j += json_str(r.aborted_faults[i]);
+  }
+  j += "],\n";
   j += "  \"tests\": {\"random\": " + std::to_string(r.tests_random) +
        ", \"deterministic\": " + std::to_string(r.tests_deterministic) +
        ", \"final\": " + std::to_string(r.tests_final) +
@@ -571,8 +652,18 @@ void print_report(const CampaignReport& r) {
                       ? "  (backtracks " + std::to_string(r.aborted_backtracks) +
                             ", time " + std::to_string(r.aborted_time) + ")"
                       : "")});
+  if (r.sat_detected + r.sat_untestable + r.sat_unknown > 0)
+    t.add_row({"SAT cubes / proofs / unknown",
+               std::to_string(r.sat_detected) + " / " +
+                   std::to_string(r.sat_untestable) + " / " +
+                   std::to_string(r.sat_unknown) + "  (" +
+                   std::to_string(r.sat_conflicts) + " conflicts)"});
   t.add_row({"coverage (collapsed)",
              util::format_g(100.0 * r.coverage, 4) + "%"});
+  t.add_row({"provable coverage",
+             util::format_g(100.0 * r.provable_coverage, 4) + "%  (" +
+                 std::to_string(r.untestable + r.sat_untestable) +
+                 " proven untestable)"});
   t.add_row({"tests random / determ / final",
              std::to_string(r.tests_random) + " / " +
                  std::to_string(r.tests_deterministic) + " / " +

@@ -56,6 +56,15 @@ struct CampaignOptions {
   /// the cross-run determinism guarantee — time-budget aborts are recorded
   /// separately (FaultStatus::kAbortedTime) and re-attempted on resume.
   double podem_time_budget_s = 0.0;
+  /// Escalate deterministic backtrack-limit aborts to the SAT backend
+  /// (atpg/sat): each abort becomes a validated test cube, a proven-
+  /// untestable verdict, or — only if the conflict budget runs out — stays
+  /// aborted. Escalation is inline and deterministic, so the matrix-hash
+  /// contract across threads/lanes/shards is preserved. Time-budget aborts
+  /// are NOT escalated (they are re-attempted on resume instead).
+  bool sat_escalate = false;
+  /// CDCL conflict budget per SAT solver call; <= 0 = unlimited.
+  long long sat_conflict_budget = 100000;
   /// Greedy set-cover compaction of the final test set.
   bool compact = true;
   /// Grow an n-detect set on top (OBD model only); 0 = off.
@@ -97,6 +106,25 @@ struct CampaignReport {
   int aborted_time = 0;
   /// Detected / collapsed representatives (1.0 when the list is empty).
   double coverage = 0.0;
+
+  /// SAT escalation tail (all zero unless CampaignOptions::sat_escalate).
+  /// `untestable` above stays PODEM-proven; sat_untestable counts aborts the
+  /// SAT backend *proved* untestable; sat_detected counts aborts it resolved
+  /// into validated cubes (also included in `detected` via the matrix);
+  /// sat_unknown counts aborts that exhausted the conflict budget (still in
+  /// `aborted` / `aborted_backtracks`).
+  int sat_detected = 0;
+  int sat_untestable = 0;
+  int sat_unknown = 0;
+  /// CDCL conflicts summed over every escalation solver call.
+  long long sat_conflicts = 0;
+  /// Detected / (collapsed - proven untestable), where proven untestable =
+  /// untestable + sat_untestable: the coverage of the *provably coverable*
+  /// fault space (1.0 when the denominator is empty).
+  double provable_coverage = 0.0;
+  /// Fault-site names of representatives still aborted after any
+  /// escalation (deterministic order: ascending representative index).
+  std::vector<std::string> aborted_faults;
 
   /// Prepass tests that first-detected some fault (the ones kept).
   int tests_random = 0;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "atpg/atpg.hpp"
+#include "atpg/sat/sat_atpg.hpp"
 #include "flow/campaign.hpp"
 #include "logic/sequential.hpp"
 
@@ -51,6 +52,12 @@ struct CampaignContext {
       prepass;
   /// Deterministic search for one representative (global index).
   std::function<atpg::TwoFrameResult(std::uint32_t rep_index)> generate;
+  /// SAT escalation for one representative (global index): definitive
+  /// cube/untestable verdict for a PODEM backtrack-abort, budget
+  /// permitting. Configured from CampaignOptions::sat_conflict_budget.
+  std::function<atpg::sat::SatAtpgResult(std::uint32_t rep_index)> escalate;
+  /// Fault-site name of one representative (for abort reporting).
+  std::function<std::string(std::uint32_t rep_index)> rep_name;
   /// Detection matrix of `tests` against the subset's representatives.
   std::function<atpg::DetectionMatrix(
       atpg::FaultSimScheduler&, const std::vector<atpg::TwoVectorTest>&,

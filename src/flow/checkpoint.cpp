@@ -182,6 +182,9 @@ const char* to_string(FaultStatus s) {
     case FaultStatus::kUntestable: return "untestable";
     case FaultStatus::kAbortedBacktracks: return "aborted-backtracks";
     case FaultStatus::kAbortedTime: return "aborted-time";
+    case FaultStatus::kSatCube: return "sat-cube";
+    case FaultStatus::kSatUntestable: return "sat-untestable";
+    case FaultStatus::kSatUnknown: return "sat-unknown";
   }
   return "?";
 }
@@ -221,6 +224,7 @@ std::string encode_checkpoint(const ShardState& s) {
   payload.push_back(static_cast<char>(s.phase));
   for (std::uint64_t w : s.prng_state) put_u64(payload, w);
   put_u64(payload, static_cast<std::uint64_t>(s.fault_block_evals));
+  put_u64(payload, static_cast<std::uint64_t>(s.sat_conflicts));
 
   put_u32(payload, static_cast<std::uint32_t>(s.useful_pool.size()));
   for (std::uint32_t t : s.useful_pool) put_u32(payload, t);
@@ -330,6 +334,12 @@ bool decode_checkpoint(std::string_view bytes, ShardState* out,
     return false;
   }
   s.fault_block_evals = static_cast<long long>(evals);
+  std::uint64_t sat_conflicts = 0;
+  if (!r.u64(&sat_conflicts)) {
+    *err = "checkpoint payload truncated in sat-conflicts field";
+    return false;
+  }
+  s.sat_conflicts = static_cast<long long>(sat_conflicts);
   if (phase < static_cast<std::uint8_t>(ShardPhase::kPrepassDone) ||
       phase > static_cast<std::uint8_t>(ShardPhase::kDone)) {
     *err = "invalid shard phase " + std::to_string(phase);
@@ -372,7 +382,7 @@ bool decode_checkpoint(std::string_view bytes, ShardState* out,
   for (std::uint32_t i = 0; i < n_status; ++i) {
     std::uint8_t b = 0;
     r.u8(&b);
-    if (b > static_cast<std::uint8_t>(FaultStatus::kAbortedTime)) {
+    if (b > static_cast<std::uint8_t>(FaultStatus::kSatUnknown)) {
       *err = "invalid fault status byte " + std::to_string(b);
       return false;
     }
@@ -396,8 +406,10 @@ bool decode_checkpoint(std::string_view bytes, ShardState* out,
       *err = "deterministic tests not strictly increasing in local index";
       return false;
     }
-    if (s.status[t.local_index] != FaultStatus::kTestFound) {
-      *err = "deterministic test for fault whose status is not test-found";
+    if (s.status[t.local_index] != FaultStatus::kTestFound &&
+        s.status[t.local_index] != FaultStatus::kSatCube) {
+      *err = "deterministic test for fault whose status is not test-found "
+             "or sat-cube";
       return false;
     }
   }

@@ -10,7 +10,8 @@
 // (the fault-sim layer's determinism contract makes "resume == rerun" a
 // checkable property via matrix_hash).
 //
-// On-disk format (version 1, little-endian):
+// On-disk format (version 2, little-endian; version 2 added the SAT
+// escalation statuses and the sat_conflicts counter):
 //
 //   magic   "OBDCKPT\n"          8 bytes
 //   version u32                  kCheckpointVersion
@@ -45,16 +46,20 @@
 
 namespace obd::flow {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Per-fault progress of a shard, in assigned-partition (local) order.
 enum class FaultStatus : std::uint8_t {
   kPending = 0,          ///< not yet attempted
   kRandomDetected = 1,   ///< caught by the random prepass
   kTestFound = 2,        ///< PODEM produced a test (stored in det_tests)
-  kUntestable = 3,       ///< proven untestable
+  kUntestable = 3,       ///< PODEM proved untestable
   kAbortedBacktracks = 4,///< deterministic abort: backtrack limit
   kAbortedTime = 5,      ///< time-budget abort: re-attempted on resume
+  kSatCube = 6,          ///< SAT escalation cube (stored in det_tests)
+  kSatUntestable = 7,    ///< SAT escalation proved untestable
+  kSatUnknown = 8,       ///< SAT conflict budget exhausted; re-escalated on
+                         ///< resume when escalation is enabled
 };
 
 const char* to_string(FaultStatus s);
@@ -85,6 +90,9 @@ struct ShardState {
   /// the options fingerprint (the pool itself is regenerated, not stored).
   std::array<std::uint64_t, 4> prng_state{};
   long long fault_block_evals = 0;
+  /// CDCL conflicts spent by SAT escalation in this shard (merged into
+  /// CampaignReport::sat_conflicts).
+  long long sat_conflicts = 0;
   /// Prepass pool indices that first-detected some assigned fault
   /// (strictly increasing).
   std::vector<std::uint32_t> useful_pool;
@@ -111,8 +119,10 @@ std::string checkpoint_path(const std::string& dir, int shard_index);
 /// Fingerprint of every option that changes shard *results* (model, scan
 /// style, seed, prepass size, backtrack and time budgets, shard count,
 /// circuit name). Deliberately excludes threads/packing/lanes/cone-cache
-/// (bit-identical by the scheduler's contract) and merge-time options
-/// (compact, ndetect): a checkpoint taken at 1 thread resumes at 8.
+/// (bit-identical by the scheduler's contract), merge-time options
+/// (compact, ndetect), and the SAT escalation options: a checkpoint taken
+/// at 1 thread resumes at 8, and a PODEM-only checkpoint resumes with
+/// --sat-escalate as a pure top-off over its recorded aborts.
 std::uint64_t options_fingerprint(const CampaignOptions& opt,
                                   const std::string& circuit,
                                   std::uint32_t shard_count);

@@ -116,12 +116,20 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
       return fail(ShardRunStatus::kError, path + ": " + err);
   } else {
     // Re-attempt time-budget aborts: they are load-dependent, not proofs.
+    // With SAT escalation enabled, backtrack aborts (and stale sat-unknown
+    // verdicts) also reopen — straight to the SAT backend, no PODEM redo —
+    // so a PODEM-only checkpoint resumes into a provable-coverage run.
     bool reopened = false;
-    for (FaultStatus& st : s.status)
+    for (FaultStatus& st : s.status) {
       if (st == FaultStatus::kAbortedTime) {
         st = FaultStatus::kPending;
         reopened = true;
+      } else if (opt.sat_escalate && (st == FaultStatus::kAbortedBacktracks ||
+                                      st == FaultStatus::kSatUnknown)) {
+        st = FaultStatus::kSatUnknown;  // marker: SAT-only re-attempt below
+        reopened = true;
       }
+    }
     if (!reopened && s.phase == ShardPhase::kDone && s.has_matrix) {
       ShardRunResult done;
       done.status = ShardRunStatus::kDone;
@@ -146,21 +154,49 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
       out.state = std::move(s);
       return out;
     }
-    if (s.status[j] != FaultStatus::kPending) continue;
-    const TwoFrameResult res = ctx.generate(global_of(j));
-    switch (res.status) {
-      case PodemStatus::kFound:
-        s.status[j] = FaultStatus::kTestFound;
-        insert_det_test(s.det_tests, j, res.test);
-        break;
-      case PodemStatus::kUntestable:
-        s.status[j] = FaultStatus::kUntestable;
-        break;
-      case PodemStatus::kAborted:
-        s.status[j] = res.reason == AbortReason::kTime
-                          ? FaultStatus::kAbortedTime
-                          : FaultStatus::kAbortedBacktracks;
-        break;
+    const bool sat_retry = opt.sat_escalate && ctx.escalate &&
+                           s.status[j] == FaultStatus::kSatUnknown;
+    if (s.status[j] != FaultStatus::kPending && !sat_retry) continue;
+    const auto escalate = [&](std::uint32_t local) {
+      const sat::SatAtpgResult sr = ctx.escalate(global_of(local));
+      s.sat_conflicts += sr.conflicts;
+      switch (sr.verdict) {
+        case sat::SatVerdict::kCube:
+          s.status[local] = FaultStatus::kSatCube;
+          insert_det_test(s.det_tests, local, sr.cube.concrete());
+          break;
+        case sat::SatVerdict::kUntestable:
+          s.status[local] = FaultStatus::kSatUntestable;
+          break;
+        case sat::SatVerdict::kUnknown:
+          s.status[local] = FaultStatus::kSatUnknown;
+          break;
+      }
+    };
+    if (sat_retry) {
+      // Reopened backtrack-abort: PODEM's verdict is deterministic and
+      // final, so go straight to the SAT backend.
+      escalate(j);
+    } else {
+      const TwoFrameResult res = ctx.generate(global_of(j));
+      switch (res.status) {
+        case PodemStatus::kFound:
+          s.status[j] = FaultStatus::kTestFound;
+          insert_det_test(s.det_tests, j, res.test);
+          break;
+        case PodemStatus::kUntestable:
+          s.status[j] = FaultStatus::kUntestable;
+          break;
+        case PodemStatus::kAborted:
+          if (res.reason == AbortReason::kTime) {
+            s.status[j] = FaultStatus::kAbortedTime;
+          } else if (opt.sat_escalate && ctx.escalate) {
+            escalate(j);
+          } else {
+            s.status[j] = FaultStatus::kAbortedBacktracks;
+          }
+          break;
+      }
     }
     if (++since_flush >= std::max(1, sopt.checkpoint_every)) {
       if (!flush(ShardPhase::kPodemPartial))

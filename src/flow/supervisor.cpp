@@ -59,6 +59,7 @@ void merge_states(const detail::CampaignContext& ctx,
   r.time.collapse_s = ctx.collapse_s;
   if (ctx.n_reps == 0) {
     r.coverage = 1.0;
+    r.provable_coverage = 1.0;
     r.time.total_s = seconds_since(t_total) + ctx.collapse_s;
     return;
   }
@@ -94,23 +95,44 @@ void merge_states(const detail::CampaignContext& ctx,
   r.tests_random = static_cast<int>(useful.size());
   r.tests_deterministic = static_cast<int>(det.size());
 
+  std::vector<std::uint64_t> aborted_globals;
   for (const ShardState* s : states) {
     r.fault_block_evals += s->fault_block_evals;
-    for (const FaultStatus st : s->status) {
-      switch (st) {
+    r.sat_conflicts += s->sat_conflicts;
+    for (std::size_t j = 0; j < s->status.size(); ++j) {
+      const auto record_abort = [&] {
+        ++r.aborted;
+        aborted_globals.push_back(s->shard_index + j * shard_count);
+      };
+      switch (s->status[j]) {
         case FaultStatus::kUntestable: ++r.untestable; break;
         case FaultStatus::kAbortedBacktracks:
-          ++r.aborted;
+          record_abort();
           ++r.aborted_backtracks;
           break;
         case FaultStatus::kAbortedTime:
-          ++r.aborted;
+          record_abort();
           ++r.aborted_time;
+          break;
+        case FaultStatus::kSatCube: ++r.sat_detected; break;
+        case FaultStatus::kSatUntestable: ++r.sat_untestable; break;
+        case FaultStatus::kSatUnknown:
+          // Budget-exhausted escalation: still an unresolved backtrack
+          // abort from the campaign's point of view.
+          ++r.sat_unknown;
+          record_abort();
+          ++r.aborted_backtracks;
           break;
         default: break;
       }
     }
   }
+  // Shards visit faults in shard-major order; canonicalize to the
+  // ascending-representative order the one-shot path emits.
+  std::sort(aborted_globals.begin(), aborted_globals.end());
+  if (ctx.rep_name)
+    for (const std::uint64_t g : aborted_globals)
+      r.aborted_faults.push_back(ctx.rep_name(static_cast<std::uint32_t>(g)));
 
   FaultSimScheduler sched(ctx.view, opt.sim);
   detail::matrix_and_compact(opt, tests.size(),
@@ -118,6 +140,12 @@ void merge_states(const detail::CampaignContext& ctx,
   detail::fill_sim_stats(sched, r);
   r.coverage = static_cast<double>(r.detected) /
                static_cast<double>(ctx.n_reps);
+  const std::size_t provable =
+      ctx.n_reps - static_cast<std::size_t>(r.untestable + r.sat_untestable);
+  r.provable_coverage =
+      provable == 0 ? 1.0
+                    : static_cast<double>(r.detected) /
+                          static_cast<double>(provable);
   r.time.total_s = seconds_since(t_total) + ctx.collapse_s;
 }
 
@@ -152,6 +180,11 @@ pid_t spawn_shard(const SupervisorOptions& sup, const CampaignOptions& opt,
     std::snprintf(buf, sizeof buf, "%.17g", opt.podem_time_budget_s);
     args.push_back("--podem-time");
     args.push_back(buf);
+  }
+  if (opt.sat_escalate) {
+    args.push_back("--sat-escalate");
+    args.push_back("--sat-conflict-budget");
+    args.push_back(std::to_string(opt.sat_conflict_budget));
   }
 
   const pid_t pid = fork();

@@ -33,6 +33,7 @@ ShardState sample_state() {
   s.phase = ShardPhase::kDone;
   s.prng_state = util::Prng(0x0bd5eedull).state();
   s.fault_block_evals = 123456789;
+  s.sat_conflicts = 424242;
   s.useful_pool = {3, 11, 12, 29, 39};
 
   const std::size_t assigned = ShardState::assigned_count(100, 1, 3);
@@ -43,6 +44,9 @@ ShardState sample_state() {
   s.status[20] = FaultStatus::kTestFound;
   s.status[21] = FaultStatus::kAbortedBacktracks;
   s.status[22] = FaultStatus::kAbortedTime;
+  s.status[24] = FaultStatus::kSatCube;
+  s.status[25] = FaultStatus::kSatUntestable;
+  s.status[26] = FaultStatus::kSatUnknown;
 
   ShardDetTest t1;
   t1.local_index = 5;
@@ -53,11 +57,15 @@ ShardState sample_state() {
   t2.test.v1.set_word(0, 1);
   t2.test.v1.set_word(2, 0x55aaull);  // a wide (multi-word) vector
   t2.test.v2 = logic::InputVec{7};
-  s.det_tests = {t1, t2};
+  ShardDetTest t3;  // SAT escalation cube, same det_tests stream
+  t3.local_index = 24;
+  t3.test.v1 = logic::InputVec{0xc0ffeeull};
+  t3.test.v2 = logic::InputVec{0xc0ffeeull};
+  s.det_tests = {t1, t2, t3};
 
   s.has_matrix = true;
   auto& m = s.local_matrix;
-  m.n_tests = 7;  // 5 useful prepass tests + 2 deterministic
+  m.n_tests = 8;  // 5 useful prepass tests + 2 PODEM + 1 SAT cube
   m.n_faults = assigned;
   m.words_per_row = (assigned + 63) / 64;
   m.rows.assign(m.n_tests * m.words_per_row, 0);
@@ -85,6 +93,7 @@ void expect_states_equal(const ShardState& a, const ShardState& b) {
   EXPECT_EQ(a.phase, b.phase);
   EXPECT_EQ(a.prng_state, b.prng_state);
   EXPECT_EQ(a.fault_block_evals, b.fault_block_evals);
+  EXPECT_EQ(a.sat_conflicts, b.sat_conflicts);
   EXPECT_EQ(a.useful_pool, b.useful_pool);
   EXPECT_EQ(a.status, b.status);
   ASSERT_EQ(a.det_tests.size(), b.det_tests.size());
@@ -165,7 +174,8 @@ TEST(Checkpoint, FutureVersionRejectedEvenWithValidCrc) {
   // A version bump alone (CRC recomputed to match) must still be refused:
   // the version gate fires before any payload interpretation.
   std::string bytes = encode_checkpoint(sample_state());
-  bytes[8] = 2;  // version u32 (little-endian) follows the 8-byte magic
+  // Version u32 (little-endian) follows the 8-byte magic.
+  bytes[8] = static_cast<char>(kCheckpointVersion + 1);
   const std::uint32_t crc = util::crc32c(bytes.data(), bytes.size() - 4);
   for (int i = 0; i < 4; ++i)
     bytes[bytes.size() - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
@@ -220,6 +230,16 @@ TEST(Checkpoint, SemanticValidationRejectsInconsistentStates) {
     ShardState s = sample_state();
     s.det_tests[0].local_index = 6;  // status[6] is kRandomDetected
     rejects(s, "det test for a non-test-found fault");
+  }
+  {
+    ShardState s = sample_state();
+    s.det_tests[2].local_index = 25;  // status[25] is kSatUntestable
+    rejects(s, "det test for a sat-untestable fault");
+  }
+  {
+    ShardState s = sample_state();
+    s.status[0] = static_cast<FaultStatus>(9);  // past kSatUnknown
+    rejects(s, "status byte out of range");
   }
   {
     ShardState s = sample_state();
@@ -298,6 +318,14 @@ TEST(Checkpoint, FingerprintSeparatesResultChangingOptions) {
   o5.sim.threads = 8;
   o5.compact = false;
   EXPECT_EQ(options_fingerprint(o5, "c432", 4), base);
+
+  // SAT escalation options are also excluded by design: a PODEM-only
+  // checkpoint must resume with --sat-escalate as a pure top-off over its
+  // recorded backtrack aborts.
+  CampaignOptions o6 = opt;
+  o6.sat_escalate = true;
+  o6.sat_conflict_budget = 7;
+  EXPECT_EQ(options_fingerprint(o6, "c432", 4), base);
 }
 
 TEST(Checkpoint, MatchesRejectsEveryIdentityMismatch) {

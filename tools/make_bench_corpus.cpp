@@ -75,6 +75,50 @@ NetId mux(Circuit& c, const std::string& out, NetId sel, NetId nsel, NetId a,
   return g(c, GateType::kOr2, out, {ta, tb});
 }
 
+/// Redundant carry checker over the low `n` adder bits: recomputes the
+/// ripple carry-out of a[0..n-1] + b[0..n-1] with fresh generate/propagate
+/// terms folded by a pairwise prefix tree — the same carry function as the
+/// ripple chain, built from a structurally different circuit. The
+/// comparison XOR ("<p>D") is therefore constant 0, like the self-checking
+/// duplication rails real controllers carry, and every fault that needs it
+/// at 1 is redundant: untestable in principle, but provable only by
+/// exhausting the 2n-input support. This is the corpus's deliberate hard
+/// tail — PODEM aborts on it under a tight backtrack budget, and the SAT
+/// backend turns those aborts into untestability proofs.
+NetId redundant_carry_check(Circuit& c, const std::string& p,
+                            const std::vector<NetId>& a,
+                            const std::vector<NetId>& b, int n,
+                            NetId ripple_carry, NetId obs) {
+  std::vector<NetId> G, P;
+  for (int i = 0; i < n; ++i) {
+    G.push_back(g(c, GateType::kAnd2, nn(p + "G", i),
+                  {a[static_cast<std::size_t>(i)],
+                   b[static_cast<std::size_t>(i)]}));
+    P.push_back(g(c, GateType::kXor2, nn(p + "P", i),
+                  {a[static_cast<std::size_t>(i)],
+                   b[static_cast<std::size_t>(i)]}));
+  }
+  int t = 0;
+  while (G.size() > 1) {
+    std::vector<NetId> G2, P2;
+    for (std::size_t i = 0; i + 1 < G.size(); i += 2, ++t) {
+      const NetId thru =
+          g(c, GateType::kAnd2, nn(p + "T", t), {P[i + 1], G[i]});
+      G2.push_back(g(c, GateType::kOr2, nn(p + "U", t), {G[i + 1], thru}));
+      if (!(G.size() == 2 && G2.size() == 1))  // final segment P is unused
+        P2.push_back(g(c, GateType::kAnd2, nn(p + "V", t), {P[i + 1], P[i]}));
+    }
+    if (G.size() % 2) {
+      G2.push_back(G.back());
+      P2.push_back(P.back());
+    }
+    G = std::move(G2);
+    P = std::move(P2);
+  }
+  const NetId d = g(c, GateType::kXor2, p + "D", {ripple_carry, G[0]});
+  return g(c, GateType::kOr2, p + "O", {d, obs});
+}
+
 /// c432 stand-in: 36 PI, 7 PO, adder + priority-chain + parity compress
 /// (the real c432 is a 27-channel interrupt priority controller).
 Circuit make_c432() {
@@ -351,6 +395,12 @@ Circuit make_c2670() {
   for (int i = 1; i < 8; ++i)
     orb = g(c, GateType::kOr2, nn("OB", i), {orb, B[static_cast<std::size_t>(i)]});
   c.mark_output(orb);
+
+  // RDO: redundant duplicate of the adder's low carry (bits 0..4) — the
+  // checked d-rail is constant 0, giving the circuit a provably-redundant
+  // fault tail in the spirit of the real c2670's untestable faults.
+  c.mark_output(
+      redundant_carry_check(c, "RD", A, B, 5, c.find_net("ADDC4"), en));
   return c;
 }
 
@@ -405,6 +455,12 @@ Circuit make_c7552() {
     kp1 = g(c, GateType::kXor2, nn("KQ", i), {kp1, K[static_cast<std::size_t>(i)]});
   c.mark_output(kp0);
   c.mark_output(kp1);
+
+  // RDO: redundant duplicate of the first adder's low carry — the same
+  // constant-0 checker rail as the c2670 stand-in, so the deepest corpus
+  // entry also carries a provably-redundant fault tail.
+  c.mark_output(
+      redundant_carry_check(c, "RD", A, B, 5, c.find_net("TC4"), K[0]));
   return c;
 }
 

@@ -24,6 +24,14 @@
 //                                  seconds (default 0 = off; nonzero
 //                                  forfeits cross-run determinism — time
 //                                  aborts are re-attempted on --resume)
+//   --sat-escalate                 escalate PODEM backtrack-limit aborts
+//                                  to the embedded SAT backend: each abort
+//                                  becomes a validated test cube or a
+//                                  proven-untestable verdict (provable
+//                                  coverage); deterministic, so the
+//                                  matrix_hash contract is preserved
+//   --sat-conflict-budget N        CDCL conflicts per SAT solver call
+//                                  (default 100000; 0 = unlimited)
 //   --ndetect N                    grow an n-detect set (obd model only)
 //   --no-compact                   skip greedy set-cover compaction
 //   --report FILE.json             write the JSON report (atomically:
@@ -89,7 +97,8 @@ int usage(const char* argv0) {
                "       [--threads N] [--packing auto|pattern|fault] "
                "[--lanes 64|128|256|512]\n"
                "       [--cone-cache BYTES] [--random N] [--seed S] "
-               "[--backtracks N] [--podem-time S] [--ndetect N]\n"
+               "[--backtracks N] [--podem-time S] [--sat-escalate] "
+               "[--sat-conflict-budget N] [--ndetect N]\n"
                "       [--no-compact] [--report FILE.json] "
                "[--min-coverage F] [--write-bench FILE] [--quiet]\n"
                "       [--shards N | --shard I/N] [--checkpoint-dir DIR] "
@@ -217,6 +226,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--podem-time needs a non-negative seconds value\n");
         return 1;
       }
+    } else if (a == "--sat-escalate") {
+      opt.sat_escalate = true;
+    } else if (a == "--sat-conflict-budget") {
+      if (!parse_long(value("--sat-conflict-budget"), n) || n < 0)
+        return usage(argv[0]);
+      opt.sat_conflict_budget = n;
     } else if (a == "--ndetect") {
       if (!parse_long(value("--ndetect"), n) || n < 0) return usage(argv[0]);
       opt.ndetect = static_cast<int>(n);
