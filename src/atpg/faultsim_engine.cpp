@@ -10,6 +10,7 @@
 
 #include "core/excitation.hpp"
 #include "logic/laneblock.hpp"
+#include "obs/trace.hpp"
 
 namespace obd::atpg {
 
@@ -82,6 +83,40 @@ FaultSimEngine::FaultSimEngine(const Circuit& c, EngineOptions opt)
       net_fence_[n] = std::max(net_fence_[n],
                                gate_level_[static_cast<std::size_t>(g)]);
   for (NetId po : c.outputs()) po_mask_[static_cast<std::size_t>(po)] = 1;
+
+  // Touch every engine id before caching slot pointers: slot() may grow
+  // the slab, and only the last growth's pointers are stable.
+  const EngineMetricIds& ids = EngineMetricIds::get();
+  for (obs::MetricId id :
+       {ids.cone_bytes, ids.cone_peak_bytes, ids.cone_resident,
+        ids.cone_evictions, ids.propagations, ids.frontier_events,
+        ids.frontier_gate_evals, ids.frontier_early_exits}) {
+    metrics_.slot(id);
+  }
+  cone_bytes_ = metrics_.slot(ids.cone_bytes);
+  cone_peak_bytes_ = metrics_.slot(ids.cone_peak_bytes);
+  cones_resident_ = metrics_.slot(ids.cone_resident);
+  cone_evictions_ = metrics_.slot(ids.cone_evictions);
+  propagations_ = metrics_.slot(ids.propagations);
+  frontier_events_ = metrics_.slot(ids.frontier_events);
+  frontier_gate_evals_ = metrics_.slot(ids.frontier_gate_evals);
+  frontier_early_exits_ = metrics_.slot(ids.frontier_early_exits);
+}
+
+const EngineMetricIds& EngineMetricIds::get() {
+  static const EngineMetricIds ids = [] {
+    EngineMetricIds m;
+    m.cone_bytes = obs::gauge("sim.cone_cache_bytes");
+    m.cone_peak_bytes = obs::gauge("sim.cone_peak_bytes");
+    m.cone_resident = obs::gauge("sim.cones_resident");
+    m.cone_evictions = obs::counter("sim.cone_evictions");
+    m.propagations = obs::counter("sim.propagations");
+    m.frontier_events = obs::counter("sim.frontier_events");
+    m.frontier_gate_evals = obs::counter("sim.frontier_gate_evals");
+    m.frontier_early_exits = obs::counter("sim.frontier_early_exits");
+    return m;
+  }();
+  return ids;
 }
 
 namespace {
@@ -135,22 +170,23 @@ const FaultSimEngine::Cone& FaultSimEngine::cone_of(NetId n) {
   });
   cone.gates.shrink_to_fit();
 
-  cone_bytes_ += cone_cost(cone.gates.size());
-  cone_peak_bytes_ = std::max(cone_peak_bytes_, cone_bytes_);
-  ++cones_resident_;
+  *cone_bytes_ += static_cast<long long>(cone_cost(cone.gates.size()));
+  if (*cone_bytes_ > *cone_peak_bytes_) *cone_peak_bytes_ = *cone_bytes_;
+  ++*cones_resident_;
   if (opt_.cone_cache_bytes) {
     lru_.push_front(n);
     lru_pos_[static_cast<std::size_t>(n)] = lru_.begin();
     // Evict least-recently-used cones past the cap; the cone just built is
     // at the front, so it survives even when it alone exceeds the cap.
-    while (cone_bytes_ > opt_.cone_cache_bytes && lru_.size() > 1) {
+    while (static_cast<std::size_t>(*cone_bytes_) > opt_.cone_cache_bytes &&
+           lru_.size() > 1) {
       const NetId victim = lru_.back();
       lru_.pop_back();
       auto& vslot = cones_[static_cast<std::size_t>(victim)];
-      cone_bytes_ -= cone_cost(vslot->gates.size());
+      *cone_bytes_ -= static_cast<long long>(cone_cost(vslot->gates.size()));
       vslot.reset();
-      --cones_resident_;
-      ++cone_evictions_;
+      --*cones_resident_;
+      ++*cone_evictions_;
     }
   }
   return cone;
@@ -169,8 +205,8 @@ void FaultSimEngine::propagate(const std::uint64_t* good, std::size_t n_words,
       seed |= forced_words[w] ^ good[fs * W + w];
     if (!seed) return;  // the forced value is the good value everywhere
   }
-  ++propagations_;
-  ++frontier_events_;
+  ++*propagations_;
+  ++*frontier_events_;
   const Cone& cone = cone_of(forced);
   std::uint64_t* bad = bad_.data();
   for (std::size_t w = 0; w < W; ++w) bad[fs * W + w] = forced_words[w];
@@ -197,7 +233,7 @@ void FaultSimEngine::propagate(const std::uint64_t* good, std::size_t n_words,
     for (std::size_t k = 0; k < arity; ++k)
       any |= changed_[static_cast<std::size_t>(gate.inputs[k])];
     if (!any) continue;
-    ++frontier_gate_evals_;
+    ++*frontier_gate_evals_;
     for (std::size_t k = 0; k < arity; ++k) {
       const auto in = static_cast<std::size_t>(gate.inputs[k]);
       ins[k] = (changed_[in] ? bad : good) + in * W;
@@ -210,13 +246,13 @@ void FaultSimEngine::propagate(const std::uint64_t* good, std::size_t n_words,
     for (std::size_t w = 0; w < W; ++w) bad[on * W + w] = tmp[w];
     changed_[on] = 1;
     touched_.push_back(gate.output);
-    ++frontier_events_;
+    ++*frontier_events_;
     if (net_fence_[on] > fence) fence = net_fence_[on];
     if (po_mask_[on])
       for (std::size_t w = 0; w < W; ++w)
         diff[w] |= tmp[w] ^ good[on * W + w];
   }
-  if (early) ++frontier_early_exits_;
+  if (early) ++*frontier_early_exits_;
   for (NetId t : touched_) changed_[static_cast<std::size_t>(t)] = 0;
   touched_.clear();
 }
@@ -662,18 +698,24 @@ FaultSimScheduler::FaultSimScheduler(const Circuit& c, SimOptions opt)
 
 FaultSimScheduler::~FaultSimScheduler() = default;
 
+obs::Sheet FaultSimScheduler::merged_metrics() const {
+  obs::Sheet out;
+  for (const auto& e : engines_) out.merge_from(e->metrics());
+  return out;
+}
+
 SimStats FaultSimScheduler::stats() const {
+  const obs::Sheet m = merged_metrics();
+  const EngineMetricIds& ids = EngineMetricIds::get();
   SimStats s;
-  for (const auto& e : engines_) {
-    s.cone_evictions += e->cone_evictions();
-    s.cone_resident += e->cone_resident();
-    s.cone_bytes += e->cone_cache_bytes();
-    s.cone_peak_bytes += e->cone_peak_bytes();
-    s.propagations += e->propagations();
-    s.frontier_events += e->frontier_events();
-    s.frontier_gate_evals += e->frontier_gate_evals();
-    s.frontier_early_exits += e->frontier_early_exits();
-  }
+  s.cone_evictions = m.value(ids.cone_evictions);
+  s.cone_resident = static_cast<std::size_t>(m.value(ids.cone_resident));
+  s.cone_bytes = static_cast<std::size_t>(m.value(ids.cone_bytes));
+  s.cone_peak_bytes = static_cast<std::size_t>(m.value(ids.cone_peak_bytes));
+  s.propagations = m.value(ids.propagations);
+  s.frontier_events = m.value(ids.frontier_events);
+  s.frontier_gate_evals = m.value(ids.frontier_gate_evals);
+  s.frontier_early_exits = m.value(ids.frontier_early_exits);
   return s;
 }
 
@@ -726,15 +768,27 @@ std::size_t FaultSimScheduler::resolve_batch(std::size_t n_blocks,
 namespace {
 
 /// Runs job(w) on `n` workers: inline when n <= 1, else on n std::threads.
+/// When tracing is on, each spawned worker gets a named track and one
+/// `span_name` span covering its share of the call; the inline path stays
+/// on the caller's track (its enclosing span already covers it).
 template <typename Job>
-void run_workers(int n, Job job) {
+void run_workers(int n, const char* span_name, Job job) {
   if (n <= 1) {
     job(0);
     return;
   }
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(n));
-  for (int w = 0; w < n; ++w) pool.emplace_back(job, w);
+  for (int w = 0; w < n; ++w) {
+    pool.emplace_back([job, span_name, w] {
+      if (obs::tracing_on()) {
+        obs::Recorder::instance().set_thread_name("sim-worker-" +
+                                                  std::to_string(w));
+      }
+      obs::Span span(span_name, "sim");
+      job(w);
+    });
+  }
   for (auto& t : pool) t.join();
 }
 
@@ -758,7 +812,7 @@ DetectionMatrix FaultSimScheduler::build_matrix(
     std::vector<int> idx(faults.size());
     std::iota(idx.begin(), idx.end(), 0);
     std::atomic<std::size_t> next{0};
-    run_workers(workers_for(tests.size()), [&](int w) {
+    run_workers(workers_for(tests.size()), "matrix", [&](int w) {
       FaultSimEngine& e = engine(w);
       std::vector<std::uint64_t> detect;
       for (std::size_t t = next.fetch_add(1); t < tests.size();
@@ -775,7 +829,7 @@ DetectionMatrix FaultSimScheduler::build_matrix(
     const auto W = static_cast<std::size_t>(opt_.lane_words);
     const std::size_t capacity = W * 64;
     std::atomic<std::size_t> next{0};
-    run_workers(pattern_workers(blocks.size()), [&](int w) {
+    run_workers(pattern_workers(blocks.size()), "matrix", [&](int w) {
       FaultSimEngine& e = engine(w);
       std::vector<std::uint64_t> detect;
       for (std::size_t b = next.fetch_add(1); b < blocks.size();
@@ -917,11 +971,13 @@ FaultSimEngine::Campaign FaultSimScheduler::run_campaign(
       }
     }
     start += n;
+    if (obs::tracing_on())
+      obs::Recorder::instance().counter("active_faults", n_active);
     stop = start >= blocks.size() || (drop_detected && n_active == 0);
     if (!stop)
       r.fault_block_evals += n_active * static_cast<long long>(round_blocks());
   });
-  run_workers(workers, [&](int w) {
+  run_workers(workers, "campaign", [&](int w) {
     auto& mine = detect[static_cast<std::size_t>(w)];
     while (!stop) {
       for (std::size_t j = 0; j < batch; ++j) {

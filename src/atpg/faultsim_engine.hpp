@@ -47,8 +47,23 @@
 
 #include "atpg/faults.hpp"
 #include "atpg/patterns.hpp"
+#include "obs/metrics.hpp"
 
 namespace obd::atpg {
+
+/// Registry ids of the engine's metrics (one process-wide interning).
+/// Exposed so report code can read the merged scheduler sheet by id.
+struct EngineMetricIds {
+  obs::MetricId cone_bytes;
+  obs::MetricId cone_peak_bytes;
+  obs::MetricId cone_resident;
+  obs::MetricId cone_evictions;
+  obs::MetricId propagations;
+  obs::MetricId frontier_events;
+  obs::MetricId frontier_gate_evals;
+  obs::MetricId frontier_early_exits;
+  static const EngineMetricIds& get();
+};
 
 /// Per-engine knobs (the scheduler forwards SimOptions fields here).
 struct EngineOptions {
@@ -149,25 +164,32 @@ class FaultSimEngine {
   const Circuit& circuit() const { return c_; }
 
   // --- Cone-cache / frontier introspection -----------------------------
+  // Counters live in the engine's obs::Sheet (see metrics()); hot loops
+  // bump them through cached slot pointers at member-increment cost. The
+  // getters below keep the original introspection API.
   /// Bytes currently held by cached fanout cones.
-  std::size_t cone_cache_bytes() const { return cone_bytes_; }
+  std::size_t cone_cache_bytes() const { return static_cast<std::size_t>(*cone_bytes_); }
   /// High-water mark of cone_cache_bytes over the engine's lifetime.
-  std::size_t cone_peak_bytes() const { return cone_peak_bytes_; }
+  std::size_t cone_peak_bytes() const { return static_cast<std::size_t>(*cone_peak_bytes_); }
   /// Cones evicted so far (0 when the cache is uncapped).
-  long long cone_evictions() const { return cone_evictions_; }
+  long long cone_evictions() const { return *cone_evictions_; }
   /// Cones currently resident.
-  std::size_t cone_resident() const { return cones_resident_; }
+  std::size_t cone_resident() const { return static_cast<std::size_t>(*cones_resident_); }
   /// Fault-injected cone propagations run (one per excited fault x block).
-  long long propagations() const { return propagations_; }
+  long long propagations() const { return *propagations_; }
   /// Nets whose wide value actually changed during propagation (frontier
   /// membership events, fault sites included).
-  long long frontier_events() const { return frontier_events_; }
+  long long frontier_events() const { return *frontier_events_; }
   /// Cone gates evaluated (gates with no changed input are skipped; the
   /// old engine paid one evaluation per cone gate per fault).
-  long long frontier_gate_evals() const { return frontier_gate_evals_; }
+  long long frontier_gate_evals() const { return *frontier_gate_evals_; }
   /// Propagations that short-circuited before exhausting the cone because
   /// the frontier emptied below the remaining gates' levels.
-  long long frontier_early_exits() const { return frontier_early_exits_; }
+  long long frontier_early_exits() const { return *frontier_early_exits_; }
+
+  /// This engine's accumulation sheet (single-owner; merged by the
+  /// scheduler in worker order).
+  const obs::Sheet& metrics() const { return metrics_; }
 
   // --- Block primitives (pattern-major) --------------------------------
   // Each fills `detect` (resized to faults.size() * lane_words) with
@@ -305,14 +327,18 @@ class FaultSimEngine {
   // and each resident net's position in it (maintained only when capped).
   std::list<NetId> lru_;
   std::vector<std::list<NetId>::iterator> lru_pos_;
-  std::size_t cone_bytes_ = 0;
-  std::size_t cone_peak_bytes_ = 0;
-  std::size_t cones_resident_ = 0;
-  long long cone_evictions_ = 0;
-  long long propagations_ = 0;
-  long long frontier_events_ = 0;
-  long long frontier_gate_evals_ = 0;
-  long long frontier_early_exits_ = 0;
+  // Metrics slab + cached slot pointers (stable: every engine id is
+  // touched before the pointers are taken, and the engine adds no other
+  // ids to its own sheet).
+  obs::Sheet metrics_;
+  long long* cone_bytes_ = nullptr;
+  long long* cone_peak_bytes_ = nullptr;
+  long long* cones_resident_ = nullptr;
+  long long* cone_evictions_ = nullptr;
+  long long* propagations_ = nullptr;
+  long long* frontier_events_ = nullptr;
+  long long* frontier_gate_evals_ = nullptr;
+  long long* frontier_early_exits_ = nullptr;
   std::map<std::tuple<int, bool, int>, std::array<std::uint16_t, 16>>
       obd_tables_;
   // Lane-strided per-net scratch (lane_words words per net for the block
@@ -372,6 +398,10 @@ class FaultSimScheduler {
 
   /// Counter sums over all worker engines.
   SimStats stats() const;
+  /// Worker sheets folded in engine-index order — deterministic totals for
+  /// any thread count whenever the work partition is (matrix builds are;
+  /// fault-dropping campaigns redo tail work per round by design).
+  obs::Sheet merged_metrics() const;
 
   /// kAuto resolution for a call shape. Fault-major pays one full-circuit
   /// evaluation per 64 faults per test; pattern-major one cone evaluation

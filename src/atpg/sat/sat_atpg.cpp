@@ -102,8 +102,7 @@ enum class PairStatus { kCube, kRefuted, kUnknown };
 /// unsound cube.
 PairStatus solve_pair(const Circuit& c, const FrameGoal& fault_frame,
                       const std::optional<FrameGoal>& justify_frame,
-                      const SatAtpgOptions& opt, XTwoVectorTest* cube,
-                      long long* conflicts) {
+                      const SatAtpgOptions& opt, SatAtpgResult* r) {
   Solver s;
   CnfEncoder enc(c, s);
   const NetVars g2 = enc.encode_good();
@@ -121,7 +120,9 @@ PairStatus solve_pair(const Circuit& c, const FrameGoal& fault_frame,
   }
 
   const SolveStatus st = s.solve(opt.conflict_budget);
-  *conflicts += s.stats().conflicts;
+  r->conflicts += s.stats().conflicts;
+  r->decisions += s.stats().decisions;
+  r->restarts += s.stats().restarts;
   if (st == SolveStatus::kUnsat) return PairStatus::kRefuted;
   if (st == SolveStatus::kUnknown) return PairStatus::kUnknown;
 
@@ -143,8 +144,8 @@ PairStatus solve_pair(const Circuit& c, const FrameGoal& fault_frame,
     pi1 = pi2;  // single-frame: the campaign's v1 == v2 convention
   }
 
-  cube->v1 = to_test_vector(pi1);
-  cube->v2 = to_test_vector(pi2);
+  r->cube.v1 = to_test_vector(pi1);
+  r->cube.v2 = to_test_vector(pi2);
   return PairStatus::kCube;
 }
 
@@ -176,7 +177,7 @@ SatAtpgResult sat_generate_obd_test(const Circuit& c, const ObdFaultSite& site,
     FrameGoal frame2{pin_gate_inputs(c, site.gate_index, tv.v2),
                      StuckFault{g.output, old_out}};
     FrameGoal frame1{pin_gate_inputs(c, site.gate_index, tv.v1), std::nullopt};
-    switch (solve_pair(c, frame2, frame1, opt, &r.cube, &r.conflicts)) {
+    switch (solve_pair(c, frame2, frame1, opt, &r)) {
       case PairStatus::kCube:
         r.verdict = SatVerdict::kCube;
         return r;
@@ -199,7 +200,7 @@ SatAtpgResult sat_generate_transition_test(const Circuit& c,
   FrameGoal frame2{{{fault.net, final_value}},
                    StuckFault{fault.net, !final_value}};
   FrameGoal frame1{{{fault.net, !final_value}}, std::nullopt};
-  switch (solve_pair(c, frame2, frame1, opt, &r.cube, &r.conflicts)) {
+  switch (solve_pair(c, frame2, frame1, opt, &r)) {
     case PairStatus::kCube:
       r.verdict = SatVerdict::kCube;
       break;
@@ -217,7 +218,7 @@ SatAtpgResult sat_generate_stuck_test(const Circuit& c, const StuckFault& fault,
                                       const SatAtpgOptions& opt) {
   SatAtpgResult r;
   FrameGoal frame{{}, fault};
-  switch (solve_pair(c, frame, std::nullopt, opt, &r.cube, &r.conflicts)) {
+  switch (solve_pair(c, frame, std::nullopt, opt, &r)) {
     case PairStatus::kCube:
       r.verdict = SatVerdict::kCube;
       break;

@@ -39,8 +39,12 @@ struct SatAtpgResult {
   /// Maximal-don't-care two-frame cube (kCube only). Stuck-at cubes have
   /// v1 == v2, matching the campaign's single-vector convention.
   XTwoVectorTest cube;
-  /// CDCL conflicts spent on this fault (all solver calls summed).
+  /// CDCL effort spent on this fault (all solver calls summed) — the
+  /// campaign aggregates these and buckets conflicts-per-fault into the
+  /// report's escalation histogram.
   long long conflicts = 0;
+  long long decisions = 0;
+  long long restarts = 0;
 };
 
 /// OBD fault at a primitive gate's transistor: one two-frame CNF per

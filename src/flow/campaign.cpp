@@ -1,11 +1,13 @@
 #include "flow/campaign.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
 
 #include "flow/campaign_detail.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace obd::flow {
@@ -25,6 +27,32 @@ std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
   }
   return h;
 }
+
+/// Campaign-level metric ids (the scheduler's engine metrics are merged in
+/// separately via FaultSimScheduler::merged_metrics).
+struct FlowMetricIds {
+  obs::MetricId podem_found;
+  obs::MetricId podem_untestable;
+  obs::MetricId podem_aborted;
+  obs::MetricId sat_conflicts;
+  obs::MetricId sat_decisions;
+  obs::MetricId sat_restarts;
+  obs::MetricId sat_conflicts_per_fault;
+  static const FlowMetricIds& get() {
+    static const FlowMetricIds ids = [] {
+      FlowMetricIds m;
+      m.podem_found = obs::counter("atpg.podem_found");
+      m.podem_untestable = obs::counter("atpg.podem_untestable");
+      m.podem_aborted = obs::counter("atpg.podem_aborted");
+      m.sat_conflicts = obs::counter("sat.conflicts");
+      m.sat_decisions = obs::counter("sat.decisions");
+      m.sat_restarts = obs::counter("sat.restarts");
+      m.sat_conflicts_per_fault = obs::histogram("sat.conflicts_per_fault");
+      return m;
+    }();
+    return ids;
+  }
+};
 
 /// Materializes a representative subset; empty subset = the full list.
 template <typename Fault>
@@ -55,6 +83,7 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
     return;
   }
 
+  obs::Span collapse_span("collapse");
   const auto t0 = Clock::now();
   auto faults = enumerate_obd_faults(prim.core());
   r.faults_total = faults.size();
@@ -62,6 +91,7 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
   const std::vector<ObdFaultSite>& reps = collapsed.representatives;
   r.faults_collapsed = reps.size();
   r.time.collapse_s = seconds_since(t0);
+  collapse_span.close();
   if (reps.empty()) {
     r.coverage = 1.0;
     r.provable_coverage = 1.0;
@@ -96,6 +126,7 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
                              [&] { return sched.matrix_obd(vectors, reps); },
                              r);
   detail::fill_sim_stats(sched, r);
+  r.metrics = obs::snapshot(sched.merged_metrics());
   r.coverage =
       static_cast<double>(r.detected) / static_cast<double>(reps.size());
   const std::size_t provable =
@@ -130,6 +161,7 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
   // Random-pattern fault-dropping prepass: detected faults skip the
   // deterministic search; each first-detecting pattern joins the set.
   if (opt.random_patterns > 0) {
+    const obs::Span span("prepass");
     const auto t0 = Clock::now();
     const std::vector<TwoVectorTest> pool = detail::random_pool(ctx.view, opt);
     const FaultSimEngine::Campaign campaign = ctx.prepass(sched, pool, {});
@@ -146,7 +178,10 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
   // aborts optionally escalate inline to the SAT backend — the cube (or
   // proof) lands at the same position a PODEM test would have, so
   // escalation preserves the cross-thread/shard determinism contract.
+  obs::Sheet csheet;
   {
+    const obs::Span span("topoff");
+    const FlowMetricIds& mids = FlowMetricIds::get();
     const auto t0 = Clock::now();
     const auto record_abort = [&](std::uint32_t i, bool timed) {
       ++r.aborted;
@@ -161,16 +196,33 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
         case PodemStatus::kFound:
           tests.push_back(res.test);
           ++r.tests_deterministic;
+          csheet.add(mids.podem_found);
           break;
-        case PodemStatus::kUntestable: ++r.untestable; break;
+        case PodemStatus::kUntestable:
+          ++r.untestable;
+          csheet.add(mids.podem_untestable);
+          break;
         case PodemStatus::kAborted: {
           const bool timed = res.reason == AbortReason::kTime;
+          csheet.add(mids.podem_aborted);
           if (timed || !opt.sat_escalate || !ctx.escalate) {
             record_abort(i, timed);
             break;
           }
+          const auto t_sat = Clock::now();
+          const obs::Span sat_span("sat-escalate");
           const sat::SatAtpgResult sr = ctx.escalate(i);
+          r.time.sat_s += seconds_since(t_sat);
           r.sat_conflicts += sr.conflicts;
+          r.sat_decisions += sr.decisions;
+          r.sat_restarts += sr.restarts;
+          ++r.sat_conflicts_hist[static_cast<std::size_t>(
+              obs::log2_bucket(static_cast<std::uint64_t>(sr.conflicts)))];
+          csheet.add(mids.sat_conflicts, sr.conflicts);
+          csheet.add(mids.sat_decisions, sr.decisions);
+          csheet.add(mids.sat_restarts, sr.restarts);
+          csheet.observe(mids.sat_conflicts_per_fault,
+                         static_cast<std::uint64_t>(sr.conflicts));
           switch (sr.verdict) {
             case sat::SatVerdict::kCube:
               tests.push_back(sr.cube.concrete());
@@ -194,6 +246,11 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
   detail::matrix_and_compact(opt, tests.size(),
                              [&] { return ctx.matrix(sched, tests, {}); }, r);
   detail::fill_sim_stats(sched, r);
+  {
+    obs::Sheet merged = sched.merged_metrics();
+    merged.merge_from(csheet);
+    r.metrics = obs::snapshot(merged);
+  }
   r.coverage = static_cast<double>(r.detected) /
                static_cast<double>(ctx.n_reps);
   const std::size_t provable =
@@ -240,12 +297,15 @@ void matrix_and_compact(const CampaignOptions& opt, std::size_t n_tests,
                         const std::function<DetectionMatrix()>& build,
                         CampaignReport& r) {
   const auto t0 = Clock::now();
+  obs::Span matrix_span("matrix");
   const DetectionMatrix m = build();
+  matrix_span.close();
   r.detected = m.covered_count;
   r.matrix_hash = hash_matrix(m);
   r.time.matrix_s = seconds_since(t0);
   r.tests_final = static_cast<int>(n_tests);
   if (opt.compact && n_tests > 0) {
+    const obs::Span span("compact");
     const auto t1 = Clock::now();
     r.tests_final = static_cast<int>(greedy_cover(m).size());
     r.time.compact_s = seconds_since(t1);
@@ -320,6 +380,7 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
     auto data = std::make_shared<ModelData<StuckFault>>();
     data->view = ctx.view;
     data->popt = ctx.popt;
+    const obs::Span span("collapse");
     const auto t0 = Clock::now();
     const auto faults = enumerate_stuck_faults(data->view);
     ctx.faults_total = faults.size();
@@ -387,6 +448,7 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
     auto data = std::make_shared<ModelData<ObdFaultSite>>();
     data->view = ctx.view;
     data->popt = ctx.popt;
+    const obs::Span span("collapse");
     const auto t0 = Clock::now();
     const auto faults = enumerate_obd_faults(data->view);
     ctx.faults_total = faults.size();
@@ -414,6 +476,7 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
     };
     ctx.ndetect = [data](const CampaignOptions& o, CampaignReport& r) {
       if (data->reps.empty()) return;
+      const obs::Span span("ndetect");
       const auto t1 = Clock::now();
       NDetectOptions nopt;
       nopt.n = o.ndetect;
@@ -615,9 +678,63 @@ std::string report_json(const CampaignReport& r) {
        ", \"frontier_gate_evals\": " + std::to_string(r.frontier_gate_evals) +
        ", \"frontier_early_exits\": " +
        std::to_string(r.frontier_early_exits) + "},\n";
-  j += "  \"time_s\": {\"collapse\": " + json_num(r.time.collapse_s) +
-       ", \"random\": " + json_num(r.time.random_s) +
-       ", \"atpg\": " + json_num(r.time.atpg_s) +
+  // SAT escalation detail: effort totals plus the per-fault conflict
+  // histogram (log2 buckets, trailing zeroes trimmed).
+  if (r.sat_detected + r.sat_untestable + r.sat_unknown > 0) {
+    int hi = obs::kHistBuckets;
+    while (hi > 0 && r.sat_conflicts_hist[static_cast<std::size_t>(hi - 1)] == 0)
+      --hi;
+    j += "  \"sat_escalation\": {\"conflicts\": " +
+         std::to_string(r.sat_conflicts) +
+         ", \"decisions\": " + std::to_string(r.sat_decisions) +
+         ", \"restarts\": " + std::to_string(r.sat_restarts) +
+         ", \"conflicts_per_fault_log2\": [";
+    for (int b = 0; b < hi; ++b) {
+      if (b > 0) j += ", ";
+      j += std::to_string(r.sat_conflicts_hist[static_cast<std::size_t>(b)]);
+    }
+    j += "]},\n";
+  }
+  // Every metric the run touched, self-describing (kind-tagged), sorted by
+  // name. Deterministic given a deterministic work partition; campaign
+  // counters at > 1 thread legitimately vary (redundant tail work).
+  if (!r.metrics.empty()) {
+    j += "  \"metrics\": {";
+    bool first = true;
+    for (const obs::MetricValue& m : r.metrics) {
+      if (!first) j += ",";
+      first = false;
+      j += "\n    " + json_str(m.name) + ": ";
+      if (m.kind == obs::MetricKind::kHistogram) {
+        int hi = obs::kHistBuckets;
+        while (hi > 0 && m.hist.buckets[static_cast<std::size_t>(hi - 1)] == 0)
+          --hi;
+        j += "{\"count\": " + std::to_string(m.hist.count) +
+             ", \"sum\": " + std::to_string(m.hist.sum) +
+             ", \"max\": " + std::to_string(m.hist.max) +
+             ", \"log2_buckets\": [";
+        for (int b = 0; b < hi; ++b) {
+          if (b > 0) j += ", ";
+          j += std::to_string(m.hist.buckets[static_cast<std::size_t>(b)]);
+        }
+        j += "]}";
+      } else {
+        j += std::to_string(m.value);
+      }
+    }
+    j += "\n  },\n";
+  }
+  // Wall-clock phase durations. Timing-dependent by nature: these are the
+  // only fields expected to differ between otherwise identical runs, which
+  // is why they live in their own object, outside everything fingerprinted
+  // or byte-compared. topoff is the deterministic search minus its SAT
+  // share.
+  const double topoff_s = std::max(0.0, r.time.atpg_s - r.time.sat_s);
+  j += "  \"timing\": {\"parse\": " + json_num(r.time.parse_s) +
+       ", \"collapse\": " + json_num(r.time.collapse_s) +
+       ", \"prepass\": " + json_num(r.time.random_s) +
+       ", \"topoff\": " + json_num(topoff_s) +
+       ", \"sat\": " + json_num(r.time.sat_s) +
        ", \"matrix\": " + json_num(r.time.matrix_s) +
        ", \"compact\": " + json_num(r.time.compact_s) +
        ", \"ndetect\": " + json_num(r.time.ndetect_s) +
@@ -652,12 +769,27 @@ void print_report(const CampaignReport& r) {
                       ? "  (backtracks " + std::to_string(r.aborted_backtracks) +
                             ", time " + std::to_string(r.aborted_time) + ")"
                       : "")});
-  if (r.sat_detected + r.sat_untestable + r.sat_unknown > 0)
+  if (r.sat_detected + r.sat_untestable + r.sat_unknown > 0) {
     t.add_row({"SAT cubes / proofs / unknown",
                std::to_string(r.sat_detected) + " / " +
                    std::to_string(r.sat_untestable) + " / " +
-                   std::to_string(r.sat_unknown) + "  (" +
-                   std::to_string(r.sat_conflicts) + " conflicts)"});
+                   std::to_string(r.sat_unknown)});
+    t.add_row({"SAT conflicts / decisions / restarts",
+               std::to_string(r.sat_conflicts) + " / " +
+                   std::to_string(r.sat_decisions) + " / " +
+                   std::to_string(r.sat_restarts)});
+    // Compact per-fault hardness profile: "b3:12" = 12 escalated faults
+    // needed [4, 8) conflicts.
+    std::string hist;
+    for (int b = 0; b < obs::kHistBuckets; ++b) {
+      const std::uint64_t n = r.sat_conflicts_hist[static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      if (!hist.empty()) hist += "  ";
+      hist += "b" + std::to_string(b) + ":" + std::to_string(n);
+    }
+    if (!hist.empty())
+      t.add_row({"SAT conflicts/fault (log2 buckets)", hist});
+  }
   t.add_row({"coverage (collapsed)",
              util::format_g(100.0 * r.coverage, 4) + "%"});
   t.add_row({"provable coverage",
@@ -696,10 +828,19 @@ void print_report(const CampaignReport& r) {
                         ? "  (evictions " + std::to_string(r.cone_evictions) +
                               ")"
                         : "")});
-  t.add_row({"wall clock", util::format_g(r.time.total_s, 3) + " s  (random " +
-                               util::format_g(r.time.random_s, 3) + ", atpg " +
-                               util::format_g(r.time.atpg_s, 3) + ", sim " +
-                               util::format_g(r.time.matrix_s, 3) + ")"});
+  {
+    std::string phases = "prepass " + util::format_g(r.time.random_s, 3) +
+                         ", topoff " +
+                         util::format_g(
+                             std::max(0.0, r.time.atpg_s - r.time.sat_s), 3);
+    if (r.time.sat_s > 0.0)
+      phases += ", sat " + util::format_g(r.time.sat_s, 3);
+    phases += ", matrix " + util::format_g(r.time.matrix_s, 3);
+    if (r.time.compact_s > 0.0)
+      phases += ", compact " + util::format_g(r.time.compact_s, 3);
+    t.add_row({"wall clock",
+               util::format_g(r.time.total_s, 3) + " s  (" + phases + ")"});
+  }
   t.print();
 }
 

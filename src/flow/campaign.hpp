@@ -23,6 +23,7 @@
 
 #include "atpg/atpg.hpp"
 #include "logic/sequential.hpp"
+#include "obs/metrics.hpp"
 
 namespace obd::flow {
 
@@ -72,10 +73,16 @@ struct CampaignOptions {
   int ndetect_random_pool = 256;
 };
 
+/// Wall-clock phase durations. Strictly observational: none of these feed
+/// the deterministic report fields or the checkpoint fingerprint, and the
+/// JSON report keeps them in their own "timing" object so byte-comparing
+/// the deterministic remainder across runs stays meaningful.
 struct PhaseTimes {
+  double parse_s = 0.0;     ///< netlist parse (set by the CLI driver)
   double collapse_s = 0.0;
-  double random_s = 0.0;
-  double atpg_s = 0.0;
+  double random_s = 0.0;    ///< random fault-dropping prepass
+  double atpg_s = 0.0;      ///< deterministic top-off incl. SAT escalation
+  double sat_s = 0.0;       ///< SAT escalation alone (subset of atpg_s)
   double matrix_s = 0.0;
   double compact_s = 0.0;
   double ndetect_s = 0.0;
@@ -116,8 +123,15 @@ struct CampaignReport {
   int sat_detected = 0;
   int sat_untestable = 0;
   int sat_unknown = 0;
-  /// CDCL conflicts summed over every escalation solver call.
+  /// CDCL effort summed over every escalation solver call.
   long long sat_conflicts = 0;
+  long long sat_decisions = 0;
+  long long sat_restarts = 0;
+  /// Per-fault conflict histogram over escalated faults: bucket 0 counts
+  /// zero-conflict escalations, bucket i >= 1 escalations whose conflict
+  /// count has bit_width i (obs::log2_bucket). Replaces eyeballing the
+  /// aggregate: the abort tail's hardness distribution is visible per run.
+  std::array<std::uint64_t, obs::kHistBuckets> sat_conflicts_hist{};
   /// Detected / (collapsed - proven untestable), where proven untestable =
   /// untestable + sat_untestable: the coverage of the *provably coverable*
   /// fault space (1.0 when the denominator is empty).
@@ -159,6 +173,12 @@ struct CampaignReport {
   int shard_retries = 0;
   std::vector<int> quarantined_shards;
   bool partial = false;
+
+  /// Merged campaign metrics sheet rendered name->value (obs::snapshot):
+  /// every registered counter/gauge/histogram the run touched, sorted by
+  /// name. The named fields above stay as the stable API; this is the
+  /// self-describing superset.
+  std::vector<obs::MetricValue> metrics;
 
   PhaseTimes time;
   int threads = 1;

@@ -225,6 +225,11 @@ std::string encode_checkpoint(const ShardState& s) {
   for (std::uint64_t w : s.prng_state) put_u64(payload, w);
   put_u64(payload, static_cast<std::uint64_t>(s.fault_block_evals));
   put_u64(payload, static_cast<std::uint64_t>(s.sat_conflicts));
+  // Version 3: SAT decisions, restarts, and the per-fault conflict
+  // histogram, immediately after the conflicts counter.
+  put_u64(payload, static_cast<std::uint64_t>(s.sat_decisions));
+  put_u64(payload, static_cast<std::uint64_t>(s.sat_restarts));
+  for (const std::uint64_t b : s.sat_hist) put_u64(payload, b);
 
   put_u32(payload, static_cast<std::uint32_t>(s.useful_pool.size()));
   for (std::uint32_t t : s.useful_pool) put_u32(payload, t);
@@ -276,10 +281,11 @@ bool decode_checkpoint(std::string_view bytes, ShardState* out,
   header.u32(&version);
   header.u32(&flags);
   header.u64(&payload_len);
-  if (version != kCheckpointVersion) {
+  if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
     *err = "unsupported checkpoint version " + std::to_string(version) +
-           " (this build reads version " + std::to_string(kCheckpointVersion) +
-           ")";
+           " (this build reads versions " +
+           std::to_string(kMinCheckpointVersion) + ".." +
+           std::to_string(kCheckpointVersion) + ")";
     return false;
   }
   if (bytes.size() != kHeaderSize + payload_len + kCrcSize) {
@@ -340,6 +346,20 @@ bool decode_checkpoint(std::string_view bytes, ShardState* out,
     return false;
   }
   s.sat_conflicts = static_cast<long long>(sat_conflicts);
+  if (version >= 3) {
+    std::uint64_t sat_decisions = 0, sat_restarts = 0;
+    if (!r.u64(&sat_decisions) || !r.u64(&sat_restarts)) {
+      *err = "checkpoint payload truncated in sat-effort fields";
+      return false;
+    }
+    s.sat_decisions = static_cast<long long>(sat_decisions);
+    s.sat_restarts = static_cast<long long>(sat_restarts);
+    for (auto& b : s.sat_hist)
+      if (!r.u64(&b)) {
+        *err = "checkpoint payload truncated in sat histogram";
+        return false;
+      }
+  }
   if (phase < static_cast<std::uint8_t>(ShardPhase::kPrepassDone) ||
       phase > static_cast<std::uint8_t>(ShardPhase::kDone)) {
     *err = "invalid shard phase " + std::to_string(phase);

@@ -10,8 +10,10 @@
 // (the fault-sim layer's determinism contract makes "resume == rerun" a
 // checkable property via matrix_hash).
 //
-// On-disk format (version 2, little-endian; version 2 added the SAT
-// escalation statuses and the sat_conflicts counter):
+// On-disk format (version 3, little-endian; version 2 added the SAT
+// escalation statuses and the sat_conflicts counter; version 3 extends the
+// SAT accounting with decisions, restarts, and the per-fault conflict
+// histogram — version 2 files still load, with those fields zero):
 //
 //   magic   "OBDCKPT\n"          8 bytes
 //   version u32                  kCheckpointVersion
@@ -46,7 +48,10 @@
 
 namespace obd::flow {
 
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
+/// Oldest on-disk version decode_checkpoint still accepts. Fields added
+/// after a version are zero-initialized when loading an older file.
+inline constexpr std::uint32_t kMinCheckpointVersion = 2;
 
 /// Per-fault progress of a shard, in assigned-partition (local) order.
 enum class FaultStatus : std::uint8_t {
@@ -90,9 +95,15 @@ struct ShardState {
   /// the options fingerprint (the pool itself is regenerated, not stored).
   std::array<std::uint64_t, 4> prng_state{};
   long long fault_block_evals = 0;
-  /// CDCL conflicts spent by SAT escalation in this shard (merged into
-  /// CampaignReport::sat_conflicts).
+  /// CDCL effort spent by SAT escalation in this shard (merged into
+  /// CampaignReport::sat_conflicts etc.). decisions/restarts and the
+  /// per-fault conflict histogram are version-3 fields: loading a
+  /// version-2 checkpoint leaves them zero.
   long long sat_conflicts = 0;
+  long long sat_decisions = 0;
+  long long sat_restarts = 0;
+  /// Conflicts-per-escalated-fault log2 buckets (obs::log2_bucket).
+  std::array<std::uint64_t, 32> sat_hist{};
   /// Prepass pool indices that first-detected some assigned fault
   /// (strictly increasing).
   std::vector<std::uint32_t> useful_pool;

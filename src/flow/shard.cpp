@@ -1,10 +1,14 @@
 #include "flow/shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 
 #include "flow/campaign_detail.hpp"
 #include "flow/inject.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/prng.hpp"
 
 namespace obd::flow {
@@ -27,6 +31,39 @@ void insert_det_test(std::vector<ShardDetTest>& det, std::uint32_t local,
       det.begin(), det.end(), local,
       [](const ShardDetTest& d, std::uint32_t l) { return d.local_index < l; });
   det.insert(pos, ShardDetTest{local, test});
+}
+
+/// Snapshot of a shard's fault statuses for a heartbeat record. A fault is
+/// "resolved" once it left kPending (kSatUnknown counts: the budget was
+/// spent even though resume may reopen it).
+obs::Heartbeat make_heartbeat(const ShardState& s, const ShardRunOptions& sopt,
+                              const char* phase, long long ckpt_seq,
+                              std::chrono::steady_clock::time_point t0) {
+  obs::Heartbeat hb;
+  hb.shard = static_cast<int>(sopt.shard_index);
+  hb.phase = phase;
+  hb.assigned = static_cast<long long>(s.status.size());
+  for (const FaultStatus st : s.status) {
+    if (st != FaultStatus::kPending) ++hb.resolved;
+    if (st == FaultStatus::kRandomDetected || st == FaultStatus::kTestFound ||
+        st == FaultStatus::kSatCube)
+      ++hb.detected;
+    else if (st == FaultStatus::kAbortedBacktracks ||
+             st == FaultStatus::kAbortedTime || st == FaultStatus::kSatUnknown)
+      ++hb.aborted;
+  }
+  hb.coverage = hb.assigned > 0
+                    ? static_cast<double>(hb.detected) /
+                          static_cast<double>(hb.assigned)
+                    : 0.0;
+  hb.ckpt_seq = ckpt_seq;
+  hb.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  hb.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::system_clock::now().time_since_epoch())
+                 .count();
+  return hb;
 }
 
 }  // namespace
@@ -77,9 +114,14 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
     have_state = true;
   }
 
+  const auto t0 = std::chrono::steady_clock::now();
+  long long ckpt_seq = 0;
+  obs::ProgressWriter progress(sopt.progress_path, sopt.progress_interval_s);
   auto flush = [&](ShardPhase phase) {
     s.phase = phase;
-    return save_checkpoint(path, s, &err);
+    if (!save_checkpoint(path, s, &err)) return false;
+    ++ckpt_seq;
+    return true;
   };
 
   FaultSimScheduler sched(ctx.view, opt.sim);
@@ -98,6 +140,7 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
     // the same value the one-shot campaign computes for this fault, so
     // the useful-test marks merge losslessly across shards.
     if (!pool.empty() && assigned > 0) {
+      const obs::Span span("prepass", "shard");
       detail::RepSubset subset(assigned);
       for (std::size_t j = 0; j < assigned; ++j)
         subset[j] = global_of(static_cast<std::uint32_t>(j));
@@ -114,6 +157,7 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
     }
     if (!flush(ShardPhase::kPrepassDone))
       return fail(ShardRunStatus::kError, path + ": " + err);
+    progress.emit(make_heartbeat(s, sopt, "prepass", ckpt_seq, t0));
   } else {
     // Re-attempt time-budget aborts: they are load-dependent, not proofs.
     // With SAT escalation enabled, backtrack aborts (and stale sat-unknown
@@ -143,6 +187,7 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
 
   // Deterministic top-off over the assigned survivors, committing a
   // checkpoint every checkpoint_every results and on the stop flag.
+  obs::Span topoff_span("topoff", "shard");
   int since_flush = 0;
   for (std::uint32_t j = 0; j < s.status.size(); ++j) {
     if (sopt.stop && *sopt.stop) {
@@ -160,6 +205,10 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
     const auto escalate = [&](std::uint32_t local) {
       const sat::SatAtpgResult sr = ctx.escalate(global_of(local));
       s.sat_conflicts += sr.conflicts;
+      s.sat_decisions += sr.decisions;
+      s.sat_restarts += sr.restarts;
+      ++s.sat_hist[static_cast<std::size_t>(
+          obs::log2_bucket(static_cast<std::uint64_t>(sr.conflicts)))];
       switch (sr.verdict) {
         case sat::SatVerdict::kCube:
           s.status[local] = FaultStatus::kSatCube;
@@ -203,10 +252,14 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
         return fail(ShardRunStatus::kError, path + ": " + err);
       since_flush = 0;
     }
+    progress.maybe_emit(make_heartbeat(s, sopt, "topoff", ckpt_seq, t0));
   }
+  topoff_span.close();
 
   // Shard-local detection matrix: this shard's tests against its assigned
   // faults — the packed rows the checkpoint carries for the final state.
+  progress.emit(make_heartbeat(s, sopt, "matrix", ckpt_seq, t0));
+  obs::Span matrix_span("matrix", "shard");
   std::vector<TwoVectorTest> tests;
   tests.reserve(s.useful_pool.size() + s.det_tests.size());
   for (const std::uint32_t t : s.useful_pool) tests.push_back(pool[t]);
@@ -220,8 +273,10 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
     s.local_matrix = DetectionMatrix{};
   }
   s.has_matrix = true;
+  matrix_span.close();
   if (!flush(ShardPhase::kDone))
     return fail(ShardRunStatus::kError, path + ": " + err);
+  progress.emit(make_heartbeat(s, sopt, "done", ckpt_seq, t0));
 
   ShardRunResult out;
   out.status = ShardRunStatus::kDone;

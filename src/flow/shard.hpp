@@ -39,6 +39,12 @@ struct ShardRunOptions {
   /// Polled between fault searches; set by a signal handler. When it goes
   /// nonzero the shard flushes a checkpoint and returns kInterrupted.
   const volatile std::sig_atomic_t* stop = nullptr;
+  /// Heartbeat NDJSON file (append-only). Empty disables heartbeats. The
+  /// supervisor points every child at progress-<i>.ndjson under the
+  /// checkpoint dir and uses file growth as its liveness signal.
+  std::string progress_path;
+  /// Seconds between throttled heartbeats; <= 0 emits on every poll site.
+  double progress_interval_s = 1.0;
 };
 
 enum class ShardRunStatus {

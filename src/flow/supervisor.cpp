@@ -7,10 +7,16 @@
 #include <filesystem>
 #include <thread>
 
+#include <fstream>
+#include <sstream>
+
 #include "flow/campaign_detail.hpp"
 #include "flow/checkpoint.hpp"
 #include "flow/inject.hpp"
 #include "flow/shard.hpp"
+#include "obs/log.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define OBD_POSIX_SPAWN 1
@@ -99,6 +105,10 @@ void merge_states(const detail::CampaignContext& ctx,
   for (const ShardState* s : states) {
     r.fault_block_evals += s->fault_block_evals;
     r.sat_conflicts += s->sat_conflicts;
+    r.sat_decisions += s->sat_decisions;
+    r.sat_restarts += s->sat_restarts;
+    for (std::size_t k = 0; k < s->sat_hist.size(); ++k)
+      r.sat_conflicts_hist[k] += s->sat_hist[k];
     for (std::size_t j = 0; j < s->status.size(); ++j) {
       const auto record_abort = [&] {
         ++r.aborted;
@@ -149,6 +159,67 @@ void merge_states(const detail::CampaignContext& ctx,
   r.time.total_s = seconds_since(t_total) + ctx.collapse_s;
 }
 
+/// One {"event":"status",...} NDJSON line on stderr, aggregated from the
+/// latest heartbeat of every shard. Machine-parseable: CI and wrappers can
+/// tail stderr for live coverage and the ETA.
+void emit_status_line(const SupervisorOptions& sup, Clock::time_point t0) {
+  long long resolved = 0, assigned = 0, detected = 0;
+  int reporting = 0, done = 0;
+  for (int i = 0; i < sup.shards; ++i) {
+    obs::Heartbeat hb;
+    if (!obs::read_last_heartbeat(obs::progress_path(sup.checkpoint_dir, i),
+                                  hb))
+      continue;
+    ++reporting;
+    resolved += hb.resolved;
+    assigned += hb.assigned;
+    detected += hb.detected;
+    if (hb.phase == "done") ++done;
+  }
+  const double elapsed = seconds_since(t0);
+  const double eta = obs::eta_seconds(resolved, assigned, elapsed);
+  std::fprintf(stderr,
+               "{\"event\":\"status\",\"shards\":%d,\"reporting\":%d,"
+               "\"done\":%d,\"resolved\":%lld,\"assigned\":%lld,"
+               "\"detected\":%lld,\"coverage\":%.6f,\"elapsed_s\":%.3f,"
+               "\"eta_s\":%.3f}\n",
+               sup.shards, reporting, done, resolved, assigned, detected,
+               assigned > 0 ? static_cast<double>(detected) /
+                                  static_cast<double>(assigned)
+                            : 0.0,
+               elapsed, eta);
+}
+
+/// Parses the NDJSON trace fragments the shard children wrote and appends
+/// their events to the global recorder: one stitched multi-process trace.
+void stitch_trace_fragments(const SupervisorOptions& sup) {
+  if (!obs::tracing_on()) return;
+  obs::Recorder& rec = obs::Recorder::instance();
+  for (int i = 0; i < sup.shards; ++i) {
+    const std::string path = trace_fragment_path(sup.checkpoint_dir, i);
+    std::ifstream in(path);
+    if (!in) continue;
+    std::size_t appended = 0, skipped = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      obs::TraceEvent ev;
+      if (parse_event_line(line, ev)) {
+        rec.append(std::move(ev));
+        ++appended;
+      } else {
+        ++skipped;
+      }
+    }
+    if (skipped > 0)
+      obs::logf(obs::LogLevel::kWarn,
+                "trace fragment %s: skipped %zu malformed line(s)",
+                path.c_str(), skipped);
+    obs::logf(obs::LogLevel::kDebug, "stitched %zu trace event(s) from %s",
+              appended, path.c_str());
+  }
+}
+
 #ifdef OBD_POSIX_SPAWN
 
 /// Forks + execs one shard attempt. The injection spec and attempt number
@@ -186,6 +257,17 @@ pid_t spawn_shard(const SupervisorOptions& sup, const CampaignOptions& opt,
     args.push_back("--sat-conflict-budget");
     args.push_back(std::to_string(opt.sat_conflict_budget));
   }
+  if (sup.trace) {
+    args.push_back("--trace");
+    args.push_back(trace_fragment_path(sup.checkpoint_dir, shard));
+  }
+  if (sup.progress) {
+    args.push_back("--progress");
+    args.push_back("--progress-interval");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", sup.progress_interval_s);
+    args.push_back(buf);
+  }
 
   const pid_t pid = fork();
   if (pid != 0) return pid;  // parent (or fork failure, pid < 0)
@@ -204,6 +286,11 @@ pid_t spawn_shard(const SupervisorOptions& sup, const CampaignOptions& opt,
 #endif  // OBD_POSIX_SPAWN
 
 }  // namespace
+
+std::string trace_fragment_path(const std::string& checkpoint_dir,
+                                int shard) {
+  return checkpoint_dir + "/trace-shard-" + std::to_string(shard) + ".ndjson";
+}
 
 const char* to_string(ShardOutcome o) {
   switch (o) {
@@ -267,8 +354,14 @@ SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
               "': " + ec.message();
     return res;
   }
-  if (!sup.resume)
-    for (int i = 0; i < sup.shards; ++i) remove_checkpoint(sup.checkpoint_dir, i);
+  if (!sup.resume) {
+    for (int i = 0; i < sup.shards; ++i) {
+      remove_checkpoint(sup.checkpoint_dir, i);
+      std::error_code ec2;
+      std::filesystem::remove(obs::progress_path(sup.checkpoint_dir, i), ec2);
+      std::filesystem::remove(trace_fragment_path(sup.checkpoint_dir, i), ec2);
+    }
+  }
 
   const std::string circuit = seq.core().name();
   const std::vector<TwoVectorTest> pool = detail::random_pool(ctx.view, opt);
@@ -318,6 +411,10 @@ SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
         so.shard_count = shard_count;
         so.resume = true;  // continue from any committed progress
         so.stop = sup.stop;
+        if (sup.progress) {
+          so.progress_path = obs::progress_path(sup.checkpoint_dir, shard);
+          so.progress_interval_s = sup.progress_interval_s;
+        }
 
         ShardOutcome outcome = ShardOutcome::kCrash;
         std::string what;
@@ -385,9 +482,16 @@ SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
       Clock::time_point deadline;
       bool has_deadline;
       bool watchdog_killed;
+      /// Heartbeat-file size when the current deadline was armed; growth
+      /// past it proves the shard is alive and re-arms the deadline.
+      long long progress_size;
     };
     std::vector<Pending> pending;
     std::vector<Running> running;
+    const auto t_campaign = Clock::now();
+    auto next_status = t_campaign + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            sup.progress_interval_s));
     for (int i = 0; i < sup.shards; ++i)
       pending.push_back({i, 0, Clock::now()});
     const std::size_t jobs =
@@ -400,10 +504,16 @@ SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
         remove_checkpoint(sup.checkpoint_dir, shard);
       if (stopping) return;
       if (attempt >= sup.max_retries) {
+        obs::logf(obs::LogLevel::kWarn,
+                  "shard %d quarantined after %d attempt(s)", shard,
+                  attempt + 1);
         res.quarantined.push_back(shard);
         return;
       }
       ++res.retries;
+      obs::logf(obs::LogLevel::kInfo,
+                "shard %d attempt %d failed (%s); retrying in %.2fs", shard,
+                attempt, to_string(outcome), backoff_seconds(sup, attempt + 1));
       pending.push_back(
           {shard, attempt + 1,
            Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -447,6 +557,10 @@ SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
           c.attempt = it->attempt;
           c.has_deadline = sup.shard_timeout_s > 0.0;
           c.watchdog_killed = false;
+          c.progress_size = sup.progress
+                                ? obs::file_size_or_negative(obs::progress_path(
+                                      sup.checkpoint_dir, it->shard))
+                                : -1;
           if (c.has_deadline)
             c.deadline = now + std::chrono::duration_cast<Clock::duration>(
                                    std::chrono::duration<double>(
@@ -459,8 +573,29 @@ SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
       for (auto it = running.begin(); it != running.end();) {
         if (it->has_deadline && !it->watchdog_killed &&
             Clock::now() > it->deadline) {
-          kill(it->pid, SIGKILL);
-          it->watchdog_killed = true;
+          // Liveness check before the kill: a healthy-but-slow shard keeps
+          // appending heartbeats, so a grown progress file re-arms the
+          // deadline instead of SIGKILLing real work (stopping-mode grace
+          // deadlines stay hard — those children were already told to exit).
+          const long long sz =
+              sup.progress && !stopping
+                  ? obs::file_size_or_negative(
+                        obs::progress_path(sup.checkpoint_dir, it->shard))
+                  : -1;
+          if (sz > it->progress_size) {
+            it->progress_size = sz;
+            it->deadline =
+                Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       sup.shard_timeout_s));
+            obs::logf(obs::LogLevel::kInfo,
+                      "shard %d past its deadline but heartbeating; deadline "
+                      "extended",
+                      it->shard);
+          } else {
+            kill(it->pid, SIGKILL);
+            it->watchdog_killed = true;
+          }
         }
         int st = 0;
         const pid_t w = waitpid(it->pid, &st, WNOHANG);
@@ -509,9 +644,18 @@ SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
         }
       }
 
+      if (sup.progress && Clock::now() >= next_status) {
+        emit_status_line(sup, t_campaign);
+        next_status += std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                std::max(0.05, sup.progress_interval_s)));
+      }
+
       if (pending.empty() && running.empty()) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
+    if (sup.progress) emit_status_line(sup, t_campaign);
+    stitch_trace_fragments(sup);
 #endif  // OBD_POSIX_SPAWN
   }
 

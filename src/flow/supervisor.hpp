@@ -58,7 +58,22 @@ struct SupervisorOptions {
   /// Polled by the supervisor loop; when nonzero, children get SIGTERM
   /// (they checkpoint and exit 75) and the run reports interrupted.
   const volatile std::sig_atomic_t* stop = nullptr;
+  /// Children emit Chrome-trace NDJSON fragments next to their checkpoints
+  /// (trace-shard-<i>.ndjson); after the run the supervisor parses them back
+  /// and stitches one multi-process trace into the global recorder.
+  bool trace = false;
+  /// Children write heartbeat NDJSON (progress-<i>.ndjson); the supervisor
+  /// aggregates them into periodic {"event":"status",...} lines on stderr
+  /// with an ETA, and treats heartbeat-file growth as a liveness signal: a
+  /// shard past its wall-clock deadline whose progress file is still
+  /// growing gets its deadline extended instead of a watchdog SIGKILL.
+  bool progress = false;
+  /// Cadence of child heartbeats and supervisor status lines, seconds.
+  double progress_interval_s = 1.0;
 };
+
+/// Conventional per-shard trace-fragment path under a checkpoint dir.
+std::string trace_fragment_path(const std::string& checkpoint_dir, int shard);
 
 enum class ShardOutcome {
   kClean,        ///< exit 0 with a valid kDone checkpoint

@@ -1,0 +1,36 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace obd::obs {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  const char* prefix = "obd_atpg: ";
+  if (level == LogLevel::kInfo) prefix = "obd_atpg[info]: ";
+  if (level == LogLevel::kDebug) prefix = "obd_atpg[debug]: ";
+  char buf[2048];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  const std::size_t len = std::strlen(buf);
+  const bool has_nl = len > 0 && buf[len - 1] == '\n';
+  std::fprintf(stderr, "%s%s%s", prefix, buf, has_nl ? "" : "\n");
+}
+
+}  // namespace obd::obs

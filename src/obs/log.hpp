@@ -1,0 +1,36 @@
+// Tiny leveled stderr logger for the flow/CLI layer.
+//
+// Default level is kWarn, chosen so the tool's default output is unchanged:
+// fatal errors (kError) and retry/quarantine warnings (kWarn) print exactly
+// where ad-hoc fprintf(stderr) calls used to, while supervisor lifecycle
+// detail (kInfo) and per-attempt chatter (kDebug) only appear under
+// --verbose. --quiet drops to kError.
+#pragma once
+
+#include <cstdarg>
+
+namespace obd::obs {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// printf-style to stderr, prefixed "obd_atpg: " for warn/error and
+/// "obd_atpg[info]: " / "obd_atpg[debug]: " otherwise. Appends a newline
+/// iff the format doesn't end with one.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace obd::obs

@@ -1,0 +1,141 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace obd::obs {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::vector<std::string> names;
+  std::vector<MetricKind> kinds;
+  std::unordered_map<std::string, MetricId> by_name;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl i;
+  return i;
+}
+
+MetricId Registry::intern(std::string_view name, MetricKind kind) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.by_name.find(std::string(name));
+  if (it != i.by_name.end()) {
+    if (i.kinds[it->second] != kind) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' re-registered with a different kind");
+    }
+    return it->second;
+  }
+  const MetricId id = static_cast<MetricId>(i.names.size());
+  i.names.emplace_back(name);
+  i.kinds.push_back(kind);
+  i.by_name.emplace(i.names.back(), id);
+  return id;
+}
+
+std::size_t Registry::size() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.names.size();
+}
+
+const std::string& Registry::name(MetricId id) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.names.at(id);
+}
+
+MetricKind Registry::kind(MetricId id) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  return i.kinds.at(id);
+}
+
+void Sheet::observe(MetricId id, std::uint64_t v) {
+  if (id >= values_.size()) grow(id);
+  if (!hists_[id]) hists_[id] = std::make_unique<HistData>();
+  HistData& h = *hists_[id];
+  ++h.buckets[static_cast<std::size_t>(log2_bucket(v))];
+  ++h.count;
+  h.sum += v;
+  if (v > h.max) h.max = v;
+  // values_ mirrors the observation count so snapshot() can skip
+  // histograms with no data via the same non-zero test as counters.
+  ++values_[id];
+}
+
+const HistData* Sheet::hist(MetricId id) const {
+  if (id >= hists_.size()) return nullptr;
+  return hists_[id].get();
+}
+
+void Sheet::merge_from(const Sheet& other) {
+  if (other.values_.size() > values_.size()) {
+    grow(static_cast<MetricId>(other.values_.size() - 1));
+  }
+  for (std::size_t i = 0; i < other.values_.size(); ++i) {
+    values_[i] += other.values_[i];
+    if (other.hists_[i]) {
+      if (!hists_[i]) hists_[i] = std::make_unique<HistData>();
+      HistData& dst = *hists_[i];
+      const HistData& src = *other.hists_[i];
+      for (int b = 0; b < kHistBuckets; ++b) dst.buckets[b] += src.buckets[b];
+      dst.count += src.count;
+      dst.sum += src.sum;
+      if (src.max > dst.max) dst.max = src.max;
+    }
+  }
+}
+
+void Sheet::clear() {
+  std::fill(values_.begin(), values_.end(), 0);
+  for (auto& h : hists_) h.reset();
+}
+
+void Sheet::grow(MetricId id) {
+  values_.resize(static_cast<std::size_t>(id) + 1, 0);
+  hists_.resize(static_cast<std::size_t>(id) + 1);
+}
+
+std::vector<MetricValue> snapshot(const Sheet& sheet) {
+  Registry& reg = Registry::instance();
+  std::vector<MetricValue> out;
+  for (MetricId id = 0; id < sheet.touched(); ++id) {
+    if (sheet.value(id) == 0) continue;
+    MetricValue mv;
+    mv.name = reg.name(id);
+    mv.kind = reg.kind(id);
+    if (mv.kind == MetricKind::kHistogram) {
+      if (const HistData* h = sheet.hist(id)) mv.hist = *h;
+      mv.value = static_cast<long long>(mv.hist.count);
+    } else {
+      mv.value = sheet.value(id);
+    }
+    out.push_back(std::move(mv));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace obd::obs

@@ -1,0 +1,150 @@
+// Low-overhead metrics: a process-wide name registry plus per-thread
+// accumulation sheets with a deterministic merge.
+//
+// The design splits schema from storage:
+//
+//   - the Registry interns metric names once (process-global, mutex-
+//     protected, registration-time only) and hands back dense MetricIds;
+//   - a Sheet is a plain slab of counters/gauges plus sparse log2-bucket
+//     histograms, owned by exactly one thread or engine — increments are an
+//     array bump behind a grow check, no atomics, no locks, no branches on
+//     an "enabled" flag (recording a number this cheap is always on);
+//   - merge_from() folds one sheet into another elementwise (counters and
+//     gauges sum, histogram buckets sum), so merging worker sheets in
+//     worker order yields the same totals at any thread count whenever the
+//     per-worker work partition is itself deterministic.
+//
+// This replaces the hand-threaded counter plumbing (engine member counters
+// -> SimStats -> campaign report fields): a subsystem registers a name,
+// bumps its sheet, and the value shows up in the merged campaign metrics
+// without touching any intermediate struct.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obd::obs {
+
+using MetricId = std::uint32_t;
+
+enum class MetricKind : std::uint8_t {
+  kCounter,    ///< monotone count; merge = sum
+  kGauge,      ///< last-set level (bytes resident, peak bytes); merge = sum
+               ///< of per-sheet levels (the SimStats convention)
+  kHistogram,  ///< log2-bucket value distribution; merge = bucket-wise sum
+};
+
+const char* to_string(MetricKind k);
+
+/// Fixed log2 bucketing: bucket 0 holds value 0, bucket i >= 1 holds values
+/// with bit_width i (i.e. [2^(i-1), 2^i)), the last bucket clamps the tail.
+inline constexpr int kHistBuckets = 32;
+
+inline int log2_bucket(std::uint64_t v) {
+  if (v == 0) return 0;
+  const int b = std::bit_width(v);
+  return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
+struct HistData {
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+};
+
+/// Process-wide metric schema: name -> dense id. Registering the same name
+/// twice returns the same id (the kind must match). Thread-safe; meant to
+/// be hit once per call site via a cached id, never in a hot loop.
+class Registry {
+ public:
+  static Registry& instance();
+
+  MetricId intern(std::string_view name, MetricKind kind);
+  std::size_t size() const;
+  const std::string& name(MetricId id) const;
+  MetricKind kind(MetricId id) const;
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+inline MetricId counter(std::string_view name) {
+  return Registry::instance().intern(name, MetricKind::kCounter);
+}
+inline MetricId gauge(std::string_view name) {
+  return Registry::instance().intern(name, MetricKind::kGauge);
+}
+inline MetricId histogram(std::string_view name) {
+  return Registry::instance().intern(name, MetricKind::kHistogram);
+}
+
+/// Single-owner accumulation slab. Not thread-safe by design: one sheet per
+/// worker/engine, merged deterministically afterwards.
+class Sheet {
+ public:
+  /// Counter/gauge bump. Negative deltas are allowed (gauges that shrink,
+  /// e.g. resident cache bytes on eviction).
+  void add(MetricId id, long long delta = 1) {
+    if (id >= values_.size()) grow(id);
+    values_[id] += delta;
+  }
+  /// Gauge assignment.
+  void set(MetricId id, long long v) {
+    if (id >= values_.size()) grow(id);
+    values_[id] = v;
+  }
+  /// Gauge high-water mark.
+  void raise(MetricId id, long long v) {
+    if (id >= values_.size()) grow(id);
+    if (v > values_[id]) values_[id] = v;
+  }
+  /// Histogram observation.
+  void observe(MetricId id, std::uint64_t v);
+
+  long long value(MetricId id) const {
+    return id < values_.size() ? values_[id] : 0;
+  }
+  /// Stable pointer into the slab, for hot loops that bump one metric at
+  /// member-increment cost. The pointer is invalidated by a later
+  /// add/set/observe/slot with a LARGER id (the slab reallocates) — touch
+  /// every id you'll cache first, then take the pointers.
+  long long* slot(MetricId id) {
+    if (id >= values_.size()) grow(id);
+    return &values_[id];
+  }
+  /// Null when the id has no observations in this sheet.
+  const HistData* hist(MetricId id) const;
+
+  /// Elementwise fold (counters/gauges sum, histogram buckets sum).
+  void merge_from(const Sheet& other);
+  void clear();
+
+  std::size_t touched() const { return values_.size(); }
+
+ private:
+  void grow(MetricId id);
+
+  std::vector<long long> values_;
+  std::vector<std::unique_ptr<HistData>> hists_;  // parallel to values_
+};
+
+/// One rendered metric for reports: registry name + merged value.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  long long value = 0;   // counters / gauges
+  HistData hist;         // histograms
+};
+
+/// Renders every non-zero metric of a sheet, sorted by name — a
+/// deterministic, self-describing view for the campaign JSON report.
+std::vector<MetricValue> snapshot(const Sheet& sheet);
+
+}  // namespace obd::obs

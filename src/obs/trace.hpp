@@ -1,0 +1,135 @@
+// Chrome/Perfetto trace-event emitter.
+//
+// The process-global Recorder collects TraceEvents (duration begin/end,
+// counters, metadata) and renders them either as a complete Chrome trace
+// JSON ({"traceEvents":[...]}, loadable in ui.perfetto.dev / about:tracing)
+// or as an NDJSON *fragment* — one event object per line — which shard
+// child processes write and the supervisor parses back into structured
+// events to stitch one multi-process trace.
+//
+// Disabled cost: tracing_on() is a relaxed atomic load; every emit site
+// checks it first (Span does so inline), so a build with tracing compiled
+// in but not enabled does no allocation, no locking, no clock reads.
+//
+// Timestamps: on enable() the recorder anchors wall-clock (system_clock)
+// once and derives every event timestamp as anchor + steady_clock elapsed.
+// Within a process timestamps are therefore monotonic; across shard
+// processes they share the wall-clock epoch closely enough for the stitched
+// per-shard tracks to line up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace obd::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'B';              ///< B/E (span), C (counter), M (metadata), i
+  std::int64_t ts_us = 0;     ///< microseconds since the Unix epoch
+  std::int32_t pid = 0;
+  std::int32_t tid = 0;
+  /// Rendered into "args": numeric key/values for spans and counters, or a
+  /// single {"name": string} for metadata events (string stored in
+  /// arg_name).
+  std::vector<std::pair<std::string, long long>> args;
+  std::string arg_name;       ///< M-event payload ("process_name"/"thread_name")
+};
+
+class Recorder {
+ public:
+  static Recorder& instance();
+
+  /// Turns recording on. `pid` becomes the process track id (shard children
+  /// pass shard_index + 1 so the supervisor's own track is pid 0);
+  /// `process_name` labels the track via an M event.
+  void enable(std::int32_t pid, std::string_view process_name);
+  void disable();
+  bool enabled() const;
+
+  /// Current thread's track id: 0 for the thread that called enable(),
+  /// dense small integers for threads seen after it.
+  std::int32_t current_tid();
+  /// Labels the calling thread's track (deduped: re-labeling with the same
+  /// name is a no-op).
+  void set_thread_name(std::string_view name);
+
+  void begin(std::string_view name, std::string_view cat = "atpg");
+  void end(std::string_view name, std::string_view cat = "atpg");
+  void counter(std::string_view name, long long value,
+               std::string_view series = "value");
+  void instant(std::string_view name, std::string_view cat = "atpg");
+
+  /// Appends an externally produced event (fragment stitching).
+  void append(TraceEvent ev);
+
+  std::int64_t now_us() const;
+  std::size_t event_count() const;
+  std::vector<TraceEvent> events_copy() const;
+
+  /// Complete Chrome trace document.
+  std::string to_json() const;
+  /// Fragment form: one event object per line, no wrapper.
+  std::string to_ndjson() const;
+
+  /// Drops all recorded events (keeps enabled state and tid assignments).
+  void clear();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// True when the global recorder is recording; emit sites gate on this.
+bool tracing_on();
+
+/// RAII duration span. Emits nothing when tracing is off at construction;
+/// remembers whether it emitted the begin so a mid-span enable/disable
+/// cannot unbalance the stream.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view cat = "atpg") {
+    if (tracing_on()) {
+      name_.assign(name);
+      cat_.assign(cat);
+      Recorder::instance().begin(name_, cat_);
+      open_ = true;
+    }
+  }
+  ~Span() { close(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early (idempotent).
+  void close() {
+    if (open_) {
+      Recorder::instance().end(name_, cat_);
+      open_ = false;
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string cat_;
+  bool open_ = false;
+};
+
+/// Renders one event as a JSON object (no trailing newline).
+std::string event_json(const TraceEvent& ev);
+
+/// Parses one fragment line back into an event. Returns false on malformed
+/// input (the supervisor skips such lines and counts them).
+bool parse_event_line(std::string_view line, TraceEvent& out);
+
+/// Structural validation shared by tests and the CI trace checker:
+/// per-(pid,tid) track, B/E events must nest with matching names and
+/// timestamps must be non-decreasing. Returns true when clean; appends
+/// human-readable problems otherwise.
+bool validate_events(const std::vector<TraceEvent>& events,
+                     std::vector<std::string>* problems = nullptr);
+
+}  // namespace obd::obs

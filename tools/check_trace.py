@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Structural checker for obd_atpg Chrome/Perfetto traces.
+
+Validates what ui.perfetto.dev would silently tolerate but we must not:
+every B has a matching E on the same (pid, tid) track with the same name,
+timestamps never run backwards within a track, and (optionally) a required
+set of span names and process ids is present. Exits nonzero with a
+diagnostic on the first structural problem.
+
+Usage:
+  check_trace.py trace.json [--require-span NAME]... [--require-pid N]...
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--require-span", action="append", default=[],
+                    help="span name that must appear as a B event")
+    ap.add_argument("--require-pid", action="append", type=int, default=[],
+                    help="process id that must own at least one event")
+    args = ap.parse_args()
+
+    with open(args.trace) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents")
+
+    stacks = {}   # (pid, tid) -> [span name, ...]
+    last_ts = {}  # (pid, tid) -> ts of the previous timed event
+    span_names = set()
+    pids = set()
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} missing '{key}': {ev}")
+        ph = ev["ph"]
+        pids.add(ev["pid"])
+        if ph == "M":
+            continue  # metadata carries no timing
+        if "ts" not in ev:
+            fail(f"event {i} missing 'ts': {ev}")
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if ts < last_ts.get(track, ts):
+            fail(f"event {i} ({ev['name']}) time runs backwards on "
+                 f"pid={track[0]} tid={track[1]}: {ts} < {last_ts[track]}")
+        last_ts[track] = ts
+        if ph == "B":
+            stacks.setdefault(track, []).append(ev["name"])
+            span_names.add(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                fail(f"event {i}: E '{ev['name']}' with no open span on "
+                     f"pid={track[0]} tid={track[1]}")
+            top = stack.pop()
+            if top != ev["name"]:
+                fail(f"event {i}: E '{ev['name']}' closes span '{top}'")
+        elif ph not in ("C", "i", "I"):
+            fail(f"event {i}: unknown phase '{ph}'")
+
+    for track, stack in stacks.items():
+        if stack:
+            fail(f"unclosed span(s) {stack} on pid={track[0]} tid={track[1]}")
+    for name in args.require_span:
+        if name not in span_names:
+            fail(f"required span '{name}' not found (have: "
+                 f"{sorted(span_names)})")
+    for pid in args.require_pid:
+        if pid not in pids:
+            fail(f"required pid {pid} not found (have: {sorted(pids)})")
+
+    print(f"check_trace: {len(events)} events, {len(span_names)} span names, "
+          f"pids {sorted(pids)} — OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,7 +38,29 @@
 //                                  temp + fsync + rename)
 //   --min-coverage F               exit 2 unless coverage >= F (CI gate)
 //   --write-bench FILE             re-emit the parsed netlist as .bench
-//   --quiet                        suppress the summary table
+//   --quiet                        suppress the summary table and warnings
+//                                  (errors still print)
+//   --verbose                      debug-level progress logging on stderr
+//
+// Observability:
+//   --trace FILE                   record a Chrome/Perfetto trace: campaign
+//                                  phase spans, per-worker scheduler
+//                                  tracks, and (with --shards) one stitched
+//                                  per-shard process track per child. Load
+//                                  the file in ui.perfetto.dev. Shard
+//                                  children (--shard) write an NDJSON
+//                                  fragment instead; the supervisor
+//                                  stitches the fragments. Tracing never
+//                                  perturbs results: matrix_hash is
+//                                  bit-identical with tracing on or off
+//   --progress                     live progress: shard children append
+//                                  heartbeat NDJSON records next to their
+//                                  checkpoints and the supervisor emits
+//                                  aggregated {"event":"status",...} lines
+//                                  with an ETA on stderr; heartbeat growth
+//                                  also counts as liveness for the
+//                                  --shard-timeout watchdog
+//   --progress-interval S          heartbeat/status cadence (default 1.0)
 //
 // Crash-tolerant sharded campaigns:
 //   --shards N                     supervise N shard child processes and
@@ -71,11 +93,16 @@
 #include <fstream>
 #include <string>
 
+#include <chrono>
+
 #include "flow/campaign.hpp"
 #include "flow/inject.hpp"
 #include "flow/shard.hpp"
 #include "flow/supervisor.hpp"
 #include "io/bench.hpp"
+#include "obs/log.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/io.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -100,7 +127,9 @@ int usage(const char* argv0) {
                "[--backtracks N] [--podem-time S] [--sat-escalate] "
                "[--sat-conflict-budget N] [--ndetect N]\n"
                "       [--no-compact] [--report FILE.json] "
-               "[--min-coverage F] [--write-bench FILE] [--quiet]\n"
+               "[--min-coverage F] [--write-bench FILE] [--quiet] "
+               "[--verbose]\n"
+               "       [--trace FILE] [--progress] [--progress-interval S]\n"
                "       [--shards N | --shard I/N] [--checkpoint-dir DIR] "
                "[--resume] [--shard-timeout S]\n"
                "       [--max-retries N] [--shard-jobs N] [--inject SPEC]\n",
@@ -149,7 +178,25 @@ std::string self_exe(const char* argv0) {
 bool write_report(const std::string& path, const flow::CampaignReport& r) {
   std::string err;
   if (!util::write_file_atomic(path, flow::report_json(r), &err)) {
-    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), err.c_str());
+    obs::logf(obs::LogLevel::kError, "cannot write %s: %s", path.c_str(),
+              err.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Serializes the recorder: a complete Chrome trace JSON for one-shot and
+/// supervisor runs, an NDJSON fragment for shard children (the supervisor
+/// stitches those into its own document).
+bool write_trace(const std::string& path, bool fragment) {
+  std::string err;
+  if (!util::write_file_atomic(path,
+                               fragment
+                                   ? obs::Recorder::instance().to_ndjson()
+                                   : obs::Recorder::instance().to_json(),
+                               &err)) {
+    obs::logf(obs::LogLevel::kError, "cannot write trace %s: %s", path.c_str(),
+              err.c_str());
     return false;
   }
   return true;
@@ -163,7 +210,11 @@ int main(int argc, char** argv) {
   flow::SupervisorOptions sup;
   double min_coverage = -1.0;
   bool quiet = false;
+  bool verbose = false;
   bool resume = false;
+  bool progress = false;
+  double progress_interval_s = 1.0;
+  std::string trace_path;
   int shard_index = -1, shard_count = 0;  // --shard I/N
   int shards = 0;                         // --shards N (supervisor)
   std::string checkpoint_dir, inject_spec;
@@ -180,13 +231,13 @@ int main(int argc, char** argv) {
     long long n = 0;
     if (a == "--model") {
       if (!flow::fault_model_from_string(value("--model"), opt.model)) {
-        std::fprintf(stderr, "unknown model '%s'\n", argv[i]);
+        obs::logf(obs::LogLevel::kError, "unknown model '%s'", argv[i]);
         return 1;
       }
     } else if (a == "--scan-style") {
       if (!flow::scan_style_from_string(value("--scan-style"),
                                         opt.scan_style)) {
-        std::fprintf(stderr, "unknown scan style '%s'\n", argv[i]);
+        obs::logf(obs::LogLevel::kError, "unknown scan style '%s'", argv[i]);
         return 1;
       }
     } else if (a == "--threads") {
@@ -198,13 +249,14 @@ int main(int argc, char** argv) {
       else if (p == "pattern") opt.sim.packing = atpg::SimPacking::kPatternMajor;
       else if (p == "fault") opt.sim.packing = atpg::SimPacking::kFaultMajor;
       else {
-        std::fprintf(stderr, "unknown packing '%s'\n", p.c_str());
+        obs::logf(obs::LogLevel::kError, "unknown packing '%s'", p.c_str());
         return 1;
       }
     } else if (a == "--lanes") {
       if (!parse_long(value("--lanes"), n) ||
           (n != 64 && n != 128 && n != 256 && n != 512)) {
-        std::fprintf(stderr, "--lanes must be 64, 128, 256, or 512\n");
+        obs::logf(obs::LogLevel::kError,
+                  "--lanes must be 64, 128, 256, or 512");
         return 1;
       }
       opt.sim.lane_words = static_cast<int>(n / 64);
@@ -223,7 +275,8 @@ int main(int argc, char** argv) {
     } else if (a == "--podem-time") {
       if (!parse_double(value("--podem-time"), opt.podem_time_budget_s) ||
           opt.podem_time_budget_s < 0.0) {
-        std::fprintf(stderr, "--podem-time needs a non-negative seconds value\n");
+        obs::logf(obs::LogLevel::kError,
+                  "--podem-time needs a non-negative seconds value");
         return 1;
       }
     } else if (a == "--sat-escalate") {
@@ -243,16 +296,30 @@ int main(int argc, char** argv) {
       // Strict parse: a typo here must not silently disable a CI gate.
       if (!parse_double(value("--min-coverage"), min_coverage) ||
           min_coverage < 0.0 || min_coverage > 1.0) {
-        std::fprintf(stderr, "--min-coverage needs a fraction in [0, 1]\n");
+        obs::logf(obs::LogLevel::kError,
+                  "--min-coverage needs a fraction in [0, 1]");
         return 1;
       }
     } else if (a == "--write-bench") {
       write_bench_path = value("--write-bench");
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else if (a == "--trace") {
+      trace_path = value("--trace");
+    } else if (a == "--progress") {
+      progress = true;
+    } else if (a == "--progress-interval") {
+      if (!parse_double(value("--progress-interval"), progress_interval_s) ||
+          progress_interval_s <= 0.0) {
+        obs::logf(obs::LogLevel::kError,
+                  "--progress-interval needs positive seconds");
+        return 1;
+      }
     } else if (a == "--shard") {
       if (!parse_shard_spec(value("--shard"), shard_index, shard_count)) {
-        std::fprintf(stderr, "--shard needs I/N with 0 <= I < N\n");
+        obs::logf(obs::LogLevel::kError, "--shard needs I/N with 0 <= I < N");
         return 1;
       }
     } else if (a == "--shards") {
@@ -265,7 +332,8 @@ int main(int argc, char** argv) {
     } else if (a == "--shard-timeout") {
       if (!parse_double(value("--shard-timeout"), sup.shard_timeout_s) ||
           sup.shard_timeout_s < 0.0) {
-        std::fprintf(stderr, "--shard-timeout needs non-negative seconds\n");
+        obs::logf(obs::LogLevel::kError,
+                  "--shard-timeout needs non-negative seconds");
         return 1;
       }
     } else if (a == "--max-retries") {
@@ -277,7 +345,7 @@ int main(int argc, char** argv) {
     } else if (a == "--inject") {
       inject_spec = value("--inject");
     } else if (!a.empty() && a[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      obs::logf(obs::LogLevel::kError, "unknown option '%s'", a.c_str());
       return usage(argv[0]);
     } else if (path.empty()) {
       path = a;
@@ -287,21 +355,47 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return usage(argv[0]);
   if (shards > 0 && shard_index >= 0) {
-    std::fprintf(stderr, "--shards and --shard are mutually exclusive\n");
+    obs::logf(obs::LogLevel::kError,
+              "--shards and --shard are mutually exclusive");
     return 1;
   }
   if (inject_spec.empty())
     if (const char* env = std::getenv("FLOW_FAULT_INJECT")) inject_spec = env;
+  obs::set_log_level(verbose ? obs::LogLevel::kDebug
+                             : quiet ? obs::LogLevel::kError
+                                     : obs::LogLevel::kWarn);
 
+  // Recorder setup before any instrumented work. Shard children record on
+  // their own process track (pid shard+1 — the supervisor owns pid 0) and
+  // dump an NDJSON fragment the parent stitches.
+  if (!trace_path.empty()) {
+    if (shard_index >= 0)
+      obs::Recorder::instance().enable(
+          shard_index + 1, "shard " + std::to_string(shard_index));
+    else
+      obs::Recorder::instance().enable(0, shards > 0 ? "supervisor"
+                                                     : "obd_atpg");
+    obs::Recorder::instance().set_thread_name("main");
+  }
+
+  const auto t_parse = std::chrono::steady_clock::now();
+  obs::Span parse_span("parse", "io");
   const io::BenchParseResult parsed = io::load_bench_file(path);
+  parse_span.close();
+  const double parse_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_parse)
+          .count();
   if (!parsed.ok) {
-    std::fprintf(stderr, "%s: %s\n", path.c_str(), parsed.error.c_str());
+    obs::logf(obs::LogLevel::kError, "%s: %s", path.c_str(),
+              parsed.error.c_str());
     return 1;
   }
+  obs::logf(obs::LogLevel::kDebug, "parsed %s in %.3fs", path.c_str(), parse_s);
   if (!write_bench_path.empty()) {
     std::ofstream out(write_bench_path);
     if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", write_bench_path.c_str());
+      obs::logf(obs::LogLevel::kError, "cannot write %s",
+                write_bench_path.c_str());
       return 1;
     }
     out << io::write_bench(parsed.seq);
@@ -315,7 +409,7 @@ int main(int argc, char** argv) {
     flow::FaultInjector& inj = flow::FaultInjector::instance();
     std::string ierr;
     if (!inj.configure(inject_spec, &ierr)) {
-      std::fprintf(stderr, "%s\n", ierr.c_str());
+      obs::logf(obs::LogLevel::kError, "%s", ierr.c_str());
       return 1;
     }
     long long attempt = 0;
@@ -329,8 +423,15 @@ int main(int argc, char** argv) {
     so.shard_count = static_cast<std::uint32_t>(shard_count);
     so.resume = resume;
     so.stop = &g_stop;
+    if (progress && !checkpoint_dir.empty()) {
+      so.progress_path = obs::progress_path(checkpoint_dir, shard_index);
+      so.progress_interval_s = progress_interval_s;
+    }
     const flow::ShardRunResult rr =
         flow::run_campaign_shard(parsed.seq, opt, so);
+    // The fragment is written on every exit path — an interrupted or failed
+    // attempt's spans are still worth seeing in the stitched trace.
+    if (!trace_path.empty()) write_trace(trace_path, /*fragment=*/true);
     switch (rr.status) {
       case flow::ShardRunStatus::kDone:
         if (!quiet)
@@ -339,16 +440,16 @@ int main(int argc, char** argv) {
                       rr.state.useful_pool.size() + rr.state.det_tests.size());
         return 0;
       case flow::ShardRunStatus::kInterrupted:
-        std::fprintf(stderr, "shard %d/%d: %s\n", shard_index, shard_count,
-                     rr.error.c_str());
+        obs::logf(obs::LogLevel::kError, "shard %d/%d: %s", shard_index,
+                  shard_count, rr.error.c_str());
         return 75;  // EX_TEMPFAIL: resume to continue
       case flow::ShardRunStatus::kBadCheckpoint:
-        std::fprintf(stderr, "shard %d/%d: %s\n", shard_index, shard_count,
-                     rr.error.c_str());
+        obs::logf(obs::LogLevel::kError, "shard %d/%d: %s", shard_index,
+                  shard_count, rr.error.c_str());
         return 71;  // supervisor deletes the checkpoint and retries fresh
       case flow::ShardRunStatus::kError:
-        std::fprintf(stderr, "shard %d/%d: %s\n", shard_index, shard_count,
-                     rr.error.c_str());
+        obs::logf(obs::LogLevel::kError, "shard %d/%d: %s", shard_index,
+                  shard_count, rr.error.c_str());
         return 1;
     }
     return 1;
@@ -363,49 +464,59 @@ int main(int argc, char** argv) {
     sup.child_exe = self_exe(argv[0]);
     sup.circuit_path = path;
     sup.stop = &g_stop;
-    const flow::SupervisorResult sr =
+    sup.trace = !trace_path.empty();
+    sup.progress = progress;
+    sup.progress_interval_s = progress_interval_s;
+    flow::SupervisorResult sr =
         flow::run_supervised_campaign(parsed.seq, opt, sup);
+    sr.report.time.parse_s = parse_s;
+    sr.report.time.total_s += parse_s;
     for (const flow::ShardAttempt& at : sr.attempts)
       if (at.outcome != flow::ShardOutcome::kClean)
-        std::fprintf(stderr, "shard %d attempt %d: %s%s%s\n", at.shard,
-                     at.attempt, to_string(at.outcome),
-                     at.detail.empty() ? "" : " — ", at.detail.c_str());
+        obs::logf(obs::LogLevel::kWarn, "shard %d attempt %d: %s%s%s",
+                  at.shard, at.attempt, to_string(at.outcome),
+                  at.detail.empty() ? "" : " — ", at.detail.c_str());
+    if (!trace_path.empty()) write_trace(trace_path, /*fragment=*/false);
     if (!quiet) flow::print_report(sr.report);
     if (!report_path.empty() && !write_report(report_path, sr.report))
       return 1;
     if (sr.interrupted) return 75;
     if (!sr.report.ok()) {
-      std::fprintf(stderr, "%s\n", sr.report.error.c_str());
+      obs::logf(obs::LogLevel::kError, "%s", sr.report.error.c_str());
       return 1;
     }
     if (sr.report.partial) {
       std::string q;
       for (const int s : sr.report.quarantined_shards)
         q += (q.empty() ? "" : ", ") + std::to_string(s);
-      std::fprintf(stderr,
-                   "partial result: shard(s) %s quarantined after retries\n",
-                   q.c_str());
+      obs::logf(obs::LogLevel::kError,
+                "partial result: shard(s) %s quarantined after retries",
+                q.c_str());
       return 3;
     }
     if (min_coverage >= 0.0 && sr.report.coverage < min_coverage) {
-      std::fprintf(stderr, "coverage %.4f below --min-coverage %.4f\n",
-                   sr.report.coverage, min_coverage);
+      obs::logf(obs::LogLevel::kError,
+                "coverage %.4f below --min-coverage %.4f", sr.report.coverage,
+                min_coverage);
       return 2;
     }
     return 0;
   }
 
   // --- One-shot campaign ------------------------------------------------
-  const flow::CampaignReport report = flow::run_campaign(parsed.seq, opt);
+  flow::CampaignReport report = flow::run_campaign(parsed.seq, opt);
+  report.time.parse_s = parse_s;
+  report.time.total_s += parse_s;
+  if (!trace_path.empty()) write_trace(trace_path, /*fragment=*/false);
   if (!quiet) flow::print_report(report);
   if (!report_path.empty() && !write_report(report_path, report)) return 1;
   if (!report.ok()) {
-    std::fprintf(stderr, "%s\n", report.error.c_str());
+    obs::logf(obs::LogLevel::kError, "%s", report.error.c_str());
     return 1;
   }
   if (min_coverage >= 0.0 && report.coverage < min_coverage) {
-    std::fprintf(stderr, "coverage %.4f below --min-coverage %.4f\n",
-                 report.coverage, min_coverage);
+    obs::logf(obs::LogLevel::kError, "coverage %.4f below --min-coverage %.4f",
+              report.coverage, min_coverage);
     return 2;
   }
   return 0;
