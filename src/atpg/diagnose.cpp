@@ -4,6 +4,19 @@
 
 namespace obd::atpg {
 
+std::vector<ObdFaultSite> prune_untestable(
+    const std::vector<ObdFaultSite>& faults,
+    const std::vector<std::uint32_t>& drop_indices) {
+  std::vector<std::uint8_t> drop(faults.size(), 0);
+  for (const std::uint32_t i : drop_indices)
+    if (i < faults.size()) drop[i] = 1;
+  std::vector<ObdFaultSite> kept;
+  kept.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (!drop[i]) kept.push_back(faults[i]);
+  return kept;
+}
+
 ObdDictionary::ObdDictionary(const Circuit& c, std::vector<TwoVectorTest> tests,
                              std::vector<ObdFaultSite> faults)
     : c_(c), tests_(std::move(tests)), faults_(std::move(faults)) {

@@ -20,6 +20,16 @@
 
 namespace obd::atpg {
 
+/// Drops the faults at `drop_indices` (indices into `faults`) before
+/// dictionary construction — typically the SAT-proven-untestable
+/// representatives from a campaign's escalation tail. Untestable faults
+/// have all-zero syndromes by definition, so keeping them only deflates
+/// resolution() and inflates mean_ambiguity() without ever being
+/// diagnosable. Out-of-range indices are ignored; order is preserved.
+std::vector<ObdFaultSite> prune_untestable(
+    const std::vector<ObdFaultSite>& faults,
+    const std::vector<std::uint32_t>& drop_indices);
+
 /// Per-fault syndromes over a fixed test set.
 class ObdDictionary {
  public:

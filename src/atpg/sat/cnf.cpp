@@ -64,37 +64,42 @@ bool CnfEncoder::assert_po_difference(const NetVars& good,
     const Var d = s_.new_var();
     // d -> (g != f); the reverse direction is unnecessary for a one-sided
     // "some PO differs" assertion.
-    s_.add_clause({mk_lit(d, true), mk_lit(gv), mk_lit(fv)});
-    s_.add_clause({mk_lit(d, true), mk_lit(gv, true), mk_lit(fv, true)});
+    clause({mk_lit(d, true), mk_lit(gv), mk_lit(fv)});
+    clause({mk_lit(d, true), mk_lit(gv, true), mk_lit(fv, true)});
     any_diff.push_back(mk_lit(d));
   }
   if (any_diff.empty()) return false;
-  s_.add_clause(any_diff);
+  clause(any_diff);
   return true;
 }
 
 void CnfEncoder::pin(const NetVars& nv, NetId n, bool value) {
-  s_.add_clause({mk_lit(nv.of(n), !value)});
+  clause({mk_lit(nv.of(n), !value)});
+}
+
+void CnfEncoder::clause(std::vector<Lit> lits) {
+  if (guard_ != -1) lits.push_back(guard_);
+  s_.add_clause(lits);
 }
 
 void CnfEncoder::encode_gate(GateType t, Var o, const Var* x) {
   const int n = logic::gate_arity(t);
   switch (t) {
     case GateType::kBuf:
-      s_.add_clause({mk_lit(o, true), mk_lit(x[0])});
-      s_.add_clause({mk_lit(o), mk_lit(x[0], true)});
+      clause({mk_lit(o, true), mk_lit(x[0])});
+      clause({mk_lit(o), mk_lit(x[0], true)});
       return;
     case GateType::kInv:
-      s_.add_clause({mk_lit(o, true), mk_lit(x[0], true)});
-      s_.add_clause({mk_lit(o), mk_lit(x[0])});
+      clause({mk_lit(o, true), mk_lit(x[0], true)});
+      clause({mk_lit(o), mk_lit(x[0])});
       return;
     case GateType::kAnd2: {
       std::vector<Lit> all{mk_lit(o)};
       for (int i = 0; i < n; ++i) {
-        s_.add_clause({mk_lit(o, true), mk_lit(x[i])});
+        clause({mk_lit(o, true), mk_lit(x[i])});
         all.push_back(mk_lit(x[i], true));
       }
-      s_.add_clause(all);
+      clause(all);
       return;
     }
     case GateType::kNand2:
@@ -102,19 +107,19 @@ void CnfEncoder::encode_gate(GateType t, Var o, const Var* x) {
     case GateType::kNand4: {
       std::vector<Lit> all{mk_lit(o, true)};
       for (int i = 0; i < n; ++i) {
-        s_.add_clause({mk_lit(o), mk_lit(x[i])});
+        clause({mk_lit(o), mk_lit(x[i])});
         all.push_back(mk_lit(x[i], true));
       }
-      s_.add_clause(all);
+      clause(all);
       return;
     }
     case GateType::kOr2: {
       std::vector<Lit> all{mk_lit(o, true)};
       for (int i = 0; i < n; ++i) {
-        s_.add_clause({mk_lit(o), mk_lit(x[i], true)});
+        clause({mk_lit(o), mk_lit(x[i], true)});
         all.push_back(mk_lit(x[i]));
       }
-      s_.add_clause(all);
+      clause(all);
       return;
     }
     case GateType::kNor2:
@@ -122,34 +127,34 @@ void CnfEncoder::encode_gate(GateType t, Var o, const Var* x) {
     case GateType::kNor4: {
       std::vector<Lit> all{mk_lit(o)};
       for (int i = 0; i < n; ++i) {
-        s_.add_clause({mk_lit(o, true), mk_lit(x[i], true)});
+        clause({mk_lit(o, true), mk_lit(x[i], true)});
         all.push_back(mk_lit(x[i]));
       }
-      s_.add_clause(all);
+      clause(all);
       return;
     }
     case GateType::kXor2:
-      s_.add_clause({mk_lit(o, true), mk_lit(x[0]), mk_lit(x[1])});
-      s_.add_clause({mk_lit(o, true), mk_lit(x[0], true), mk_lit(x[1], true)});
-      s_.add_clause({mk_lit(o), mk_lit(x[0], true), mk_lit(x[1])});
-      s_.add_clause({mk_lit(o), mk_lit(x[0]), mk_lit(x[1], true)});
+      clause({mk_lit(o, true), mk_lit(x[0]), mk_lit(x[1])});
+      clause({mk_lit(o, true), mk_lit(x[0], true), mk_lit(x[1], true)});
+      clause({mk_lit(o), mk_lit(x[0], true), mk_lit(x[1])});
+      clause({mk_lit(o), mk_lit(x[0]), mk_lit(x[1], true)});
       return;
     case GateType::kXnor2:
-      s_.add_clause({mk_lit(o), mk_lit(x[0]), mk_lit(x[1])});
-      s_.add_clause({mk_lit(o), mk_lit(x[0], true), mk_lit(x[1], true)});
-      s_.add_clause({mk_lit(o, true), mk_lit(x[0], true), mk_lit(x[1])});
-      s_.add_clause({mk_lit(o, true), mk_lit(x[0]), mk_lit(x[1], true)});
+      clause({mk_lit(o), mk_lit(x[0]), mk_lit(x[1])});
+      clause({mk_lit(o), mk_lit(x[0], true), mk_lit(x[1], true)});
+      clause({mk_lit(o, true), mk_lit(x[0], true), mk_lit(x[1])});
+      clause({mk_lit(o, true), mk_lit(x[0]), mk_lit(x[1], true)});
       return;
     default: {
       // Complex cells (AOI/OAI): truth-table expansion against the
       // simulator's own gate function — one clause per input minterm.
-      std::vector<Lit> clause;
+      std::vector<Lit> lits;
       for (std::uint32_t m = 0; m < (1u << n); ++m) {
-        clause.clear();
+        lits.clear();
         for (int i = 0; i < n; ++i)
-          clause.push_back(mk_lit(x[i], ((m >> i) & 1u) != 0));
-        clause.push_back(mk_lit(o, !logic::gate_eval(t, m)));
-        s_.add_clause(clause);
+          lits.push_back(mk_lit(x[i], ((m >> i) & 1u) != 0));
+        lits.push_back(mk_lit(o, !logic::gate_eval(t, m)));
+        clause(lits);
       }
       return;
     }

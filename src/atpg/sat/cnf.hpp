@@ -59,9 +59,22 @@ class CnfEncoder {
   /// Consistency clauses for one gate over solver variables.
   void encode_gate(logic::GateType t, Var out, const Var* ins);
 
+  /// Every clause emitted while a guard is set gets the literal appended —
+  /// the standard activation-literal trick: with `guard` an activation
+  /// variable's *negation*, the clauses are inert until the solver assumes
+  /// the activation variable true. Lets one persistent solver hold many
+  /// faulty-cone encodings side by side (see SatSession).
+  void set_guard(Lit guard) { guard_ = guard; }
+  void clear_guard() { guard_ = -1; }
+
  private:
+  /// All clause emission funnels through here so the guard applies
+  /// uniformly (including the forced-net pin inside encode_faulty).
+  void clause(std::vector<Lit> lits);
+
   const logic::Circuit& c_;
   Solver& s_;
+  Lit guard_ = -1;
 };
 
 }  // namespace obd::atpg::sat

@@ -1,0 +1,92 @@
+// Incremental SAT session for the campaign's escalation tail.
+//
+// sat_atpg.hpp's entry points build a throwaway solver per excitation
+// pair, so a 47-fault abort tail re-encodes the good circuit and re-derives
+// the same learned clauses dozens of times. A SatSession keeps ONE
+// persistent solver for a whole campaign:
+//
+//   - the good circuit's two scan frames are CNF-encoded once;
+//   - each faulty cone + miter is encoded once per (forced net, value)
+//     under a fresh activation literal, so faults sharing a fanout cone —
+//     every OBD transistor of one gate, for a start — reuse the encoding;
+//   - per-excitation obligations (gate-input pins, the fault-activation
+//     pin) travel as solver *assumptions*, never as clauses, so nothing is
+//     retracted between calls and learned clauses, variable activity, and
+//     saved phases accumulate across the tail.
+//
+// Verdict compatibility is by construction, not by luck: an UNSAT answer
+// under assumptions refutes exactly the fresh pair formula (the other
+// cones' guarded clauses are satisfiable independently by leaving their
+// activation variables false), and any SAT or budget-out answer is
+// delegated to the fresh single-pair path, so emitted cubes are
+// byte-identical to sat_generate_*'s. Escalation verdicts therefore do not
+// depend on session history, which keeps checkpoint/resume and shard
+// reconciliation contracts untouched.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "atpg/sat/cnf.hpp"
+#include "atpg/sat/frames.hpp"
+#include "atpg/sat/sat_atpg.hpp"
+#include "atpg/sat/solver.hpp"
+
+namespace obd::atpg::sat {
+
+/// Where the session actually saved work, for the campaign report and the
+/// obs registry. Conflicts/decisions/restarts count the persistent
+/// solver's effort only (fresh-fallback effort lands in SatAtpgResult like
+/// before).
+struct SatSessionStats {
+  long long pairs_total = 0;        ///< excitation pairs driven through the session
+  long long cone_encodes = 0;       ///< faulty cones encoded (first sighting)
+  long long cone_hits = 0;          ///< pairs that reused a resident cone
+  long long unobservable_hits = 0;  ///< refuted from the structural cache alone
+  long long incremental_refutes = 0;  ///< UNSAT answered by the persistent solver
+  long long fresh_fallbacks = 0;    ///< pairs delegated to a fresh solver
+  long long vars_shared = 0;        ///< good-frame vars a fresh solver would re-create
+  long long clauses_kept = 0;       ///< learned clauses resident at the last pair
+  long long conflicts = 0;
+  long long decisions = 0;
+  long long restarts = 0;
+};
+
+class SatSession {
+ public:
+  explicit SatSession(const logic::Circuit& c, SatAtpgOptions opt = {});
+
+  /// Drop-in replacements for the sat_generate_* free functions: same
+  /// verdicts, byte-identical cubes, amortized solving.
+  SatAtpgResult generate_obd_test(const ObdFaultSite& site);
+  SatAtpgResult generate_transition_test(const TransitionFault& fault);
+  SatAtpgResult generate_stuck_test(const StuckFault& fault);
+
+  const SatSessionStats& stats() const { return stats_; }
+
+ private:
+  struct ConeEntry {
+    Var act = -1;           // activation variable guarding the cone clauses
+    bool observable = false;  // miter reached a PO (false = always refuted)
+    NetVars faulty;
+  };
+
+  detail::PairStatus solve_pair(const detail::FrameGoal& fault_frame,
+                                const std::optional<detail::FrameGoal>& justify,
+                                SatAtpgResult* r);
+  ConeEntry& cone_for(logic::NetId net, bool value);
+  void ensure_frame1();
+
+  const logic::Circuit& c_;
+  SatAtpgOptions opt_;
+  Solver s_;
+  CnfEncoder enc_;
+  NetVars good2_;  // fault/capture frame, encoded at construction
+  NetVars good1_;  // justification frame, encoded on first two-frame pair
+  bool have_frame1_ = false;
+  std::map<std::pair<logic::NetId, bool>, ConeEntry> cones_;
+  SatSessionStats stats_;
+};
+
+}  // namespace obd::atpg::sat

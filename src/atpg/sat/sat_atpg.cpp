@@ -4,12 +4,15 @@
 
 #include "atpg/podem.hpp"
 #include "atpg/sat/cnf.hpp"
+#include "atpg/sat/frames.hpp"
 #include "core/excitation.hpp"
 #include "logic/gate.hpp"
 
 namespace obd::atpg::sat {
 namespace {
 
+using detail::FrameGoal;
+using detail::PairStatus;
 using logic::Circuit;
 using logic::NetId;
 using logic::Tri;
@@ -36,14 +39,6 @@ void eval3_forced(const Circuit& c, const std::vector<Tri>& pi,
                                     : logic::gate_eval3(gate.type, ins);
   }
 }
-
-/// One scan frame's obligations: net constraints on the good circuit and,
-/// for the fault frame, activation of the forced net plus a definite PO
-/// difference against the faulty circuit.
-struct FrameGoal {
-  std::vector<NetConstraint> constraints;
-  std::optional<StuckFault> fault;  // forced net + value (fault frame only)
-};
 
 /// Does the partially-specified PI assignment *definitely* meet the goal
 /// under 3-valued evaluation? Kleene conservatism makes a true answer a
@@ -92,14 +87,15 @@ TestVector to_test_vector(const std::vector<Tri>& pi) {
   return v;
 }
 
-enum class PairStatus { kCube, kRefuted, kUnknown };
+}  // namespace
 
-/// Encodes and solves one (fault frame, justify frame) pair. The justify
-/// frame is absent for single-frame (stuck-at) instances. On SAT, the
-/// model is lifted to a maximal-don't-care cube and re-validated by
-/// 3-valued simulation; a model that fails validation (an encoder bug, by
-/// construction impossible) degrades to kUnknown rather than emitting an
-/// unsound cube.
+namespace detail {
+
+/// The justify frame is absent for single-frame (stuck-at) instances. On
+/// SAT, the model is lifted to a maximal-don't-care cube and re-validated
+/// by 3-valued simulation; a model that fails validation (an encoder bug,
+/// by construction impossible) degrades to kUnknown rather than emitting
+/// an unsound cube.
 PairStatus solve_pair(const Circuit& c, const FrameGoal& fault_frame,
                       const std::optional<FrameGoal>& justify_frame,
                       const SatAtpgOptions& opt, SatAtpgResult* r) {
@@ -159,7 +155,10 @@ std::vector<NetConstraint> pin_gate_inputs(const Circuit& c, int gate_idx,
   return out;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::pin_gate_inputs;
+using detail::solve_pair;
 
 SatAtpgResult sat_generate_obd_test(const Circuit& c, const ObdFaultSite& site,
                                     const SatAtpgOptions& opt) {

@@ -228,11 +228,19 @@ Lit Solver::pick_branch() {
 }
 
 SolveStatus Solver::solve(long long conflict_budget) {
+  static const std::vector<Lit> kNoAssumptions;
+  return solve(kNoAssumptions, conflict_budget);
+}
+
+SolveStatus Solver::solve(const std::vector<Lit>& assumptions,
+                          long long conflict_budget) {
   if (!ok_) return SolveStatus::kUnsat;
+  backtrack_to(0);
   if (propagate() >= 0) {
     ok_ = false;
     return SolveStatus::kUnsat;
   }
+  const int n_assumptions = static_cast<int>(assumptions.size());
   long long conflicts_here = 0;
   long long restart_limit = kRestartUnit * luby(stats_.restarts);
   long long conflicts_since_restart = 0;
@@ -245,6 +253,12 @@ SolveStatus Solver::solve(long long conflict_budget) {
       ++conflicts_since_restart;
       if (decision_level() == 0) {
         ok_ = false;
+        return SolveStatus::kUnsat;
+      }
+      if (decision_level() <= n_assumptions) {
+        // Every decision up to here is an assumption, so the conflict is
+        // implied by them: UNSAT under assumptions, database still fine.
+        backtrack_to(0);
         return SolveStatus::kUnsat;
       }
       int bl = 0;
@@ -269,6 +283,27 @@ SolveStatus Solver::solve(long long conflict_budget) {
         restart_limit = kRestartUnit * luby(stats_.restarts);
         backtrack_to(0);
       }
+      continue;
+    }
+    if (decision_level() < n_assumptions) {
+      // Establish the next assumption as its own decision level. Restarts
+      // and backjumps land inside this prefix; re-establishment is the
+      // same walk, so no special casing elsewhere.
+      const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+      const std::int8_t av = assign_[static_cast<std::size_t>(var_of(a))];
+      if (av >= 0) {
+        if ((av == 1) == sign_of(a)) {
+          // Already forced false: contradicted without a single branch.
+          backtrack_to(0);
+          return SolveStatus::kUnsat;
+        }
+        // Already true: an empty pseudo-level keeps the invariant that
+        // levels 1..n_assumptions are exactly the assumptions.
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+        continue;
+      }
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      enqueue(a, -1);
       continue;
     }
     const Lit next = pick_branch();

@@ -64,6 +64,20 @@ class Solver {
   /// calls (incremental, level-0 state persists).
   SolveStatus solve(long long conflict_budget = 0);
 
+  /// Assumption-based solve: the literals are established as the first
+  /// decision levels, in order, before any free branching. kUnsat then
+  /// means "unsatisfiable *under the assumptions*" — the clause database
+  /// stays consistent and the solver reusable, unlike a genuine level-0
+  /// refutation (which still poisons the solver permanently). Learned
+  /// clauses, variable activity, and saved phases persist across calls,
+  /// which is what makes cone-grouped ATPG escalation cheap.
+  SolveStatus solve(const std::vector<Lit>& assumptions,
+                    long long conflict_budget = 0);
+
+  /// False once a clause contradiction was derived without assumptions;
+  /// every later solve() returns kUnsat.
+  bool okay() const { return ok_; }
+
   /// Model value of `v` after solve() returned kSat.
   bool value(Var v) const { return assign_[static_cast<std::size_t>(v)] == 1; }
 

@@ -8,6 +8,7 @@
 
 #include "flow/campaign_detail.hpp"
 #include "obs/trace.hpp"
+#include "util/prng.hpp"
 #include "util/table.hpp"
 
 namespace obd::flow {
@@ -38,6 +39,14 @@ struct FlowMetricIds {
   obs::MetricId sat_decisions;
   obs::MetricId sat_restarts;
   obs::MetricId sat_conflicts_per_fault;
+  obs::MetricId sat_inc_pairs;
+  obs::MetricId sat_inc_cone_encodes;
+  obs::MetricId sat_inc_cone_hits;
+  obs::MetricId sat_inc_refutes;
+  obs::MetricId sat_inc_fresh;
+  obs::MetricId sat_inc_vars_shared;
+  obs::MetricId sat_inc_clauses_kept;
+  obs::MetricId seeded_tests;
   static const FlowMetricIds& get() {
     static const FlowMetricIds ids = [] {
       FlowMetricIds m;
@@ -48,6 +57,14 @@ struct FlowMetricIds {
       m.sat_decisions = obs::counter("sat.decisions");
       m.sat_restarts = obs::counter("sat.restarts");
       m.sat_conflicts_per_fault = obs::histogram("sat.conflicts_per_fault");
+      m.sat_inc_pairs = obs::counter("sat.incremental_pairs");
+      m.sat_inc_cone_encodes = obs::counter("sat.cone_encodes");
+      m.sat_inc_cone_hits = obs::counter("sat.cone_hits");
+      m.sat_inc_refutes = obs::counter("sat.incremental_refutes");
+      m.sat_inc_fresh = obs::counter("sat.fresh_fallbacks");
+      m.sat_inc_vars_shared = obs::counter("sat.vars_shared");
+      m.sat_inc_clauses_kept = obs::counter("sat.clauses_kept");
+      m.seeded_tests = obs::counter("atpg.seeded_tests");
       return m;
     }();
     return ids;
@@ -142,8 +159,26 @@ void drive_loc_scan(const logic::SequentialCircuit& seq,
 /// top-off, matrix, compaction. The one-shot counterpart of the shard
 /// executor — both call the same ctx hooks, so a sharded merge reproducing
 /// this path bit-for-bit is structural, not coincidental.
+/// Deterministic random completion of a SAT cube's don't-care bits. Stuck
+/// campaigns keep the single-vector convention (v1 == v2); two-frame ones
+/// fill each frame independently.
+TwoVectorTest fill_cube(const XTwoVectorTest& cube, std::size_t n_pi,
+                        FaultModel model, util::Prng& prng) {
+  TwoVectorTest t = cube.concrete();
+  for (std::size_t b = 0; b < n_pi; ++b)
+    if (!cube.v2.care_mask.bit(b)) t.v2.set_bit(b, prng.next_bool());
+  if (model == FaultModel::kStuck) {
+    t.v1 = t.v2;
+    return t;
+  }
+  for (std::size_t b = 0; b < n_pi; ++b)
+    if (!cube.v1.care_mask.bit(b)) t.v1.set_bit(b, prng.next_bool());
+  return t;
+}
+
 void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
-               CampaignReport& r) {
+               CampaignReport& r,
+               detail::RepSubset* sat_untestable_out = nullptr) {
   const auto t_total = Clock::now();
   r.faults_total = ctx.faults_total;
   r.faults_collapsed = ctx.n_reps;
@@ -189,8 +224,21 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
       else ++r.aborted_backtracks;
       if (ctx.rep_name) r.aborted_faults.push_back(ctx.rep_name(i));
     };
+    std::vector<TwoVectorTest> seed_pool;
     for (std::uint32_t i = 0; i < ctx.n_reps; ++i) {
       if (skip[i]) continue;
+      // SAT-cube seed pool: before paying for a PODEM search, try the
+      // random completions of earlier escalation cubes — aborts cluster
+      // structurally, so one hard fault's cube often covers its neighbors.
+      if (!seed_pool.empty()) {
+        const FaultSimEngine::Campaign sc = ctx.prepass(sched, seed_pool, {i});
+        if (sc.first_test[0] >= 0) {
+          tests.push_back(seed_pool[static_cast<std::size_t>(sc.first_test[0])]);
+          ++r.seeded_tests;
+          csheet.add(mids.seeded_tests);
+          continue;
+        }
+      }
       const TwoFrameResult res = ctx.generate(i);
       switch (res.status) {
         case PodemStatus::kFound:
@@ -227,8 +275,18 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
             case sat::SatVerdict::kCube:
               tests.push_back(sr.cube.concrete());
               ++r.sat_detected;
+              if (opt.seed_sat_cubes) {
+                util::Prng prng(opt.seed ^ (0x5eedc0beull + i));
+                for (int k = 0; k < 4; ++k)
+                  seed_pool.push_back(fill_cube(sr.cube,
+                                                ctx.view.inputs().size(),
+                                                opt.model, prng));
+              }
               break;
-            case sat::SatVerdict::kUntestable: ++r.sat_untestable; break;
+            case sat::SatVerdict::kUntestable:
+              ++r.sat_untestable;
+              if (sat_untestable_out) sat_untestable_out->push_back(i);
+              break;
             case sat::SatVerdict::kUnknown:
               ++r.sat_unknown;
               record_abort(i, false);
@@ -236,6 +294,28 @@ void drive_ctx(const detail::CampaignContext& ctx, const CampaignOptions& opt,
           }
           break;
         }
+      }
+    }
+    // Incremental-session totals (nullptr when nothing escalated or the
+    // session is off). Deterministic per configuration: escalation order
+    // and the persistent solver are both deterministic.
+    if (ctx.escalate_stats) {
+      if (const sat::SatSessionStats* ss = ctx.escalate_stats()) {
+        r.sat_pairs = ss->pairs_total;
+        r.sat_cone_encodes = ss->cone_encodes;
+        r.sat_cone_hits = ss->cone_hits;
+        r.sat_unobservable_hits = ss->unobservable_hits;
+        r.sat_incremental_refutes = ss->incremental_refutes;
+        r.sat_fresh_fallbacks = ss->fresh_fallbacks;
+        r.sat_vars_shared = ss->vars_shared;
+        r.sat_clauses_kept = ss->clauses_kept;
+        csheet.add(mids.sat_inc_pairs, ss->pairs_total);
+        csheet.add(mids.sat_inc_cone_encodes, ss->cone_encodes);
+        csheet.add(mids.sat_inc_cone_hits, ss->cone_hits);
+        csheet.add(mids.sat_inc_refutes, ss->incremental_refutes);
+        csheet.add(mids.sat_inc_fresh, ss->fresh_fallbacks);
+        csheet.add(mids.sat_inc_vars_shared, ss->vars_shared);
+        csheet.add(mids.sat_inc_clauses_kept, ss->clauses_kept);
       }
     }
     r.time.atpg_s = seconds_since(t0);
@@ -342,6 +422,10 @@ struct ModelData {
   logic::Circuit view;
   std::vector<Fault> reps;
   PodemOptions popt;
+  /// Lazily constructed on the first escalation when sat_incremental is
+  /// on; one persistent solver serves the whole campaign (or shard).
+  /// Declared after `view` so the session's circuit reference outlives it.
+  std::shared_ptr<sat::SatSession> session;
 };
 
 }  // namespace
@@ -411,8 +495,17 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
                                      const RepSubset& subset) {
       return s.matrix_stuck(patterns_of(ts), select_reps(data->reps, subset));
     };
-    ctx.escalate = [data, satopt](std::uint32_t i) {
+    ctx.escalate = [data, satopt, inc = opt.sat_incremental](std::uint32_t i) {
+      if (inc) {
+        if (!data->session)
+          data->session =
+              std::make_shared<sat::SatSession>(data->view, satopt);
+        return data->session->generate_stuck_test(data->reps[i]);
+      }
       return sat::sat_generate_stuck_test(data->view, data->reps[i], satopt);
+    };
+    ctx.escalate_stats = [data]() -> const sat::SatSessionStats* {
+      return data->session ? &data->session->stats() : nullptr;
     };
     ctx.rep_name = [data](std::uint32_t i) {
       return fault_name(data->view, data->reps[i]);
@@ -437,9 +530,18 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
                         const RepSubset& subset) {
       return s.matrix_transition(ts, select_reps(data->reps, subset));
     };
-    ctx.escalate = [data, satopt](std::uint32_t i) {
+    ctx.escalate = [data, satopt, inc = opt.sat_incremental](std::uint32_t i) {
+      if (inc) {
+        if (!data->session)
+          data->session =
+              std::make_shared<sat::SatSession>(data->view, satopt);
+        return data->session->generate_transition_test(data->reps[i]);
+      }
       return sat::sat_generate_transition_test(data->view, data->reps[i],
                                                satopt);
+    };
+    ctx.escalate_stats = [data]() -> const sat::SatSessionStats* {
+      return data->session ? &data->session->stats() : nullptr;
     };
     ctx.rep_name = [data](std::uint32_t i) {
       return fault_name(data->view, data->reps[i]);
@@ -468,13 +570,23 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
                         const RepSubset& subset) {
       return s.matrix_obd(ts, select_reps(data->reps, subset));
     };
-    ctx.escalate = [data, satopt](std::uint32_t i) {
+    ctx.escalate = [data, satopt, inc = opt.sat_incremental](std::uint32_t i) {
+      if (inc) {
+        if (!data->session)
+          data->session =
+              std::make_shared<sat::SatSession>(data->view, satopt);
+        return data->session->generate_obd_test(data->reps[i]);
+      }
       return sat::sat_generate_obd_test(data->view, data->reps[i], satopt);
+    };
+    ctx.escalate_stats = [data]() -> const sat::SatSessionStats* {
+      return data->session ? &data->session->stats() : nullptr;
     };
     ctx.rep_name = [data](std::uint32_t i) {
       return fault_name(data->view, data->reps[i]);
     };
-    ctx.ndetect = [data](const CampaignOptions& o, CampaignReport& r) {
+    ctx.ndetect = [data](const CampaignOptions& o,
+                         const RepSubset& sat_untestable, CampaignReport& r) {
       if (data->reps.empty()) return;
       const obs::Span span("ndetect");
       const auto t1 = Clock::now();
@@ -484,7 +596,21 @@ CampaignContext make_context(const logic::SequentialCircuit& seq,
       nopt.seed = o.seed;
       nopt.podem = data->popt;
       nopt.sim = o.sim;
-      const NDetectResult nd = build_ndetect_set(data->view, data->reps, nopt);
+      // SAT-proven-untestable representatives can never reach n
+      // detections; growing toward them wastes the whole random pool.
+      std::vector<ObdFaultSite> targets;
+      const std::vector<ObdFaultSite>* reps = &data->reps;
+      if (!sat_untestable.empty()) {
+        std::vector<std::uint8_t> drop(data->reps.size(), 0);
+        for (const std::uint32_t u : sat_untestable) drop[u] = 1;
+        targets.reserve(data->reps.size() - sat_untestable.size());
+        for (std::size_t i = 0; i < data->reps.size(); ++i)
+          if (!drop[i]) targets.push_back(data->reps[i]);
+        reps = &targets;
+        r.ndetect_pruned_untestable =
+            static_cast<int>(sat_untestable.size());
+      }
+      const NDetectResult nd = build_ndetect_set(data->view, *reps, nopt);
       r.ndetect_tests = static_cast<int>(nd.tests.size());
       r.ndetect_satisfied = nd.satisfied;
       r.time.ndetect_s = seconds_since(t1);
@@ -562,8 +688,9 @@ CampaignReport run_campaign(const logic::SequentialCircuit& seq,
     return r;
   }
   r.time.collapse_s = ctx.collapse_s;
-  drive_ctx(ctx, opt, r);
-  if (opt.ndetect > 0 && ctx.ndetect) ctx.ndetect(opt, r);
+  detail::RepSubset sat_untestable_reps;
+  drive_ctx(ctx, opt, r, &sat_untestable_reps);
+  if (opt.ndetect > 0 && ctx.ndetect) ctx.ndetect(opt, sat_untestable_reps, r);
   // drive_ctx only spans random..compact; fold in the enumerate+collapse
   // phase so total == sum of the reported phases.
   r.time.total_s += r.time.collapse_s;
@@ -648,10 +775,12 @@ std::string report_json(const CampaignReport& r) {
   j += "],\n";
   j += "  \"tests\": {\"random\": " + std::to_string(r.tests_random) +
        ", \"deterministic\": " + std::to_string(r.tests_deterministic) +
+       ", \"seeded\": " + std::to_string(r.seeded_tests) +
        ", \"final\": " + std::to_string(r.tests_final) +
        ", \"ndetect\": " + std::to_string(r.ndetect_tests) +
        ", \"ndetect_satisfied\": " + std::to_string(r.ndetect_satisfied) +
-       "},\n";
+       ", \"ndetect_pruned_untestable\": " +
+       std::to_string(r.ndetect_pruned_untestable) + "},\n";
   if (r.shards > 0) {
     j += "  \"shards\": {\"count\": " + std::to_string(r.shards) +
          ", \"retries\": " + std::to_string(r.shard_retries) +
@@ -693,7 +822,23 @@ std::string report_json(const CampaignReport& r) {
       if (b > 0) j += ", ";
       j += std::to_string(r.sat_conflicts_hist[static_cast<std::size_t>(b)]);
     }
-    j += "]},\n";
+    j += "]";
+    // Incremental-session detail (one-shot runs with sat_incremental; a
+    // sharded merge reports zeros — sessions are process-local).
+    if (r.sat_pairs > 0) {
+      j += ",\n                     \"incremental\": {\"pairs\": " +
+           std::to_string(r.sat_pairs) +
+           ", \"cone_encodes\": " + std::to_string(r.sat_cone_encodes) +
+           ", \"cone_hits\": " + std::to_string(r.sat_cone_hits) +
+           ", \"unobservable_hits\": " +
+           std::to_string(r.sat_unobservable_hits) +
+           ", \"incremental_refutes\": " +
+           std::to_string(r.sat_incremental_refutes) +
+           ", \"fresh_fallbacks\": " + std::to_string(r.sat_fresh_fallbacks) +
+           ", \"vars_shared\": " + std::to_string(r.sat_vars_shared) +
+           ", \"clauses_kept\": " + std::to_string(r.sat_clauses_kept) + "}";
+    }
+    j += "},\n";
   }
   // Every metric the run touched, self-describing (kind-tagged), sorted by
   // name. Deterministic given a deterministic work partition; campaign
@@ -778,6 +923,12 @@ void print_report(const CampaignReport& r) {
                std::to_string(r.sat_conflicts) + " / " +
                    std::to_string(r.sat_decisions) + " / " +
                    std::to_string(r.sat_restarts)});
+    if (r.sat_pairs > 0)
+      t.add_row({"SAT incremental refutes / fresh",
+                 std::to_string(r.sat_incremental_refutes) + " / " +
+                     std::to_string(r.sat_fresh_fallbacks) + "  (cones " +
+                     std::to_string(r.sat_cone_encodes) + " encoded, " +
+                     std::to_string(r.sat_cone_hits) + " reused)"});
     // Compact per-fault hardness profile: "b3:12" = 12 escalated faults
     // needed [4, 8) conflicts.
     std::string hist;
@@ -799,7 +950,10 @@ void print_report(const CampaignReport& r) {
   t.add_row({"tests random / determ / final",
              std::to_string(r.tests_random) + " / " +
                  std::to_string(r.tests_deterministic) + " / " +
-                 std::to_string(r.tests_final)});
+                 std::to_string(r.tests_final) +
+                 (r.seeded_tests > 0
+                      ? "  (+" + std::to_string(r.seeded_tests) + " seeded)"
+                      : "")});
   if (r.ndetect_tests > 0)
     t.add_row({"n-detect tests / satisfied",
                std::to_string(r.ndetect_tests) + " / " +

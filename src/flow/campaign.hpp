@@ -66,6 +66,21 @@ struct CampaignOptions {
   bool sat_escalate = false;
   /// CDCL conflict budget per SAT solver call; <= 0 = unlimited.
   long long sat_conflict_budget = 100000;
+  /// Solve the escalation tail in one persistent assumption-based SAT
+  /// session (good CNF encoded once, faulty cones cached under activation
+  /// literals, learned clauses kept across faults) instead of a throwaway
+  /// solver per excitation pair. Verdicts and cubes are identical to
+  /// fresh solving by construction — an UNSAT under assumptions refutes
+  /// exactly the fresh formula, and SAT/budget-out answers delegate to the
+  /// fresh path — so matrix_hash, checkpoint, and --resume semantics are
+  /// unchanged; only the effort counters move.
+  bool sat_incremental = true;
+  /// Seed the deterministic top-off with random completions of SAT cubes:
+  /// each escalation cube contributes a few fills of its don't-care bits,
+  /// and later aborted faults try that pool before PODEM. Off by default —
+  /// seeded detections change which tests join the set (and therefore the
+  /// matrix hash); one-shot campaigns only.
+  bool seed_sat_cubes = false;
   /// Greedy set-cover compaction of the final test set.
   bool compact = true;
   /// Grow an n-detect set on top (OBD model only); 0 = off.
@@ -127,6 +142,17 @@ struct CampaignReport {
   long long sat_conflicts = 0;
   long long sat_decisions = 0;
   long long sat_restarts = 0;
+  /// Incremental-session counters (one-shot runs with sat_escalate and
+  /// sat_incremental; sharded runs report zeros — each shard's session is
+  /// process-local and not checkpointed). See sat::SatSessionStats.
+  long long sat_pairs = 0;
+  long long sat_cone_encodes = 0;
+  long long sat_cone_hits = 0;
+  long long sat_unobservable_hits = 0;
+  long long sat_incremental_refutes = 0;
+  long long sat_fresh_fallbacks = 0;
+  long long sat_vars_shared = 0;
+  long long sat_clauses_kept = 0;
   /// Per-fault conflict histogram over escalated faults: bucket 0 counts
   /// zero-conflict escalations, bucket i >= 1 escalations whose conflict
   /// count has bit_width i (obs::log2_bucket). Replaces eyeballing the
@@ -143,10 +169,16 @@ struct CampaignReport {
   /// Prepass tests that first-detected some fault (the ones kept).
   int tests_random = 0;
   int tests_deterministic = 0;
+  /// Aborted faults detected by a SAT-cube seed fill instead of PODEM
+  /// (CampaignOptions::seed_sat_cubes).
+  int seeded_tests = 0;
   /// After compaction (== random + deterministic when compaction is off).
   int tests_final = 0;
   int ndetect_tests = 0;
   int ndetect_satisfied = 0;
+  /// SAT-proven-untestable representatives dropped from the n-detect
+  /// target set (they can never reach n detections).
+  int ndetect_pruned_untestable = 0;
 
   /// FNV-1a over the packed detection matrix (dims + row words): equal
   /// hashes across runs <=> bit-identical detection matrices.

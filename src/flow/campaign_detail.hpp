@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "atpg/atpg.hpp"
+#include "atpg/sat/incremental.hpp"
 #include "atpg/sat/sat_atpg.hpp"
 #include "flow/campaign.hpp"
 #include "logic/sequential.hpp"
@@ -55,7 +56,12 @@ struct CampaignContext {
   /// SAT escalation for one representative (global index): definitive
   /// cube/untestable verdict for a PODEM backtrack-abort, budget
   /// permitting. Configured from CampaignOptions::sat_conflict_budget.
+  /// With CampaignOptions::sat_incremental the calls share one lazily
+  /// constructed persistent SatSession (verdicts identical either way).
   std::function<atpg::sat::SatAtpgResult(std::uint32_t rep_index)> escalate;
+  /// The incremental session's counters, or nullptr when no escalation ran
+  /// incrementally (sat_incremental off, or no fault escalated).
+  std::function<const atpg::sat::SatSessionStats*()> escalate_stats;
   /// Fault-site name of one representative (for abort reporting).
   std::function<std::string(std::uint32_t rep_index)> rep_name;
   /// Detection matrix of `tests` against the subset's representatives.
@@ -63,8 +69,12 @@ struct CampaignContext {
       atpg::FaultSimScheduler&, const std::vector<atpg::TwoVectorTest>&,
       const RepSubset&)>
       matrix;
-  /// n-detect growth tail (OBD model only; null otherwise).
-  std::function<void(const CampaignOptions&, CampaignReport&)> ndetect;
+  /// n-detect growth tail (OBD model only; null otherwise). The subset
+  /// lists SAT-proven-untestable representatives to drop from the target
+  /// set — they can never reach n detections.
+  std::function<void(const CampaignOptions&, const RepSubset& sat_untestable,
+                     CampaignReport&)>
+      ndetect;
 };
 
 /// Builds the model context for the enhanced-scan / combinational paths:

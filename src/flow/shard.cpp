@@ -84,6 +84,11 @@ ShardRunResult run_campaign_shard(const logic::SequentialCircuit& seq,
     return fail(ShardRunStatus::kError,
                 "--ndetect is a whole-campaign construct; not available in "
                 "shard mode");
+  if (opt.seed_sat_cubes)
+    return fail(ShardRunStatus::kError,
+                "--seed-sat-cubes feeds earlier escalation cubes to later "
+                "faults, which crosses shard boundaries; not available in "
+                "shard mode");
   if (!seq.flops().empty() && opt.scan_style != ScanMode::kEnhanced)
     return fail(ShardRunStatus::kError,
                 "launch-on-capture scan styles cannot be sharded "

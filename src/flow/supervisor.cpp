@@ -252,10 +252,18 @@ pid_t spawn_shard(const SupervisorOptions& sup, const CampaignOptions& opt,
     args.push_back("--podem-time");
     args.push_back(buf);
   }
+  if (opt.sim.delta_goods != atpg::DeltaGoods::kOff) {
+    args.push_back("--delta-goods");
+    args.push_back(atpg::to_string(opt.sim.delta_goods));
+  }
   if (opt.sat_escalate) {
     args.push_back("--sat-escalate");
     args.push_back("--sat-conflict-budget");
     args.push_back(std::to_string(opt.sat_conflict_budget));
+    if (!opt.sat_incremental) {
+      args.push_back("--sat-incremental");
+      args.push_back("off");
+    }
   }
   if (sup.trace) {
     args.push_back("--trace");
@@ -321,6 +329,10 @@ SupervisorResult run_supervised_campaign(const logic::SequentialCircuit& seq,
   }
   if (opt.ndetect > 0) {
     r.error = "--ndetect is not supported with sharded campaigns";
+    return res;
+  }
+  if (opt.seed_sat_cubes) {
+    r.error = "--seed-sat-cubes is not supported with sharded campaigns";
     return res;
   }
   if (r.scan && opt.scan_style != ScanMode::kEnhanced) {

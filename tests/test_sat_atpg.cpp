@@ -16,6 +16,7 @@
 #include "atpg/patterns.hpp"
 #include "atpg/podem.hpp"
 #include "atpg/sat/cnf.hpp"
+#include "atpg/sat/incremental.hpp"
 #include "atpg/sat/solver.hpp"
 #include "atpg/twoframe.hpp"
 #include "flow/campaign.hpp"
@@ -480,6 +481,151 @@ TEST(SatCampaign, ResumeEscalatesRecordedBacktrackAborts) {
   ASSERT_TRUE(oneshot.ok()) << oneshot.error;
   EXPECT_EQ(after.matrix_hash, oneshot.matrix_hash);
   EXPECT_EQ(after.detected, oneshot.detected);
+}
+
+// --- Assumption-based incremental solving --------------------------------
+
+TEST(SatIncremental, AssumptionsLeaveDatabaseReusable) {
+  // (a -> b), (b -> c): UNSAT under {a, ~c}, SAT under {a}, and an UNSAT
+  // answer under assumptions must not poison the clause database — the
+  // next call sees the same formula.
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  ASSERT_TRUE(s.add_clause({mk_lit(a, true), mk_lit(b)}));
+  ASSERT_TRUE(s.add_clause({mk_lit(b, true), mk_lit(c)}));
+  EXPECT_EQ(s.solve({mk_lit(a), mk_lit(c, true)}, 0), SolveStatus::kUnsat);
+  EXPECT_TRUE(s.okay());
+  EXPECT_EQ(s.solve({mk_lit(a)}, 0), SolveStatus::kSat);
+  EXPECT_TRUE(s.value(b));
+  EXPECT_TRUE(s.value(c));
+  EXPECT_EQ(s.solve({mk_lit(c, true)}, 0), SolveStatus::kSat);
+  EXPECT_FALSE(s.value(a));
+  EXPECT_EQ(s.solve(0), SolveStatus::kSat);
+}
+
+TEST(SatIncremental, ImpliedAssumptionsAreNotConflicts) {
+  // A unit clause forces x at level 0. Assuming x (already true) must
+  // still be SAT; assuming ~x is UNSAT under assumptions, with the
+  // database intact either way. This pins the already-assigned branch of
+  // the assumption walk, where a polarity slip silently flips every
+  // verdict whose assumption was implied by propagation.
+  Solver s;
+  const Var x = s.new_var(), y = s.new_var();
+  ASSERT_TRUE(s.add_clause({mk_lit(x)}));
+  ASSERT_TRUE(s.add_clause({mk_lit(x, true), mk_lit(y)}));
+  EXPECT_EQ(s.solve({mk_lit(x)}, 0), SolveStatus::kSat);
+  EXPECT_EQ(s.solve({mk_lit(y)}, 0), SolveStatus::kSat);
+  EXPECT_EQ(s.solve({mk_lit(x, true)}, 0), SolveStatus::kUnsat);
+  EXPECT_TRUE(s.okay());
+  EXPECT_EQ(s.solve(0), SolveStatus::kSat);
+  EXPECT_TRUE(s.value(x));
+}
+
+TEST(SatIncremental, SessionMatchesFreshOnAbortTail) {
+  // The whole point of the session: for every OBD fault of the abort-tail
+  // circuit, the incremental path must return the same verdict AND the
+  // same cube bytes as the fresh per-fault encoder, while actually
+  // sharing work (cone cache hits, incremental refutations).
+  const Circuit c = logic::array_multiplier(3);
+  SatAtpgOptions opt;
+  SatSession session(c, opt);
+  int cubes = 0, untestable = 0;
+  for (const ObdFaultSite& site : enumerate_obd_faults(c)) {
+    const SatAtpgResult fresh = sat_generate_obd_test(c, site, opt);
+    const SatAtpgResult inc = session.generate_obd_test(site);
+    ASSERT_EQ(fresh.verdict, inc.verdict)
+        << "gate " << site.gate_index << " fault";
+    if (fresh.verdict == SatVerdict::kCube) {
+      ++cubes;
+      EXPECT_EQ(fresh.cube.v1.bits, inc.cube.v1.bits);
+      EXPECT_EQ(fresh.cube.v1.care_mask, inc.cube.v1.care_mask);
+      EXPECT_EQ(fresh.cube.v2.bits, inc.cube.v2.bits);
+      EXPECT_EQ(fresh.cube.v2.care_mask, inc.cube.v2.care_mask);
+    } else if (fresh.verdict == SatVerdict::kUntestable) {
+      ++untestable;
+    }
+  }
+  EXPECT_GT(cubes, 0);
+  EXPECT_GT(untestable, 0);
+  const SatSessionStats& st = session.stats();
+  EXPECT_GT(st.pairs_total, 0);
+  EXPECT_GT(st.cone_hits, 0);            // shared cones actually reused
+  EXPECT_GT(st.incremental_refutes, 0);  // refutations from the shared DB
+  EXPECT_GT(st.vars_shared, 0);
+  EXPECT_LT(st.cone_encodes, st.pairs_total);
+}
+
+TEST(SatCampaign, IncrementalToggleIsInvariant) {
+  // --sat-incremental on|off must agree on everything the campaign
+  // contract covers: verdict counts, detection, and the matrix hash.
+  const Circuit c = logic::array_multiplier(3);
+  flow::CampaignOptions opt = abort_tail_options();
+  opt.sat_escalate = true;
+  opt.sat_incremental = true;
+  const flow::CampaignReport inc = flow::run_campaign(c, opt);
+  ASSERT_TRUE(inc.ok()) << inc.error;
+  opt.sat_incremental = false;
+  const flow::CampaignReport fresh = flow::run_campaign(c, opt);
+  ASSERT_TRUE(fresh.ok()) << fresh.error;
+
+  EXPECT_EQ(inc.matrix_hash, fresh.matrix_hash);
+  EXPECT_EQ(inc.detected, fresh.detected);
+  EXPECT_EQ(inc.sat_detected, fresh.sat_detected);
+  EXPECT_EQ(inc.sat_untestable, fresh.sat_untestable);
+  EXPECT_EQ(inc.sat_unknown, fresh.sat_unknown);
+  EXPECT_EQ(inc.tests_final, fresh.tests_final);
+
+  // The session counters surface only on the incremental run. (Total
+  // conflicts can exceed the fresh run's here: SAT pairs are solved twice
+  // — session attempt, then the fresh path for byte-identical cube
+  // lifting. The conflicts-saved win belongs to refutation-heavy tails;
+  // BENCH_atpg_scale's incremental_sat section measures it.)
+  EXPECT_GT(inc.sat_pairs, 0);
+  EXPECT_GT(inc.sat_cone_hits, 0);
+  EXPECT_GT(inc.sat_incremental_refutes, 0);
+  EXPECT_EQ(fresh.sat_pairs, 0);
+}
+
+TEST(SatCampaign, NdetectSkipsProvenUntestable) {
+  // n-detect growth must not chase faults the SAT backend proved
+  // untestable — they can never reach n detections, so keeping them only
+  // burns PODEM budget. The report counts what was pruned.
+  const Circuit c = logic::array_multiplier(3);
+  flow::CampaignOptions opt = abort_tail_options();
+  opt.sat_escalate = true;
+  opt.ndetect = 2;
+  const flow::CampaignReport r = flow::run_campaign(c, opt);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_GT(r.sat_untestable, 0);
+  EXPECT_EQ(r.ndetect_pruned_untestable, r.sat_untestable);
+}
+
+TEST(SatCampaign, SeededCubesJoinThePrepassPool) {
+  // With seeding on, don't-care bits of early SAT cubes become extra
+  // prepass patterns: later aborted representatives can be detected by a
+  // seeded pattern before PODEM ever reruns. The knob changes the test
+  // set, so it is one-shot only and off by default.
+  const Circuit c = logic::array_multiplier(3);
+  flow::CampaignOptions opt = abort_tail_options();
+  opt.sat_escalate = true;
+  opt.seed_sat_cubes = true;
+  const flow::CampaignReport r = flow::run_campaign(c, opt);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.aborted, 0);
+  EXPECT_GT(r.seeded_tests, 0);
+  EXPECT_DOUBLE_EQ(r.provable_coverage, 1.0);
+
+  // Sharded campaigns reject the knob instead of silently diverging.
+  flow::SupervisorOptions sup;
+  sup.checkpoint_dir = fresh_dir("seeded");
+  sup.shards = 2;
+  sup.in_process = true;
+  const flow::CampaignReport sharded =
+      flow::run_supervised_campaign(logic::SequentialCircuit(c), opt, sup)
+          .report;
+  EXPECT_FALSE(sharded.ok());
+  EXPECT_NE(sharded.error.find("seed-sat-cubes"), std::string::npos)
+      << sharded.error;
 }
 
 }  // namespace

@@ -17,6 +17,19 @@
 //                                  LaneBlock kernels, results identical)
 //   --cone-cache BYTES             LRU cap on the per-engine fanout-cone
 //                                  cache (default 0 = unlimited)
+//   --delta-goods on|off|auto      cross-block good-eval delta propagation:
+//                                  keep the previous block's good values
+//                                  resident per worker and re-evaluate only
+//                                  the cones of changed PIs (default off;
+//                                  auto falls back to a full evaluation
+//                                  when more than a quarter of the PIs
+//                                  changed). Bit-identical results either
+//                                  way — matrix_hash is the witness
+//   --grey-order                   sort matrix-mode pattern blocks by test
+//                                  vector so adjacent lanes share PI values
+//                                  (raises --delta-goods hit rates; the
+//                                  detection matrix is scattered back to
+//                                  input order, so results are identical)
 //   --random N                     random prepass patterns (default 2048)
 //   --seed S                       PRNG seed (default 0x0bd5eed)
 //   --backtracks N                 PODEM backtrack budget (default 100000)
@@ -32,6 +45,19 @@
 //                                  matrix_hash contract is preserved
 //   --sat-conflict-budget N        CDCL conflicts per SAT solver call
 //                                  (default 100000; 0 = unlimited)
+//   --sat-incremental on|off       assumption-based incremental SAT for the
+//                                  escalation tail (default on): the good
+//                                  circuit is encoded once per campaign,
+//                                  each faulty cone is gated behind an
+//                                  activation literal, and learned clauses
+//                                  persist across faults. Verdicts and test
+//                                  cubes are identical to fresh solving;
+//                                  off re-encodes from scratch per fault
+//   --seed-sat-cubes               push the don't-care bits of early SAT
+//                                  test cubes back into the random prepass
+//                                  pool as seeded fills (default off: the
+//                                  extra patterns change matrix_hash; not
+//                                  available in sharded runs)
 //   --ndetect N                    grow an n-detect set (obd model only)
 //   --no-compact                   skip greedy set-cover compaction
 //   --report FILE.json             write the JSON report (atomically:
@@ -123,9 +149,11 @@ int usage(const char* argv0) {
                "[--scan-style enhanced|loc|loc-held]\n"
                "       [--threads N] [--packing auto|pattern|fault] "
                "[--lanes 64|128|256|512]\n"
-               "       [--cone-cache BYTES] [--random N] [--seed S] "
-               "[--backtracks N] [--podem-time S] [--sat-escalate] "
-               "[--sat-conflict-budget N] [--ndetect N]\n"
+               "       [--cone-cache BYTES] [--delta-goods on|off|auto] "
+               "[--grey-order] [--random N] [--seed S]\n"
+               "       [--backtracks N] [--podem-time S] [--sat-escalate] "
+               "[--sat-conflict-budget N] [--sat-incremental on|off] "
+               "[--seed-sat-cubes] [--ndetect N]\n"
                "       [--no-compact] [--report FILE.json] "
                "[--min-coverage F] [--write-bench FILE] [--quiet] "
                "[--verbose]\n"
@@ -263,6 +291,18 @@ int main(int argc, char** argv) {
     } else if (a == "--cone-cache") {
       if (!parse_long(value("--cone-cache"), n) || n < 0) return usage(argv[0]);
       opt.sim.cone_cache_bytes = static_cast<std::size_t>(n);
+    } else if (a == "--delta-goods") {
+      const std::string d = value("--delta-goods");
+      if (d == "off") opt.sim.delta_goods = atpg::DeltaGoods::kOff;
+      else if (d == "on") opt.sim.delta_goods = atpg::DeltaGoods::kOn;
+      else if (d == "auto") opt.sim.delta_goods = atpg::DeltaGoods::kAuto;
+      else {
+        obs::logf(obs::LogLevel::kError, "unknown --delta-goods '%s'",
+                  d.c_str());
+        return 1;
+      }
+    } else if (a == "--grey-order") {
+      opt.sim.grey_order = true;
     } else if (a == "--random") {
       if (!parse_long(value("--random"), n) || n < 0) return usage(argv[0]);
       opt.random_patterns = static_cast<int>(n);
@@ -285,6 +325,17 @@ int main(int argc, char** argv) {
       if (!parse_long(value("--sat-conflict-budget"), n) || n < 0)
         return usage(argv[0]);
       opt.sat_conflict_budget = n;
+    } else if (a == "--sat-incremental") {
+      const std::string m = value("--sat-incremental");
+      if (m == "on") opt.sat_incremental = true;
+      else if (m == "off") opt.sat_incremental = false;
+      else {
+        obs::logf(obs::LogLevel::kError, "unknown --sat-incremental '%s'",
+                  m.c_str());
+        return 1;
+      }
+    } else if (a == "--seed-sat-cubes") {
+      opt.seed_sat_cubes = true;
     } else if (a == "--ndetect") {
       if (!parse_long(value("--ndetect"), n) || n < 0) return usage(argv[0]);
       opt.ndetect = static_cast<int>(n);
